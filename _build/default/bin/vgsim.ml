@@ -1,0 +1,183 @@
+(* vgsim: command-line front end to the Virtual Ghost simulator.
+
+     dune exec bin/vgsim.exe -- attack --attack inject --mode vg
+     dune exec bin/vgsim.exe -- lmbench --op null --mode native
+     dune exec bin/vgsim.exe -- postmark --transactions 5000 --mode vg
+     dune exec bin/vgsim.exe -- info *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "native" -> Ok Sva.Native_build
+    | "vg" | "virtual-ghost" -> Ok Sva.Virtual_ghost
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %s (native|vg)" s))
+  in
+  let print fmt = function
+    | Sva.Native_build -> Format.pp_print_string fmt "native"
+    | Sva.Virtual_ghost -> Format.pp_print_string fmt "vg"
+  in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(value & opt mode_conv Sva.Virtual_ghost & info [ "mode" ] ~doc:"Kernel build: native or vg.")
+
+let boot mode =
+  let machine = Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" () in
+  (machine, Kernel.boot ~mode machine)
+
+(* -- info ----------------------------------------------------------- *)
+
+let info_cmd =
+  let run () =
+    print_endline "Virtual Ghost (ASPLOS 2014) reproduction — simulator info";
+    Printf.printf "  ghost partition : %s .. %s\n" (U64.to_hex Layout.ghost_start)
+      (U64.to_hex Layout.ghost_end);
+    Printf.printf "  escape bit      : %s (OR'd into kernel memory accesses)\n"
+      (U64.to_hex Layout.ghost_escape_bit);
+    Printf.printf "  SVA internal    : %s .. %s\n" (U64.to_hex Layout.sva_start)
+      (U64.to_hex Layout.sva_end);
+    Printf.printf "  CPU model       : %.1f GHz, trap=%d cycles, vg trap extra=%d\n"
+      (Cost.cpu_hz /. 1e9) Cost.trap_entry Cost.vg_trap_extra;
+    Printf.printf "  sandbox mask    : +%d cycles per kernel memory operand\n"
+      Cost.sandbox_mask;
+    print_endline "  see DESIGN.md for the full inventory and EXPERIMENTS.md for results"
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print simulator configuration.") Term.(const run $ const ())
+
+(* -- attack --------------------------------------------------------- *)
+
+let attack_cmd =
+  let attack_conv =
+    let parse = function
+      | "direct" -> Ok Vg_attacks.Rootkit.Direct_read
+      | "inject" -> Ok Vg_attacks.Rootkit.Signal_inject
+      | s -> Error (`Msg (Printf.sprintf "unknown attack %s (direct|inject)" s))
+    in
+    let print fmt = function
+      | Vg_attacks.Rootkit.Direct_read -> Format.pp_print_string fmt "direct"
+      | Vg_attacks.Rootkit.Signal_inject -> Format.pp_print_string fmt "inject"
+    in
+    Arg.conv (parse, print)
+  in
+  let attack_arg =
+    Arg.(value & opt attack_conv Vg_attacks.Rootkit.Direct_read
+         & info [ "attack" ] ~doc:"Attack: direct (read victim memory) or inject (signal handler).")
+  in
+  let run mode attack =
+    let o = Vg_attacks.Rootkit.run_experiment ~mode ~attack in
+    Format.printf "%a@." Vg_attacks.Rootkit.pp_outcome o;
+    let stolen = o.Vg_attacks.Rootkit.secret_leaked_to_console || o.secret_in_exfil_file in
+    Format.printf "verdict: the secret was %s@."
+      (if stolen then "STOLEN" else "NOT obtained")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a section-7 rootkit experiment.")
+    Term.(const run $ mode_arg $ attack_arg)
+
+(* -- sealed store demo ---------------------------------------------- *)
+
+let sealed_cmd =
+  let run () =
+    let machine = Machine.create ~phys_frames:16384 ~disk_sectors:16384 ~seed:"sealed" () in
+    let k = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+    let _, _, image = Ssh_suite.install_images k ~app_key:(Bytes.make 16 's') in
+    Runtime.launch k ~image ~ghosting:true (fun ctx ->
+        let show = function
+          | Ok data -> Printf.printf "loaded: %S\n" (Bytes.to_string data)
+          | Error e -> Format.printf "load refused: %a@." Sealed_store.pp_error e
+        in
+        (match Sealed_store.save ctx ~path:"/cfg" (Bytes.of_string "version-1") with
+        | Ok () -> print_endline "saved version-1 (sealed, replay-protected)"
+        | Error e -> Format.printf "save: %a@." Sealed_store.pp_error e);
+        (* Keep a copy of the file as the hostile OS would. *)
+        let stale =
+          match Diskfs.lookup k.Kernel.fs "/cfg" with
+          | Ok ino -> (
+              match Diskfs.stat k.Kernel.fs ~ino with
+              | Ok st -> Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:st.Diskfs.size
+              | Error e -> Error e)
+          | Error e -> Error e
+        in
+        (match Sealed_store.save ctx ~path:"/cfg" (Bytes.of_string "version-2") with
+        | Ok () -> print_endline "saved version-2"
+        | Error e -> Format.printf "save: %a@." Sealed_store.pp_error e);
+        show (Sealed_store.load ctx ~path:"/cfg");
+        (* OS restores the old file... *)
+        (match (stale, Diskfs.lookup k.Kernel.fs "/cfg") with
+        | Ok bytes, Ok ino ->
+            ignore (Diskfs.truncate k.Kernel.fs ~ino ~len:0);
+            ignore (Diskfs.write k.Kernel.fs ~ino ~off:0 bytes);
+            print_endline "(hostile OS silently restored the version-1 file)"
+        | _ -> ());
+        show (Sealed_store.load ctx ~path:"/cfg"))
+  in
+  Cmd.v
+    (Cmd.info "sealed" ~doc:"Demonstrate replay-protected sealed storage.")
+    Term.(const run $ const ())
+
+(* -- lmbench -------------------------------------------------------- *)
+
+let lmbench_cmd =
+  let op_arg =
+    Arg.(value & opt string "null"
+         & info [ "op" ]
+             ~doc:"Operation: null, open-close, mmap, page-fault, sig-install, sig-deliver, fork-exit, select.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
+  in
+  let run mode op iterations =
+    let _, kernel = boot mode in
+    Runtime.launch kernel ~ghosting:false (fun ctx ->
+        let f =
+          match op with
+          | "null" -> Lmbench.null_syscall
+          | "open-close" -> Lmbench.open_close
+          | "mmap" -> Lmbench.mmap_bench
+          | "page-fault" -> Lmbench.page_fault
+          | "sig-install" -> Lmbench.signal_install
+          | "sig-deliver" -> Lmbench.signal_delivery
+          | "fork-exit" -> Lmbench.fork_exit
+          | "select" -> Lmbench.select_10
+          | other -> failwith ("unknown op " ^ other)
+        in
+        Printf.printf "%s: %.3f us per operation (simulated)\n" op (f ctx ~iterations))
+  in
+  Cmd.v
+    (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
+    Term.(const run $ mode_arg $ op_arg $ iters_arg)
+
+(* -- postmark ------------------------------------------------------- *)
+
+let postmark_cmd =
+  let tx_arg =
+    Arg.(value & opt int 5000 & info [ "transactions" ] ~doc:"Transaction count.")
+  in
+  let files_arg =
+    Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
+  in
+  let run mode transactions base_files =
+    let machine, kernel = boot mode in
+    Runtime.launch kernel ~ghosting:false (fun ctx ->
+        let config = { Postmark.paper_config with transactions; base_files } in
+        let start = Machine.cycles machine in
+        match Postmark.run ctx config with
+        | Error e -> Printf.printf "postmark failed: %s\n" (Errno.to_string e)
+        | Ok stats ->
+            let seconds = Cost.to_seconds (Machine.cycles machine - start) in
+            Printf.printf
+              "postmark: %.3f simulated seconds (created=%d deleted=%d reads=%d appends=%d)\n"
+              seconds stats.Postmark.created stats.Postmark.deleted stats.Postmark.reads
+              stats.Postmark.appends)
+  in
+  Cmd.v
+    (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
+    Term.(const run $ mode_arg $ tx_arg $ files_arg)
+
+let () =
+  let doc = "Virtual Ghost (ASPLOS 2014) reproduction simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vgsim" ~doc)
+          [ info_cmd; attack_cmd; lmbench_cmd; postmark_cmd; sealed_cmd ]))

@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Array Builder Bytes Int64 Ir Layout List Pp Printf U64 Vg_compiler Vg_ir

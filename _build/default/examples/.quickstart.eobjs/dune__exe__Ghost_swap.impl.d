@@ -1,0 +1,1 @@
+examples/ghost_swap.ml: Bytes Diskfs Frame_alloc Kernel List Machine Printf Runtime String Sva Swapd

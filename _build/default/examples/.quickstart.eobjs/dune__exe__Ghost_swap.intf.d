@@ -1,0 +1,1 @@
+examples/ghost_swap.mli:

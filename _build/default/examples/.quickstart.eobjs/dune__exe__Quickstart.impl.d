@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Int64 Kernel Kmem Layout Machine Pagetable Printf Proc Runtime String Sva U64 Vg_compiler

@@ -1,0 +1,1 @@
+examples/secure_agent.ml: Bytes Diskfs Errno Format Kernel List Machine Printf Runtime Ssh_suite Sva U64 Vg_attacks

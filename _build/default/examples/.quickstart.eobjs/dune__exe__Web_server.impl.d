@@ -1,0 +1,1 @@
+examples/web_server.ml: Bytes Char Cost Diskfs Errno Httpd Kernel List Machine Printf Runtime Sva

@@ -1,0 +1,55 @@
+(* Ghost-memory swapping (paper section 3.3) on a memory-starved
+   machine: the OS evicts ghost pages, but only the VM touches the
+   plaintext — the kernel stores sealed blobs and any tampering is
+   caught on the way back in.
+
+     dune exec examples/ghost_swap.exe *)
+
+let () =
+  print_endline "== Ghost swapping under memory pressure ==";
+  print_endline "";
+  (* A machine whose kernel allocator holds only ~150 frames. *)
+  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:32768 ~seed:"swap-demo" () in
+  let kernel = Kernel.boot ~frame_limit:150 ~mode:Sva.Virtual_ghost machine in
+  Runtime.launch kernel ~ghosting:true (fun ctx ->
+      Printf.printf "free frames before: %d\n" (Frame_alloc.free_count kernel.Kernel.frames);
+      (* Allocate ~80 pages of ghost heap — more than fits comfortably. *)
+      let chunks =
+        List.init 20 (fun i ->
+            let va = Runtime.galloc ctx (4 * 4096) in
+            Runtime.poke ctx va
+              (Bytes.of_string (Printf.sprintf "ghost chunk %02d contents" i));
+            va)
+      in
+      Printf.printf "free frames after allocating 80 ghost pages: %d\n"
+        (Frame_alloc.free_count kernel.Kernel.frames);
+      Printf.printf "resident ghost pages: %d\n"
+        (Swapd.resident_ghost_pages kernel ctx.Runtime.proc);
+      (* Force more evictions by hand. *)
+      for _ = 1 to 30 do
+        match Swapd.swap_out_one kernel with Ok () -> () | Error _ -> ()
+      done;
+      Printf.printf "after 30 forced evictions, resident: %d\n"
+        (Swapd.resident_ghost_pages kernel ctx.Runtime.proc);
+      (* The blobs sit in /swap, sealed. *)
+      (match Diskfs.lookup kernel.Kernel.fs "/swap" with
+      | Ok ino ->
+          let entries =
+            match Diskfs.readdir kernel.Kernel.fs ~ino with Ok e -> e | Error _ -> []
+          in
+          Printf.printf "sealed blobs in /swap: %d\n" (List.length entries)
+      | Error _ -> ());
+      (* Touch every chunk: swapped pages fault back in transparently. *)
+      let intact = ref 0 in
+      List.iteri
+        (fun i va ->
+          let expected = Printf.sprintf "ghost chunk %02d contents" i in
+          if Bytes.to_string (Runtime.peek ctx va (String.length expected)) = expected
+          then incr intact)
+        chunks;
+      Printf.printf "chunks intact after faulting back in: %d / 20\n" !intact;
+      Printf.printf "simulated time: %.3f ms\n" (Machine.elapsed_seconds machine *. 1000.));
+  print_endline "";
+  print_endline "The OS never sees plaintext: swap-out seals each page under the";
+  print_endline "VM's key with a fresh nonce, and swap-in rejects any blob that";
+  print_endline "was modified or replayed (see the attack suite)."

@@ -1,0 +1,1 @@
+lib/apps/httpd.ml: Bytes Cost Diskfs Errno Machine Netstack Printf Runtime String Syscalls

@@ -1,0 +1,1 @@
+lib/apps/httpd.mli: Errno Machine Runtime

@@ -1,0 +1,1 @@
+lib/apps/lmbench.ml: Bytes Cost Int64 Kernel List Machine Printf Proc Runtime Syscalls

@@ -1,0 +1,1 @@
+lib/apps/lmbench.mli: Appimage Runtime

@@ -1,0 +1,1 @@
+lib/apps/postmark.ml: Bytes Char Errno Hashtbl List Printf Runtime Syscalls

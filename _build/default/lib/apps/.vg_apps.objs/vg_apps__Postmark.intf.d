@@ -1,0 +1,1 @@
+lib/apps/postmark.mli: Errno Runtime

@@ -1,0 +1,1 @@
+lib/apps/ssh_suite.ml: Appimage Bytes Char Cost Errno Hashtbl Int32 Int64 Kernel Lazy List Machine Netstack Option Printf Runtime String Sva Syscalls Vg_crypto

@@ -1,0 +1,1 @@
+lib/apps/ssh_suite.mli: Appimage Errno Kernel Machine Runtime

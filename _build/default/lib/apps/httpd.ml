@@ -1,0 +1,88 @@
+let start ctx ~port = Syscalls.listen ctx.Runtime.kernel ctx.Runtime.proc ~port
+
+let response_header body_len =
+  Printf.sprintf "HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n" body_len
+
+let not_found = "HTTP/1.0 404 Not Found\r\n\r\n"
+
+let handle_connection ctx conn_fd =
+  let k = ctx.Runtime.kernel and proc = ctx.Runtime.proc in
+  let buf = Runtime.galloc ctx 1024 in
+  let rec read_request tries =
+    if tries = 0 then None
+    else begin
+      match Syscalls.recv k proc ~fd:conn_fd ~buf ~len:1024 with
+      | Ok 0 -> None
+      | Ok n -> Some (Bytes.to_string (Runtime.peek ctx buf n))
+      | Error Errno.EAGAIN -> read_request (tries - 1)
+      | Error _ -> None
+    end
+  in
+  (match read_request 50 with
+  | None -> ()
+  | Some request -> (
+      let path =
+        match String.split_on_char ' ' (String.trim request) with
+        | "GET" :: path :: _ -> Some path
+        | _ -> None
+      in
+      match path with
+      | None -> ignore (Runtime.write_string ctx ~fd:conn_fd not_found)
+      | Some path -> (
+          match Runtime.sys_open ctx path Syscalls.rdonly with
+          | Error _ -> ignore (Runtime.write_string ctx ~fd:conn_fd not_found)
+          | Ok file_fd ->
+              let size =
+                match Syscalls.stat k proc path with
+                | Ok st -> st.Diskfs.size
+                | Error _ -> 0
+              in
+              ignore (Runtime.write_string ctx ~fd:conn_fd (response_header size));
+              let chunk_len = 32768 in
+              let data_buf = Runtime.galloc ctx chunk_len in
+              let eof = ref false in
+              while not !eof do
+                match Runtime.sys_read ctx ~fd:file_fd ~dst:data_buf ~len:chunk_len with
+                | Ok 0 | Error _ -> eof := true
+                | Ok n -> (
+                    match Runtime.sys_write ctx ~fd:conn_fd ~src:data_buf ~len:n with
+                    | Ok _ -> ()
+                    | Error _ -> eof := true)
+              done;
+              ignore (Runtime.sys_close ctx file_fd))));
+  ignore (Runtime.sys_close ctx conn_fd)
+
+let serve_requests ctx ~listen_fd ~max =
+  let k = ctx.Runtime.kernel and proc = ctx.Runtime.proc in
+  let served = ref 0 in
+  let continue = ref true in
+  while !continue && !served < max do
+    match Syscalls.accept k proc ~fd:listen_fd with
+    | Ok conn_fd ->
+        handle_connection ctx conn_fd;
+        incr served
+    | Error _ -> continue := false
+  done;
+  !served
+
+module Client = struct
+  let get machine ~port ~path pump =
+    (* HTTP/1.0, one connection per request: pay the TCP handshake. *)
+    Machine.charge machine Cost.tcp_handshake;
+    let ep = Netstack.Remote.connect (Machine.remote_nic machine) ~port in
+    Netstack.Remote.send ep (Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n" path));
+    pump ();
+    let raw = Netstack.Remote.recv_all_available ep in
+    Netstack.Remote.close ep;
+    (* Split the header from the body. *)
+    let s = Bytes.to_string raw in
+    let rec find_body i =
+      if i + 4 > String.length s then None
+      else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+      else find_body (i + 1)
+    in
+    match find_body 0 with
+    | Some start when String.length s >= 12 && String.sub s 9 3 = "200" ->
+        Some (Bytes.sub raw start (Bytes.length raw - start))
+    | _ -> None
+end

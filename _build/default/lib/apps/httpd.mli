@@ -1,0 +1,24 @@
+(** A thttpd-style static web server (Figure 2's workload).
+
+    Single-process accept loop: parse ["GET <path>"], read the file
+    through the file system, answer with a minimal HTTP/1.0 response.
+    The server is deliberately {e not} a ghosting application — the
+    paper measures the kernel-instrumentation cost on an unmodified
+    server. *)
+
+val start : Runtime.ctx -> port:int -> int Errno.result
+(** Bind and listen; returns the listening descriptor. *)
+
+val serve_requests : Runtime.ctx -> listen_fd:int -> max:int -> int
+(** Handle up to [max] pending connections (one request each, as
+    ApacheBench with HTTP/1.0 does); returns how many were served.
+    Returns when no further connection is pending. *)
+
+(** Client half, run on the remote machine by the benchmark harness. *)
+module Client : sig
+  val get :
+    Machine.t -> port:int -> path:string -> (unit -> unit) -> bytes option
+  (** [get machine ~port ~path pump] issues one request.  [pump] is
+      called to let the (cooperative) server run; returns the response
+      body, [None] on failure. *)
+end

@@ -1,0 +1,52 @@
+(** LMBench-style micro-benchmarks (Tables 2, 3 and 4).
+
+    Each function drives the primitive operation the corresponding
+    LMBench test measures and returns the mean simulated latency in
+    microseconds per operation (from the machine's cycle clock at the
+    paper's 3.4 GHz). *)
+
+val null_syscall : Runtime.ctx -> iterations:int -> float
+(** getpid in a loop. *)
+
+val open_close : Runtime.ctx -> iterations:int -> float
+(** open + close of an existing file. *)
+
+val mmap_bench : Runtime.ctx -> iterations:int -> float
+(** mmap + touch + munmap of a 64 KiB region. *)
+
+val page_fault : Runtime.ctx -> iterations:int -> float
+(** First touch of a never-mapped page (demand paging). *)
+
+val signal_install : Runtime.ctx -> iterations:int -> float
+(** signal() handler registration. *)
+
+val signal_delivery : Runtime.ctx -> iterations:int -> float
+(** kill(self) + handler execution + sigreturn. *)
+
+val fork_exit : Runtime.ctx -> iterations:int -> float
+(** fork a child that exits immediately; wait for it. *)
+
+val fork_exec : Runtime.ctx -> image:Appimage.t -> iterations:int -> float
+(** fork + execve of a signed image + exit + wait. *)
+
+val select_10 : Runtime.ctx -> iterations:int -> float
+(** select over 10 pipe descriptors. *)
+
+val file_create : Runtime.ctx -> size:int -> iterations:int -> float
+(** Create a file of [size] bytes (Table 4 reports files/sec =
+    1e6 / latency-in-us). *)
+
+val file_delete : Runtime.ctx -> size:int -> iterations:int -> float
+(** Delete files of [size] bytes created beforehand (Table 3). *)
+
+val pipe_latency : Runtime.ctx -> iterations:int -> float
+(** One-byte write + read through a pipe (the classic lat_pipe). *)
+
+val pipe_bandwidth : Runtime.ctx -> iterations:int -> float
+(** 64 KiB chunks through a pipe; returns MB/s (bw_pipe). *)
+
+val context_switch : Runtime.ctx -> iterations:int -> float
+(** Switch between two address spaces (lat_ctx flavour). *)
+
+val per_second : float -> float
+(** Convert a latency in microseconds to operations per second. *)

@@ -1,0 +1,120 @@
+type config = {
+  base_files : int;
+  min_size : int;
+  max_size : int;
+  block : int;
+  transactions : int;
+  read_bias : int;
+  create_bias : int;
+  seed : int;
+}
+
+let paper_config =
+  {
+    base_files = 500;
+    min_size = 500;
+    max_size = 10_000;
+    block = 512;
+    transactions = 500_000;
+    read_bias = 5;
+    create_bias = 5;
+    seed = 42;
+  }
+
+type stats = {
+  created : int;
+  deleted : int;
+  reads : int;
+  appends : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+(* Postmark uses its own simple PRNG; a 63-bit LCG keeps runs
+   deterministic.  Draw from the high bits — the low bits of an LCG
+   have tiny periods (the parity bit simply alternates). *)
+type rng = { mutable state : int }
+
+let rand rng bound =
+  rng.state <- (rng.state * 0x41c64e6d41c64e6d) + 12345;
+  ((rng.state lsr 20) land 0x3fffffff) mod bound
+
+exception Fail of Errno.t
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> raise (Fail e)
+
+let run ctx config =
+  let k = ctx.Runtime.kernel and proc = ctx.Runtime.proc in
+  let rng = { state = config.seed } in
+  let path i = Printf.sprintf "/pm/f%05d" i in
+  let buf = Runtime.galloc ctx (max config.block config.max_size) in
+  (* One deterministic junk pattern, reused for all writes. *)
+  Runtime.poke ctx buf
+    (Bytes.init (max config.block config.max_size) (fun i -> Char.chr (33 + (i mod 90))));
+  let stats =
+    ref { created = 0; deleted = 0; reads = 0; appends = 0; bytes_read = 0; bytes_written = 0 }
+  in
+  (* Live file set as an array of ids; [None] = hole after deletion. *)
+  let next_id = ref 0 in
+  let live = Hashtbl.create config.base_files in
+  let live_ids () = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
+  let create_file () =
+    let id = !next_id in
+    incr next_id;
+    let* fd = Syscalls.open_ k proc (path id) Syscalls.creat_trunc in
+    let size = config.min_size + rand rng (config.max_size - config.min_size + 1) in
+    let* written = Syscalls.write k proc ~fd ~buf ~len:size in
+    let* () = Syscalls.close k proc fd in
+    Hashtbl.replace live id ();
+    stats :=
+      { !stats with created = !stats.created + 1; bytes_written = !stats.bytes_written + written }
+  in
+  let delete_file id =
+    let* () = Syscalls.unlink k proc (path id) in
+    Hashtbl.remove live id;
+    stats := { !stats with deleted = !stats.deleted + 1 }
+  in
+  let read_file id =
+    let* fd = Syscalls.open_ k proc (path id) Syscalls.rdonly in
+    let consumed = ref 1 in
+    while !consumed > 0 do
+      let* n = Syscalls.read k proc ~fd ~buf ~len:config.block in
+      consumed := n;
+      stats := { !stats with bytes_read = !stats.bytes_read + n }
+    done;
+    let* () = Syscalls.close k proc fd in
+    stats := { !stats with reads = !stats.reads + 1 }
+  in
+  let append_file id =
+    let* fd =
+      Syscalls.open_ k proc (path id) { create = false; truncate = false; append = true }
+    in
+    let* n = Syscalls.write k proc ~fd ~buf ~len:config.block in
+    let* () = Syscalls.close k proc fd in
+    stats :=
+      { !stats with appends = !stats.appends + 1; bytes_written = !stats.bytes_written + n }
+  in
+  try
+    (match Syscalls.mkdir k proc "/pm" with
+    | Ok () | Error Errno.EEXIST -> ()
+    | Error e -> raise (Fail e));
+    for _ = 1 to config.base_files do
+      create_file ()
+    done;
+    for _ = 1 to config.transactions do
+      let ids = live_ids () in
+      if rand rng 2 = 0 && ids <> [] then begin
+        (* data transaction *)
+        let id = List.nth ids (rand rng (List.length ids)) in
+        if rand rng 10 < config.read_bias then read_file id else append_file id
+      end
+      else if rand rng 10 < config.create_bias || ids = [] then create_file ()
+      else begin
+        let id = List.nth ids (rand rng (List.length ids)) in
+        delete_file id
+      end
+    done;
+    (* Postmark deletes all remaining files at the end. *)
+    List.iter (fun id -> delete_file id) (live_ids ());
+    Ok !stats
+  with Fail e -> Error e

@@ -1,0 +1,37 @@
+(** Postmark (Table 5's workload): a mail-server-like file system
+    stress test.
+
+    A pool of base files is created with sizes uniform in
+    [min_size, max_size]; each transaction then either reads or appends
+    to a random file (weighted by [read_bias] out of 10) or creates or
+    deletes one ([create_bias] out of 10), using buffered file I/O
+    through the system-call layer.  The paper's configuration is 500
+    base files of 500 B – 9.77 KB, 512-byte blocks, biases 5, 500 000
+    transactions. *)
+
+type config = {
+  base_files : int;
+  min_size : int;
+  max_size : int;
+  block : int;  (** read/append unit *)
+  transactions : int;
+  read_bias : int;  (** out of 10: read vs append *)
+  create_bias : int;  (** out of 10: create vs delete *)
+  seed : int;
+}
+
+val paper_config : config
+(** The paper's parameters (500 000 transactions — scale down for
+    tests). *)
+
+type stats = {
+  created : int;
+  deleted : int;
+  reads : int;
+  appends : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+val run : Runtime.ctx -> config -> stats Errno.result
+(** Execute the benchmark in directory [/pm] (created if needed). *)

@@ -1,0 +1,96 @@
+(** The ported OpenSSH application suite (paper section 6).
+
+    Three cooperating programs share one application key (delivered
+    through the signed-binary key section): [ssh-keygen] creates
+    authentication key pairs and encrypts the private half under the
+    application key before it ever reaches the file system; [ssh]
+    decrypts them at startup into its (ghost) heap; [ssh-agent] holds
+    secrets in its heap at a known location — the target of the attack
+    suite.  On a ghosting run the heap is ghost memory and files are
+    sealed; on a baseline run the heap is traditional memory and the
+    private key file is plaintext, which is the configuration both
+    paper attacks succeed against. *)
+
+val install_images :
+  Kernel.t -> app_key:bytes -> Appimage.t * Appimage.t * Appimage.t
+(** Signed binaries for (ssh, ssh-keygen, ssh-agent), all carrying the
+    same application key — the trusted-administrator step. *)
+
+(** {1 ssh-keygen} *)
+
+val keygen : Runtime.ctx -> path:string -> unit Errno.result
+(** Generate an authentication key pair: the private key file at
+    [path] (sealed with the application key when one is available; the
+    plaintext baseline otherwise) and the public half at [path].pub. *)
+
+(** {1 ssh (client)} *)
+
+val load_private_key : Runtime.ctx -> path:string -> (int64 * int, string) result
+(** Decrypt an authentication key into the heap (ghost memory when
+    ghosting); returns its (address, length).  Fails if the file was
+    corrupted — OS tampering is detected. *)
+
+val fetch_begin : Runtime.ctx -> port:int -> int Errno.result
+(** The Figure-4 workload, step 1: connect out to the remote server
+    (returns the socket).  The cooperative scheduler then lets the
+    harness run {!remote_file_server} before {!fetch_complete}. *)
+
+val fetch_complete :
+  Runtime.ctx -> fd:int -> len:int -> session_key:bytes -> (int64 * int, string) result
+(** Step 2: receive [len] bytes of AES-CTR-encrypted stream and
+    decrypt into the heap (ghost memory when ghosting, with the
+    wrapper's bounce copies). *)
+
+val remote_file_server :
+  Machine.t -> session_key:bytes -> len:int -> chunk:int -> bool
+(** Harness half of the Figure-4 workload: accept the pending client
+    connection on the remote NIC and stream [len] encrypted bytes in
+    [chunk]-byte sends.  Returns false if no connection was pending. *)
+
+(** {1 sshd (server)} *)
+
+val sshd_serve_file :
+  Runtime.ctx -> listen_fd:int -> path:string -> session_key:bytes -> (int, string) result
+(** The Figure-3 workload (scp-style download): accept one connection,
+    read [path] through the file system, encrypt with the session key
+    and stream it out.  Returns bytes sent. *)
+
+(** {1 ssh-agent} *)
+
+val agent_store_secret : Runtime.ctx -> string -> int64
+(** Place a secret string in the agent's heap (ghost memory when
+    ghosting); returns its address — which the attack suite will aim
+    at. *)
+
+val agent_serve_once :
+  Runtime.ctx -> request_fd:int -> reply_fd:int -> secret:int64 -> secret_len:int ->
+  unit Errno.result
+(** One request/response cycle: read a challenge (the read syscall a
+    malicious module intercepts), MAC it under the stored secret,
+    write the answer.  The secret itself is never written out. *)
+
+(** The agent protocol proper: framed add/list/sign/remove requests
+    over a descriptor pair, with every key held in the agent's (ghost)
+    heap.  Message framing: [type:u8][len:u32le][payload]. *)
+module Agent : sig
+  type state
+
+  val create : Runtime.ctx -> state
+
+  val key_address : state -> string -> int64 option
+  (** Where a named key's bytes sit in the agent's heap (the attack
+      suite aims at this). *)
+
+  val serve_one : state -> request_fd:int -> reply_fd:int -> unit Errno.result
+  (** Read one framed request and answer it. *)
+
+  (** Client-side helpers (run in another process sharing the pipes). *)
+  val request_add : Runtime.ctx -> fd:int -> name:string -> key:bytes -> unit Errno.result
+  val request_list : Runtime.ctx -> fd:int -> unit Errno.result
+  val request_sign : Runtime.ctx -> fd:int -> name:string -> challenge:bytes -> unit Errno.result
+  val request_remove : Runtime.ctx -> fd:int -> name:string -> unit Errno.result
+
+  val read_reply : Runtime.ctx -> fd:int -> (bytes, string) result
+  (** Read one framed reply: [Ok payload] for success frames, [Error]
+      for agent-reported failures. *)
+end

@@ -1,0 +1,1 @@
+lib/attacks/other_attacks.ml: Builder Bytes Char Diskfs Icontext Int64 Iommu Kernel Kmem Layout Machine Module_loader Pagetable Phys_mem Proc Runtime Sealed_store Ssh_suite String Sva Syscalls

@@ -1,0 +1,1 @@
+lib/attacks/other_attacks.mli: Sva

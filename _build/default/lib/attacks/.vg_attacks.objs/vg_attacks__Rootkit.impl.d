@@ -1,0 +1,1 @@
+lib/attacks/rootkit.ml: Array Builder Bytes Console Diskfs Format Frame_alloc Hashtbl Int64 Ir Kernel Layout Machine Module_loader Proc Runtime Ssh_suite String Sva Syscalls

@@ -1,0 +1,1 @@
+lib/attacks/rootkit.mli: Format Ir Kernel Runtime Sva

@@ -1,0 +1,215 @@
+let secret = "ghost-page-secret-value!"
+
+let boot mode =
+  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"oatk" () in
+  Kernel.boot ~mode machine
+
+(* Plant the secret in a fresh process's ghost page; return everything
+   the attacks need. *)
+let plant k =
+  let init = Kernel.init_process k in
+  let proc =
+    match Kernel.create_process k ~parent:init with
+    | Ok p -> p
+    | Error _ -> failwith "plant: create_process"
+  in
+  let va = Int64.add Layout.ghost_start 0x200000L in
+  (match Syscalls.allocgm k proc ~va ~pages:1 with
+  | Ok () -> ()
+  | Error _ -> failwith "plant: allocgm");
+  Kernel.switch_to k proc;
+  Machine.set_privilege k.Kernel.machine Machine.User;
+  Machine.write_bytes_virt k.Kernel.machine va (Bytes.of_string secret);
+  Machine.set_privilege k.Kernel.machine Machine.Kernel;
+  let frame =
+    match Pagetable.lookup proc.Proc.pt ~vpage:(Int64.shift_right_logical va 12) with
+    | Some pte -> pte.Pagetable.frame
+    | None -> failwith "plant: page vanished"
+  in
+  (proc, va, frame)
+
+let mmu_remap_attack ~mode =
+  let k = boot mode in
+  let proc, _va, frame = plant k in
+  (* Map the ghost frame at a kernel-accessible user address and read
+     it with an ordinary (instrumented) kernel access. *)
+  let attack_va = 0x0000_0000_00a0_0000L in
+  match
+    Sva.map_page k.Kernel.sva proc.Proc.pt ~va:attack_va ~frame
+      ~perm:{ writable = false; user = false; executable = false }
+  with
+  | Error _ -> false (* the VM refused the mapping *)
+  | Ok () ->
+      Machine.flush_tlb k.Kernel.machine;
+      let data = Kmem.read_bytes k.Kernel.kmem attack_va ~len:(String.length secret) in
+      Bytes.to_string data = secret
+
+let dma_attack ~mode =
+  let k = boot mode in
+  let _proc, _va, frame = plant k in
+  (* First, try to strip IOMMU protection through its control port (a
+     native kernel can; the VM refuses the port write). *)
+  (match Sva.io_write k.Kernel.sva ~port:Sva.iommu_config_port 0L with
+  | Ok () | Error _ -> ());
+  (* Then DMA the frame to "the device". *)
+  let phys = Int64.shift_left (Int64.of_int frame) 12 in
+  match
+    Iommu.dma_read (Machine.iommu k.Kernel.machine) (Machine.mem k.Kernel.machine)
+      ~addr:phys ~len:(String.length secret)
+  with
+  | exception Iommu.Dma_blocked _ -> false
+  | data -> Bytes.to_string data = secret
+
+let icontext_tamper_attack ~mode =
+  let k = boot mode in
+  let init = Kernel.init_process k in
+  let proc =
+    match Kernel.create_process k ~parent:init with
+    | Ok p -> p
+    | Error _ -> failwith "create_process"
+  in
+  let evil_pc = 0x0000_0000_0066_6000L in
+  (* Interrupt the victim, then scribble over the saved pc wherever the
+     kernel can reach it. *)
+  Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  (match Sva.native_ic_address k.Kernel.sva ~tid:proc.Proc.tid with
+  | Some ic_va ->
+      (* Baseline: the context sits on the kernel stack in plain view. *)
+      Kmem.store k.Kernel.kmem ic_va ~len:8 evil_pc
+  | None ->
+      (* Virtual Ghost: guess the SVA-internal mirror location and write
+         through an instrumented kernel store. *)
+      let guess = Int64.add Layout.sva_start 0x4000L in
+      Kmem.store k.Kernel.kmem guess ~len:8 evil_pc);
+  Sva.return_from_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  (Sva.thread_icontext k.Kernel.sva ~tid:proc.Proc.tid).Icontext.pc = evil_pc
+
+let iago_mmap_attack ~mode ~ghosting:masked =
+  let k = boot mode in
+  Syscalls.register_builtin_externs k;
+  (* A hostile mmap handler that returns a pointer into the
+     application's own ghost heap (where the runtime's first heap
+     object — the secret — lives). *)
+  let evil_mmap =
+    let b = Builder.create () in
+    Builder.func b "sys_mmap" ~params:[ "len" ];
+    Builder.ret b (Some (Imm (Int64.add Layout.ghost_start 0x1000_0000L)));
+    Builder.program b
+  in
+  (match Module_loader.load k ~name:"iago" evil_mmap with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let corrupted = ref false in
+  Runtime.launch k ~ghosting:true (fun ctx ->
+      (* The application keeps a secret at the bottom of its ghost
+         heap... *)
+      let secret_va = Runtime.galloc ctx 32 in
+      Runtime.poke ctx secret_va (Bytes.of_string secret);
+      (* ...asks for scratch memory, and writes into what it got.
+         [masked] selects whether the binary carries the Iago-defence
+         pass: the wrapper masks the pointer; the raw syscall does not.
+         A masked pointer may point at unmapped memory — the write then
+         faults harmlessly instead of corrupting the secret. *)
+      let scratch =
+        if masked then Runtime.sys_mmap ctx ~len:4096
+        else Syscalls.mmap ctx.Runtime.kernel ctx.Runtime.proc ~len:4096
+      in
+      (try
+         match scratch with
+         | Ok va -> Runtime.poke ctx va (Bytes.make 32 'X')
+         | Error _ -> ()
+       with Runtime.App_crash _ -> ());
+      corrupted := Bytes.to_string (Runtime.peek ctx secret_va 24) <> secret);
+  Module_loader.unload k ~name:"iago";
+  !corrupted
+
+let read_raw_file k path =
+  match Diskfs.lookup k.Kernel.fs path with
+  | Error _ -> None
+  | Ok ino -> (
+      match Diskfs.stat k.Kernel.fs ~ino with
+      | Error _ -> None
+      | Ok st -> (
+          match Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:st.Diskfs.size with
+          | Ok b -> Some b
+          | Error _ -> None))
+
+let write_raw_file k path data =
+  match Diskfs.lookup k.Kernel.fs path with
+  | Error _ -> ()
+  | Ok ino ->
+      ignore (Diskfs.truncate k.Kernel.fs ~ino ~len:0);
+      ignore (Diskfs.write k.Kernel.fs ~ino ~off:0 data)
+
+let file_replay_attack ~mode =
+  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"replay" () in
+  let k = Kernel.boot ~mode machine in
+  match mode with
+  | Sva.Native_build ->
+      (* Baseline: plain files, nothing versioned.  The OS keeps v1,
+         lets the app write v2, then silently restores v1 — the app has
+         no way to notice. *)
+      let accepted_stale = ref false in
+      Runtime.launch k ~ghosting:false (fun ctx ->
+          let write_config s =
+            match Runtime.sys_open ctx "/config" Syscalls.creat_trunc with
+            | Error _ -> ()
+            | Ok fd ->
+                ignore (Runtime.write_string ctx ~fd s);
+                ignore (Runtime.sys_close ctx fd)
+          in
+          write_config "allow-login=no";
+          let v1 = read_raw_file k "/config" in
+          write_config "allow-login=yes-strictly-mfa";
+          (match v1 with Some b -> write_raw_file k "/config" b | None -> ());
+          match Runtime.sys_open ctx "/config" Syscalls.rdonly with
+          | Error _ -> ()
+          | Ok fd -> (
+              let buf = Runtime.ualloc ctx 128 in
+              match Syscalls.read ctx.Runtime.kernel ctx.Runtime.proc ~fd ~buf ~len:128 with
+              | Ok n ->
+                  accepted_stale :=
+                    Bytes.to_string (Runtime.peek ctx buf n) = "allow-login=no"
+              | Error _ -> ()));
+      !accepted_stale
+  | Sva.Virtual_ghost ->
+      (* Virtual Ghost: the replay-protected sealed store. *)
+      let accepted_stale = ref false in
+      let _, _, image = Ssh_suite.install_images k ~app_key:(Bytes.make 16 'r') in
+      Runtime.launch k ~image ~ghosting:true (fun ctx ->
+          (match Sealed_store.save ctx ~path:"/config" (Bytes.of_string "v1") with
+          | Ok () -> ()
+          | Error _ -> failwith "save v1");
+          let v1 = read_raw_file k "/config" in
+          (match Sealed_store.save ctx ~path:"/config" (Bytes.of_string "v2") with
+          | Ok () -> ()
+          | Error _ -> failwith "save v2");
+          (match v1 with Some b -> write_raw_file k "/config" b | None -> ());
+          match Sealed_store.load ctx ~path:"/config" with
+          | Ok data -> accepted_stale := Bytes.to_string data = "v1"
+          | Error _ -> accepted_stale := false);
+      !accepted_stale
+
+let swap_tamper_attack ~mode =
+  let k = boot mode in
+  let proc, va, frame = plant k in
+  match mode with
+  | Sva.Native_build ->
+      (* No sealed swapping exists on the baseline: the kernel "swaps"
+         by reading the frame directly — trivially successful. *)
+      let phys = Int64.shift_left (Int64.of_int frame) 12 in
+      let page = Phys_mem.read_bytes (Machine.mem k.Kernel.machine) ~addr:phys ~len:24 in
+      Bytes.to_string page = secret
+  | Sva.Virtual_ghost -> (
+      match Sva.swap_out_ghost k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va with
+      | Error _ -> false
+      | Ok (frame, blob) ->
+          (* The blob is ciphertext; flip a byte and try to swap it
+             back in. *)
+          Bytes.set blob 64 (Char.chr (Char.code (Bytes.get blob 64) lxor 1));
+          (match
+             Sva.swap_in_ghost k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va
+               ~frame ~blob
+           with
+          | Ok () -> true (* tampering went undetected: attack success *)
+          | Error _ -> false))

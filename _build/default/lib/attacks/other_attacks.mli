@@ -1,0 +1,39 @@
+(** The remaining attack vectors of the paper's section 2.2, each as a
+    self-contained experiment returning whether the attack succeeded
+    (stole or corrupted ghost data).  Run against both build modes,
+    they demonstrate the paper's claim table: every vector succeeds on
+    the baseline and fails under Virtual Ghost. *)
+
+val mmu_remap_attack : mode:Sva.mode -> bool
+(** The kernel asks the MMU layer to map the victim's ghost frame at a
+    kernel-readable address and reads it (section 2.2.1, MMU vector). *)
+
+val dma_attack : mode:Sva.mode -> bool
+(** The kernel programs a device to DMA the ghost frame out to the
+    disk, then reads the disk (section 2.2.1, DMA vector).  Includes
+    the attempt to reconfigure the IOMMU through its I/O port first. *)
+
+val icontext_tamper_attack : mode:Sva.mode -> bool
+(** The kernel rewrites the program counter in the victim's saved
+    Interrupt Context so the victim resumes in attacker-chosen code
+    (section 2.2.4). *)
+
+val iago_mmap_attack : mode:Sva.mode -> ghosting:bool -> bool
+(** A hostile [mmap] returns a pointer into the application's own ghost
+    heap; a non-ghosting (unmasked) application writing through it
+    corrupts its own secret (section 2.2.5).  [ghosting] selects
+    whether the application was compiled with the masking pass. *)
+
+val file_replay_attack : mode:Sva.mode -> bool
+(** The OS keeps an old version of an application's encrypted
+    configuration file and substitutes it later (paper section 10's
+    replay concern).  Success means the application accepted the stale
+    data.  The Virtual Ghost run uses the replay-protected
+    {!Vg_userland.Sealed_store}; the baseline has nothing to detect
+    the swap with. *)
+
+val swap_tamper_attack : mode:Sva.mode -> bool
+(** The OS modifies a swapped-out ghost page before handing it back
+    (section 2.2.2); success means the modification went undetected.
+    Under the baseline there is no sealed swapping at all, so the OS
+    trivially reads and modifies the page — reported as success. *)

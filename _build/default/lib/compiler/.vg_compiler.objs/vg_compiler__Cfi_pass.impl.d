@@ -1,0 +1,1 @@
+lib/compiler/cfi_pass.ml: Array List Native Printf

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Cfi_pass Hashtbl Int64 Ir Layout List Native Option Printf Vg_util

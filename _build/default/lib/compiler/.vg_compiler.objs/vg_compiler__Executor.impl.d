@@ -1,0 +1,1 @@
+lib/compiler/executor.ml: Array Bytes Cfi_pass Char Hashtbl Int64 Interp Ir Layout List Native Option Printf Vg_util

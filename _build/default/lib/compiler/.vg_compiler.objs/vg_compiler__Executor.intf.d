@@ -1,0 +1,1 @@
+lib/compiler/executor.mli: Ir Native

@@ -1,0 +1,1 @@
+lib/compiler/mmap_mask_pass.mli: Ir

@@ -1,0 +1,1 @@
+lib/compiler/native.ml: Array Int64 Ir List Option

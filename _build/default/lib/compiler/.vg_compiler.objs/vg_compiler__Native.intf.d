@@ -1,0 +1,1 @@
+lib/compiler/native.mli: Ir

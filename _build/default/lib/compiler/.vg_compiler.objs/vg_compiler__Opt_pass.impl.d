@@ -1,0 +1,1 @@
+lib/compiler/opt_pass.ml: Hashtbl Interp Ir List Option

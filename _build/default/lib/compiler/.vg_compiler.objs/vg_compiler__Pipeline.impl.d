@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Cfi_pass Codegen Format Ir List Mmap_mask_pass Native Opt_pass Sandbox_pass String Verify

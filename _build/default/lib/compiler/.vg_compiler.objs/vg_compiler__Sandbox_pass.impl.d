@@ -1,0 +1,1 @@
+lib/compiler/sandbox_pass.ml: Int64 Ir Layout List Printf Vg_util

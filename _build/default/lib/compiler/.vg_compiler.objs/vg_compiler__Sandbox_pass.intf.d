@@ -1,0 +1,1 @@
+lib/compiler/sandbox_pass.mli: Ir

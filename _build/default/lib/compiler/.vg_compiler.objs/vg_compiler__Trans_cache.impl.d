@@ -1,0 +1,1 @@
+lib/compiler/trans_cache.ml: Bytes Char Hashtbl Marshal Native Vg_crypto

@@ -1,0 +1,1 @@
+lib/compiler/trans_cache.mli: Native

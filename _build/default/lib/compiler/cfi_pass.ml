@@ -1,0 +1,45 @@
+let shared_label = 0xCF1CF1l
+let check_extra_cycles = 3
+
+type violation = { index : int; message : string }
+
+let validate (image : Native.image) =
+  let violations = ref [] in
+  let bad index message = violations := { index; message } :: !violations in
+  Array.iteri
+    (fun i (instr : Native.ninstr) ->
+      match instr with
+      | NRet _ -> bad i "unchecked return in CFI image"
+      | NCallIndirect _ -> bad i "unchecked indirect call in CFI image"
+      | NCall _ | NCallExtern _ | NCallIndirectChecked _ -> (
+          (* The next slot is the return site and must carry a label. *)
+          match
+            if i + 1 < Array.length image.code then Some image.code.(i + 1) else None
+          with
+          | Some (NCfiLabel l) when l = shared_label -> ()
+          | Some _ | None -> bad i "call not followed by a CFI return-site label")
+      | NRetChecked { label; _ } ->
+          if label <> shared_label then bad i "return checks a foreign label"
+      | _ -> ())
+    image.code;
+  List.iter
+    (fun (s : Native.symbol) ->
+      match image.code.(s.entry) with
+      | NCfiLabel l when l = shared_label -> ()
+      | _ ->
+          bad s.entry
+            (Printf.sprintf "function %s entry does not carry a CFI label" s.name))
+    image.symbols;
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let validate_uninstrumented (image : Native.image) =
+  let violations = ref [] in
+  Array.iteri
+    (fun i (instr : Native.ninstr) ->
+      match instr with
+      | NCfiLabel _ | NRetChecked _ | NCallIndirectChecked _ ->
+          violations :=
+            { index = i; message = "CFI artifact in uninstrumented image" } :: !violations
+      | _ -> ())
+    image.code;
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)

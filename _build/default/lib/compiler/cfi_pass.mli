@@ -1,0 +1,31 @@
+(** Control-flow integrity instrumentation (paper sections 4.3.1, 5).
+
+    Following the paper (which updates the Zeng et al. x86 CFI pass),
+    CFI is applied during lowering to native code rather than as an
+    IR-to-IR rewrite: {!Codegen.compile} consults this module when
+    [~cfi:true].  The paper's conservative call graph uses a {e single
+    shared label} for every function entry and every return site; this
+    module exports that label, the per-check cycle cost, and a
+    validator that audits a finished image for the properties the
+    Virtual Ghost VM relies on:
+
+    - every return is a checked return;
+    - every indirect call is a checked indirect call;
+    - every function entry slot is a CFI label;
+    - the slot following every call is a CFI label (valid return site). *)
+
+val shared_label : int32
+(** The single label used for all valid control-transfer targets. *)
+
+val check_extra_cycles : int
+(** Extra cycles the executor charges for each checked return or
+    indirect call (mask + compare + fetch of the target's label). *)
+
+type violation = { index : int; message : string }
+
+val validate : Native.image -> (unit, violation list) result
+(** Audit an image that claims to be CFI-instrumented. *)
+
+val validate_uninstrumented : Native.image -> (unit, violation list) result
+(** Audit that an image contains no CFI artifacts at all (native
+    baseline builds must not pay for checks). *)

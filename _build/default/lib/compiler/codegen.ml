@@ -1,0 +1,134 @@
+exception Codegen_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* Lowering is two passes.  The slot cost of every IR instruction is
+   deterministic given the CFI flag, so pass 1 lays out function and
+   block entry slots; pass 2 emits final instructions with all symbols,
+   branch targets and call targets resolved immediately. *)
+
+let instr_slots ~cfi (instr : Ir.instr) =
+  match instr with
+  | Call _ | Call_indirect _ -> if cfi then 2 else 1 (* + return-site label *)
+  | Bin _ | Cmp _ | Select _ | Load _ | Store _ | Memcpy _ | Atomic_rmw _
+  | Io_read _ | Io_write _ ->
+      1
+
+let term_slots (term : Ir.terminator) =
+  match term with Cbr _ -> 2 | Ret _ | Br _ | Unreachable -> 1
+
+let compile ?(cfi = false) ?(base = Layout.kernel_code_start) ?(globals = []) program =
+  if not (Layout.in_kernel_code base) then
+    fail "code base %s outside kernel code range" (Vg_util.U64.to_hex base);
+  let func_entries : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let block_entries : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Pass 1: layout. *)
+  let slot = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace func_entries f.Ir.name !slot;
+      if cfi then incr slot;
+      List.iter
+        (fun (b : Ir.block) ->
+          Hashtbl.replace block_entries (f.Ir.name, b.Ir.label) !slot;
+          List.iter (fun i -> slot := !slot + instr_slots ~cfi i) b.Ir.instrs;
+          slot := !slot + term_slots b.Ir.term)
+        f.Ir.blocks)
+    program.Ir.funcs;
+  let total_slots = !slot in
+  let addr_of_slot i = Int64.add base (Int64.of_int (i * Native.slot_bytes)) in
+  let func_target name =
+    match Hashtbl.find_opt func_entries name with
+    | Some i -> i
+    | None -> fail "unknown function %s" name
+  in
+  let block_target fname label =
+    match Hashtbl.find_opt block_entries (fname, label) with
+    | Some i -> i
+    | None -> fail "unknown block %s in function %s" label fname
+  in
+  let operand (v : Ir.value) : Native.operand =
+    match v with
+    | Reg r -> Native.Reg r
+    | Imm i -> Native.Imm i
+    | Sym s -> (
+        match List.assoc_opt s globals with
+        | Some addr -> Native.Imm addr
+        | None ->
+            if Hashtbl.mem func_entries s then Native.Imm (addr_of_slot (func_target s))
+            else fail "unresolved symbol %s" s)
+  in
+  (* Pass 2: emission. *)
+  let code = Array.make total_slots Native.NHalt in
+  let slot = ref 0 in
+  let emit instr =
+    code.(!slot) <- instr;
+    incr slot
+  in
+  let lower_instr (instr : Ir.instr) =
+    match instr with
+    | Bin { dst; op; a; b } -> emit (NBin { dst; op; a = operand a; b = operand b })
+    | Cmp { dst; op; a; b } -> emit (NCmp { dst; op; a = operand a; b = operand b })
+    | Select { dst; cond; if_true; if_false } ->
+        emit
+          (NSelect
+             {
+               dst;
+               cond = operand cond;
+               if_true = operand if_true;
+               if_false = operand if_false;
+             })
+    | Load { dst; addr; width } -> emit (NLoad { dst; addr = operand addr; width })
+    | Store { src; addr; width } ->
+        emit (NStore { src = operand src; addr = operand addr; width })
+    | Memcpy { dst; src; len } ->
+        emit (NMemcpy { dst = operand dst; src = operand src; len = operand len })
+    | Atomic_rmw { dst; op; addr; operand = opnd; width } ->
+        emit (NAtomic { dst; op; addr = operand addr; operand_ = operand opnd; width })
+    | Call { dst; callee; args } ->
+        let args = List.map operand args in
+        if Hashtbl.mem func_entries callee then
+          emit (NCall { dst; target = func_target callee; args })
+        else emit (NCallExtern { dst; name = callee; args });
+        if cfi then emit (NCfiLabel Cfi_pass.shared_label)
+    | Call_indirect { dst; target; args } ->
+        let target = operand target and args = List.map operand args in
+        if cfi then begin
+          emit (NCallIndirectChecked { dst; target; args; label = Cfi_pass.shared_label });
+          emit (NCfiLabel Cfi_pass.shared_label)
+        end
+        else emit (NCallIndirect { dst; target; args })
+    | Io_read { dst; port } -> emit (NIoRead { dst; port = operand port })
+    | Io_write { port; src } -> emit (NIoWrite { port = operand port; src = operand src })
+  in
+  let lower_term fname (term : Ir.terminator) =
+    match term with
+    | Ret v ->
+        let value = Option.map operand v in
+        if cfi then emit (NRetChecked { value; label = Cfi_pass.shared_label })
+        else emit (NRet value)
+    | Br l -> emit (NJmp (block_target fname l))
+    | Cbr { cond; if_true; if_false } ->
+        emit (NJz { cond = operand cond; target = block_target fname if_false });
+        emit (NJmp (block_target fname if_true))
+    | Unreachable -> emit NHalt
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      if cfi then emit (NCfiLabel Cfi_pass.shared_label);
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter lower_instr b.Ir.instrs;
+          lower_term f.Ir.name b.Ir.term)
+        f.Ir.blocks)
+    program.Ir.funcs;
+  assert (!slot = total_slots);
+  {
+    Native.base;
+    code;
+    symbols =
+      List.map
+        (fun (f : Ir.func) ->
+          { Native.name = f.Ir.name; entry = func_target f.Ir.name; params = f.Ir.params })
+        program.Ir.funcs;
+  }

@@ -1,0 +1,25 @@
+(** Lowering from the virtual instruction set to the simulated native
+    instruction set (the SVA VM's translator).
+
+    The translator is ahead-of-time: a whole program becomes one
+    {!Native.image}.  Direct calls to functions defined in the program
+    become [NCall] to their entry slot; calls to undefined functions
+    (externals and [sva.*] intrinsics) become [NCallExtern].  [Sym]
+    operands resolve to the function's absolute virtual address, or to
+    an entry of [globals] for data symbols.
+
+    With [~cfi:true] the generated code carries the Virtual Ghost CFI
+    instrumentation described in {!Cfi_pass}. *)
+
+exception Codegen_error of string
+
+val compile :
+  ?cfi:bool ->
+  ?base:int64 ->
+  ?globals:(string * int64) list ->
+  Ir.program ->
+  Native.image
+(** [compile ~cfi ~base ~globals p] translates [p].  [base] defaults to
+    {!Layout.kernel_code_start}; it must lie in the kernel-code range.
+    @raise Codegen_error on unresolved symbols or unknown branch
+    targets. *)

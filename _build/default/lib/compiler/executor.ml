@@ -1,0 +1,230 @@
+type env = {
+  load : int64 -> Ir.width -> int64;
+  store : int64 -> Ir.width -> int64 -> unit;
+  memcpy : dst:int64 -> src:int64 -> len:int64 -> unit;
+  io_read : int64 -> int64;
+  io_write : int64 -> int64 -> unit;
+  extern : string -> int64 array -> int64;
+  call_foreign : int64 -> int64 array -> int64;
+  charge : int -> unit;
+  tamper_return : (int64 -> int64) option;
+}
+
+exception Cfi_violation of string
+exception Exec_trap of string
+
+let null_env =
+  let scratch = Bytes.make 4096 '\000' in
+  let offset addr =
+    let i = Int64.to_int (Int64.logand addr 0xfffL) in
+    i
+  in
+  {
+    load =
+      (fun addr width ->
+        let i = offset addr in
+        match width with
+        | Ir.W8 -> Int64.of_int (Char.code (Bytes.get scratch i))
+        | Ir.W16 -> Int64.of_int (Bytes.get_uint16_le scratch i)
+        | Ir.W32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le scratch i)) 0xffffffffL
+        | Ir.W64 -> Bytes.get_int64_le scratch i);
+    store =
+      (fun addr width v ->
+        let i = offset addr in
+        match width with
+        | Ir.W8 -> Bytes.set scratch i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+        | Ir.W16 -> Bytes.set_uint16_le scratch i (Int64.to_int (Int64.logand v 0xffffL))
+        | Ir.W32 -> Bytes.set_int32_le scratch i (Int64.to_int32 v)
+        | Ir.W64 -> Bytes.set_int64_le scratch i v);
+    memcpy = (fun ~dst:_ ~src:_ ~len:_ -> raise (Exec_trap "null_env: memcpy"));
+    io_read = (fun _ -> raise (Exec_trap "null_env: io_read"));
+    io_write = (fun _ _ -> raise (Exec_trap "null_env: io_write"));
+    extern = (fun name _ -> raise (Exec_trap ("null_env: extern " ^ name)));
+    call_foreign = (fun _ _ -> raise (Exec_trap "null_env: foreign call"));
+    charge = (fun _ -> ());
+    tamper_return = None;
+  }
+
+type frame = {
+  regs : (string, int64) Hashtbl.t;
+  ret_pc : int; (* slot to resume in the caller *)
+  ret_dst : string option; (* caller register receiving the result *)
+}
+
+let operand regs (op : Native.operand) =
+  match op with
+  | Imm i -> i
+  | Reg r -> (
+      match Hashtbl.find_opt regs r with
+      | Some v -> v
+      | None -> raise (Exec_trap (Printf.sprintf "read of undefined register %s" r)))
+
+let bind_params image target args =
+  match Native.symbol_of_index image target with
+  | None ->
+      raise (Exec_trap (Printf.sprintf "call to slot %d which is not a function entry" target))
+  | Some sym ->
+      if List.length sym.Native.params <> Array.length args then
+        raise
+          (Exec_trap
+             (Printf.sprintf "call %s: arity mismatch (%d vs %d)" sym.Native.name
+                (List.length sym.Native.params) (Array.length args)));
+      let regs = Hashtbl.create 32 in
+      List.iteri (fun i p -> Hashtbl.replace regs p args.(i)) sym.Native.params;
+      regs
+
+(* A checked control transfer: mask the target into kernel space, then
+   demand a CFI label at the masked target (paper section 4.3.1). *)
+let cfi_checked_target env image label target =
+  env.charge Cfi_pass.check_extra_cycles;
+  let masked = Layout.mask_kernel_target target in
+  match Native.index_of_addr image masked with
+  | None ->
+      raise
+        (Cfi_violation
+           (Printf.sprintf "control transfer to %s outside translated code"
+              (Vg_util.U64.to_hex masked)))
+  | Some idx -> (
+      match image.Native.code.(idx) with
+      | NCfiLabel l when l = label -> idx
+      | _ ->
+          raise
+            (Cfi_violation
+               (Printf.sprintf "target %s does not carry the expected CFI label"
+                  (Vg_util.U64.to_hex masked))))
+
+let run ?(fuel = 50_000_000) env image entry args =
+  let sym =
+    match Native.find_symbol image entry with Some s -> s | None -> raise Not_found
+  in
+  let fuel = ref fuel in
+  let code = image.Native.code in
+  let pc = ref sym.Native.entry in
+  let regs = ref (bind_params image sym.Native.entry args) in
+  let stack : frame list ref = ref [] in
+  let result = ref 0L in
+  let running = ref true in
+  let do_return value =
+    (match value with Some v -> result := v | None -> result := 0L);
+    match !stack with
+    | [] -> running := false
+    | frame :: rest ->
+        stack := rest;
+        let ret_addr = Native.addr_of_index image frame.ret_pc in
+        let ret_addr =
+          match env.tamper_return with Some f -> f ret_addr | None -> ret_addr
+        in
+        let target =
+          match Native.index_of_addr image ret_addr with
+          | Some idx -> idx
+          | None ->
+              raise
+                (Exec_trap
+                   (Printf.sprintf "return to %s outside image" (Vg_util.U64.to_hex ret_addr)))
+        in
+        (match frame.ret_dst with
+        | Some dst -> Hashtbl.replace frame.regs dst !result
+        | None -> ());
+        regs := frame.regs;
+        pc := target
+  in
+  let do_return_checked label value =
+    (match value with Some v -> result := v | None -> result := 0L);
+    match !stack with
+    | [] -> running := false
+    | frame :: rest ->
+        stack := rest;
+        let ret_addr = Native.addr_of_index image frame.ret_pc in
+        let ret_addr =
+          match env.tamper_return with Some f -> f ret_addr | None -> ret_addr
+        in
+        let target = cfi_checked_target env image label ret_addr in
+        (match frame.ret_dst with
+        | Some dst -> Hashtbl.replace frame.regs dst !result
+        | None -> ());
+        regs := frame.regs;
+        pc := target
+  in
+  let do_call ~dst ~target ~args =
+    stack := { regs = !regs; ret_pc = !pc + 1; ret_dst = dst } :: !stack;
+    regs := bind_params image target args;
+    pc := target
+  in
+  while !running do
+    decr fuel;
+    if !fuel <= 0 then raise (Exec_trap "out of fuel");
+    if !pc < 0 || !pc >= Array.length code then
+      raise (Exec_trap (Printf.sprintf "pc %d out of code bounds" !pc));
+    env.charge 1;
+    let r = !regs in
+    let v = operand r in
+    match code.(!pc) with
+    | NMov { dst; src } ->
+        Hashtbl.replace r dst (v src);
+        incr pc
+    | NBin { dst; op; a; b } ->
+        (try Hashtbl.replace r dst (Interp.eval_binop op (v a) (v b))
+         with Interp.Trap m -> raise (Exec_trap m));
+        incr pc
+    | NCmp { dst; op; a; b } ->
+        Hashtbl.replace r dst (Interp.eval_cmp op (v a) (v b));
+        incr pc
+    | NSelect { dst; cond; if_true; if_false } ->
+        Hashtbl.replace r dst (if v cond <> 0L then v if_true else v if_false);
+        incr pc
+    | NLoad { dst; addr; width } ->
+        Hashtbl.replace r dst (Interp.truncate width (env.load (v addr) width));
+        incr pc
+    | NStore { src; addr; width } ->
+        env.store (v addr) width (Interp.truncate width (v src));
+        incr pc
+    | NMemcpy { dst; src; len } ->
+        let len_v = v len in
+        (* Copy cost scales with length, as it would on hardware. *)
+        env.charge (Int64.to_int (Vg_util.U64.div len_v 8L));
+        env.memcpy ~dst:(v dst) ~src:(v src) ~len:len_v;
+        incr pc
+    | NAtomic { dst; op; addr; operand_; width } ->
+        let a = v addr in
+        let old = Interp.truncate width (env.load a width) in
+        (try env.store a width (Interp.truncate width (Interp.eval_binop op old (v operand_)))
+         with Interp.Trap m -> raise (Exec_trap m));
+        Hashtbl.replace r dst old;
+        incr pc
+    | NJmp target -> pc := target
+    | NJz { cond; target } -> if v cond = 0L then pc := target else incr pc
+    | NCall { dst; target; args } ->
+        do_call ~dst ~target ~args:(Array.of_list (List.map v args))
+    | NCallExtern { dst; name; args } ->
+        let res = env.extern name (Array.of_list (List.map v args)) in
+        (match dst with Some d -> Hashtbl.replace r d res | None -> ());
+        incr pc
+    | NCallIndirect { dst; target; args } -> (
+        let addr = v target in
+        let args = Array.of_list (List.map v args) in
+        match Native.index_of_addr image addr with
+        | Some idx -> do_call ~dst ~target:idx ~args
+        | None ->
+            let res = env.call_foreign addr args in
+            (match dst with Some d -> Hashtbl.replace r d res | None -> ());
+            incr pc)
+    | NCallIndirectChecked { dst; target; args; label } ->
+        let addr = v target in
+        let args = Array.of_list (List.map v args) in
+        let idx = cfi_checked_target env image label addr in
+        (* The label slot is the function entry; execution starts there
+           and falls through it. Parameter binding needs the symbol at
+           that entry. *)
+        do_call ~dst ~target:idx ~args
+    | NRet value -> do_return (Option.map v value)
+    | NRetChecked { value; label } -> do_return_checked label (Option.map v value)
+    | NCfiLabel _ -> incr pc
+    | NIoRead { dst; port } ->
+        Hashtbl.replace r dst (env.io_read (v port));
+        incr pc
+    | NIoWrite { port; src } ->
+        env.io_write (v port) (v src);
+        incr pc
+    | NHalt -> raise (Exec_trap "halt / unreachable executed")
+  done;
+  !result

@@ -1,0 +1,46 @@
+(** Executor for native code images.
+
+    Runs compiled (possibly instrumented) code against the world exposed
+    by an {!env} — the simulated machine's memory, I/O ports, the
+    SVA-OS intrinsics, and kernel helper functions.  The executor keeps
+    an explicit call stack, so control-data attacks are expressible:
+    [tamper_return] lets a test (or a simulated kernel buffer overflow)
+    corrupt a return address the instant it is popped, and indirect
+    calls read their targets from data the program computed.  CFI
+    instrumentation, when present in the image, catches both.
+
+    Every executed instruction calls [charge], so the cycle cost of
+    instrumentation emerges from actually executing the extra
+    instructions rather than from a bolted-on estimate. *)
+
+type env = {
+  load : int64 -> Ir.width -> int64;
+  store : int64 -> Ir.width -> int64 -> unit;
+  memcpy : dst:int64 -> src:int64 -> len:int64 -> unit;
+  io_read : int64 -> int64;
+  io_write : int64 -> int64 -> unit;
+  extern : string -> int64 array -> int64;
+      (** Direct calls to functions not present in the image. *)
+  call_foreign : int64 -> int64 array -> int64;
+      (** Indirect calls whose (possibly masked) target lies outside the
+          image. Only consulted by {e unchecked} indirect calls; checked
+          ones refuse such targets. *)
+  charge : int -> unit;  (** cycle accounting *)
+  tamper_return : (int64 -> int64) option;
+      (** Attack hook: rewrite each popped return address. *)
+}
+
+val null_env : env
+(** An environment whose memory is a tiny private scratch array and
+    whose other callbacks reject; convenient base for tests:
+    [{ null_env with load = ...; store = ... }]. *)
+
+exception Cfi_violation of string
+(** A CFI check failed: the kernel thread would be terminated. *)
+
+exception Exec_trap of string
+(** Non-CFI execution error (bad jump, arity mismatch, fuel, ...). *)
+
+val run : ?fuel:int -> env -> Native.image -> string -> int64 array -> int64
+(** [run env image func args] executes [func].  Returns the function's
+    result (0 for void).  @raise Not_found if [func] is not a symbol. *)

@@ -1,0 +1,20 @@
+(** Iago-attack defence for application code (paper sections 4.7, 5).
+
+    A hostile kernel can return a pointer into the application's own
+    ghost memory (e.g. its stack) from [mmap]; an application that then
+    writes through that pointer corrupts itself — an Iago attack.
+    Virtual Ghost compiles ghosting applications with a pass that
+    bit-masks the return value of every [mmap] system call out of the
+    ghost partition, using the same compare/or/select sequence as the
+    kernel sandboxing pass.
+
+    Because the IR is not SSA, the pass simply redefines the call's
+    destination register with the masked value immediately after the
+    call. *)
+
+val instrument_program : mmap_callees:string list -> Ir.program -> Ir.program
+(** [instrument_program ~mmap_callees p] masks the results of calls to
+    any function named in [mmap_callees] (e.g. [["extern.mmap"]]). *)
+
+val masked_return : int64 -> int64
+(** Run-time semantics of the inserted sequence. *)

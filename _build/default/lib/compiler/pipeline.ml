@@ -1,0 +1,42 @@
+type mode = Native_build | Virtual_ghost
+type compiled = { image : Native.image; instrumented_ir : Ir.program; mode : mode }
+
+exception Rejected of string
+
+let verify_or_reject program =
+  match Verify.check program with
+  | Ok () -> ()
+  | Error errors ->
+      let msg =
+        String.concat "; " (List.map (Format.asprintf "%a" Verify.pp_error) errors)
+      in
+      raise (Rejected ("IR verification failed: " ^ msg))
+
+let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false) ?base ?globals program =
+  verify_or_reject program;
+  let program = if optimize then Opt_pass.optimize_program program else program in
+  match mode with
+  | Native_build ->
+      let image = Codegen.compile ?base ?globals ~cfi:false program in
+      (match Cfi_pass.validate_uninstrumented image with
+      | Ok () -> ()
+      | Error _ -> raise (Rejected "native build contains CFI artifacts"));
+      { image; instrumented_ir = program; mode }
+  | Virtual_ghost ->
+      let instrumented = Sandbox_pass.instrument_program program in
+      let image = Codegen.compile ?base ?globals ~cfi:true instrumented in
+      (match Cfi_pass.validate image with
+      | Ok () -> ()
+      | Error violations ->
+          let msg =
+            String.concat "; "
+              (List.map (fun (v : Cfi_pass.violation) -> v.message) violations)
+          in
+          raise (Rejected ("CFI audit failed: " ^ msg)));
+      { image; instrumented_ir = instrumented; mode }
+
+let compile_application_code ?(mmap_callees = [ "extern.mmap" ]) ?base program =
+  verify_or_reject program;
+  let instrumented = Mmap_mask_pass.instrument_program ~mmap_callees program in
+  let image = Codegen.compile ?base ~cfi:false instrumented in
+  { image; instrumented_ir = instrumented; mode = Native_build }

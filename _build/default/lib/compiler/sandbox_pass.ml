@@ -1,0 +1,65 @@
+let masked_address addr =
+  let addr =
+    if Vg_util.U64.ge addr Layout.ghost_start then
+      Int64.logor addr Layout.ghost_escape_bit
+    else addr
+  in
+  if Layout.in_sva addr then 0L else addr
+
+let added_instructions_per_operand = 7
+
+(* Counter for fresh register names; instrumentation registers are
+   prefixed "%sbx" so they can never collide with Builder-generated
+   ("%t..") or hand-written registers. *)
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "%%sbx.%s%d" prefix !fresh_counter
+
+(* Emit the masking sequence for [addr]; returns the instructions (in
+   order) and the value holding the safe address. *)
+let mask_sequence (addr : Ir.value) : Ir.instr list * Ir.value =
+  let is_high = fresh "hi" in
+  let ored = fresh "or" in
+  let escaped = fresh "esc" in
+  let above_sva = fresh "asva" in
+  let below_sva = fresh "bsva" in
+  let in_sva = fresh "insva" in
+  let safe = fresh "safe" in
+  ( [
+      Ir.Cmp { dst = is_high; op = Uge; a = addr; b = Imm Layout.ghost_start };
+      Ir.Bin { dst = ored; op = Or; a = addr; b = Imm Layout.ghost_escape_bit };
+      Ir.Select { dst = escaped; cond = Reg is_high; if_true = Reg ored; if_false = addr };
+      Ir.Cmp { dst = above_sva; op = Uge; a = Reg escaped; b = Imm Layout.sva_start };
+      Ir.Cmp { dst = below_sva; op = Ult; a = Reg escaped; b = Imm Layout.sva_end };
+      Ir.Bin { dst = in_sva; op = And; a = Reg above_sva; b = Reg below_sva };
+      Ir.Select { dst = safe; cond = Reg in_sva; if_true = Imm 0L; if_false = Reg escaped };
+    ],
+    Ir.Reg safe )
+
+let instrument_instr (instr : Ir.instr) : Ir.instr list =
+  match instr with
+  | Load { dst; addr; width } ->
+      let seq, safe = mask_sequence addr in
+      seq @ [ Ir.Load { dst; addr = safe; width } ]
+  | Store { src; addr; width } ->
+      let seq, safe = mask_sequence addr in
+      seq @ [ Ir.Store { src; addr = safe; width } ]
+  | Atomic_rmw { dst; op; addr; operand; width } ->
+      let seq, safe = mask_sequence addr in
+      seq @ [ Ir.Atomic_rmw { dst; op; addr = safe; operand; width } ]
+  | Memcpy { dst; src; len } ->
+      let dseq, dsafe = mask_sequence dst in
+      let sseq, ssafe = mask_sequence src in
+      dseq @ sseq @ [ Ir.Memcpy { dst = dsafe; src = ssafe; len } ]
+  | Bin _ | Cmp _ | Select _ | Call _ | Call_indirect _ | Io_read _ | Io_write _ ->
+      [ instr ]
+
+let instrument_block (b : Ir.block) : Ir.block =
+  { b with instrs = List.concat_map instrument_instr b.instrs }
+
+let instrument_func (f : Ir.func) : Ir.func =
+  { f with blocks = List.map instrument_block f.blocks }
+
+let instrument_program = Ir.map_funcs instrument_func

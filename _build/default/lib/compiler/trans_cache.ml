@@ -1,0 +1,29 @@
+type t = { key : bytes; entries : (string, signed_image) Hashtbl.t }
+and signed_image = { blob : bytes; tag : bytes }
+
+let create ~key = { key; entries = Hashtbl.create 8 }
+
+let sign t image =
+  let blob = Marshal.to_bytes (image : Native.image) [] in
+  { blob; tag = Vg_crypto.Hmac.mac ~key:t.key blob }
+
+let verify_and_load t { blob; tag } =
+  if Vg_crypto.Hmac.verify ~key:t.key ~tag blob then
+    Some (Marshal.from_bytes blob 0 : Native.image)
+  else None
+
+let add t ~name image = Hashtbl.replace t.entries name (sign t image)
+
+let find t ~name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> None
+  | Some signed -> verify_and_load t signed
+
+let tamper t ~name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> ()
+  | Some { blob; tag } ->
+      let blob = Bytes.copy blob in
+      let i = Bytes.length blob / 2 in
+      Bytes.set blob i (Char.chr (Char.code (Bytes.get blob i) lxor 0x01));
+      Hashtbl.replace t.entries name { blob; tag }

@@ -1,0 +1,34 @@
+(** Signed native-code translation cache.
+
+    The SVA VM translates virtual-ISA code ahead of time and "caches and
+    signs the translations" (paper section 4.2): the operating system
+    may store translated images on disk, but the VM only executes an
+    image whose signature verifies under the VM's own MAC key — a
+    hostile OS cannot inject or patch native code through the cache.
+
+    Images are serialised with [Marshal]; the signature is HMAC-SHA256
+    over the serialised bytes. *)
+
+type t
+
+val create : key:bytes -> t
+(** [create ~key] builds a cache trusting signatures under [key]
+    (held in SVA-internal memory in the full system). *)
+
+type signed_image = { blob : bytes; tag : bytes }
+
+val sign : t -> Native.image -> signed_image
+val verify_and_load : t -> signed_image -> Native.image option
+(** [None] when the blob was modified or signed under a different key. *)
+
+val add : t -> name:string -> Native.image -> unit
+(** Sign and retain an image under a name (e.g. "kernel",
+    "module.rootkit"). *)
+
+val find : t -> name:string -> Native.image option
+(** Re-verify the stored signature and return the image; [None] if it
+    is absent or fails verification. *)
+
+val tamper : t -> name:string -> unit
+(** Testing hook simulating a hostile OS flipping a byte of a cached
+    translation on disk. *)

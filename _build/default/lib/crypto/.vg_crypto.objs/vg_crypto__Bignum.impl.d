@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Bytes_util Char Drbg Format List Option Stdlib

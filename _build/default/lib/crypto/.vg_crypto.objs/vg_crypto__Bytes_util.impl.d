@@ -1,0 +1,1 @@
+lib/crypto/bytes_util.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/crypto/chacha20.ml: Array Bytes Bytes_util Char Int32

@@ -1,0 +1,1 @@
+lib/crypto/constant_time.ml: Bool Bytes Char

@@ -1,0 +1,1 @@
+lib/crypto/constant_time.mli:

@@ -1,0 +1,1 @@
+lib/crypto/ctr.ml: Aes128 Bytes Bytes_util Char Hmac Int64 Sha256

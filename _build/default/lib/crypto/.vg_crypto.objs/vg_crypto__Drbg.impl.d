@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Buffer Bytes Bytes_util Chacha20 Int32 Int64 Sha256

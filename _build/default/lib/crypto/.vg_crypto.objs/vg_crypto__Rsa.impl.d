@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Buffer Bytes Bytes_util Constant_time Drbg Int32 Sha256

@@ -1,0 +1,13 @@
+(** ChaCha20 stream cipher (RFC 8439 block function).
+
+    Used only as the core of the Virtual Ghost VM's deterministic random
+    bit generator ({!Drbg}); applications may also select it as an
+    alternative cipher, illustrating the paper's point that ghosting
+    applications choose their own algorithms. *)
+
+val block : key:bytes -> counter:int32 -> nonce:bytes -> bytes
+(** [block ~key ~counter ~nonce] is the 64-byte keystream block for a
+    32-byte key and a 12-byte nonce. *)
+
+val transform : key:bytes -> nonce:bytes -> counter:int32 -> bytes -> bytes
+(** XOR a buffer with the keystream starting at [counter]. *)

@@ -1,0 +1,13 @@
+let equal a b =
+  if Bytes.length a <> Bytes.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Bytes.length a - 1 do
+      acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+    done;
+    !acc = 0
+  end
+
+let select cond a b =
+  let mask = -(Bool.to_int cond) in
+  (a land mask) lor (b land lnot mask)

@@ -1,0 +1,14 @@
+(** Data-independent comparisons.
+
+    The simulated hardware has no real timing side channel, but the
+    Virtual Ghost VM uses these to mirror the discipline a production
+    implementation would need when comparing MACs and keys. *)
+
+val equal : bytes -> bytes -> bool
+(** [equal a b] is [true] iff [a] and [b] have the same length and
+    contents, examining every byte regardless of where the first
+    difference occurs. *)
+
+val select : bool -> int -> int -> int
+(** [select cond a b] is [a] if [cond] else [b], computed without a
+    data-dependent branch. *)

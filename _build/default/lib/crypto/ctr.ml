@@ -1,0 +1,47 @@
+let tag_size = 32
+
+let transform ~key ~nonce data =
+  if Bytes.length nonce <> 8 then invalid_arg "Ctr.transform: nonce must be 8 bytes";
+  let n = Bytes.length data in
+  let out = Bytes.copy data in
+  let counter_block = Bytes.make 16 '\000' in
+  Bytes.blit nonce 0 counter_block 0 8;
+  let nblocks = (n + 15) / 16 in
+  for blk = 0 to nblocks - 1 do
+    Bytes_util.set_u64_be counter_block 8 (Int64.of_int blk);
+    let keystream = Aes128.encrypt_block key counter_block in
+    let pos = 16 * blk in
+    let len = min 16 (n - pos) in
+    for i = 0 to len - 1 do
+      Bytes.set out (pos + i)
+        (Char.chr
+           (Char.code (Bytes.get out (pos + i))
+           lxor Char.code (Bytes.get keystream i)))
+    done
+  done;
+  out
+
+(* Derive independent cipher and MAC keys from one 16-byte master key,
+   so a forged tag never leaks keystream material. *)
+let derive key =
+  let cipher_key = Aes128.expand key in
+  let mac_key = Sha256.digest (Bytes.cat (Bytes.of_string "vg-mac") key) in
+  (cipher_key, mac_key)
+
+let seal ~key ~nonce plain =
+  let cipher_key, mac_key = derive key in
+  let ciphertext = transform ~key:cipher_key ~nonce plain in
+  let tag = Hmac.mac ~key:mac_key (Bytes.cat nonce ciphertext) in
+  Bytes.cat ciphertext tag
+
+let open_ ~key ~nonce sealed =
+  let n = Bytes.length sealed in
+  if n < tag_size then None
+  else begin
+    let cipher_key, mac_key = derive key in
+    let ciphertext = Bytes.sub sealed 0 (n - tag_size) in
+    let tag = Bytes.sub sealed (n - tag_size) tag_size in
+    if Hmac.verify ~key:mac_key ~tag (Bytes.cat nonce ciphertext) then
+      Some (transform ~key:cipher_key ~nonce ciphertext)
+    else None
+  end

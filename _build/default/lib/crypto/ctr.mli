@@ -1,0 +1,24 @@
+(** AES-128 in counter mode, plus an encrypt-then-MAC envelope.
+
+    CTR is the mode the Virtual Ghost VM uses for swap-page encryption
+    and that the ghosted OpenSSH applications use for file encryption:
+    a stream mode means ciphertext length equals plaintext length, so a
+    swapped page stays exactly one page. *)
+
+val transform : key:Aes128.key -> nonce:bytes -> bytes -> bytes
+(** [transform ~key ~nonce data] encrypts (or, identically, decrypts)
+    [data].  [nonce] is 8 bytes and must be unique per key; the
+    remaining 8 bytes of the counter block count blocks big-endian.
+    @raise Invalid_argument if the nonce is not 8 bytes. *)
+
+val seal : key:bytes -> nonce:bytes -> bytes -> bytes
+(** [seal ~key ~nonce plain] is [ciphertext || tag] where the tag is
+    HMAC-SHA256 over [nonce || ciphertext] (encrypt-then-MAC).  [key] is
+    a 16-byte AES key; the MAC key is derived from it by hashing. *)
+
+val open_ : key:bytes -> nonce:bytes -> bytes -> bytes option
+(** [open_ ~key ~nonce sealed] verifies the tag and returns the
+    plaintext, or [None] if the envelope was tampered with. *)
+
+val tag_size : int
+(** 32: size of the HMAC trailer added by {!seal}. *)

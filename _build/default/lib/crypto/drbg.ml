@@ -1,0 +1,36 @@
+type t = { mutable key : bytes; mutable counter : int32; nonce : bytes }
+
+let create ~seed =
+  { key = Sha256.digest seed; counter = 0l; nonce = Bytes.make 12 '\000' }
+
+(* Forward security: after each request, the first keystream block
+   rekeys the generator so earlier outputs cannot be reconstructed. *)
+let ratchet t =
+  let next = Chacha20.block ~key:t.key ~counter:t.counter ~nonce:t.nonce in
+  t.counter <- Int32.add t.counter 1l;
+  t.key <- Sha256.digest next
+
+let bytes t n =
+  if n < 0 then invalid_arg "Drbg.bytes: negative length";
+  let out = Buffer.create n in
+  while Buffer.length out < n do
+    let blk = Chacha20.block ~key:t.key ~counter:t.counter ~nonce:t.nonce in
+    t.counter <- Int32.add t.counter 1l;
+    Buffer.add_bytes out blk
+  done;
+  ratchet t;
+  Bytes.sub (Buffer.to_bytes out) 0 n
+
+let uint64 t = Bytes_util.get_u64_le (bytes t 8) 0
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Drbg.int_below: bound must be positive";
+  (* Rejection sampling over 62-bit values keeps the result unbiased. *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (uint64 t) 2) in
+    let limit = max_int / n * n in
+    if v < limit then v mod n else draw ()
+  in
+  draw ()
+
+let reseed t extra = t.key <- Sha256.digest (Bytes.cat t.key extra)

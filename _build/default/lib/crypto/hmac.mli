@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used by the Virtual Ghost VM to checksum swapped-out ghost pages and
+    to sign cached native-code translations. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys longer than the 64-byte block size are pre-hashed per the RFC. *)
+
+val verify : key:bytes -> tag:bytes -> bytes -> bool
+(** [verify ~key ~tag msg] recomputes the tag and compares it in
+    constant time. *)

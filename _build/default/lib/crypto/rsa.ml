@@ -1,0 +1,137 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type private_ = { pub : public; d : Bignum.t }
+
+let e_value = Bignum.of_int 65537
+
+let generate rng ~bits =
+  if bits < 128 || bits mod 2 <> 0 then
+    invalid_arg "Rsa.generate: bits must be even and >= 128";
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = Bignum.generate_prime rng ~bits:half in
+    let q = Bignum.generate_prime rng ~bits:half in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+      match Bignum.mod_inverse e_value ~modulus:phi with
+      | None -> attempt ()
+      | Some d ->
+          if Bignum.bit_length n <> bits then attempt ()
+          else { pub = { n; e = e_value }; d }
+    end
+  in
+  attempt ()
+
+let modulus_bytes pub = (Bignum.bit_length pub.n + 7) / 8
+
+(* Padding: 0x00 0x02 <random nonzero bytes> 0x00 <msg>, i.e. the
+   PKCS#1 v1.5 type-2 layout, with at least 8 random bytes. *)
+let pad_overhead = 11
+
+let encrypt pub rng msg =
+  let k = modulus_bytes pub in
+  if Bytes.length msg > k - pad_overhead then
+    invalid_arg "Rsa.encrypt: message too long for modulus";
+  let padded = Bytes.make k '\000' in
+  Bytes.set padded 1 '\x02';
+  let pad_len = k - 3 - Bytes.length msg in
+  for i = 0 to pad_len - 1 do
+    (* Nonzero random padding so the 0x00 delimiter is unambiguous. *)
+    let rec nonzero () =
+      let b = Bytes.get (Drbg.bytes rng 1) 0 in
+      if b = '\000' then nonzero () else b
+    in
+    Bytes.set padded (2 + i) (nonzero ())
+  done;
+  Bytes.set padded (2 + pad_len) '\000';
+  Bytes.blit msg 0 padded (3 + pad_len) (Bytes.length msg);
+  let m = Bignum.of_bytes_be padded in
+  let c = Bignum.mod_pow ~base:m ~exp:pub.e ~modulus:pub.n in
+  Bignum.to_bytes_be ~len:k c
+
+let decrypt priv cipher =
+  let k = modulus_bytes priv.pub in
+  if Bytes.length cipher <> k then None
+  else begin
+    let c = Bignum.of_bytes_be cipher in
+    if Bignum.compare c priv.pub.n >= 0 then None
+    else begin
+      let m = Bignum.mod_pow ~base:c ~exp:priv.d ~modulus:priv.pub.n in
+      let padded = Bignum.to_bytes_be ~len:k m in
+      if Bytes.get padded 0 <> '\000' || Bytes.get padded 1 <> '\x02' then None
+      else begin
+        (* Find the 0x00 delimiter after at least 8 padding bytes. *)
+        let rec find i =
+          if i >= k then None
+          else if Bytes.get padded i = '\000' then Some i
+          else find (i + 1)
+        in
+        match find 2 with
+        | Some sep when sep >= 10 -> Some (Bytes.sub padded (sep + 1) (k - sep - 1))
+        | Some _ | None -> None
+      end
+    end
+  end
+
+(* Signature padding: 0x00 0x01 0xff... 0x00 <digest>.  For moduli too
+   small to hold a full SHA-256 digest plus framing (test-sized keys),
+   the digest is truncated; real deployments use >= 512-bit moduli where
+   the full digest fits. *)
+let padded_digest k msg =
+  let digest = Sha256.digest msg in
+  let dlen = min 32 (k - 3) in
+  let padded = Bytes.make k '\xff' in
+  Bytes.set padded 0 '\000';
+  Bytes.set padded 1 '\x01';
+  Bytes.set padded (k - dlen - 1) '\000';
+  Bytes.blit digest 0 padded (k - dlen) dlen;
+  padded
+
+let sign priv msg =
+  let k = modulus_bytes priv.pub in
+  let m = Bignum.of_bytes_be (padded_digest k msg) in
+  let s = Bignum.mod_pow ~base:m ~exp:priv.d ~modulus:priv.pub.n in
+  Bignum.to_bytes_be ~len:k s
+
+let verify pub ~msg ~signature =
+  let k = modulus_bytes pub in
+  if Bytes.length signature <> k then false
+  else begin
+    let s = Bignum.of_bytes_be signature in
+    if Bignum.compare s pub.n >= 0 then false
+    else begin
+      let m = Bignum.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n in
+      Constant_time.equal (Bignum.to_bytes_be ~len:k m) (padded_digest k msg)
+    end
+  end
+
+let public_to_bytes pub =
+  let n = Bignum.to_bytes_be pub.n and e = Bignum.to_bytes_be pub.e in
+  let out = Buffer.create (Bytes.length n + Bytes.length e + 8) in
+  let field b =
+    let len = Bytes.create 4 in
+    Bytes_util.set_u32_be len 0 (Int32.of_int (Bytes.length b));
+    Buffer.add_bytes out len;
+    Buffer.add_bytes out b
+  in
+  field n;
+  field e;
+  Buffer.to_bytes out
+
+let public_of_bytes b =
+  let read_field pos =
+    if pos + 4 > Bytes.length b then None
+    else begin
+      let len = Int32.to_int (Bytes_util.get_u32_be b pos) in
+      if len < 0 || pos + 4 + len > Bytes.length b then None
+      else Some (Bytes.sub b (pos + 4) len, pos + 4 + len)
+    end
+  in
+  match read_field 0 with
+  | None -> None
+  | Some (n, pos) -> (
+      match read_field pos with
+      | Some (e, pos') when pos' = Bytes.length b ->
+          Some { n = Bignum.of_bytes_be n; e = Bignum.of_bytes_be e }
+      | Some _ | None -> None)

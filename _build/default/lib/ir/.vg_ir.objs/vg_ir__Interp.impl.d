@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Hashtbl Int64 Ir List Option Printf Vg_util

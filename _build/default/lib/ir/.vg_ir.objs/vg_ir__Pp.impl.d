@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Format Ir List String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Format Hashtbl Ir List Printf String

@@ -1,0 +1,134 @@
+type env = {
+  load : int64 -> Ir.width -> int64;
+  store : int64 -> Ir.width -> int64 -> unit;
+  memcpy : dst:int64 -> src:int64 -> len:int64 -> unit;
+  io_read : int64 -> int64;
+  io_write : int64 -> int64 -> unit;
+  extern : string -> int64 array -> int64;
+  resolve_sym : string -> int64;
+  func_of_addr : int64 -> string option;
+}
+
+exception Trap of string
+
+let truncate (width : Ir.width) v =
+  match width with
+  | W8 -> Int64.logand v 0xffL
+  | W16 -> Int64.logand v 0xffffL
+  | W32 -> Int64.logand v 0xffffffffL
+  | W64 -> v
+
+let eval_binop (op : Ir.binop) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Udiv -> if b = 0L then raise (Trap "udiv by zero") else Int64.unsigned_div a b
+  | Urem -> if b = 0L then raise (Trap "urem by zero") else Int64.unsigned_rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | Ashr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+
+let eval_cmp (op : Ir.cmp) a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Ult -> Int64.unsigned_compare a b < 0
+    | Ule -> Int64.unsigned_compare a b <= 0
+    | Ugt -> Int64.unsigned_compare a b > 0
+    | Uge -> Int64.unsigned_compare a b >= 0
+    | Slt -> Int64.compare a b < 0
+    | Sle -> Int64.compare a b <= 0
+  in
+  if r then 1L else 0L
+
+type frame = (Ir.reg, int64) Hashtbl.t
+
+let run ?(fuel = 10_000_000) env program entry args =
+  let fuel = ref fuel in
+  let burn () =
+    decr fuel;
+    if !fuel <= 0 then raise (Trap "out of fuel")
+  in
+  let rec call_function name (args : int64 array) : int64 =
+    match Ir.find_func program name with
+    | None -> env.extern name args
+    | Some f ->
+        if List.length f.Ir.params <> Array.length args then
+          raise
+            (Trap
+               (Printf.sprintf "call %s: arity mismatch (%d vs %d)" name
+                  (List.length f.Ir.params) (Array.length args)));
+        let frame : frame = Hashtbl.create 32 in
+        List.iteri (fun i p -> Hashtbl.replace frame p args.(i)) f.Ir.params;
+        let entry_block =
+          match f.Ir.blocks with
+          | [] -> raise (Trap (Printf.sprintf "function %s has no blocks" name))
+          | b :: _ -> b
+        in
+        exec_block f frame entry_block
+  and value frame : Ir.value -> int64 = function
+    | Imm i -> i
+    | Sym s -> env.resolve_sym s
+    | Reg r -> (
+        match Hashtbl.find_opt frame r with
+        | Some v -> v
+        | None -> raise (Trap (Printf.sprintf "read of undefined register %s" r)))
+  and exec_block f frame (block : Ir.block) : int64 =
+    List.iter (exec_instr frame) block.Ir.instrs;
+    burn ();
+    match block.Ir.term with
+    | Ret None -> 0L
+    | Ret (Some v) -> value frame v
+    | Unreachable -> raise (Trap "unreachable executed")
+    | Br label -> goto f frame label
+    | Cbr { cond; if_true; if_false } ->
+        if value frame cond <> 0L then goto f frame if_true else goto f frame if_false
+  and goto f frame label =
+    match Ir.find_block f label with
+    | Some b -> exec_block f frame b
+    | None -> raise (Trap (Printf.sprintf "branch to unknown block %s" label))
+  and exec_instr frame (instr : Ir.instr) =
+    burn ();
+    match instr with
+    | Bin { dst; op; a; b } ->
+        Hashtbl.replace frame dst (eval_binop op (value frame a) (value frame b))
+    | Cmp { dst; op; a; b } ->
+        Hashtbl.replace frame dst (eval_cmp op (value frame a) (value frame b))
+    | Select { dst; cond; if_true; if_false } ->
+        let v = if value frame cond <> 0L then if_true else if_false in
+        Hashtbl.replace frame dst (value frame v)
+    | Load { dst; addr; width } ->
+        Hashtbl.replace frame dst (truncate width (env.load (value frame addr) width))
+    | Store { src; addr; width } ->
+        env.store (value frame addr) width (truncate width (value frame src))
+    | Memcpy { dst; src; len } ->
+        env.memcpy ~dst:(value frame dst) ~src:(value frame src) ~len:(value frame len)
+    | Atomic_rmw { dst; op; addr; operand; width } ->
+        let a = value frame addr in
+        let old = truncate width (env.load a width) in
+        env.store a width (truncate width (eval_binop op old (value frame operand)));
+        Hashtbl.replace frame dst old
+    | Call { dst; callee; args } ->
+        let result = call_function callee (Array.of_list (List.map (value frame) args)) in
+        Option.iter (fun d -> Hashtbl.replace frame d result) dst
+    | Call_indirect { dst; target; args } -> (
+        let addr = value frame target in
+        match env.func_of_addr addr with
+        | None ->
+            raise (Trap (Printf.sprintf "indirect call to non-function %s" (Vg_util.U64.to_hex addr)))
+        | Some callee ->
+            let result =
+              call_function callee (Array.of_list (List.map (value frame) args))
+            in
+            Option.iter (fun d -> Hashtbl.replace frame d result) dst)
+    | Io_read { dst; port } -> Hashtbl.replace frame dst (env.io_read (value frame port))
+    | Io_write { port; src } -> env.io_write (value frame port) (value frame src)
+  in
+  match Ir.find_func program entry with
+  | None -> raise Not_found
+  | Some _ -> call_function entry args

@@ -1,0 +1,44 @@
+(** Reference interpreter for {!Ir} programs.
+
+    Executes virtual-instruction-set code directly, without lowering to
+    native code.  The compiler test-suite runs the same programs through
+    {!Interp} and through codegen + the native executor and demands
+    identical results (differential testing); the kernel never runs on
+    the interpreter. *)
+
+(** Callbacks tying the interpreted code to its world (simulated memory,
+    I/O ports, external helper functions). *)
+type env = {
+  load : int64 -> Ir.width -> int64;  (** zero-extended load *)
+  store : int64 -> Ir.width -> int64 -> unit;  (** truncating store *)
+  memcpy : dst:int64 -> src:int64 -> len:int64 -> unit;
+  io_read : int64 -> int64;
+  io_write : int64 -> int64 -> unit;
+  extern : string -> int64 array -> int64;
+      (** Called for [Call] to a function not defined in the program
+          (externals, [sva.*] intrinsics). *)
+  resolve_sym : string -> int64;
+      (** Address of a global or function symbol. *)
+  func_of_addr : int64 -> string option;
+      (** Reverse mapping used by indirect calls. *)
+}
+
+exception Trap of string
+(** Raised on division by zero, indirect calls to non-function
+    addresses, [Unreachable], and fuel exhaustion. *)
+
+val eval_binop : Ir.binop -> int64 -> int64 -> int64
+(** 64-bit wrapping semantics of the IR binary operations; shared with
+    the native executor. @raise Trap on division by zero. *)
+
+val eval_cmp : Ir.cmp -> int64 -> int64 -> int64
+(** 0 or 1. *)
+
+val truncate : Ir.width -> int64 -> int64
+(** Keep the low bits of a value per the access width. *)
+
+val run : ?fuel:int -> env -> Ir.program -> string -> int64 array -> int64
+(** [run env program name args] calls function [name] with [args] bound
+    to its parameters and returns its result (0 for [ret void]).
+    [fuel] bounds the number of executed instructions (default 10^7).
+    @raise Trap per above; @raise Not_found if the function is absent. *)

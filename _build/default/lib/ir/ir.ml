@@ -1,0 +1,42 @@
+type reg = string
+type label = string
+type width = W8 | W16 | W32 | W64
+
+let bytes_of_width = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+type binop = Add | Sub | Mul | Udiv | Urem | And | Or | Xor | Shl | Lshr | Ashr
+type cmp = Eq | Ne | Ult | Ule | Ugt | Uge | Slt | Sle
+type value = Reg of reg | Imm of int64 | Sym of string
+
+type instr =
+  | Bin of { dst : reg; op : binop; a : value; b : value }
+  | Cmp of { dst : reg; op : cmp; a : value; b : value }
+  | Select of { dst : reg; cond : value; if_true : value; if_false : value }
+  | Load of { dst : reg; addr : value; width : width }
+  | Store of { src : value; addr : value; width : width }
+  | Memcpy of { dst : value; src : value; len : value }
+  | Atomic_rmw of { dst : reg; op : binop; addr : value; operand : value; width : width }
+  | Call of { dst : reg option; callee : string; args : value list }
+  | Call_indirect of { dst : reg option; target : value; args : value list }
+  | Io_read of { dst : reg; port : value }
+  | Io_write of { port : value; src : value }
+
+type terminator =
+  | Ret of value option
+  | Br of label
+  | Cbr of { cond : value; if_true : label; if_false : label }
+  | Unreachable
+
+type block = { label : label; instrs : instr list; term : terminator }
+type func = { name : string; params : reg list; blocks : block list }
+type program = { funcs : func list }
+
+let find_func program name = List.find_opt (fun f -> f.name = name) program.funcs
+let find_block func label = List.find_opt (fun b -> b.label = label) func.blocks
+let map_funcs f program = { funcs = List.map f program.funcs }
+
+let instr_count program =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left (fun acc b -> acc + List.length b.instrs) acc f.blocks)
+    0 program.funcs

@@ -1,0 +1,95 @@
+(** The SVA virtual instruction set.
+
+    Operating-system code shipped to a Virtual Ghost machine exists
+    first in this LLVM-like intermediate form; the Virtual Ghost
+    compiler ({!module:Vg_compiler}) instruments it (load/store
+    sandboxing, control-flow integrity) and lowers it to the simulated
+    native instruction set.  The IR deliberately models only what the
+    instrumentation passes care about: memory operations (loads, stores,
+    atomics, [memcpy]), direct and indirect control flow, and the
+    programmed-I/O operations that SVA-OS mediates.
+
+    Programs are lists of functions; functions are lists of labelled
+    basic blocks ending in exactly one terminator; the first block is
+    the entry block.  Registers are function-local string-named virtual
+    registers (the representation is not SSA; re-assignment is
+    allowed). *)
+
+type reg = string
+(** Virtual register name. *)
+
+type label = string
+(** Basic-block label, unique within a function. *)
+
+(** Access widths for memory operations. *)
+type width = W8 | W16 | W32 | W64
+
+val bytes_of_width : width -> int
+
+(** Two-operand integer operations (64-bit, wrapping). *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv  (** unsigned; division by zero traps *)
+  | Urem  (** unsigned; division by zero traps *)
+  | And
+  | Or
+  | Xor
+  | Shl   (** shift count taken mod 64 *)
+  | Lshr  (** logical shift right *)
+  | Ashr  (** arithmetic shift right *)
+
+(** Comparison predicates producing 0 or 1. *)
+type cmp = Eq | Ne | Ult | Ule | Ugt | Uge | Slt | Sle
+
+(** Operand values. *)
+type value =
+  | Reg of reg
+  | Imm of int64
+  | Sym of string
+      (** Address of a global symbol or function, resolved at link time
+          by the code generator. *)
+
+type instr =
+  | Bin of { dst : reg; op : binop; a : value; b : value }
+  | Cmp of { dst : reg; op : cmp; a : value; b : value }
+  | Select of { dst : reg; cond : value; if_true : value; if_false : value }
+  | Load of { dst : reg; addr : value; width : width }
+  | Store of { src : value; addr : value; width : width }
+  | Memcpy of { dst : value; src : value; len : value }
+      (** Byte-granularity copy; the sandboxing pass instruments both
+          pointers, mirroring the paper's treatment of [memcpy]. *)
+  | Atomic_rmw of { dst : reg; op : binop; addr : value; operand : value; width : width }
+      (** Atomic read-modify-write; returns the old value. *)
+  | Call of { dst : reg option; callee : string; args : value list }
+  | Call_indirect of { dst : reg option; target : value; args : value list }
+  | Io_read of { dst : reg; port : value }
+      (** SVA-OS programmed-I/O read; subject to run-time port checks. *)
+  | Io_write of { port : value; src : value }
+
+type terminator =
+  | Ret of value option
+  | Br of label
+  | Cbr of { cond : value; if_true : label; if_false : label }
+  | Unreachable
+
+type block = { label : label; instrs : instr list; term : terminator }
+
+type func = {
+  name : string;
+  params : reg list;  (** bound to arguments on entry *)
+  blocks : block list;  (** head is the entry block *)
+}
+
+type program = { funcs : func list }
+
+val find_func : program -> string -> func option
+val find_block : func -> label -> block option
+
+val map_funcs : (func -> func) -> program -> program
+(** Rebuild a program by transforming each function. *)
+
+val instr_count : program -> int
+(** Total instruction count (terminators excluded); used by tests and
+    by instrumentation-overhead reporting. *)

@@ -1,0 +1,91 @@
+let string_of_binop : Ir.binop -> string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let string_of_cmp : Ir.cmp -> string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+  | Slt -> "slt"
+  | Sle -> "sle"
+
+let string_of_width : Ir.width -> string = function
+  | W8 -> "i8"
+  | W16 -> "i16"
+  | W32 -> "i32"
+  | W64 -> "i64"
+
+let pp_value fmt : Ir.value -> unit = function
+  | Reg r -> Format.pp_print_string fmt r
+  | Imm i -> Format.fprintf fmt "%Ld" i
+  | Sym s -> Format.fprintf fmt "@%s" s
+
+let pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_value fmt args
+
+let pp_dst fmt = function
+  | None -> ()
+  | Some dst -> Format.fprintf fmt "%s = " dst
+
+let pp_instr fmt : Ir.instr -> unit = function
+  | Bin { dst; op; a; b } ->
+      Format.fprintf fmt "%s = %s %a, %a" dst (string_of_binop op) pp_value a pp_value b
+  | Cmp { dst; op; a; b } ->
+      Format.fprintf fmt "%s = icmp %s %a, %a" dst (string_of_cmp op) pp_value a pp_value b
+  | Select { dst; cond; if_true; if_false } ->
+      Format.fprintf fmt "%s = select %a, %a, %a" dst pp_value cond pp_value if_true
+        pp_value if_false
+  | Load { dst; addr; width } ->
+      Format.fprintf fmt "%s = load %s, %a" dst (string_of_width width) pp_value addr
+  | Store { src; addr; width } ->
+      Format.fprintf fmt "store %s %a, %a" (string_of_width width) pp_value src pp_value addr
+  | Memcpy { dst; src; len } ->
+      Format.fprintf fmt "memcpy %a, %a, %a" pp_value dst pp_value src pp_value len
+  | Atomic_rmw { dst; op; addr; operand; width } ->
+      Format.fprintf fmt "%s = atomicrmw %s %s %a, %a" dst (string_of_binop op)
+        (string_of_width width) pp_value addr pp_value operand
+  | Call { dst; callee; args } ->
+      Format.fprintf fmt "%acall @%s(%a)" pp_dst dst callee pp_args args
+  | Call_indirect { dst; target; args } ->
+      Format.fprintf fmt "%acall %a(%a)" pp_dst dst pp_value target pp_args args
+  | Io_read { dst; port } -> Format.fprintf fmt "%s = io.read %a" dst pp_value port
+  | Io_write { port; src } -> Format.fprintf fmt "io.write %a, %a" pp_value port pp_value src
+
+let pp_terminator fmt : Ir.terminator -> unit = function
+  | Ret None -> Format.pp_print_string fmt "ret void"
+  | Ret (Some v) -> Format.fprintf fmt "ret %a" pp_value v
+  | Br l -> Format.fprintf fmt "br %s" l
+  | Cbr { cond; if_true; if_false } ->
+      Format.fprintf fmt "br %a, %s, %s" pp_value cond if_true if_false
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+
+let pp_block fmt (b : Ir.block) =
+  Format.fprintf fmt "@[<v 2>%s:" b.Ir.label;
+  List.iter (fun i -> Format.fprintf fmt "@,%a" pp_instr i) b.Ir.instrs;
+  Format.fprintf fmt "@,%a@]" pp_terminator b.Ir.term
+
+let pp_func fmt (f : Ir.func) =
+  Format.fprintf fmt "@[<v>define @%s(%s) {@," f.Ir.name (String.concat ", " f.Ir.params);
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_block fmt f.Ir.blocks;
+  Format.fprintf fmt "@,}@]"
+
+let pp_program fmt (p : Ir.program) =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,@,")
+    pp_func fmt p.Ir.funcs
+
+let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p

@@ -1,0 +1,100 @@
+type error = { func : string; block : Ir.label option; message : string }
+
+let pp_error fmt e =
+  match e.block with
+  | None -> Format.fprintf fmt "%s: %s" e.func e.message
+  | Some b -> Format.fprintf fmt "%s/%s: %s" e.func b e.message
+
+let is_external name =
+  String.length name > 7 && String.sub name 0 7 = "extern."
+  || String.length name > 4 && String.sub name 0 4 = "sva."
+
+let duplicates names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.add seen n ();
+        false
+      end)
+    names
+
+let values_of_instr : Ir.instr -> Ir.value list = function
+  | Bin { a; b; _ } | Cmp { a; b; _ } -> [ a; b ]
+  | Select { cond; if_true; if_false; _ } -> [ cond; if_true; if_false ]
+  | Load { addr; _ } -> [ addr ]
+  | Store { src; addr; _ } -> [ src; addr ]
+  | Memcpy { dst; src; len } -> [ dst; src; len ]
+  | Atomic_rmw { addr; operand; _ } -> [ addr; operand ]
+  | Call { args; _ } -> args
+  | Call_indirect { target; args; _ } -> target :: args
+  | Io_read { port; _ } -> [ port ]
+  | Io_write { port; src } -> [ port; src ]
+
+let def_of_instr : Ir.instr -> Ir.reg option = function
+  | Bin { dst; _ } | Cmp { dst; _ } | Select { dst; _ } | Load { dst; _ }
+  | Atomic_rmw { dst; _ } | Io_read { dst; _ } ->
+      Some dst
+  | Call { dst; _ } | Call_indirect { dst; _ } -> dst
+  | Store _ | Memcpy _ | Io_write _ -> None
+
+let check_func program (f : Ir.func) =
+  let errors = ref [] in
+  let err ?block message = errors := { func = f.Ir.name; block; message } :: !errors in
+  if f.Ir.blocks = [] then err "function has no blocks";
+  List.iter
+    (fun label -> err (Printf.sprintf "duplicate block label %s" label))
+    (duplicates (List.map (fun (b : Ir.block) -> b.Ir.label) f.Ir.blocks));
+  let block_exists l = List.exists (fun (b : Ir.block) -> b.Ir.label = l) f.Ir.blocks in
+  (* Registers defined anywhere in the function (conservative: we do not
+     compute dominance, but we do require *some* definition to exist). *)
+  let defined = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace defined p ()) f.Ir.params;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i -> match def_of_instr i with Some r -> Hashtbl.replace defined r () | None -> ())
+        b.Ir.instrs)
+    f.Ir.blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          List.iter
+            (fun (v : Ir.value) ->
+              match v with
+              | Reg r when not (Hashtbl.mem defined r) ->
+                  err ~block:b.Ir.label (Printf.sprintf "use of undefined register %s" r)
+              | Reg _ | Imm _ | Sym _ -> ())
+            (values_of_instr i);
+          match i with
+          | Call { callee; _ }
+            when (not (is_external callee))
+                 && Ir.find_func program callee = None ->
+              err ~block:b.Ir.label (Printf.sprintf "call to unknown function %s" callee)
+          | _ -> ())
+        b.Ir.instrs;
+      match b.Ir.term with
+      | Ret _ | Unreachable -> ()
+      | Br target ->
+          if not (block_exists target) then
+            err ~block:b.Ir.label (Printf.sprintf "branch to unknown block %s" target)
+      | Cbr { if_true; if_false; _ } ->
+          List.iter
+            (fun target ->
+              if not (block_exists target) then
+                err ~block:b.Ir.label (Printf.sprintf "branch to unknown block %s" target))
+            [ if_true; if_false ])
+    f.Ir.blocks;
+  !errors
+
+let check program =
+  let errors = ref [] in
+  List.iter
+    (fun name ->
+      errors :=
+        { func = name; block = None; message = "duplicate function name" } :: !errors)
+    (duplicates (List.map (fun (f : Ir.func) -> f.Ir.name) program.Ir.funcs));
+  List.iter (fun f -> errors := check_func program f @ !errors) program.Ir.funcs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

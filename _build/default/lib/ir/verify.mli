@@ -1,0 +1,21 @@
+(** Structural well-formedness checks on {!Ir} programs.
+
+    The Virtual Ghost VM refuses to translate malformed bitcode; these
+    are the checks it applies before instrumentation. *)
+
+type error = {
+  func : string;
+  block : Ir.label option;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Ir.program -> (unit, error list) result
+(** Verifies that: function names are unique; block labels are unique
+    within each function; every function has at least one block; branch
+    targets exist; direct callees exist in the program or are declared
+    external (prefix ["extern."] or ["sva."]); registers are defined
+    (as a parameter or by a preceding instruction in some block —
+    conservative, block-order based) before use in straight-line
+    entry-block code. *)

@@ -1,0 +1,1 @@
+lib/kernel/buffer_cache.ml: Bytes Cost Disk Hashtbl Kmem Machine

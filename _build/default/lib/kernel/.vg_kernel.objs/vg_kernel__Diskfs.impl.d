@@ -1,0 +1,1 @@
+lib/kernel/diskfs.ml: Array Buffer_cache Bytes Char Errno Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/kernel/diskfs.mli: Buffer_cache Errno

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Buffer_cache Cost Diskfs Errno Frame_alloc Hashtbl Int64 Kmem Layout Machine Netstack Option Pagetable Phys_mem Proc Sva Vg_compiler

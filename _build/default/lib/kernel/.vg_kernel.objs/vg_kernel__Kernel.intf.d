@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Buffer_cache Diskfs Errno Frame_alloc Hashtbl Kmem Machine Netstack Pagetable Proc Sva Vg_compiler

@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Bytes Cost Fun Int64 Machine Phys_mem Sva Vg_compiler

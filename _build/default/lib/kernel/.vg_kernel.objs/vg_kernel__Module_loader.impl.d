@@ -1,0 +1,1 @@
+lib/kernel/module_loader.ml: Console Hashtbl Kernel List Machine Printf String Sva Vg_compiler

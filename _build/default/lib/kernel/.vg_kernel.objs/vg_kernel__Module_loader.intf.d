@@ -1,0 +1,1 @@
+lib/kernel/module_loader.mli: Ir Kernel

@@ -1,0 +1,1 @@
+lib/kernel/netstack.ml: Buffer Bytes Char Errno Hashtbl Int32 Kmem Nic Pipe_dev Queue

@@ -1,0 +1,1 @@
+lib/kernel/netstack.mli: Errno Kmem Nic

@@ -1,0 +1,1 @@
+lib/kernel/pipe_dev.ml: Buffer Bytes Errno Queue

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Appimage Hashtbl Pagetable Pipe_dev

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Appimage Hashtbl Pagetable Pipe_dev

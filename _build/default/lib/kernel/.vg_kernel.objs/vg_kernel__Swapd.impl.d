@@ -1,0 +1,1 @@
+lib/kernel/swapd.ml: Console Cost Diskfs Errno Frame_alloc Hashtbl Int64 Kernel Kmem List Machine Pagetable Printf Proc Sva

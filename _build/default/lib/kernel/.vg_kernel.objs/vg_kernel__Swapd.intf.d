@@ -1,0 +1,1 @@
+lib/kernel/swapd.mli: Errno Kernel Proc

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Appimage Array Bytes Console Diskfs Errno Frame_alloc Hashtbl Int64 Ir Kernel Kmem Layout List Machine Netstack Phys_mem Pipe_dev Proc String Sva Swapd Vg_compiler

@@ -1,0 +1,108 @@
+let block_bytes = 4096
+let sectors_per_block = block_bytes / Disk.sector_bytes
+
+type entry = { data : bytes; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  disk : Disk.t;
+  kmem : Kmem.t;
+  capacity : int;
+  cache : (int, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 1024) ~kmem disk =
+  { disk; kmem; capacity; cache = Hashtbl.create capacity; tick = 0; hits = 0; misses = 0 }
+
+let blocks t = Disk.sectors t.disk / sectors_per_block
+let hits t = t.hits
+let misses t = t.misses
+
+let flush_entry t b entry =
+  if entry.dirty then begin
+    Disk.write_range t.disk ~sector:(b * sectors_per_block) entry.data;
+    entry.dirty <- false
+  end
+
+let evict_if_full t =
+  if Hashtbl.length t.cache >= t.capacity then begin
+    (* Evict the least-recently-used block. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun b e ->
+        match !victim with
+        | Some (_, stamp) when stamp <= e.stamp -> ()
+        | _ -> victim := Some (b, e.stamp))
+      t.cache;
+    match !victim with
+    | None -> ()
+    | Some (b, _) ->
+        let e = Hashtbl.find t.cache b in
+        flush_entry t b e;
+        Hashtbl.remove t.cache b
+  end
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick
+
+let lookup t b =
+  if b < 0 || b >= blocks t then invalid_arg "Buffer_cache: block out of range";
+  (* Hash lookup + LRU bookkeeping are kernel memory operations. *)
+  Kmem.work t.kmem 25;
+  match Hashtbl.find_opt t.cache b with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      entry
+  | None ->
+      t.misses <- t.misses + 1;
+      evict_if_full t;
+      let data = Disk.read_range t.disk ~sector:(b * sectors_per_block) ~count:sectors_per_block in
+      let entry = { data; dirty = false; stamp = 0 } in
+      touch t entry;
+      Hashtbl.replace t.cache b entry;
+      entry
+
+let read t b =
+  let entry = lookup t b in
+  Machine.charge (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
+  Bytes.copy entry.data
+
+(* A full-block write never needs the old contents: a cache miss here
+   allocates a fresh buffer instead of reading the disk. *)
+let write t b src =
+  if Bytes.length src > block_bytes then invalid_arg "Buffer_cache.write: oversized block";
+  if b < 0 || b >= blocks t then invalid_arg "Buffer_cache: block out of range";
+  Kmem.work t.kmem 25;
+  let entry =
+    match Hashtbl.find_opt t.cache b with
+    | Some entry ->
+        t.hits <- t.hits + 1;
+        touch t entry;
+        entry
+    | None ->
+        t.hits <- t.hits + 1;
+        evict_if_full t;
+        let entry = { data = Bytes.make block_bytes '\000'; dirty = true; stamp = 0 } in
+        touch t entry;
+        Hashtbl.replace t.cache b entry;
+        entry
+  in
+  Machine.charge (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
+  Bytes.fill entry.data 0 block_bytes '\000';
+  Bytes.blit src 0 entry.data 0 (Bytes.length src);
+  entry.dirty <- true
+
+let modify t b f =
+  let entry = lookup t b in
+  f entry.data;
+  entry.dirty <- true
+
+let view t b f =
+  let entry = lookup t b in
+  f entry.data
+
+let sync t = Hashtbl.iter (fun b e -> flush_entry t b e) t.cache

@@ -1,0 +1,70 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOTEMPTY
+  | ECONNREFUSED
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | ENFILE -> "ENFILE"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | EPIPE -> "EPIPE"
+  | ENOSYS -> "ENOSYS"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ECONNREFUSED -> "ECONNREFUSED"
+
+let to_int = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | EINTR -> 4
+  | EBADF -> 9
+  | ECHILD -> 10
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EEXIST -> 17
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | ENFILE -> 23
+  | EMFILE -> 24
+  | ENOSPC -> 28
+  | EPIPE -> 32
+  | ENOSYS -> 78
+  | ENOTEMPTY -> 66
+  | ECONNREFUSED -> 61
+
+type 'a result = ('a, t) Stdlib.result

@@ -1,0 +1,32 @@
+(** Unix-style error codes used throughout the kernel's system-call
+    layer. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOTEMPTY
+  | ECONNREFUSED
+
+val to_string : t -> string
+val to_int : t -> int
+(** Conventional positive errno numbers. *)
+
+type 'a result = ('a, t) Stdlib.result
+(** The return type of every system call. *)

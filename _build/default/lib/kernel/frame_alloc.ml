@@ -1,0 +1,45 @@
+type t = {
+  first : int;
+  last : int;
+  mutable free_list : int list;
+  in_use : (int, unit) Hashtbl.t;
+  mutable next_fresh : int; (* frames never yet handed out *)
+}
+
+let create ~first ~last =
+  if first > last then invalid_arg "Frame_alloc.create: empty range";
+  { first; last; free_list = []; in_use = Hashtbl.create 1024; next_fresh = first }
+
+let alloc t =
+  match t.free_list with
+  | f :: rest ->
+      t.free_list <- rest;
+      Hashtbl.replace t.in_use f ();
+      Some f
+  | [] ->
+      if t.next_fresh > t.last then None
+      else begin
+        let f = t.next_fresh in
+        t.next_fresh <- f + 1;
+        Hashtbl.replace t.in_use f ();
+        Some f
+      end
+
+let alloc_many t n =
+  let rec take acc k = if k = 0 then Some acc else
+    match alloc t with
+    | Some f -> take (f :: acc) (k - 1)
+    | None ->
+        List.iter (fun f -> t.free_list <- f :: t.free_list; Hashtbl.remove t.in_use f) acc;
+        None
+  in
+  take [] n
+
+let free t f =
+  if f < t.first || f > t.last then invalid_arg "Frame_alloc.free: foreign frame";
+  if not (Hashtbl.mem t.in_use f) then invalid_arg "Frame_alloc.free: double free";
+  Hashtbl.remove t.in_use f;
+  t.free_list <- f :: t.free_list
+
+let total t = t.last - t.first + 1
+let free_count t = total t - Hashtbl.length t.in_use

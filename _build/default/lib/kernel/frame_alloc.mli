@@ -1,0 +1,25 @@
+(** The kernel's physical-frame allocator.
+
+    Owns a contiguous range of frame numbers (the machine's ordinary
+    RAM, between the low frames the kernel image occupies and the high
+    frames SVA reserved at boot).  The kernel draws frames from here
+    for user pages, page-cache blocks, and — on request — hands frames
+    to the Virtual Ghost VM for ghost memory. *)
+
+type t
+
+val create : first:int -> last:int -> t
+(** Frames [first..last] inclusive are free initially. *)
+
+val alloc : t -> int option
+(** Take a frame; [None] when memory is exhausted. *)
+
+val alloc_many : t -> int -> int list option
+(** All-or-nothing allocation of [n] frames. *)
+
+val free : t -> int -> unit
+(** Return a frame. @raise Invalid_argument if the frame is outside the
+    allocator's range or already free (double free). *)
+
+val free_count : t -> int
+val total : t -> int

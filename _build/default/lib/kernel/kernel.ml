@@ -1,0 +1,229 @@
+type t = {
+  machine : Machine.t;
+  sva : Sva.t;
+  kmem : Kmem.t;
+  frames : Frame_alloc.t;
+  bc : Buffer_cache.t;
+  fs : Diskfs.t;
+  net : Netstack.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable current : int;
+  overrides : (string, syscall_override) Hashtbl.t;
+  module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
+  frame_refs : (int, int) Hashtbl.t; (* COW sharing; absent = 1 *)
+  mutable syscall_count : int;
+}
+
+and syscall_override = { image : Vg_compiler.Native.image; func : string }
+
+let mode t = Sva.mode t.sva
+
+let boot ?frame_limit ~mode machine =
+  let sva = Sva.boot ~mode machine in
+  let kmem = Kmem.create sva in
+  let phys_frames = Phys_mem.frames (Machine.mem machine) in
+  (* Low frames notionally hold the kernel image; the top of memory
+     belongs to SVA (its internal area plus per-thread mirrors).
+     [frame_limit] caps the allocator to simulate a memory-constrained
+     machine (exercises the ghost swap path). *)
+  let last = phys_frames - 4096 in
+  let last = match frame_limit with Some n -> min last (16 + n - 1) | None -> last in
+  let frames = Frame_alloc.create ~first:16 ~last in
+  let bc = Buffer_cache.create ~capacity:8192 ~kmem (Machine.disk machine) in
+  let charge_work n = Kmem.work kmem n in
+  let fs =
+    match Diskfs.mount ~charge_work bc with
+    | Ok fs -> fs
+    | Error _ -> Diskfs.mkfs ~charge_work bc
+  in
+  let net = Netstack.create ~kmem (Machine.nic machine) in
+  let t =
+    {
+      machine;
+      sva;
+      kmem;
+      frames;
+      bc;
+      fs;
+      net;
+      procs = Hashtbl.create 32;
+      next_pid = 1;
+      current = 1;
+      overrides = Hashtbl.create 4;
+      module_externs = Hashtbl.create 16;
+      frame_refs = Hashtbl.create 256;
+      syscall_count = 0;
+    }
+  in
+  (* init (pid 1) *)
+  let pt = Sva.declare_address_space sva ~pid:1 in
+  let tid = Sva.new_thread sva ~pid:1 ~entry:0x400000L ~stack:0x7fff_f000L in
+  Hashtbl.replace t.procs 1 (Proc.make ~pid:1 ~parent:0 ~pt ~tid);
+  t.next_pid <- 2;
+  Machine.set_current_pt machine pt;
+  t
+
+let find_proc t pid = Hashtbl.find_opt t.procs pid
+
+let init_process t =
+  match find_proc t 1 with Some p -> p | None -> failwith "Kernel: init is gone"
+
+let current_proc t =
+  match find_proc t t.current with
+  | Some p -> p
+  | None -> failwith "Kernel: current process is gone"
+
+let switch_to t (proc : Proc.t) =
+  if t.current <> proc.Proc.pid then begin
+    Kmem.fn_entry t.kmem;
+    Kmem.work t.kmem 40;
+    Machine.set_current_pt t.machine proc.Proc.pt;
+    t.current <- proc.Proc.pid
+  end
+
+let create_process t ~parent =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  Kmem.work t.kmem 250;
+  let pt = Sva.declare_address_space t.sva ~pid in
+  let tid = Sva.clone_thread t.sva ~tid:parent.Proc.tid ~new_pid:pid in
+  let proc = Proc.make ~pid ~parent:parent.Proc.pid ~pt ~tid in
+  Hashtbl.replace t.procs pid proc;
+  Ok proc
+
+let user_perm : Pagetable.perm = { writable = true; user = true; executable = true }
+let user_ro : Pagetable.perm = { writable = false; user = true; executable = true }
+
+(* Frame sharing for copy-on-write fork. *)
+let frame_refcount t f = Option.value ~default:1 (Hashtbl.find_opt t.frame_refs f)
+let share_frame t f = Hashtbl.replace t.frame_refs f (frame_refcount t f + 1)
+
+(* Drop one reference; free (and zero — charged here, modelling a
+   zero-on-free pool) once the last reference is gone. *)
+let release_frame t f =
+  match frame_refcount t f with
+  | 1 ->
+      Hashtbl.remove t.frame_refs f;
+      (* Zero-on-free runs in the background pool worker; it is not on
+         the critical path of munmap/exit, so it is not charged here. *)
+      Phys_mem.zero_frame (Machine.mem t.machine) f;
+      Frame_alloc.free t.frames f
+  | n -> Hashtbl.replace t.frame_refs f (n - 1)
+
+let map_user_page t (proc : Proc.t) va =
+  let vpage = Int64.shift_right_logical va 12 in
+  if Hashtbl.mem proc.Proc.user_frames vpage then Ok ()
+  else if not (Layout.in_user va) then Error Errno.EFAULT
+  else begin
+    match Frame_alloc.alloc t.frames with
+    | None -> Error Errno.ENOMEM
+    | Some frame -> (
+        (* Frames come from a zero-on-free pool (see [release_frame]);
+           the PTE work is instrumented kernel code. *)
+        Phys_mem.zero_frame (Machine.mem t.machine) frame;
+        Kmem.work t.kmem 30;
+        match Sva.map_page t.sva proc.Proc.pt ~va ~frame ~perm:user_perm with
+        | Ok () ->
+            Hashtbl.replace proc.Proc.user_frames vpage frame;
+            Ok ()
+        | Error _ ->
+            Frame_alloc.free t.frames frame;
+            Error Errno.EFAULT)
+  end
+
+(* Resolve a copy-on-write fault: sole owner pages are simply
+   re-enabled for writing; shared pages get a private copy. *)
+let resolve_cow t (proc : Proc.t) vpage =
+  match Hashtbl.find_opt proc.Proc.user_frames vpage with
+  | None -> Error Errno.EFAULT
+  | Some frame ->
+      let va = Int64.shift_left vpage 12 in
+      Kmem.work t.kmem 25;
+      if frame_refcount t frame = 1 then begin
+        Hashtbl.remove proc.Proc.cow vpage;
+        match Sva.protect_page t.sva proc.Proc.pt ~va ~perm:user_perm with
+        | Ok () ->
+            Machine.flush_tlb t.machine;
+            Ok ()
+        | Error _ -> Error Errno.EFAULT
+      end
+      else begin
+        match Frame_alloc.alloc t.frames with
+        | None -> Error Errno.ENOMEM
+        | Some fresh -> (
+            let src = Int64.shift_left (Int64.of_int frame) 12 in
+            let dst = Int64.shift_left (Int64.of_int fresh) 12 in
+            Phys_mem.write_bytes (Machine.mem t.machine) ~addr:dst
+              (Phys_mem.read_bytes (Machine.mem t.machine) ~addr:src ~len:4096);
+            Machine.charge t.machine (Cost.copy_cycles 4096);
+            match Sva.map_page t.sva proc.Proc.pt ~va ~frame:fresh ~perm:user_perm with
+            | Ok () ->
+                release_frame t frame;
+                Hashtbl.replace proc.Proc.user_frames vpage fresh;
+                Hashtbl.remove proc.Proc.cow vpage;
+                Machine.flush_tlb t.machine;
+                Ok ()
+            | Error _ ->
+                Frame_alloc.free t.frames fresh;
+                Error Errno.EFAULT)
+      end
+
+(* Make [va, va+len) privately writable (kernel copyout path). *)
+let resolve_cow_range t proc va ~len =
+  if len > 0 then begin
+    let first = Int64.shift_right_logical va 12 in
+    let last = Int64.shift_right_logical (Int64.add va (Int64.of_int (len - 1))) 12 in
+    let page = ref first in
+    while Int64.compare !page last <= 0 do
+      if Hashtbl.mem proc.Proc.cow !page then ignore (resolve_cow t proc !page);
+      page := Int64.add !page 1L
+    done
+  end
+
+let ensure_user_range t proc va ~len =
+  if len <= 0 then Ok ()
+  else begin
+    let first = Int64.shift_right_logical va 12 in
+    let last = Int64.shift_right_logical (Int64.add va (Int64.of_int (len - 1))) 12 in
+    let rec go page =
+      if Int64.compare page last > 0 then Ok ()
+      else begin
+        match map_user_page t proc (Int64.shift_left page 12) with
+        | Ok () -> go (Int64.add page 1L)
+        | Error _ as e -> e
+      end
+    in
+    go first
+  end
+
+let handle_page_fault t proc va =
+  (* Hardware fault delivery, VM trap entry, then the (instrumented)
+     fault handler's vm_map lookup before the page is materialised. *)
+  Machine.charge t.machine Cost.page_fault_hw;
+  Sva.enter_trap t.sva ~tid:proc.Proc.tid;
+  Kmem.fn_entry t.kmem;
+  Kmem.work t.kmem 80;
+  (* The fault path is long, mostly register/ALU work (vm_map lookups,
+     object chains) whose instrumentation overhead is small. *)
+  Machine.charge t.machine 6000;
+  let vpage = Int64.shift_right_logical va 12 in
+  let result =
+    if Hashtbl.mem proc.Proc.cow vpage then resolve_cow t proc vpage
+    else map_user_page t proc va
+  in
+  Sva.return_from_trap t.sva ~tid:proc.Proc.tid;
+  result
+
+let free_user_pages t (proc : Proc.t) =
+  Hashtbl.iter
+    (fun vpage frame ->
+      (match Sva.unmap_page t.sva proc.Proc.pt ~va:(Int64.shift_left vpage 12) with
+      | Ok () | Error _ -> ());
+      release_frame t frame)
+    proc.Proc.user_frames;
+  Hashtbl.reset proc.Proc.user_frames;
+  Hashtbl.reset proc.Proc.cow;
+  Machine.flush_tlb t.machine
+
+let grant_ghost_frames t n = Frame_alloc.alloc_many t.frames n

@@ -1,0 +1,89 @@
+(** The assembled kernel: a miniature FreeBSD-like monolithic kernel
+    ported to the SVA-OS API.
+
+    The kernel never touches hardware directly: page-table updates go
+    through {!Sva.map_page} and friends, trap entry/exit through
+    {!Sva.enter_trap}/{!Sva.return_from_trap}, and its memory accesses
+    through {!Kmem} (which models compilation with or without the
+    Virtual Ghost passes — the build mode is fixed at {!boot}).
+
+    Process execution is cooperative: user code runs as OCaml closures
+    (managed by the userland runtime) that invoke system calls through
+    {!Syscalls}; there is no preemption, and calls that would block
+    return [EAGAIN]. *)
+
+type t = {
+  machine : Machine.t;
+  sva : Sva.t;
+  kmem : Kmem.t;
+  frames : Frame_alloc.t;
+  bc : Buffer_cache.t;
+  fs : Diskfs.t;
+  net : Netstack.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable current : int;  (** pid whose address space is installed *)
+  overrides : (string, syscall_override) Hashtbl.t;
+      (** loadable-module replacements for named system calls *)
+  module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
+      (** kernel helper API exposed to module native code *)
+  frame_refs : (int, int) Hashtbl.t;
+      (** copy-on-write frame sharing counts (absent = 1) *)
+  mutable syscall_count : int;
+}
+
+and syscall_override = { image : Vg_compiler.Native.image; func : string }
+
+val boot : ?frame_limit:int -> mode:Sva.mode -> Machine.t -> t
+(** Initialise SVA, the frame allocator, buffer cache, a fresh file
+    system (or remount an existing one), the network stack, and the
+    init process (pid 1).  [frame_limit] caps the kernel's frame
+    allocator — a memory-constrained machine that forces ghost
+    swapping. *)
+
+val mode : t -> Sva.mode
+val init_process : t -> Proc.t
+
+val find_proc : t -> int -> Proc.t option
+val current_proc : t -> Proc.t
+
+val switch_to : t -> Proc.t -> unit
+(** Context switch: install the process's page table (charges the
+    context-switch cost and flushes the TLB) and make it current. *)
+
+val create_process : t -> parent:Proc.t -> Proc.t Errno.result
+(** Allocate a pid, address space and SVA thread (used by [fork] and
+    by the userland runtime for initial processes). *)
+
+val map_user_page : t -> Proc.t -> int64 -> unit Errno.result
+(** Demand-map one traditional user page (allocates and zeroes a
+    frame). *)
+
+val ensure_user_range : t -> Proc.t -> int64 -> len:int -> unit Errno.result
+(** Map every page overlapping [va, va+len). *)
+
+val handle_page_fault : t -> Proc.t -> int64 -> unit Errno.result
+(** The kernel's page-fault handler: trap accounting plus demand
+    mapping and copy-on-write resolution.  [EFAULT] for addresses
+    outside the user range. *)
+
+val share_frame : t -> int -> unit
+(** Add a copy-on-write reference to a frame (fork). *)
+
+val release_frame : t -> int -> unit
+(** Drop a reference; the frame is zeroed and freed when the last
+    reference goes (zero-on-free pool, where the zeroing cost is
+    charged). *)
+
+val resolve_cow_range : t -> Proc.t -> int64 -> len:int -> unit
+(** Ensure a user range is privately writable before a kernel copyout
+    (the write fault the hardware would deliver mid-copy). *)
+
+val user_ro : Pagetable.perm
+(** Read-only user mapping used for shared copy-on-write pages. *)
+
+val free_user_pages : t -> Proc.t -> unit
+(** Tear down all traditional user pages of a process. *)
+
+val grant_ghost_frames : t -> int -> int list option
+(** Frames the kernel hands to the VM for [allocgm]. *)

@@ -1,0 +1,86 @@
+type t = {
+  sva : Sva.t;
+  machine : Machine.t;
+  mode : Sva.mode;
+  mutable faults : int;
+}
+
+let create sva = { sva; machine = Sva.machine sva; mode = Sva.mode sva; faults = 0 }
+let sva t = t.sva
+let machine t = t.machine
+let mode t = t.mode
+let faulted_accesses t = t.faults
+
+let effective t addr =
+  match t.mode with
+  | Sva.Native_build -> addr
+  | Sva.Virtual_ghost ->
+      Machine.charge t.machine Cost.sandbox_mask;
+      Vg_compiler.Sandbox_pass.masked_address addr
+
+(* Kernel accesses always run at kernel privilege; restore afterwards so
+   interleaved user-level code is unaffected. *)
+let as_kernel t f =
+  let saved = Machine.privilege t.machine in
+  Machine.set_privilege t.machine Machine.Kernel;
+  Fun.protect ~finally:(fun () -> Machine.set_privilege t.machine saved) f
+
+let load t addr ~len =
+  let addr = effective t addr in
+  as_kernel t (fun () ->
+      try Machine.read_virt t.machine addr ~len
+      with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+        t.faults <- t.faults + 1;
+        0L)
+
+let store t addr ~len v =
+  let addr = effective t addr in
+  as_kernel t (fun () ->
+      try Machine.write_virt t.machine addr ~len v
+      with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> t.faults <- t.faults + 1)
+
+let read_bytes t addr ~len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  as_kernel t (fun () ->
+      while !pos < len do
+        let va = Int64.add addr (Int64.of_int !pos) in
+        let page_off = Int64.to_int (Int64.logand va 0xfffL) in
+        let chunk = min (len - !pos) (4096 - page_off) in
+        let ea = effective t va in
+        (try
+           Bytes.blit (Machine.read_bytes_virt t.machine ea ~len:chunk) 0 out !pos chunk
+         with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+           t.faults <- t.faults + 1;
+           Bytes.fill out !pos chunk '\000');
+        pos := !pos + chunk
+      done);
+  out
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  as_kernel t (fun () ->
+      while !pos < len do
+        let va = Int64.add addr (Int64.of_int !pos) in
+        let page_off = Int64.to_int (Int64.logand va 0xfffL) in
+        let chunk = min (len - !pos) (4096 - page_off) in
+        let ea = effective t va in
+        (try Machine.write_bytes_virt t.machine ea (Bytes.sub src !pos chunk)
+         with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+           t.faults <- t.faults + 1);
+        pos := !pos + chunk
+      done)
+
+let work t n =
+  let per_op =
+    match t.mode with
+    | Sva.Native_build -> Cost.mem_access
+    | Sva.Virtual_ghost -> Cost.mem_access + Cost.sandbox_mask
+  in
+  Machine.charge t.machine (n * per_op)
+
+let fn_entry t =
+  match t.mode with
+  | Sva.Native_build -> ()
+  | Sva.Virtual_ghost -> Machine.charge t.machine Cost.cfi_call

@@ -1,0 +1,54 @@
+let override_prefix = "sys_"
+
+let overrides_of_image (image : Vg_compiler.Native.image) =
+  List.filter_map
+    (fun (s : Vg_compiler.Native.symbol) ->
+      let n = s.Vg_compiler.Native.name in
+      if String.length n > String.length override_prefix
+         && String.sub n 0 (String.length override_prefix) = override_prefix
+      then Some (String.sub n 4 (String.length n - 4), n)
+      else None)
+    image.Vg_compiler.Native.symbols
+
+let module_registry : (string, string list) Hashtbl.t = Hashtbl.create 4
+(* module name -> overridden syscall names (per process-wide kernel; a
+   kernel instance keyed table would be cleaner, but module identity is
+   only used by unload in tests) *)
+
+let load (k : Kernel.t) ~name program =
+  let mode =
+    match Kernel.mode k with
+    | Sva.Native_build -> Vg_compiler.Pipeline.Native_build
+    | Sva.Virtual_ghost -> Vg_compiler.Pipeline.Virtual_ghost
+  in
+  match Vg_compiler.Pipeline.compile_kernel_code ~mode program with
+  | exception Vg_compiler.Pipeline.Rejected msg -> Error msg
+  | compiled -> (
+      (* The VM caches and signs the translation; load back through the
+         verifying path, as the OS would at module insertion. *)
+      let cache = Sva.translation_cache k.Kernel.sva in
+      Vg_compiler.Trans_cache.add cache ~name compiled.Vg_compiler.Pipeline.image;
+      match Vg_compiler.Trans_cache.find cache ~name with
+      | None -> Error "module translation failed signature verification"
+      | Some image ->
+          let overrides = overrides_of_image image in
+          List.iter
+            (fun (syscall, func) ->
+              Hashtbl.replace k.Kernel.overrides syscall { Kernel.image; func })
+            overrides;
+          Hashtbl.replace module_registry name (List.map fst overrides);
+          Console.write
+            (Machine.console k.Kernel.machine)
+            (Printf.sprintf "kernel: loaded module %s (%d syscall overrides)" name
+               (List.length overrides));
+          Ok ())
+
+let unload (k : Kernel.t) ~name =
+  match Hashtbl.find_opt module_registry name with
+  | None -> ()
+  | Some syscalls ->
+      List.iter (Hashtbl.remove k.Kernel.overrides) syscalls;
+      Hashtbl.remove module_registry name
+
+let loaded_overrides (k : Kernel.t) =
+  Hashtbl.fold (fun name _ acc -> name :: acc) k.Kernel.overrides []

@@ -1,0 +1,21 @@
+(** Loadable kernel modules.
+
+    Modules arrive as virtual-ISA (IR) programs — the threat model
+    allows arbitrary hostile module code, but it "must also be compiled
+    by the instrumenting compiler".  Loading therefore: (1) compiles
+    the IR through the same pipeline as the kernel (sandboxing + CFI
+    under Virtual Ghost, nothing under the native baseline); (2) signs
+    and stores the translation in the VM's cache and re-verifies it
+    before registration (so a module image patched on disk is
+    rejected); (3) registers every function named [sys_<call>] as an
+    override for that system call. *)
+
+val load :
+  Kernel.t -> name:string -> Ir.program -> (unit, string) result
+(** Compile, cache, verify and register a module. *)
+
+val unload : Kernel.t -> name:string -> unit
+(** Remove this module's syscall overrides. *)
+
+val loaded_overrides : Kernel.t -> string list
+(** Currently overridden system calls. *)

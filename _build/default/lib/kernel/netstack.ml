@@ -1,0 +1,171 @@
+(* Frame format: type(1) conn(4) port(4) payload. *)
+
+let ty_syn = 0
+let ty_data = 1
+let ty_fin = 2
+
+let frame ~ty ~conn ~port payload =
+  let b = Bytes.create (9 + Bytes.length payload) in
+  Bytes.set b 0 (Char.chr ty);
+  Bytes.set_int32_le b 1 (Int32.of_int conn);
+  Bytes.set_int32_le b 5 (Int32.of_int port);
+  Bytes.blit payload 0 b 9 (Bytes.length payload);
+  b
+
+let parse b =
+  if Bytes.length b < 9 then None
+  else
+    Some
+      ( Char.code (Bytes.get b 0),
+        Int32.to_int (Bytes.get_int32_le b 1),
+        Int32.to_int (Bytes.get_int32_le b 5),
+        Bytes.sub b 9 (Bytes.length b - 9) )
+
+type conn_state = { inbox : Pipe_dev.t; mutable peer_closed : bool; port : int }
+
+type t = {
+  nic : Nic.t;
+  kmem : Kmem.t;
+  listeners : (int, int Queue.t) Hashtbl.t;
+  conns : (int, conn_state) Hashtbl.t;
+}
+
+let create ~kmem nic = { nic; kmem; listeners = Hashtbl.create 8; conns = Hashtbl.create 32 }
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then Error Errno.EEXIST
+  else begin
+    Hashtbl.replace t.listeners port (Queue.create ());
+    Ok ()
+  end
+
+let poll t =
+  let continue = ref true in
+  while !continue do
+    match Nic.receive t.nic with
+    | None -> continue := false
+    | Some raw -> (
+        (* Interrupt handler + demux are instrumented kernel code. *)
+        Kmem.fn_entry t.kmem;
+        Kmem.work t.kmem 20;
+        match parse raw with
+        | None -> ()
+        | Some (ty, conn, port, payload) ->
+            if ty = ty_syn then begin
+              match Hashtbl.find_opt t.listeners port with
+              | None -> () (* connection refused: silently dropped *)
+              | Some q ->
+                  let state =
+                    { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port }
+                  in
+                  Pipe_dev.add_reader state.inbox;
+                  Pipe_dev.add_writer state.inbox;
+                  Hashtbl.replace t.conns conn state;
+                  Queue.push conn q
+            end
+            else begin
+              match Hashtbl.find_opt t.conns conn with
+              | None -> ()
+              | Some state ->
+                  if ty = ty_fin then state.peer_closed <- true
+                  else ignore (Pipe_dev.write state.inbox payload)
+            end)
+  done
+
+let accept t ~port =
+  poll t;
+  Kmem.work t.kmem 15;
+  match Hashtbl.find_opt t.listeners port with
+  | None -> None
+  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
+
+let send t ~conn data =
+  Kmem.work t.kmem 25;
+  match Hashtbl.find_opt t.conns conn with
+  | None -> Error Errno.EBADF
+  | Some state ->
+      Nic.transmit t.nic (frame ~ty:ty_data ~conn ~port:state.port data);
+      Ok (Bytes.length data)
+
+let recv t ~conn n =
+  poll t;
+  Kmem.work t.kmem 25;
+  match Hashtbl.find_opt t.conns conn with
+  | None -> Error Errno.EBADF
+  | Some state -> (
+      match Pipe_dev.read state.inbox n with
+      | Ok b when Bytes.length b = 0 && not state.peer_closed -> Error Errno.EAGAIN
+      | Error Errno.EAGAIN when state.peer_closed -> Ok Bytes.empty
+      | r -> r)
+
+let next_outbound = ref 5000
+
+let connect t ~port =
+  incr next_outbound;
+  let conn = !next_outbound in
+  let state = { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port } in
+  Pipe_dev.add_reader state.inbox;
+  Pipe_dev.add_writer state.inbox;
+  Hashtbl.replace t.conns conn state;
+  Kmem.work t.kmem 30;
+  Nic.transmit t.nic (frame ~ty:ty_syn ~conn ~port Bytes.empty);
+  conn
+
+let close t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> ()
+  | Some state ->
+      Nic.transmit t.nic (frame ~ty:ty_fin ~conn ~port:state.port Bytes.empty);
+      Hashtbl.remove t.conns conn
+
+module Remote = struct
+  type endpoint = {
+    nic : Nic.t;
+    conn : int;
+    port : int;
+    stash : bytes Queue.t; (* frames for us, popped out of order *)
+  }
+
+  let next_conn = ref 1000
+
+  let connect nic ~port =
+    incr next_conn;
+    let conn = !next_conn in
+    Nic.transmit nic (frame ~ty:ty_syn ~conn ~port Bytes.empty);
+    { nic; conn; port; stash = Queue.create () }
+
+  let rec accept nic =
+    match Nic.receive nic with
+    | None -> None
+    | Some raw -> (
+        match parse raw with
+        | Some (ty, conn, port, _) when ty = ty_syn ->
+            Some { nic; conn; port; stash = Queue.create () }
+        | _ -> accept nic (* skip stale FIN/data from closed connections *))
+
+  let send ep payload = Nic.transmit ep.nic (frame ~ty:ty_data ~conn:ep.conn ~port:ep.port payload)
+
+  let recv ep =
+    if not (Queue.is_empty ep.stash) then Some (Queue.pop ep.stash)
+    else begin
+      match Nic.receive ep.nic with
+      | None -> None
+      | Some raw -> (
+          match parse raw with
+          | Some (ty, conn, _, payload) when conn = ep.conn && ty = ty_data -> Some payload
+          | _ -> None)
+    end
+
+  let recv_all_available ep =
+    let out = Buffer.create 4096 in
+    let continue = ref true in
+    while !continue do
+      match recv ep with
+      | Some b -> Buffer.add_bytes out b
+      | None -> continue := false
+    done;
+    Buffer.to_bytes out
+
+  let close ep = Nic.transmit ep.nic (frame ~ty:ty_fin ~conn:ep.conn ~port:ep.port Bytes.empty)
+  let conn_id ep = ep.conn
+end

@@ -1,0 +1,56 @@
+(** A minimal connection-oriented network stack over the simulated NIC.
+
+    Frames carry a one-byte type (SYN / DATA / FIN), a connection id and
+    a port.  The kernel side demultiplexes received frames into
+    per-connection inboxes and listener accept queues; {!module:Remote}
+    is the matching client-side library the benchmark harness uses to
+    play the iMac on the other end of the paper's dedicated gigabit
+    link.  Wire time is charged by the NIC on transmit. *)
+
+type t
+
+val create : kmem:Kmem.t -> Nic.t -> t
+
+val listen : t -> port:int -> unit Errno.result
+(** Open a listener; [EEXIST] if the port is taken. *)
+
+val poll : t -> unit
+(** Drain the NIC receive queue into inboxes/accept queues (the
+    driver's interrupt handler; charged per frame). *)
+
+val accept : t -> port:int -> int option
+(** Pop a pending connection id, polling first. *)
+
+val send : t -> conn:int -> bytes -> int Errno.result
+(** Transmit data on a connection. *)
+
+val recv : t -> conn:int -> int -> bytes Errno.result
+(** Receive up to [n] bytes; [EAGAIN] when none pending and the peer
+    has not closed; [Ok empty] after FIN. *)
+
+val close : t -> conn:int -> unit
+(** Send FIN and drop local state (pending inbox data is discarded). *)
+
+val connect : t -> port:int -> int
+(** Outbound connection: allocate a connection id and send SYN; the
+    remote harness answers via {!Remote.accept}. *)
+
+(** Client-side endpoint helpers (run "on the other machine"): they
+    speak the same frame format directly on the remote NIC endpoint. *)
+module Remote : sig
+  type endpoint
+
+  val connect : Nic.t -> port:int -> endpoint
+
+  val accept : Nic.t -> endpoint option
+  (** Server side of an outbound kernel connection: harvest a SYN
+      frame, if one arrived. *)
+
+  val send : endpoint -> bytes -> unit
+  val recv : endpoint -> bytes option
+  (** Pop the next data frame payload, if any ([None] = nothing yet). *)
+
+  val recv_all_available : endpoint -> bytes
+  val close : endpoint -> unit
+  val conn_id : endpoint -> int
+end

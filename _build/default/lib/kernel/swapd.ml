@@ -1,0 +1,139 @@
+let swap_dir = "/swap"
+
+let blob_path (proc : Proc.t) vpage =
+  Printf.sprintf "%s/p%d-%Lx" swap_dir proc.Proc.pid vpage
+
+let ensure_swap_dir k =
+  match Diskfs.lookup k.Kernel.fs swap_dir with
+  | Ok _ -> ()
+  | Error _ -> ignore (Diskfs.mkdir k.Kernel.fs swap_dir)
+
+let page_va vpage = Int64.shift_left vpage 12
+
+let vpage_of va = Int64.shift_right_logical va 12
+
+(* Resident ghost pages of one process: (vpage, present). *)
+let ghost_vpages (proc : Proc.t) =
+  List.concat_map
+    (fun (base, pages) ->
+      List.init pages (fun i -> Int64.add (vpage_of base) (Int64.of_int i)))
+    proc.Proc.ghost_regions
+
+let resident_ghost_pages k (proc : Proc.t) =
+  ignore k;
+  List.length
+    (List.filter
+       (fun vpage -> Pagetable.lookup proc.Proc.pt ~vpage <> None)
+       (ghost_vpages proc))
+
+let is_swapped_out k (proc : Proc.t) va =
+  match Diskfs.lookup k.Kernel.fs (blob_path proc (vpage_of va)) with
+  | Ok _ -> true
+  | Error _ -> false
+
+(* Pick a victim: the first resident ghost page of the process with the
+   most resident ghost pages (a crude global-LRU stand-in). *)
+let pick_victim k =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ (proc : Proc.t) ->
+      if not (Proc.is_zombie proc) then begin
+        let resident =
+          List.filter (fun vp -> Pagetable.lookup proc.Proc.pt ~vpage:vp <> None)
+            (ghost_vpages proc)
+        in
+        match (resident, !best) with
+        | [], _ -> ()
+        | vp :: _, None -> best := Some (proc, vp, List.length resident)
+        | vp :: _, Some (_, _, n) when List.length resident > n ->
+            best := Some (proc, vp, List.length resident)
+        | _ -> ()
+      end)
+    k.Kernel.procs;
+  !best
+
+let swap_out_one k =
+  match pick_victim k with
+  | None -> Error "swapd: no resident ghost pages to evict"
+  | Some (proc, vpage, _) -> (
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 80;
+      match
+        Sva.swap_out_ghost k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt
+          ~va:(page_va vpage)
+      with
+      | Error msg -> Error msg
+      | Ok (frame, blob) -> (
+          ensure_swap_dir k;
+          let path = blob_path proc vpage in
+          let write_blob () =
+            let ino_result =
+              match Diskfs.lookup k.Kernel.fs path with
+              | Ok ino ->
+                  ignore (Diskfs.truncate k.Kernel.fs ~ino ~len:0);
+                  Ok ino
+              | Error Errno.ENOENT -> Diskfs.create k.Kernel.fs path
+              | Error _ as e -> e
+            in
+            match ino_result with
+            | Error e -> Error (Errno.to_string e)
+            | Ok ino -> (
+                match Diskfs.write k.Kernel.fs ~ino ~off:0 blob with
+                | Ok _ -> Ok ()
+                | Error e -> Error (Errno.to_string e))
+          in
+          match write_blob () with
+          | Error _ as e -> e
+          | Ok () ->
+              Frame_alloc.free k.Kernel.frames frame;
+              Ok ()))
+
+let ensure_frames k ~wanted =
+  let guard = ref 4096 in
+  while Frame_alloc.free_count k.Kernel.frames < wanted && !guard > 0 do
+    decr guard;
+    match swap_out_one k with Ok () -> () | Error _ -> guard := 0
+  done
+
+let swap_in k (proc : Proc.t) va =
+  let vpage = vpage_of va in
+  let path = blob_path proc vpage in
+  match Diskfs.lookup k.Kernel.fs path with
+  | Error _ -> Error Errno.EFAULT
+  | Ok ino -> (
+      (* Fault accounting: hardware fault, VM trap, handler work. *)
+      Machine.charge k.Kernel.machine Cost.page_fault_hw;
+      Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 100;
+      let finish result =
+        Sva.return_from_trap k.Kernel.sva ~tid:proc.Proc.tid;
+        result
+      in
+      let blob =
+        match Diskfs.stat k.Kernel.fs ~ino with
+        | Ok st -> (
+            match Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:st.Diskfs.size with
+            | Ok b -> Some b
+            | Error _ -> None)
+        | Error _ -> None
+      in
+      match blob with
+      | None -> finish (Error Errno.EFAULT)
+      | Some blob -> (
+          (* Make room if memory is still tight. *)
+          if Frame_alloc.free_count k.Kernel.frames = 0 then ensure_frames k ~wanted:1;
+          match Frame_alloc.alloc k.Kernel.frames with
+          | None -> finish (Error Errno.ENOMEM)
+          | Some frame -> (
+              match
+                Sva.swap_in_ghost k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt
+                  ~va:(page_va vpage) ~frame ~blob
+              with
+              | Ok () ->
+                  ignore (Diskfs.unlink k.Kernel.fs path);
+                  finish (Ok ())
+              | Error msg ->
+                  Frame_alloc.free k.Kernel.frames frame;
+                  Console.write (Machine.console k.Kernel.machine) ("swapd: " ^ msg);
+                  finish (Error Errno.EACCES))))

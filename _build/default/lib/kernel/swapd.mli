@@ -1,0 +1,35 @@
+(** Ghost-memory swapping (paper section 3.3).
+
+    "Unlike programmed I/O, swapping of ghost memory is the
+    responsibility of Virtual Ghost": the OS picks the victim page and
+    stores the bytes, but only the VM may read the plaintext — it hands
+    the kernel an encrypted, MAC'd, replay-protected blob
+    ({!Sva.swap_out_ghost}) and verifies it on the way back in
+    ({!Sva.swap_in_ghost}).  This module is the kernel half: victim
+    selection, blob storage in the file system (under [/swap]), and the
+    fault-time swap-in.  The paper's prototype left swapping
+    unimplemented; here the full design runs.
+
+    The baseline build swaps too — but with no sealing, which is what
+    {!Vg_attacks.Other_attacks.swap_tamper_attack} exploits. *)
+
+val swap_out_one : Kernel.t -> (unit, string) result
+(** Pick one resident ghost page (round-robin over processes), push it
+    out through the VM, store the blob, and return the freed frame to
+    the allocator.  [Error] when no ghost page is resident. *)
+
+val ensure_frames : Kernel.t -> wanted:int -> unit
+(** Kernel memory-pressure hook: swap ghost pages out until [wanted]
+    frames are free (or nothing is left to evict). *)
+
+val swap_in : Kernel.t -> Proc.t -> int64 -> unit Errno.result
+(** Fault-time path: bring the swapped-out ghost page holding [va]
+    back.  [EFAULT] if no blob exists for the page; [EACCES] when the
+    VM rejects the blob (the OS tampered with it — the application is
+    not handed corrupt secrets). *)
+
+val is_swapped_out : Kernel.t -> Proc.t -> int64 -> bool
+(** Whether a ghost address currently lives in the swap store. *)
+
+val resident_ghost_pages : Kernel.t -> Proc.t -> int
+(** Ghost pages of the process currently mapped (diagnostics). *)

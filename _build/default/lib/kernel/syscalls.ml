@@ -1,0 +1,717 @@
+type open_flags = { create : bool; truncate : bool; append : bool }
+
+let rdonly = { create = false; truncate = false; append = false }
+let creat_trunc = { create = true; truncate = true; append = false }
+
+(* ------------------------------------------------------------------ *)
+(* Trap protocol                                                       *)
+
+let ret_int = function
+  | Ok n -> Int64.of_int n
+  | Error e -> Int64.of_int (-Errno.to_int e)
+
+let ret_unit = function Ok () -> 0L | Error e -> Int64.of_int (-Errno.to_int e)
+let ret_any = fun _ -> 0L
+
+(* Wrap a handler in the full system-call protocol.  [encode] derives
+   the value placed in the saved context's return register. *)
+let trap ?(after_result = fun () -> ()) (k : Kernel.t) (proc : Proc.t) ~encode f =
+  Kernel.switch_to k proc;
+  k.Kernel.syscall_count <- k.Kernel.syscall_count + 1;
+  Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  (* Dispatch: table lookup, argument validation, credential checks. *)
+  Kmem.fn_entry k.Kernel.kmem;
+  Kmem.work k.Kernel.kmem 40;
+  Machine.charge k.Kernel.machine 40;
+  let result = f () in
+  Sva.set_syscall_result k.Kernel.sva ~tid:proc.Proc.tid (encode result);
+  (* Work done on the return-to-user path (e.g. signal delivery)
+     happens after the result register is written. *)
+  after_result ();
+  Sva.return_from_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  result
+
+(* Copy between kernel and user/ghost buffers with the instrumented
+   accessors.  User-range destinations are demand-mapped first (the
+   fault would otherwise silently zero-fill); everything else is left
+   to the masking semantics. *)
+let prepare_user_buffer k proc va len =
+  if Layout.in_user va then ignore (Kernel.ensure_user_range k proc va ~len)
+
+let copyout k proc ~dst data =
+  prepare_user_buffer k proc dst (Bytes.length data);
+  if Layout.in_user dst then Kernel.resolve_cow_range k proc dst ~len:(Bytes.length data);
+  Kmem.write_bytes k.Kernel.kmem dst data
+
+let copyin k proc ~src ~len =
+  prepare_user_buffer k proc src len;
+  Kmem.read_bytes k.Kernel.kmem src ~len
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
+let path_charge k path = Kmem.work k.Kernel.kmem (40 + (2 * String.length path))
+
+let open_ k proc path flags =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      path_charge k path;
+      let resolved = Diskfs.lookup k.Kernel.fs path in
+      let ino_result =
+        match (resolved, flags.create) with
+        | Ok ino, _ -> Ok ino
+        | Error Errno.ENOENT, true -> Diskfs.create k.Kernel.fs path
+        | (Error _ as e), _ -> e
+      in
+      match ino_result with
+      | Error e -> Error e
+      | Ok ino -> (
+          match Diskfs.stat k.Kernel.fs ~ino with
+          | Error e -> Error e
+          | Ok st ->
+              if st.Diskfs.itype = Diskfs.Dir then Error Errno.EISDIR
+              else begin
+                if flags.truncate then
+                  ignore (Diskfs.truncate k.Kernel.fs ~ino ~len:0);
+                let offset = if flags.append then st.Diskfs.size else 0 in
+                Ok (Proc.add_fd proc (Proc.File { ino; offset }))
+              end))
+
+let close k proc fd =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 12;
+      match Proc.find_fd proc fd with
+      | None -> Error Errno.EBADF
+      | Some kind ->
+          (match kind with
+          | Proc.Pipe_read p -> Pipe_dev.drop_reader p
+          | Proc.Pipe_write p -> Pipe_dev.drop_writer p
+          | Proc.Sock_conn conn -> Netstack.close k.Kernel.net ~conn
+          | Proc.File _ | Proc.Sock_listen _ | Proc.Console_out -> ());
+          Proc.remove_fd proc fd;
+          Ok ())
+
+let fd_read_kernel k _proc kind len : bytes Errno.result =
+  match kind with
+  | Proc.File f -> (
+      match Diskfs.read k.Kernel.fs ~ino:f.ino ~off:f.offset ~len with
+      | Ok data ->
+          f.offset <- f.offset + Bytes.length data;
+          Ok data
+      | Error _ as e -> e)
+  | Proc.Pipe_read p -> Pipe_dev.read p len
+  | Proc.Sock_conn conn -> Netstack.recv k.Kernel.net ~conn len
+  | Proc.Pipe_write _ | Proc.Sock_listen _ | Proc.Console_out -> Error Errno.EBADF
+
+let genuine_read_unwrapped k proc ~fd ~buf ~len =
+  Kmem.fn_entry k.Kernel.kmem;
+  Kmem.work k.Kernel.kmem 20;
+  match Proc.find_fd proc fd with
+  | None -> Error Errno.EBADF
+  | Some kind -> (
+      match fd_read_kernel k proc kind len with
+      | Error _ as e -> e
+      | Ok data ->
+          copyout k proc ~dst:buf data;
+          Ok (Bytes.length data))
+
+let genuine_read k proc ~fd ~buf ~len = genuine_read_unwrapped k proc ~fd ~buf ~len
+
+let fd_write_kernel k _proc kind data : int Errno.result =
+  match kind with
+  | Proc.File f -> (
+      match Diskfs.write k.Kernel.fs ~ino:f.ino ~off:f.offset data with
+      | Ok n ->
+          f.offset <- f.offset + n;
+          Ok n
+      | Error _ as e -> e)
+  | Proc.Pipe_write p -> Pipe_dev.write p data
+  | Proc.Sock_conn conn -> Netstack.send k.Kernel.net ~conn data
+  | Proc.Console_out ->
+      Console.write (Machine.console k.Kernel.machine) (Bytes.to_string data);
+      Ok (Bytes.length data)
+  | Proc.Pipe_read _ | Proc.Sock_listen _ -> Error Errno.EBADF
+
+let genuine_write k proc ~fd ~buf ~len =
+  Kmem.fn_entry k.Kernel.kmem;
+  Kmem.work k.Kernel.kmem 20;
+  match Proc.find_fd proc fd with
+  | None -> Error Errno.EBADF
+  | Some kind ->
+      let data = copyin k proc ~src:buf ~len in
+      fd_write_kernel k proc kind data
+
+(* ------------------------------------------------------------------ *)
+(* Module override machinery                                           *)
+
+let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64 =
+  let machine = k.Kernel.machine in
+  let env =
+    {
+      Vg_compiler.Executor.null_env with
+      load =
+        (fun addr width ->
+          try Machine.read_virt machine addr ~len:(Ir.bytes_of_width width)
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> 0L);
+      store =
+        (fun addr width v ->
+          try Machine.write_virt machine addr ~len:(Ir.bytes_of_width width) v
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> ());
+      memcpy =
+        (fun ~dst ~src ~len ->
+          try Machine.memcpy_virt machine ~dst ~src ~len:(Int64.to_int len)
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> ());
+      io_read = (fun port -> Sva.io_read k.Kernel.sva ~port);
+      io_write =
+        (fun port v ->
+          match Sva.io_write k.Kernel.sva ~port v with Ok () -> () | Error _ -> ());
+      extern =
+        (fun name args ->
+          match Hashtbl.find_opt k.Kernel.module_externs name with
+          | Some f -> f k proc args
+          | None ->
+              Console.write (Machine.console machine)
+                ("module: call to unknown kernel symbol " ^ name);
+              0L);
+      charge = Machine.charge machine;
+    }
+  in
+  Vg_compiler.Executor.run env ov.Kernel.image ov.Kernel.func args
+
+let decode_int v : int Errno.result =
+  if Int64.compare v 0L >= 0 then Ok (Int64.to_int v) else Error Errno.EFAULT
+
+let with_override k proc name args builtin =
+  match Hashtbl.find_opt k.Kernel.overrides name with
+  | None -> builtin ()
+  | Some ov -> (
+      try decode_int (run_override k proc ov args)
+      with Vg_compiler.Executor.Cfi_violation msg ->
+        Console.write
+          (Machine.console k.Kernel.machine)
+          ("vg: kernel thread terminated: " ^ msg);
+        Error Errno.EFAULT)
+
+let read k proc ~fd ~buf ~len =
+  trap k proc ~encode:ret_int (fun () ->
+      with_override k proc "read"
+        [| Int64.of_int fd; buf; Int64.of_int len |]
+        (fun () -> genuine_read_unwrapped k proc ~fd ~buf ~len))
+
+let write k proc ~fd ~buf ~len =
+  trap k proc ~encode:ret_int (fun () ->
+      with_override k proc "write"
+        [| Int64.of_int fd; buf; Int64.of_int len |]
+        (fun () -> genuine_write k proc ~fd ~buf ~len))
+
+let lseek k proc ~fd ~pos =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.work k.Kernel.kmem 10;
+      match Proc.find_fd proc fd with
+      | Some (Proc.File f) when pos >= 0 ->
+          f.offset <- pos;
+          Ok pos
+      | Some (Proc.File _) -> Error Errno.EINVAL
+      | Some _ -> Error Errno.EINVAL
+      | None -> Error Errno.EBADF)
+
+let unlink k proc path =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      path_charge k path;
+      Diskfs.unlink k.Kernel.fs path)
+
+let mkdir k proc path =
+  trap k proc ~encode:ret_unit (fun () ->
+      path_charge k path;
+      match Diskfs.mkdir k.Kernel.fs path with Ok _ -> Ok () | Error e -> Error e)
+
+let stat k proc path =
+  trap k proc ~encode:ret_any (fun () ->
+      path_charge k path;
+      match Diskfs.lookup k.Kernel.fs path with
+      | Error e -> Error e
+      | Ok ino -> Diskfs.stat k.Kernel.fs ~ino)
+
+let rename k proc ~src ~dst =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      path_charge k src;
+      path_charge k dst;
+      Diskfs.rename k.Kernel.fs ~src ~dst)
+
+let fstat k proc ~fd =
+  trap k proc ~encode:ret_any (fun () ->
+      Kmem.work k.Kernel.kmem 15;
+      match Proc.find_fd proc fd with
+      | Some (Proc.File f) -> Diskfs.stat k.Kernel.fs ~ino:f.ino
+      | Some _ -> Error Errno.EINVAL
+      | None -> Error Errno.EBADF)
+
+let dup2 k proc ~src ~dst =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.work k.Kernel.kmem 15;
+      match Proc.find_fd proc src with
+      | None -> Error Errno.EBADF
+      | Some kind ->
+          (match Proc.find_fd proc dst with
+          | Some (Proc.Pipe_read p) -> Pipe_dev.drop_reader p
+          | Some (Proc.Pipe_write p) -> Pipe_dev.drop_writer p
+          | Some _ | None -> ());
+          (* Share the open object (pipe reference counts included). *)
+          (match kind with
+          | Proc.Pipe_read p -> Pipe_dev.add_reader p
+          | Proc.Pipe_write p -> Pipe_dev.add_writer p
+          | Proc.File _ | Proc.Sock_listen _ | Proc.Sock_conn _ | Proc.Console_out -> ());
+          Hashtbl.replace proc.Proc.fds dst kind;
+          if dst >= proc.Proc.next_fd then proc.Proc.next_fd <- dst + 1;
+          Ok ())
+
+let readdir k proc path =
+  trap k proc ~encode:ret_any (fun () ->
+      path_charge k path;
+      match Diskfs.lookup k.Kernel.fs path with
+      | Error e -> Error e
+      | Ok ino -> Diskfs.readdir k.Kernel.fs ~ino)
+
+let fsync k proc =
+  trap k proc ~encode:ret_unit (fun () ->
+      Diskfs.sync k.Kernel.fs;
+      Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Processes                                                           *)
+
+let getpid k proc =
+  trap k proc ~encode:(fun n -> Int64.of_int n) (fun () -> proc.Proc.pid)
+
+exception Fork_out_of_memory
+
+let fork k proc =
+  trap k proc ~encode:(function Ok (c : Proc.t) -> Int64.of_int c.Proc.pid | Error e -> Int64.of_int (-Errno.to_int e))
+    (fun () ->
+      match Kernel.create_process k ~parent:proc with
+      | Error e -> Error e
+      | Ok child -> (
+          try
+            (* Share the traditional user address space copy-on-write:
+               both sides' PTEs drop to read-only; the first write to a
+               shared page copies it (handle_page_fault). *)
+            Hashtbl.iter
+              (fun vpage frame ->
+                let va = Int64.shift_left vpage 12 in
+                Kmem.work k.Kernel.kmem 40;
+                Kernel.share_frame k frame;
+                (match Sva.protect_page k.Kernel.sva proc.Proc.pt ~va ~perm:Kernel.user_ro with
+                | Ok () | Error _ -> ());
+                (match
+                   Sva.map_page k.Kernel.sva child.Proc.pt ~va ~frame ~perm:Kernel.user_ro
+                 with
+                | Ok () ->
+                    Hashtbl.replace child.Proc.user_frames vpage frame;
+                    Hashtbl.replace proc.Proc.cow vpage ();
+                    Hashtbl.replace child.Proc.cow vpage ()
+                | Error _ -> raise Fork_out_of_memory))
+              proc.Proc.user_frames;
+            Machine.flush_tlb k.Kernel.machine;
+            (* Descriptors are shared objects; reference counts track
+               pipe endpoints. *)
+            Hashtbl.iter
+              (fun fd kind ->
+                (match kind with
+                | Proc.Pipe_read p -> Pipe_dev.add_reader p
+                | Proc.Pipe_write p -> Pipe_dev.add_writer p
+                | Proc.File _ | Proc.Sock_listen _ | Proc.Sock_conn _ | Proc.Console_out
+                  -> ());
+                Hashtbl.replace child.Proc.fds fd kind)
+              proc.Proc.fds;
+            child.Proc.next_fd <- proc.Proc.next_fd;
+            Hashtbl.iter
+              (fun s h -> Hashtbl.replace child.Proc.signal_handlers s h)
+              proc.Proc.signal_handlers;
+            Hashtbl.iter
+              (fun a c -> Hashtbl.replace child.Proc.code_map a c)
+              proc.Proc.code_map;
+            child.Proc.image <- proc.Proc.image;
+            child.Proc.mmap_cursor <- proc.Proc.mmap_cursor;
+            Kmem.work k.Kernel.kmem 400;
+            Machine.charge k.Kernel.machine 300;
+            Ok child
+          with Fork_out_of_memory -> Error Errno.ENOMEM))
+
+let text_base = 0x0000_0000_0040_0000L
+
+let execve k proc image =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 600;
+      Machine.charge k.Kernel.machine 600;
+      (* Load the text segment into user memory. *)
+      let payload = image.Appimage.payload in
+      (match Kernel.ensure_user_range k proc text_base ~len:(Bytes.length payload) with
+      | Ok () -> Kmem.write_bytes k.Kernel.kmem text_base payload
+      | Error _ -> ());
+      match
+        Sva.reinit_icontext k.Kernel.sva ~tid:proc.Proc.tid ~pt:proc.Proc.pt ~image
+          ~stack:0x7fff_f000L
+      with
+      | Error msg ->
+          Console.write (Machine.console k.Kernel.machine) ("execve refused: " ^ msg);
+          Error Errno.EACCES
+      | Ok (_key, freed_ghost_frames) ->
+          List.iter (Frame_alloc.free k.Kernel.frames) freed_ghost_frames;
+          proc.Proc.ghost_regions <- [];
+          Hashtbl.reset proc.Proc.signal_handlers;
+          Hashtbl.reset proc.Proc.code_map;
+          proc.Proc.image <- Some image;
+          Ok ())
+
+let exit_ k proc status =
+  (* exit never returns to the caller, so it does not run the normal
+     result/return epilogue (its thread is gone by then). *)
+  Kernel.switch_to k proc;
+  k.Kernel.syscall_count <- k.Kernel.syscall_count + 1;
+  Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 300;
+      (* Close descriptors. *)
+      Hashtbl.iter
+        (fun _ kind ->
+          match kind with
+          | Proc.Pipe_read p -> Pipe_dev.drop_reader p
+          | Proc.Pipe_write p -> Pipe_dev.drop_writer p
+          | Proc.Sock_conn conn -> Netstack.close k.Kernel.net ~conn
+          | Proc.File _ | Proc.Sock_listen _ | Proc.Console_out -> ())
+        proc.Proc.fds;
+      Hashtbl.reset proc.Proc.fds;
+      (* Release ghost memory through the VM. *)
+      List.iter
+        (fun (va, pages) ->
+          match Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~count:pages with
+          | Ok frames -> List.iter (Frame_alloc.free k.Kernel.frames) frames
+          | Error _ -> ())
+        proc.Proc.ghost_regions;
+      proc.Proc.ghost_regions <- [];
+      Kernel.free_user_pages k proc;
+      Sva.release_address_space k.Kernel.sva proc.Proc.pt;
+      Sva.free_thread k.Kernel.sva ~tid:proc.Proc.tid;
+      proc.Proc.state <- Proc.Zombie status)
+    ()
+
+let wait k proc =
+  trap k proc ~encode:(function Ok (pid, _) -> Int64.of_int pid | Error e -> Int64.of_int (-Errno.to_int e))
+    (fun () ->
+      Kmem.work k.Kernel.kmem 40;
+      let children =
+        Hashtbl.fold
+          (fun _ (p : Proc.t) acc -> if p.Proc.parent = proc.Proc.pid then p :: acc else acc)
+          k.Kernel.procs []
+      in
+      match children with
+      | [] -> Error Errno.ECHILD
+      | _ -> (
+          match List.find_opt Proc.is_zombie children with
+          | Some zombie ->
+              Hashtbl.remove k.Kernel.procs zombie.Proc.pid;
+              let status = match zombie.Proc.state with Proc.Zombie s -> s | _ -> 0 in
+              Ok (zombie.Proc.pid, status)
+          | None -> Error Errno.EAGAIN))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let round_up_pages len = (len + 4095) / 4096 * 4096
+
+let genuine_mmap k proc ~len =
+  if len <= 0 then Error Errno.EINVAL
+  else begin
+    Kmem.fn_entry k.Kernel.kmem;
+    Kmem.work k.Kernel.kmem 60;
+    let va = proc.Proc.mmap_cursor in
+    proc.Proc.mmap_cursor <- Int64.add va (Int64.of_int (round_up_pages len + 4096));
+    match Kernel.ensure_user_range k proc va ~len with
+    | Ok () -> Ok va
+    | Error e -> Error e
+  end
+
+let mmap k proc ~len =
+  trap k proc ~encode:(function Ok va -> va | Error e -> Int64.of_int (-Errno.to_int e))
+    (fun () ->
+      match Hashtbl.find_opt k.Kernel.overrides "mmap" with
+      | None -> genuine_mmap k proc ~len
+      | Some ov -> (
+          (* An Iago-style hostile mmap: whatever pointer the module
+             computes is handed straight back to the application. *)
+          try Ok (run_override k proc ov [| Int64.of_int len |])
+          with Vg_compiler.Executor.Cfi_violation msg ->
+            Console.write (Machine.console k.Kernel.machine)
+              ("vg: kernel thread terminated: " ^ msg);
+            Error Errno.EFAULT))
+
+let munmap k proc ~addr ~len =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.work k.Kernel.kmem 40;
+      let first = Int64.shift_right_logical addr 12 in
+      let pages = (len + 4095) / 4096 in
+      for i = 0 to pages - 1 do
+        let vpage = Int64.add first (Int64.of_int i) in
+        match Hashtbl.find_opt proc.Proc.user_frames vpage with
+        | None -> ()
+        | Some frame ->
+            (match Sva.unmap_page k.Kernel.sva proc.Proc.pt ~va:(Int64.shift_left vpage 12) with
+            | Ok () | Error _ -> ());
+            Kernel.release_frame k frame;
+            Hashtbl.remove proc.Proc.user_frames vpage;
+            Hashtbl.remove proc.Proc.cow vpage
+      done;
+      Machine.flush_tlb k.Kernel.machine;
+      Ok ())
+
+let allocgm k proc ~va ~pages =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 40;
+      (* Memory pressure: evict ghost pages (through the VM) until the
+         request fits. *)
+      if Frame_alloc.free_count k.Kernel.frames < pages then
+        Swapd.ensure_frames k ~wanted:pages;
+      match Kernel.grant_ghost_frames k pages with
+      | None -> Error Errno.ENOMEM
+      | Some frames -> (
+          match Sva.allocgm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~frames with
+          | Ok () ->
+              proc.Proc.ghost_regions <- (va, pages) :: proc.Proc.ghost_regions;
+              Ok ()
+          | Error msg ->
+              List.iter (Frame_alloc.free k.Kernel.frames) frames;
+              Console.write (Machine.console k.Kernel.machine) ("allocgm: " ^ msg);
+              Error Errno.EINVAL))
+
+let freegm k proc ~va ~pages =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.work k.Kernel.kmem 30;
+      match Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~count:pages with
+      | Ok frames ->
+          List.iter (Frame_alloc.free k.Kernel.frames) frames;
+          proc.Proc.ghost_regions <-
+            List.filter (fun (base, _) -> base <> va) proc.Proc.ghost_regions;
+          Ok ()
+      | Error msg ->
+          Console.write (Machine.console k.Kernel.machine) ("freegm: " ^ msg);
+          Error Errno.EINVAL)
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                             *)
+
+let signal k proc ~signum ~handler =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 25;
+      Hashtbl.replace proc.Proc.signal_handlers signum handler;
+      Ok ())
+
+let deliver_signal k (target : Proc.t) signum =
+  match Hashtbl.find_opt target.Proc.signal_handlers signum with
+  | None -> () (* default action: ignore *)
+  | Some handler -> (
+      Kmem.work k.Kernel.kmem 40;
+      (* Building and copying the signal frame is dominated by
+         straight-line work common to both builds. *)
+      Machine.charge k.Kernel.machine 1500;
+      match
+        Sva.ipush_function k.Kernel.sva ~tid:target.Proc.tid ~target:handler
+          ~arg:(Int64.of_int signum)
+      with
+      | Ok () -> ()
+      | Error msg -> Console.write (Machine.console k.Kernel.machine) ("vg: " ^ msg))
+
+let kill k proc ~pid ~signum =
+  (* Delivery is deferred to the return path so that, for a
+     self-signal, the syscall result lands in the interrupted context
+     rather than in the handler's fresh one. *)
+  let pending = ref None in
+  trap k proc ~encode:ret_unit
+    ~after_result:(fun () ->
+      match !pending with
+      | Some target -> deliver_signal k target signum
+      | None -> ())
+    (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem 30;
+      match Kernel.find_proc k pid with
+      | None -> Error Errno.ESRCH
+      | Some target when Proc.is_zombie target -> Error Errno.ESRCH
+      | Some target ->
+          pending := Some target;
+          Ok ())
+
+let sigreturn k proc =
+  trap k proc ~encode:ret_unit (fun () ->
+      Kmem.work k.Kernel.kmem 20;
+      Machine.charge k.Kernel.machine 800;
+      match Sva.icontext_load k.Kernel.sva ~tid:proc.Proc.tid with
+      | Ok () -> Ok ()
+      | Error _ -> Error Errno.EINVAL)
+
+(* ------------------------------------------------------------------ *)
+(* Pipes, sockets, select                                              *)
+
+let pipe k proc =
+  trap k proc ~encode:(function Ok (r, _) -> Int64.of_int r | Error e -> Int64.of_int (-Errno.to_int e))
+    (fun () ->
+      Kmem.work k.Kernel.kmem 50;
+      let p = Pipe_dev.create () in
+      Pipe_dev.add_reader p;
+      Pipe_dev.add_writer p;
+      let r = Proc.add_fd proc (Proc.Pipe_read p) in
+      let w = Proc.add_fd proc (Proc.Pipe_write p) in
+      Ok (r, w))
+
+let listen k proc ~port =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.work k.Kernel.kmem 40;
+      match Netstack.listen k.Kernel.net ~port with
+      | Ok () -> Ok (Proc.add_fd proc (Proc.Sock_listen port))
+      | Error e -> Error e)
+
+let accept k proc ~fd =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.work k.Kernel.kmem 40;
+      match Proc.find_fd proc fd with
+      | Some (Proc.Sock_listen port) -> (
+          match Netstack.accept k.Kernel.net ~port with
+          | Some conn -> Ok (Proc.add_fd proc (Proc.Sock_conn conn))
+          | None -> Error Errno.EAGAIN)
+      | Some _ -> Error Errno.EINVAL
+      | None -> Error Errno.EBADF)
+
+let connect k proc ~port =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.work k.Kernel.kmem 60;
+      let conn = Netstack.connect k.Kernel.net ~port in
+      Ok (Proc.add_fd proc (Proc.Sock_conn conn)))
+
+let send k proc ~fd ~buf ~len =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      match Proc.find_fd proc fd with
+      | Some (Proc.Sock_conn conn) ->
+          let data = copyin k proc ~src:buf ~len in
+          Netstack.send k.Kernel.net ~conn data
+      | Some _ -> Error Errno.EINVAL
+      | None -> Error Errno.EBADF)
+
+let recv k proc ~fd ~buf ~len =
+  trap k proc ~encode:ret_int (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      match Proc.find_fd proc fd with
+      | Some (Proc.Sock_conn conn) -> (
+          match Netstack.recv k.Kernel.net ~conn len with
+          | Ok data ->
+              copyout k proc ~dst:buf data;
+              Ok (Bytes.length data)
+          | Error _ as e -> e)
+      | Some _ -> Error Errno.EINVAL
+      | None -> Error Errno.EBADF)
+
+let fd_ready k kind =
+  match kind with
+  | Proc.File _ | Proc.Console_out | Proc.Pipe_write _ -> true
+  | Proc.Pipe_read p -> Pipe_dev.bytes_available p > 0
+  | Proc.Sock_listen port -> (
+      Netstack.poll k.Kernel.net;
+      (* a pending connection counts as readable *)
+      match Netstack.accept k.Kernel.net ~port with
+      | Some _ -> true (* NOTE: consumed; callers use accept directly instead *)
+      | None -> false)
+  | Proc.Sock_conn conn -> (
+      match Netstack.recv k.Kernel.net ~conn 0 with
+      | Ok _ -> true
+      | Error Errno.EAGAIN -> false
+      | Error _ -> true)
+
+let select k proc fds =
+  trap k proc ~encode:(fun r ->
+      match r with Ok ready -> Int64.of_int (List.length ready) | Error e -> Int64.of_int (-Errno.to_int e))
+    (fun () ->
+      Kmem.fn_entry k.Kernel.kmem;
+      Kmem.work k.Kernel.kmem (10 + (8 * List.length fds));
+      let ready =
+        List.filter
+          (fun fd ->
+            match Proc.find_fd proc fd with
+            | None -> false
+            | Some (Proc.Sock_listen _) ->
+                (* don't consume pending connections during select *)
+                Netstack.poll k.Kernel.net;
+                true
+            | Some kind -> fd_ready k kind)
+          fds
+      in
+      Ok ready)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in kernel API for modules                                     *)
+
+let register_builtin_externs (k : Kernel.t) =
+  let reg name f = Hashtbl.replace k.Kernel.module_externs name f in
+  reg "extern.genuine_read" (fun k proc args ->
+      ret_int
+        (genuine_read_unwrapped k proc ~fd:(Int64.to_int args.(0)) ~buf:args.(1)
+           ~len:(Int64.to_int args.(2))));
+  (* klog(ptr, len): print kernel-readable memory to the system log.
+     This is an instrumented kernel helper: it reads through Kmem. *)
+  reg "extern.klog" (fun k _proc args ->
+      let len = min 256 (Int64.to_int args.(1)) in
+      let data = Kmem.read_bytes k.Kernel.kmem args.(0) ~len in
+      let printable =
+        String.map (fun c -> if c >= ' ' && c <= '~' then c else '.') (Bytes.to_string data)
+      in
+      Console.write (Machine.console k.Kernel.machine) ("module: " ^ printable);
+      0L);
+  (* kmmap(pid, len): map anonymous memory in some process. *)
+  reg "extern.kmmap" (fun k _proc args ->
+      match Kernel.find_proc k (Int64.to_int args.(0)) with
+      | None -> 0L
+      | Some target ->
+          let len = Int64.to_int args.(1) in
+          let va = target.Proc.mmap_cursor in
+          target.Proc.mmap_cursor <- Int64.add va (Int64.of_int (round_up_pages len + 4096));
+          (match Kernel.ensure_user_range k target va ~len with
+          | Ok () -> va
+          | Error _ -> 0L));
+  (* signal_install(pid, signum, handler): poke a handler straight into
+     a victim's table, bypassing the registration wrappers. *)
+  reg "extern.signal_install" (fun k _proc args ->
+      match Kernel.find_proc k (Int64.to_int args.(0)) with
+      | None -> -1L
+      | Some target ->
+          Hashtbl.replace target.Proc.signal_handlers (Int64.to_int args.(1)) args.(2);
+          0L);
+  (* kill(pid, signum): in-kernel signal delivery. *)
+  reg "extern.kill" (fun k _proc args ->
+      match Kernel.find_proc k (Int64.to_int args.(0)) with
+      | None -> -1L
+      | Some target ->
+          deliver_signal k target (Int64.to_int args.(1));
+          0L);
+  (* open_exfil(pid): open /exfil for writing in a victim's fd table. *)
+  reg "extern.genuine_mmap" (fun k proc args ->
+      match genuine_mmap k proc ~len:(Int64.to_int args.(0)) with
+      | Ok va -> va
+      | Error _ -> 0L);
+  reg "extern.open_exfil" (fun k _proc args ->
+      match Kernel.find_proc k (Int64.to_int args.(0)) with
+      | None -> -1L
+      | Some target -> (
+          let ino_result =
+            match Diskfs.lookup k.Kernel.fs "/exfil" with
+            | Ok ino -> Ok ino
+            | Error Errno.ENOENT -> Diskfs.create k.Kernel.fs "/exfil"
+            | Error _ as e -> e
+          in
+          match ino_result with
+          | Error _ -> -1L
+          | Ok ino -> Int64.of_int (Proc.add_fd target (Proc.File { ino; offset = 0 }))))

@@ -1,0 +1,111 @@
+(** The system-call layer.
+
+    Every call performs the full trap protocol: context switch to the
+    calling process if needed, {!Sva.enter_trap} (Interrupt Context
+    save — into SVA memory under Virtual Ghost — plus register
+    zeroing), instrumented dispatch work, the handler, result
+    write-back into the saved context, and {!Sva.return_from_trap}.
+    Buffer arguments are user virtual addresses: the kernel moves data
+    with its instrumented accessors, so a pointer into ghost memory
+    passed to a Virtual Ghost kernel simply does not reach the
+    application's data (which is why the ghosting libc wrappers copy
+    through traditional memory).
+
+    A loadable module may override a named call ({!Module_loader});
+    the dispatcher then executes the module's compiled native code
+    instead of the built-in handler. *)
+
+type open_flags = { create : bool; truncate : bool; append : bool }
+
+val rdonly : open_flags
+val creat_trunc : open_flags
+
+(** {1 Files} *)
+
+val open_ : Kernel.t -> Proc.t -> string -> open_flags -> int Errno.result
+val close : Kernel.t -> Proc.t -> int -> unit Errno.result
+val read : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
+val write : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
+val lseek : Kernel.t -> Proc.t -> fd:int -> pos:int -> int Errno.result
+val unlink : Kernel.t -> Proc.t -> string -> unit Errno.result
+val mkdir : Kernel.t -> Proc.t -> string -> unit Errno.result
+val stat : Kernel.t -> Proc.t -> string -> Diskfs.stat Errno.result
+val rename : Kernel.t -> Proc.t -> src:string -> dst:string -> unit Errno.result
+val fstat : Kernel.t -> Proc.t -> fd:int -> Diskfs.stat Errno.result
+val dup2 : Kernel.t -> Proc.t -> src:int -> dst:int -> unit Errno.result
+(** Make descriptor [dst] refer to the same open object as [src]
+    (closing whatever [dst] held). *)
+
+val readdir : Kernel.t -> Proc.t -> string -> (string * int) list Errno.result
+(** Directory listing of a path (getdents-style). *)
+
+val fsync : Kernel.t -> Proc.t -> unit Errno.result
+
+(** {1 Processes} *)
+
+val getpid : Kernel.t -> Proc.t -> int
+(** Also the "null syscall" of the LMBench table. *)
+
+val fork : Kernel.t -> Proc.t -> Proc.t Errno.result
+(** Returns the child process object (the runtime decides when its
+    closure runs). *)
+
+val execve : Kernel.t -> Proc.t -> Appimage.t -> unit Errno.result
+(** Copies the image text into user memory and reinitialises the
+    Interrupt Context through the VM (signature check, key recovery). *)
+
+val exit_ : Kernel.t -> Proc.t -> int -> unit
+val wait : Kernel.t -> Proc.t -> (int * int) Errno.result
+(** Reap a zombie child: [Ok (pid, status)]; [EAGAIN] while children
+    run; [ECHILD] with none. *)
+
+(** {1 Memory} *)
+
+val mmap : Kernel.t -> Proc.t -> len:int -> int64 Errno.result
+(** Anonymous mapping; returns its base address. *)
+
+val munmap : Kernel.t -> Proc.t -> addr:int64 -> len:int -> unit Errno.result
+
+val allocgm : Kernel.t -> Proc.t -> va:int64 -> pages:int -> unit Errno.result
+(** Ghost-memory allocation: the kernel supplies frames and the VM
+    checks, zeroes and maps them. *)
+
+val freegm : Kernel.t -> Proc.t -> va:int64 -> pages:int -> unit Errno.result
+
+(** {1 Signals} *)
+
+val signal : Kernel.t -> Proc.t -> signum:int -> handler:int64 -> unit Errno.result
+val kill : Kernel.t -> Proc.t -> pid:int -> signum:int -> unit Errno.result
+(** Delivers via [sva.ipush.function]; under Virtual Ghost an
+    unregistered handler target is refused by the VM (the delivery is
+    dropped and logged). *)
+
+val sigreturn : Kernel.t -> Proc.t -> unit Errno.result
+
+(** {1 Pipes, sockets, select} *)
+
+val pipe : Kernel.t -> Proc.t -> (int * int) Errno.result
+val listen : Kernel.t -> Proc.t -> port:int -> int Errno.result
+val accept : Kernel.t -> Proc.t -> fd:int -> int Errno.result
+(** [EAGAIN] when no connection is pending. *)
+
+val connect : Kernel.t -> Proc.t -> port:int -> int Errno.result
+(** Outbound connection to a remote host (the far NIC endpoint);
+    returns a connected socket descriptor. *)
+
+val send : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
+val recv : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
+val select : Kernel.t -> Proc.t -> int list -> int list Errno.result
+(** Subset of the given descriptors that are ready for reading. *)
+
+(** {1 Module machinery} *)
+
+val genuine_read : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
+(** The built-in read handler, bypassing any module override — exposed
+    so modules can chain to it (registered as [extern.genuine_read]). *)
+
+val register_builtin_externs : Kernel.t -> unit
+(** Install the kernel helper API modules link against:
+    [extern.genuine_read], [extern.klog], [extern.kmmap],
+    [extern.copyout], [extern.signal_install], [extern.kill],
+    [extern.open_for_attacker], [extern.io_write]. *)

@@ -1,0 +1,1 @@
+lib/machine/iommu.ml: Bytes Int64 Phys_mem

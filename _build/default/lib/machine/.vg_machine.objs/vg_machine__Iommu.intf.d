@@ -1,0 +1,1 @@
+lib/machine/iommu.mli: Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Bytes Console Cost Disk Hashtbl Int64 Iommu Lazy Nic Pagetable Phys_mem Tpm Vg_util

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Console Disk Iommu Nic Pagetable Phys_mem Tpm

@@ -1,0 +1,1 @@
+lib/machine/radix_pagetable.ml: Int64 Pagetable Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/radix_pagetable.mli: Pagetable Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/tpm.ml: Bytes Char Hashtbl Option

@@ -1,0 +1,15 @@
+type t = { mutable rev_lines : string list }
+
+let create () = { rev_lines = [] }
+let write t line = t.rev_lines <- line :: t.rev_lines
+let lines t = List.rev t.rev_lines
+
+let contains t needle =
+  let has_sub s =
+    let n = String.length s and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub s i m = needle || go (i + 1)) in
+    m = 0 || go 0
+  in
+  List.exists has_sub t.rev_lines
+
+let clear t = t.rev_lines <- []

@@ -1,0 +1,19 @@
+(** Console / system-log device.
+
+    The kernel's [printf] and the system log both land here.  The
+    security experiments read it back: the paper's first rootkit attack
+    "attempts to directly read the data from the victim memory and print
+    it to the system log", so the test for that attack greps this
+    buffer for the secret. *)
+
+type t
+
+val create : unit -> t
+val write : t -> string -> unit
+val lines : t -> string list
+(** All lines written so far, oldest first. *)
+
+val contains : t -> string -> bool
+(** Substring search over the whole log. *)
+
+val clear : t -> unit

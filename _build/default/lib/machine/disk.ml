@@ -1,0 +1,49 @@
+let sector_bytes = 512
+
+type t = {
+  nsectors : int;
+  store : (int, bytes) Hashtbl.t;
+  charge : int -> unit;
+}
+
+exception Bad_sector of int
+
+let create ?(charge = fun _ -> ()) ~sectors () =
+  if sectors <= 0 then invalid_arg "Disk.create: need at least one sector";
+  { nsectors = sectors; store = Hashtbl.create 1024; charge }
+
+let sectors t = t.nsectors
+
+let check t i = if i < 0 || i >= t.nsectors then raise (Bad_sector i)
+
+let read_sector t i =
+  check t i;
+  t.charge (Cost.disk_latency + (sector_bytes * Cost.disk_per_byte));
+  match Hashtbl.find_opt t.store i with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make sector_bytes '\000'
+
+let write_sector t i src =
+  check t i;
+  if Bytes.length src > sector_bytes then
+    invalid_arg "Disk.write_sector: buffer larger than a sector";
+  t.charge (Cost.disk_latency + (sector_bytes * Cost.disk_per_byte));
+  let b = Bytes.make sector_bytes '\000' in
+  Bytes.blit src 0 b 0 (Bytes.length src);
+  Hashtbl.replace t.store i b
+
+let read_range t ~sector ~count =
+  if count < 0 then invalid_arg "Disk.read_range: negative count";
+  let out = Bytes.create (count * sector_bytes) in
+  for i = 0 to count - 1 do
+    Bytes.blit (read_sector t (sector + i)) 0 out (i * sector_bytes) sector_bytes
+  done;
+  out
+
+let write_range t ~sector src =
+  let len = Bytes.length src in
+  let count = (len + sector_bytes - 1) / sector_bytes in
+  for i = 0 to count - 1 do
+    let chunk = min sector_bytes (len - (i * sector_bytes)) in
+    write_sector t (sector + i) (Bytes.sub src (i * sector_bytes) chunk)
+  done

@@ -1,0 +1,30 @@
+(** Simulated SATA SSD.
+
+    A flat array of 512-byte sectors, lazily allocated.  Every operation
+    charges the cost model's device latency plus per-byte transfer time
+    through the [charge] callback supplied at creation.  The disk is
+    plain storage with no protection: per the threat model, "the OS has
+    full read and write access to persistent storage", which is why
+    ghosting applications must encrypt what they write. *)
+
+type t
+
+val sector_bytes : int
+(** 512. *)
+
+val create : ?charge:(int -> unit) -> sectors:int -> unit -> t
+
+val sectors : t -> int
+
+exception Bad_sector of int
+
+val read_sector : t -> int -> bytes
+(** Read one sector (512 bytes). @raise Bad_sector out of range. *)
+
+val write_sector : t -> int -> bytes -> unit
+(** Write one sector; shorter buffers are zero-padded.
+    @raise Bad_sector out of range;
+    @raise Invalid_argument if longer than a sector. *)
+
+val read_range : t -> sector:int -> count:int -> bytes
+val write_range : t -> sector:int -> bytes -> unit

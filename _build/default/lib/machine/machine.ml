@@ -1,0 +1,143 @@
+type privilege = User | Kernel
+type access = Read | Write | Exec
+
+exception Page_fault of { va : int64; access : access; present : bool }
+
+type t = {
+  mem : Phys_mem.t;
+  kernel_pt : Pagetable.t;
+  mutable current_pt : Pagetable.t;
+  mutable privilege : privilege;
+  mutable cycles : int;
+  (* TLB: vpage -> pte, invalidated wholesale on context switch. *)
+  tlb : (int64, Pagetable.pte) Hashtbl.t;
+  console : Console.t;
+  disk : Disk.t;
+  nic : Nic.t;
+  remote_nic : Nic.t;
+  iommu : Iommu.t;
+  tpm : Tpm.t;
+}
+
+let charge t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+let elapsed_seconds t = Cost.to_seconds t.cycles
+let reset_clock t = t.cycles <- 0
+
+let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ~seed () =
+  let mem = Phys_mem.create ~frames:phys_frames in
+  let rec t =
+    lazy
+      (let charge n = (Lazy.force t).cycles <- (Lazy.force t).cycles + n in
+       let nic, remote_nic = Nic.pair ~charge () in
+       {
+         mem;
+         kernel_pt = Pagetable.create ();
+         current_pt = Pagetable.create ();
+         privilege = Kernel;
+         cycles = 0;
+         tlb = Hashtbl.create 512;
+         console = Console.create ();
+         disk = Disk.create ~charge ~sectors:disk_sectors ();
+         nic;
+         remote_nic;
+         iommu = Iommu.create ();
+         tpm = Tpm.create ~seed;
+       })
+  in
+  Lazy.force t
+
+let privilege t = t.privilege
+let set_privilege t p = t.privilege <- p
+let kernel_pt t = t.kernel_pt
+let current_pt t = t.current_pt
+let flush_tlb t = Hashtbl.reset t.tlb
+
+let set_current_pt t pt =
+  t.current_pt <- pt;
+  charge t Cost.context_switch;
+  flush_tlb t
+
+(* The kernel half of the address space (including SVA-internal memory)
+   is translated through the shared kernel page table; user and ghost
+   partitions through the per-process table. *)
+let table_for t va = if Vg_util.Layout.in_kernel va then t.kernel_pt else t.current_pt
+
+let lookup_pte t va =
+  let vpage = Int64.shift_right_logical va 12 in
+  match Hashtbl.find_opt t.tlb vpage with
+  | Some pte -> pte
+  | None -> (
+      charge t Cost.tlb_miss;
+      match Pagetable.lookup (table_for t va) ~vpage with
+      | None -> raise (Page_fault { va; access = Read; present = false })
+      | Some pte ->
+          Hashtbl.replace t.tlb vpage pte;
+          pte)
+
+let check_access t access va (pte : Pagetable.pte) =
+  let denied =
+    match (access, t.privilege) with
+    | Read, Kernel -> false
+    | Read, User -> not pte.perm.user
+    | Write, Kernel -> not pte.perm.writable
+    | Write, User -> not (pte.perm.user && pte.perm.writable)
+    | Exec, Kernel -> not pte.perm.executable
+    | Exec, User -> not (pte.perm.user && pte.perm.executable)
+  in
+  if denied then raise (Page_fault { va; access; present = true })
+
+let translate t access va =
+  let pte =
+    try lookup_pte t va
+    with Page_fault _ -> raise (Page_fault { va; access; present = false })
+  in
+  check_access t access va pte;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int pte.frame) 12)
+    (Int64.logand va 0xfffL)
+
+let read_virt t va ~len =
+  charge t Cost.mem_access;
+  Phys_mem.read t.mem ~addr:(translate t Read va) ~len
+
+let write_virt t va ~len v =
+  charge t Cost.mem_access;
+  Phys_mem.write t.mem ~addr:(translate t Write va) ~len v
+
+let iter_pages va len f =
+  (* Split [va, va+len) at page boundaries. *)
+  let pos = ref 0 in
+  while !pos < len do
+    let page_off = Int64.to_int (Int64.logand (Int64.add va (Int64.of_int !pos)) 0xfffL) in
+    let chunk = min (len - !pos) (4096 - page_off) in
+    f ~off:!pos ~va:(Int64.add va (Int64.of_int !pos)) ~len:chunk;
+    pos := !pos + chunk
+  done
+
+let read_bytes_virt t va ~len =
+  charge t (Cost.copy_cycles len);
+  let out = Bytes.create len in
+  iter_pages va len (fun ~off ~va ~len ->
+      let chunk = Phys_mem.read_bytes t.mem ~addr:(translate t Read va) ~len in
+      Bytes.blit chunk 0 out off len);
+  out
+
+let write_bytes_virt t va src =
+  let len = Bytes.length src in
+  charge t (Cost.copy_cycles len);
+  iter_pages va len (fun ~off ~va ~len ->
+      Phys_mem.write_bytes t.mem ~addr:(translate t Write va) (Bytes.sub src off len))
+
+let memcpy_virt t ~dst ~src ~len =
+  let data = read_bytes_virt t src ~len in
+  write_bytes_virt t dst data
+
+let mem t = t.mem
+let console t = t.console
+let disk t = t.disk
+let nic t = t.nic
+let remote_nic t = t.remote_nic
+let iommu t = t.iommu
+let tpm t = t.tpm
+let hw_random t n = Tpm.random t.tpm n

@@ -1,0 +1,94 @@
+(** The assembled simulated machine.
+
+    One CPU core with a privilege level and a current address space, a
+    TLB, lazily-allocated physical memory, a cycle clock, and the
+    device complement of the paper's testbed: console, SSD, a gigabit
+    NIC (whose far end is exposed so workload generators can play the
+    remote client), an IOMMU, and a TPM.
+
+    Virtual-memory accessors perform the full translation and
+    permission check and raise {!Page_fault} exactly as hardware would;
+    the SVA layer and the kernel build their memory disciplines on top
+    of these raw accessors. *)
+
+type privilege = User | Kernel
+
+type access = Read | Write | Exec
+
+exception
+  Page_fault of {
+    va : int64;
+    access : access;
+    present : bool;  (** true when mapped but permission-denied *)
+  }
+
+type t
+
+val create :
+  ?phys_frames:int -> ?disk_sectors:int -> seed:string -> unit -> t
+(** [create ~seed ()] builds a machine.  Defaults: 32768 frames
+    (128 MiB), 65536 sectors (32 MiB disk).  The seed determinises the
+    TPM and entropy source so experiments are reproducible. *)
+
+(** {1 Clock and accounting} *)
+
+val charge : t -> int -> unit
+(** Advance the cycle clock. *)
+
+val cycles : t -> int
+val elapsed_seconds : t -> float
+val reset_clock : t -> unit
+
+(** {1 CPU state} *)
+
+val privilege : t -> privilege
+val set_privilege : t -> privilege -> unit
+
+val kernel_pt : t -> Pagetable.t
+(** The shared kernel address-space page table (high half). *)
+
+val current_pt : t -> Pagetable.t
+(** The current process's page table (user + ghost partitions). *)
+
+val set_current_pt : t -> Pagetable.t -> unit
+(** Context switch: installs a new user page table and flushes the
+    TLB. *)
+
+(** {1 Virtual memory} *)
+
+val translate : t -> access -> int64 -> int64
+(** [translate t access va] is the physical address, charging TLB
+    costs. @raise Page_fault on missing mapping or permission. *)
+
+val read_virt : t -> int64 -> len:int -> int64
+val write_virt : t -> int64 -> len:int -> int64 -> unit
+(** Single-word accessors ([len] in 1/2/4/8); they charge
+    {!Cost.mem_access} plus translation costs and obey the current
+    privilege level. *)
+
+val read_bytes_virt : t -> int64 -> len:int -> bytes
+val write_bytes_virt : t -> int64 -> bytes -> unit
+(** Bulk accessors; charge per-byte copy cost and translate page by
+    page. *)
+
+val memcpy_virt : t -> dst:int64 -> src:int64 -> len:int -> unit
+
+val flush_tlb : t -> unit
+
+(** {1 Components} *)
+
+val mem : t -> Phys_mem.t
+val console : t -> Console.t
+val disk : t -> Disk.t
+val nic : t -> Nic.t
+(** The machine-side NIC endpoint. *)
+
+val remote_nic : t -> Nic.t
+(** The far end of the wire — the "client machine" in the network
+    benchmarks. *)
+
+val iommu : t -> Iommu.t
+val tpm : t -> Tpm.t
+
+val hw_random : t -> int -> bytes
+(** Hardware entropy (RDRAND-style); feeds the SVA DRBG. *)

@@ -1,0 +1,31 @@
+type t = {
+  key : bytes;
+  nvram : (string, bytes) Hashtbl.t;
+  mutable entropy_counter : int;
+  seed : string;
+}
+
+let create ~seed =
+  let h = ref (Hashtbl.hash seed) in
+  let key = Bytes.create 16 in
+  for i = 0 to 15 do
+    h := (!h * 1103515245) + 12345;
+    Bytes.set key i (Char.chr (abs !h mod 256))
+  done;
+  { key; nvram = Hashtbl.create 4; entropy_counter = 0; seed }
+
+let storage_key t = Bytes.copy t.key
+let nvram_store t name blob = Hashtbl.replace t.nvram name (Bytes.copy blob)
+let nvram_load t name = Option.map Bytes.copy (Hashtbl.find_opt t.nvram name)
+
+let random t n =
+  (* Deterministic "hardware" entropy: distinct per machine and per
+     draw; cryptographic expansion happens in the SVA DRBG above it. *)
+  t.entropy_counter <- t.entropy_counter + 1;
+  let out = Bytes.create n in
+  let h = ref (Hashtbl.hash (t.seed, t.entropy_counter)) in
+  for i = 0 to n - 1 do
+    h := (!h * 1103515245) + 12345;
+    Bytes.set out i (Char.chr (abs !h mod 256))
+  done;
+  out

@@ -1,0 +1,27 @@
+(** Simulated Trusted Platform Module.
+
+    Holds the machine-unique storage root key and a small NVRAM area.
+    The Virtual Ghost VM seals its private key under the storage key at
+    install time and unseals it at boot (paper section 4.4: "the storage
+    key held in the TPM is used to encrypt and decrypt the private key
+    used by Virtual Ghost").  The kernel never holds a reference to this
+    module — trust is enforced by construction in the simulator, as it
+    is by bus topology on hardware. *)
+
+type t
+
+val create : seed:string -> t
+(** Deterministic per-machine TPM (the seed stands in for manufacturing
+    randomness). *)
+
+val storage_key : t -> bytes
+(** The 16-byte storage root key.  Only SVA boot code should call
+    this. *)
+
+val nvram_store : t -> string -> bytes -> unit
+(** Persist a named blob (sealed keys survive reboots). *)
+
+val nvram_load : t -> string -> bytes option
+
+val random : t -> int -> bytes
+(** Hardware entropy source used to seed the SVA DRBG. *)

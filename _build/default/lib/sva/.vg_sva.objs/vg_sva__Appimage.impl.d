@@ -1,0 +1,1 @@
+lib/sva/appimage.ml: Buffer Bytes Char Vg_crypto

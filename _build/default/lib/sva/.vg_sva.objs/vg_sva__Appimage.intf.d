@@ -1,0 +1,1 @@
+lib/sva/appimage.mli: Vg_crypto

@@ -1,0 +1,1 @@
+lib/sva/icontext.ml: Array Bytes Machine

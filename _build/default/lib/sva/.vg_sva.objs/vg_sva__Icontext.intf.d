@@ -1,0 +1,1 @@
+lib/sva/icontext.mli: Machine

@@ -1,0 +1,1 @@
+lib/sva/sva.ml: Appimage Array Bytes Cost Format Fun Hashtbl Icontext Int64 Iommu Layout Lazy List Machine Marshal Option Pagetable Phys_mem Printf Stack Tpm U64 Vg_compiler Vg_crypto

@@ -1,0 +1,1 @@
+lib/sva/sva.mli: Appimage Format Icontext Machine Pagetable Vg_compiler Vg_crypto

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  payload : bytes;
+  entry : int64;
+  key_section : bytes;
+  signature : bytes;
+}
+
+let signed_region t =
+  let buf = Buffer.create (Bytes.length t.payload + 64) in
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf '\000';
+  Buffer.add_int64_le buf t.entry;
+  Buffer.add_bytes buf t.payload;
+  Buffer.add_bytes buf t.key_section;
+  Buffer.to_bytes buf
+
+let install ~vg_key ~rng ~name ~payload ~entry ~app_key =
+  let key_section = Vg_crypto.Rsa.encrypt vg_key.Vg_crypto.Rsa.pub rng app_key in
+  let unsigned = { name; payload; entry; key_section; signature = Bytes.empty } in
+  { unsigned with signature = Vg_crypto.Rsa.sign vg_key (signed_region unsigned) }
+
+let validate ~vg_pub t =
+  Vg_crypto.Rsa.verify vg_pub
+    ~msg:(signed_region { t with signature = Bytes.empty })
+    ~signature:t.signature
+
+let decrypt_app_key ~vg_key t = Vg_crypto.Rsa.decrypt vg_key t.key_section
+
+let flip_byte b i =
+  let b = Bytes.copy b in
+  if Bytes.length b > i then Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  b
+
+let tamper_payload t = { t with payload = flip_byte t.payload (Bytes.length t.payload / 2) }
+let tamper_key_section t = { t with key_section = flip_byte t.key_section 4 }

@@ -1,0 +1,48 @@
+(** Signed application images with embedded encrypted key sections
+    (paper sections 4.4 and 4.5).
+
+    The application's object-code format carries an extra section
+    holding the application's keys, encrypted with the Virtual Ghost
+    public key; the whole image (code plus key section) is signed when
+    the binary is installed by a trusted administrator.  At [execve]
+    the VM refuses to prepare an image whose signature does not verify
+    — so the OS can neither load substitute code under the real key nor
+    tamper with the key section.
+
+    In the simulator the "code" payload is an opaque byte string plus
+    the symbolic entry identifiers the userland runtime dispatches on;
+    what the signature protects is exactly what it protects on real
+    hardware: the pairing of code identity and application key. *)
+
+type t = {
+  name : string;
+  payload : bytes;  (** the program text (opaque to SVA) *)
+  entry : int64;  (** initial program counter *)
+  key_section : bytes;  (** application key, RSA-encrypted to the VM *)
+  signature : bytes;  (** VM signature over name, payload, entry, keys *)
+}
+
+val install :
+  vg_key:Vg_crypto.Rsa.private_ ->
+  rng:Vg_crypto.Drbg.t ->
+  name:string ->
+  payload:bytes ->
+  entry:int64 ->
+  app_key:bytes ->
+  t
+(** Trusted-installer path: encrypt the application key to the VM and
+    sign the image.  ([vg_key] is used both for the key wrap — via its
+    public half — and the signature.) *)
+
+val signed_region : t -> bytes
+(** The byte string the signature covers. *)
+
+val validate : vg_pub:Vg_crypto.Rsa.public -> t -> bool
+(** Signature check performed at program launch. *)
+
+val decrypt_app_key : vg_key:Vg_crypto.Rsa.private_ -> t -> bytes option
+(** Recover the application key; [None] if the section is corrupt. *)
+
+val tamper_payload : t -> t
+val tamper_key_section : t -> t
+(** Attack helpers: a hostile OS modifying the stored binary. *)

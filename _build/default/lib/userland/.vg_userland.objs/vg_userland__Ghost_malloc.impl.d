@@ -1,0 +1,1 @@
+lib/userland/ghost_malloc.ml: Bytes Errno Int64 Kernel Layout Printf Runtime Syscalls Vg_util

@@ -1,0 +1,1 @@
+lib/userland/ghost_malloc.mli: Runtime

@@ -1,0 +1,1 @@
+lib/userland/runtime.ml: Array Bytes Errno Fun Hashtbl Icontext Int64 Kernel Layout Machine Printf Proc String Sva Swapd Syscalls U64 Vg_compiler

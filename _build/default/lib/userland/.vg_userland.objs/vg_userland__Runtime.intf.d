@@ -1,0 +1,1 @@
+lib/userland/runtime.mli: Appimage Errno Kernel Proc Syscalls

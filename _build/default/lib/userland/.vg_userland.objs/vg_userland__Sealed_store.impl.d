@@ -1,0 +1,1 @@
+lib/userland/sealed_store.ml: Buffer Bytes Cost Errno Format Int64 Kernel Machine Printf Proc Runtime Sva Syscalls Vg_crypto

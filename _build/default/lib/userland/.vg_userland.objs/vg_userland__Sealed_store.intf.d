@@ -1,0 +1,1 @@
+lib/userland/sealed_store.mli: Errno Format Runtime

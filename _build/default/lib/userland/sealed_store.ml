@@ -1,0 +1,99 @@
+type error = [ `Tampered | `Stale | `No_identity | `Io of Errno.t | `Format ]
+
+let pp_error fmt = function
+  | `Tampered -> Format.pp_print_string fmt "file contents were tampered with"
+  | `Stale -> Format.pp_print_string fmt "stale version (replay attack detected)"
+  | `No_identity -> Format.pp_print_string fmt "process has no application key"
+  | `Io e -> Format.fprintf fmt "I/O error: %s" (Errno.to_string e)
+  | `Format -> Format.pp_print_string fmt "unrecognised sealed-file format"
+
+let magic = "VGS1"
+
+(* The nonce binds path and version into the MAC, so a blob for one
+   path/version pair verifies for no other. *)
+let nonce_for ~path ~version =
+  let h =
+    Vg_crypto.Sha256.digest_string (Printf.sprintf "%s\x00%d" path version)
+  in
+  Bytes.sub h 0 8
+
+let app_key ctx =
+  match Runtime.get_app_key ctx with
+  | Some key -> Ok key
+  | None -> Error `No_identity
+
+let counter_name path = "sealed:" ^ path
+
+let save ctx ~path data =
+  match app_key ctx with
+  | Error _ as e -> e
+  | Ok key -> (
+      match
+        Sva.counter_next ctx.Runtime.kernel.Kernel.sva ~pid:ctx.Runtime.proc.Proc.pid
+          (counter_name path)
+      with
+      | Error _ -> Error `No_identity
+      | Ok version -> (
+          let nonce = nonce_for ~path ~version in
+          Machine.charge ctx.Runtime.kernel.Kernel.machine
+            (Bytes.length data * (Cost.aes_per_byte + Cost.sha_per_byte));
+          let sealed = Vg_crypto.Ctr.seal ~key ~nonce data in
+          let file = Buffer.create (Bytes.length sealed + 16) in
+          Buffer.add_string file magic;
+          Buffer.add_int64_le file (Int64.of_int version);
+          Buffer.add_bytes file sealed;
+          let content = Buffer.to_bytes file in
+          match Runtime.sys_open ctx path Syscalls.creat_trunc with
+          | Error e -> Error (`Io e)
+          | Ok fd ->
+              let va = Runtime.galloc ctx (Bytes.length content) in
+              Runtime.poke ctx va content;
+              let r = Runtime.sys_write ctx ~fd ~src:va ~len:(Bytes.length content) in
+              ignore (Runtime.sys_close ctx fd);
+              (match r with
+              | Ok n when n = Bytes.length content -> Ok ()
+              | Ok _ -> Error (`Io Errno.ENOSPC)
+              | Error e -> Error (`Io e))))
+
+let load ctx ~path =
+  match app_key ctx with
+  | Error _ as e -> e
+  | Ok key -> (
+      match Runtime.sys_open ctx path Syscalls.rdonly with
+      | Error e -> Error (`Io e)
+      | Ok fd -> (
+          let max = 65536 in
+          let va = Runtime.galloc ctx max in
+          let r = Runtime.sys_read ctx ~fd ~dst:va ~len:max in
+          ignore (Runtime.sys_close ctx fd);
+          match r with
+          | Error e -> Error (`Io e)
+          | Ok n ->
+              if n < 12 then Error `Format
+              else begin
+                let raw = Runtime.peek ctx va n in
+                if Bytes.to_string (Bytes.sub raw 0 4) <> magic then Error `Format
+                else begin
+                  let file_version = Int64.to_int (Bytes.get_int64_le raw 4) in
+                  match
+                    Sva.counter_current ctx.Runtime.kernel.Kernel.sva
+                      ~pid:ctx.Runtime.proc.Proc.pid (counter_name path)
+                  with
+                  | Error _ -> Error `No_identity
+                  | Ok None -> Error `Stale (* we never wrote this file *)
+                  | Ok (Some expected) ->
+                      if file_version <> expected then Error `Stale
+                      else begin
+                        let sealed = Bytes.sub raw 12 (n - 12) in
+                        Machine.charge ctx.Runtime.kernel.Kernel.machine
+                          (Bytes.length sealed * (Cost.aes_per_byte + Cost.sha_per_byte));
+                        match
+                          Vg_crypto.Ctr.open_ ~key
+                            ~nonce:(nonce_for ~path ~version:file_version)
+                            sealed
+                        with
+                        | Some plain -> Ok plain
+                        | None -> Error `Tampered
+                      end
+                end
+              end))

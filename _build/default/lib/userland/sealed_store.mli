@@ -1,0 +1,28 @@
+(** Replay-protected sealed files — the library support sketched in the
+    paper's future work (section 10): "how should applications ensure
+    that the OS does not perform replay attacks by providing older
+    versions of previously encrypted files?"
+
+    Each save encrypts the payload under the application key and binds
+    it to a fresh value of a VM-held monotonic counter named after the
+    file (the counter lives in SVA memory and persists, sealed, in TPM
+    NVRAM).  A load recomputes the expected version and decrypts with a
+    version-bound nonce, so the OS can neither
+
+    - modify the file (MAC failure: [`Tampered]),
+    - substitute an older version it kept around ([`Stale] — the
+      counter has moved on), nor
+    - read the contents (ciphertext under the application key).
+
+    Requires an application key, i.e. a process launched from a signed
+    image on a Virtual Ghost system ([`No_identity] otherwise). *)
+
+type error = [ `Tampered | `Stale | `No_identity | `Io of Errno.t | `Format ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val save : Runtime.ctx -> path:string -> bytes -> (unit, error) result
+(** Seal [data] to [path], advancing the file's version counter. *)
+
+val load : Runtime.ctx -> path:string -> (bytes, error) result
+(** Load and verify the latest version of [path]. *)

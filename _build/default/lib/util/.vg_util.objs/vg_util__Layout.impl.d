@@ -1,0 +1,1 @@
+lib/util/layout.ml: Int64 U64

@@ -1,0 +1,1 @@
+lib/util/u64.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/util/u64.mli:

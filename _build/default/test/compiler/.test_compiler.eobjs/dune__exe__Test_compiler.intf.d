@@ -1,0 +1,1 @@
+test/compiler/test_compiler.mli:

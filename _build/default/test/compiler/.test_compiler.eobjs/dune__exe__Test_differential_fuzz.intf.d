@@ -1,0 +1,1 @@
+test/compiler/test_differential_fuzz.mli:

@@ -1,0 +1,339 @@
+(* Differential fuzzing of the compilation pipeline.
+
+   Random well-formed IR programs are run through (a) the reference
+   interpreter, (b) the code generator + native executor, and (c) the
+   full Virtual Ghost pipeline (sandboxing + CFI) — all three must
+   agree on the result and on final memory whenever addresses stay
+   outside the protected ranges (where masking is the identity).
+
+   Programs are generated to terminate by construction: control flow
+   within a function only branches forward, and calls only target
+   previously generated functions (no recursion). *)
+
+type gen_state = {
+  rand : Random.State.t;
+  mutable next_reg : int;
+  mutable funcs : string list; (* callable earlier functions *)
+}
+
+let scratch_base = 0x1000L
+
+(* Values usable at this point: parameters, registers defined earlier
+   in the same block, or immediates. *)
+let pick_value st (avail : Ir.reg list) : Ir.value =
+  match Random.State.int st.rand 3 with
+  | 0 | 1 when avail <> [] ->
+      Ir.Reg (List.nth avail (Random.State.int st.rand (List.length avail)))
+  | _ -> Ir.Imm (Int64.of_int (Random.State.int st.rand 1000 - 500))
+
+let fresh st =
+  st.next_reg <- st.next_reg + 1;
+  Printf.sprintf "%%g%d" st.next_reg
+
+let pick_binop st : Ir.binop =
+  match Random.State.int st.rand 8 with
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> And
+  | 4 -> Or
+  | 5 -> Xor
+  | 6 -> Shl
+  | _ -> Lshr
+
+let pick_cmp st : Ir.cmp =
+  match Random.State.int st.rand 6 with
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Ult
+  | 3 -> Uge
+  | 4 -> Slt
+  | _ -> Sle
+
+let pick_width st : Ir.width =
+  match Random.State.int st.rand 4 with 0 -> W8 | 1 -> W16 | 2 -> W32 | _ -> W64
+
+(* A memory address inside the scratch region, derived from a value so
+   data flow feeds the address: base + (v & 0xff8). *)
+let gen_address st avail (instrs : Ir.instr list ref) : Ir.value =
+  let v = pick_value st avail in
+  let masked = fresh st in
+  instrs := Ir.Bin { dst = masked; op = And; a = v; b = Imm 0xff8L } :: !instrs;
+  let addr = fresh st in
+  instrs := Ir.Bin { dst = addr; op = Add; a = Reg masked; b = Imm scratch_base } :: !instrs;
+  Ir.Reg addr
+
+let gen_instr st avail instrs =
+  match Random.State.int st.rand 10 with
+  | 0 | 1 | 2 | 3 ->
+      let dst = fresh st in
+      instrs :=
+        Ir.Bin { dst; op = pick_binop st; a = pick_value st avail; b = pick_value st avail }
+        :: !instrs;
+      Some dst
+  | 4 ->
+      let dst = fresh st in
+      instrs :=
+        Ir.Cmp { dst; op = pick_cmp st; a = pick_value st avail; b = pick_value st avail }
+        :: !instrs;
+      Some dst
+  | 5 ->
+      let dst = fresh st in
+      instrs :=
+        Ir.Select
+          {
+            dst;
+            cond = pick_value st avail;
+            if_true = pick_value st avail;
+            if_false = pick_value st avail;
+          }
+        :: !instrs;
+      Some dst
+  | 6 ->
+      let addr = gen_address st avail instrs in
+      let dst = fresh st in
+      instrs := Ir.Load { dst; addr; width = pick_width st } :: !instrs;
+      Some dst
+  | 7 ->
+      let addr = gen_address st avail instrs in
+      instrs := Ir.Store { src = pick_value st avail; addr; width = pick_width st } :: !instrs;
+      None
+  | 8 when st.funcs <> [] ->
+      let callee = List.nth st.funcs (Random.State.int st.rand (List.length st.funcs)) in
+      let dst = fresh st in
+      instrs :=
+        Ir.Call
+          { dst = Some dst; callee; args = [ pick_value st avail; pick_value st avail ] }
+        :: !instrs;
+      Some dst
+  | _ ->
+      let addr = gen_address st avail instrs in
+      let dst = fresh st in
+      instrs :=
+        Ir.Atomic_rmw
+          { dst; op = Add; addr; operand = pick_value st avail; width = W64 }
+        :: !instrs;
+      Some dst
+
+let gen_block st ~params ~label ~later_labels : Ir.block =
+  let instrs = ref [] in
+  let avail = ref params in
+  let n = 1 + Random.State.int st.rand 6 in
+  for _ = 1 to n do
+    match gen_instr st !avail instrs with
+    | Some r -> avail := r :: !avail
+    | None -> ()
+  done;
+  let term : Ir.terminator =
+    match later_labels with
+    | [] -> Ret (Some (pick_value st !avail))
+    | l :: rest ->
+        if Random.State.int st.rand 3 = 0 then Ret (Some (pick_value st !avail))
+        else if rest = [] then Br l
+        else begin
+          let t = List.nth later_labels (Random.State.int st.rand (List.length later_labels)) in
+          let f = List.nth later_labels (Random.State.int st.rand (List.length later_labels)) in
+          Cbr { cond = pick_value st !avail; if_true = t; if_false = f }
+        end
+  in
+  { label; instrs = List.rev !instrs; term }
+
+let gen_func st name : Ir.func =
+  let params = [ "a"; "b" ] in
+  let nblocks = 1 + Random.State.int st.rand 3 in
+  let labels = List.init nblocks (fun i -> if i = 0 then "entry" else Printf.sprintf "b%d" i) in
+  let rec build = function
+    | [] -> []
+    | label :: rest -> gen_block st ~params ~label ~later_labels:rest :: build rest
+  in
+  { name; params; blocks = build labels }
+
+let gen_program seed : Ir.program =
+  let st = { rand = Random.State.make [| seed |]; next_reg = 0; funcs = [] } in
+  let nfuncs = 1 + Random.State.int st.rand 3 in
+  let funcs =
+    List.init nfuncs (fun i ->
+        let name = Printf.sprintf "f%d" i in
+        let f = gen_func st name in
+        st.funcs <- name :: st.funcs;
+        f)
+  in
+  { funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Execution environments over a shared flat scratch memory            *)
+
+type mem_world = { mem : Bytes.t }
+
+let make_world () = { mem = Bytes.make 8192 '\000' }
+
+let off addr = Int64.to_int (Int64.sub addr scratch_base)
+
+let w_load w addr (width : Ir.width) =
+  let i = off addr in
+  match width with
+  | W8 -> Int64.of_int (Char.code (Bytes.get w.mem i))
+  | W16 -> Int64.of_int (Bytes.get_uint16_le w.mem i)
+  | W32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le w.mem i)) 0xffffffffL
+  | W64 -> Bytes.get_int64_le w.mem i
+
+let w_store w addr (width : Ir.width) v =
+  let i = off addr in
+  match width with
+  | W8 -> Bytes.set w.mem i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+  | W16 -> Bytes.set_uint16_le w.mem i (Int64.to_int (Int64.logand v 0xffffL))
+  | W32 -> Bytes.set_int32_le w.mem i (Int64.to_int32 v)
+  | W64 -> Bytes.set_int64_le w.mem i v
+
+type run_result = Value of int64 * Bytes.t | Trapped
+
+let run_interp program args =
+  let w = make_world () in
+  let env =
+    {
+      Interp.load = w_load w;
+      store = w_store w;
+      memcpy = (fun ~dst:_ ~src:_ ~len:_ -> ());
+      io_read = (fun _ -> 0L);
+      io_write = (fun _ _ -> ());
+      extern = (fun _ _ -> 0L);
+      resolve_sym = (fun _ -> 0L);
+      func_of_addr = (fun _ -> None);
+    }
+  in
+  match Interp.run ~fuel:200_000 env program "f0" args with
+  | v -> Value (v, w.mem)
+  | exception Interp.Trap _ -> Trapped
+
+let run_native ~vg program args =
+  let w = make_world () in
+  let env =
+    {
+      Executor.null_env with
+      load = w_load w;
+      store = w_store w;
+    }
+  in
+  let image =
+    if vg then
+      Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program)
+    else Codegen.compile ~cfi:false program
+  in
+  match Executor.run ~fuel:400_000 env image "f0" args with
+  | v -> Value (v, w.mem)
+  | exception Executor.Exec_trap _ -> Trapped
+
+let agree a b =
+  match (a, b) with
+  | Trapped, Trapped -> true
+  | Value (va, ma), Value (vb, mb) -> va = vb && Bytes.equal ma mb
+  | Value _, Trapped | Trapped, Value _ -> false
+
+let prop_three_way_agreement =
+  QCheck2.Test.make ~name:"interp = native = virtual-ghost on random programs"
+    ~count:400
+    QCheck2.Gen.(pair (int_bound 1_000_000) (pair (int_bound 4000) (int_bound 4000)))
+    (fun (seed, (a, b)) ->
+      let program = gen_program seed in
+      match Verify.check program with
+      | Error _ -> false (* the generator must produce well-formed IR *)
+      | Ok () ->
+          let args = [| Int64.of_int a; Int64.of_int b |] in
+          let reference = run_interp program args in
+          agree reference (run_native ~vg:false program args)
+          && agree reference (run_native ~vg:true program args))
+
+let prop_optimizer_preserves_semantics =
+  QCheck2.Test.make ~name:"optimizer preserves semantics (both pass orders)"
+    ~count:400
+    QCheck2.Gen.(pair (int_bound 1_000_000) (pair (int_bound 4000) (int_bound 4000)))
+    (fun (seed, (a, b)) ->
+      let program = gen_program seed in
+      let args = [| Int64.of_int a; Int64.of_int b |] in
+      let reference = run_interp program args in
+      let optimized = Opt_pass.optimize_program program in
+      (* Optimised code must still verify and agree, interpreted and
+         compiled, with and without instrumentation. *)
+      Verify.check optimized = Ok ()
+      && agree reference (run_interp optimized args)
+      && agree reference (run_native ~vg:false optimized args)
+      && agree reference (run_native ~vg:true optimized args)
+      (* Optimising *after* instrumentation must also preserve
+         semantics (and thus the masking, checked next). *)
+      &&
+      let inst_then_opt = Opt_pass.optimize_program (Sandbox_pass.instrument_program program) in
+      let image = Codegen.compile ~cfi:true inst_then_opt in
+      let w = make_world () in
+      let env = { Executor.null_env with load = w_load w; store = w_store w } in
+      agree reference
+        (match Executor.run ~fuel:400_000 env image "f0" args with
+        | v -> Value (v, w.mem)
+        | exception Executor.Exec_trap _ -> Trapped))
+
+let prop_optimizer_never_unmasks =
+  (* Optimising instrumented code must never let a ghost address reach
+     memory: run with a ghost-range argument feeding addresses. *)
+  QCheck2.Test.make ~name:"optimizer never removes the sandbox mask" ~count:300
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let program = gen_program seed in
+      let inst_then_opt =
+        Opt_pass.optimize_program (Sandbox_pass.instrument_program program)
+      in
+      let image = Codegen.compile ~cfi:true inst_then_opt in
+      let safe = ref true in
+      let check addr =
+        if Layout.in_ghost addr || Layout.in_sva addr then safe := false
+      in
+      let env =
+        {
+          Executor.null_env with
+          load =
+            (fun addr _ ->
+              check addr;
+              0L);
+          store = (fun addr _ _ -> check addr);
+          memcpy =
+            (fun ~dst ~src ~len:_ ->
+              check dst;
+              check src);
+        }
+      in
+      (* Ghost-range arguments so address computations land in the
+         ghost partition wherever masking is missing. *)
+      let args = [| Int64.add Layout.ghost_start 0x1234L; Layout.ghost_start |] in
+      (try ignore (Executor.run ~fuel:400_000 env image "f0" args) with
+      | Executor.Exec_trap _ -> ()
+      | Executor.Cfi_violation _ -> ());
+      !safe)
+
+let prop_instrumentation_preserves_size_relation =
+  QCheck2.Test.make ~name:"instrumented image is strictly larger" ~count:100
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let program = gen_program seed in
+      let plain = Codegen.compile ~cfi:false program in
+      let vg = Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program) in
+      Array.length vg.Native.code >= Array.length plain.Native.code)
+
+let prop_cfi_audit_on_random_programs =
+  QCheck2.Test.make ~name:"CFI audit passes on every pipeline output" ~count:100
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let program = gen_program seed in
+      let compiled = Pipeline.compile_kernel_code ~mode:Pipeline.Virtual_ghost program in
+      Cfi_pass.validate compiled.Pipeline.image = Ok ())
+
+let () =
+  Alcotest.run "vg_compiler_fuzz"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_three_way_agreement;
+            prop_optimizer_preserves_semantics;
+            prop_optimizer_never_unmasks;
+            prop_instrumentation_preserves_size_relation;
+            prop_cfi_audit_on_random_programs;
+          ] );
+    ]

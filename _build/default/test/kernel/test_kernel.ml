@@ -1,0 +1,754 @@
+(* Kernel tests: boot, the file system (direct and through syscalls),
+   descriptors, pipes, fork/exec/wait, mmap, ghost memory syscalls and
+   the central enforcement property, signals, sockets, select, and
+   loadable-module overrides. *)
+
+let boot ?(mode = Sva.Virtual_ghost) () =
+  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"ktest" () in
+  Kernel.boot ~mode machine
+
+let init k = Kernel.init_process k
+
+let expect_ok msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" msg (Errno.to_string e)
+
+let expect_err expected msg = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" msg (Errno.to_string expected)
+  | Error e ->
+      Alcotest.(check string) msg (Errno.to_string expected) (Errno.to_string e)
+
+(* Write data into a process's user memory the way the application
+   would: at user privilege through its own page table. *)
+let user_buf = 0x0000_0000_0060_0000L
+
+let rec user_write k (proc : Proc.t) va data =
+  ignore (expect_ok "map user range" (Kernel.ensure_user_range k proc va ~len:(Bytes.length data)));
+  Kernel.switch_to k proc;
+  Machine.set_privilege k.Kernel.machine Machine.User;
+  (try Machine.write_bytes_virt k.Kernel.machine va data
+   with Machine.Page_fault { va = fault_va; _ } ->
+     (* e.g. a copy-on-write page after fork: fault in, retry. *)
+     Machine.set_privilege k.Kernel.machine Machine.Kernel;
+     ignore (expect_ok "cow fault" (Kernel.handle_page_fault k proc fault_va));
+     user_write k proc va data);
+  Machine.set_privilege k.Kernel.machine Machine.Kernel
+
+let user_read k (proc : Proc.t) va len =
+  ignore (expect_ok "map user range" (Kernel.ensure_user_range k proc va ~len));
+  Kernel.switch_to k proc;
+  Machine.set_privilege k.Kernel.machine Machine.User;
+  let b = Machine.read_bytes_virt k.Kernel.machine va ~len in
+  Machine.set_privilege k.Kernel.machine Machine.Kernel;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Boot                                                                *)
+
+let test_boot () =
+  let k = boot () in
+  Alcotest.(check bool) "init exists" true (Kernel.find_proc k 1 <> None);
+  Alcotest.(check int) "current" 1 (Kernel.current_proc k).Proc.pid
+
+let test_fs_persists_across_reboot () =
+  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"persist" () in
+  let k1 = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+  let p = init k1 in
+  let fd = expect_ok "open" (Syscalls.open_ k1 p "/boot.txt" Syscalls.creat_trunc) in
+  user_write k1 p user_buf (Bytes.of_string "survives");
+  ignore (expect_ok "write" (Syscalls.write k1 p ~fd ~buf:user_buf ~len:8));
+  ignore (expect_ok "close" (Syscalls.close k1 p fd));
+  ignore (expect_ok "fsync" (Syscalls.fsync k1 p));
+  (* Second boot on the same machine must mount, not reformat. *)
+  let k2 = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+  let p2 = init k2 in
+  let fd2 = expect_ok "reopen" (Syscalls.open_ k2 p2 "/boot.txt" Syscalls.rdonly) in
+  ignore (expect_ok "read" (Syscalls.read k2 p2 ~fd:fd2 ~buf:user_buf ~len:8));
+  Alcotest.(check string) "content" "survives"
+    (Bytes.to_string (user_read k2 p2 user_buf 8))
+
+(* ------------------------------------------------------------------ *)
+(* Diskfs (direct)                                                     *)
+
+let test_fs_create_read_write () =
+  let k = boot () in
+  let ino = expect_ok "create" (Diskfs.create k.Kernel.fs "/a.txt") in
+  let data = Bytes.of_string "hello filesystem" in
+  Alcotest.(check int) "write" (Bytes.length data)
+    (expect_ok "write" (Diskfs.write k.Kernel.fs ~ino ~off:0 data));
+  Alcotest.(check string) "read back" "hello filesystem"
+    (Bytes.to_string (expect_ok "read" (Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:100)));
+  Alcotest.(check string) "offset read" "filesystem"
+    (Bytes.to_string (expect_ok "read" (Diskfs.read k.Kernel.fs ~ino ~off:6 ~len:10)))
+
+let test_fs_large_file_indirect () =
+  let k = boot () in
+  let ino = expect_ok "create" (Diskfs.create k.Kernel.fs "/big") in
+  (* 200 KiB crosses from direct (48 KiB) well into the indirect block. *)
+  let chunk = Bytes.init 4096 (fun i -> Char.chr (i mod 251)) in
+  for b = 0 to 49 do
+    Alcotest.(check int) "chunk write" 4096
+      (expect_ok "write" (Diskfs.write k.Kernel.fs ~ino ~off:(b * 4096) chunk))
+  done;
+  let st = expect_ok "stat" (Diskfs.stat k.Kernel.fs ~ino) in
+  Alcotest.(check int) "size" (50 * 4096) st.Diskfs.size;
+  let back = expect_ok "read" (Diskfs.read k.Kernel.fs ~ino ~off:(37 * 4096) ~len:4096) in
+  Alcotest.(check bytes) "indirect content" chunk back
+
+let test_fs_unlink_frees_space () =
+  let k = boot () in
+  (* Force the root directory's data block to exist first, so the
+     baseline excludes it (directories keep their blocks). *)
+  ignore (expect_ok "warm" (Diskfs.create k.Kernel.fs "/warmup"));
+  let before = Diskfs.free_blocks k.Kernel.fs in
+  let ino = expect_ok "create" (Diskfs.create k.Kernel.fs "/tmp1") in
+  ignore (expect_ok "write" (Diskfs.write k.Kernel.fs ~ino ~off:0 (Bytes.make 40960 'x')));
+  Alcotest.(check bool) "blocks consumed" true (Diskfs.free_blocks k.Kernel.fs < before);
+  ignore (expect_ok "unlink" (Diskfs.unlink k.Kernel.fs "/tmp1"));
+  Alcotest.(check int) "blocks restored" before (Diskfs.free_blocks k.Kernel.fs);
+  expect_err Errno.ENOENT "gone" (Diskfs.lookup k.Kernel.fs "/tmp1")
+
+let test_fs_directories () =
+  let k = boot () in
+  ignore (expect_ok "mkdir" (Diskfs.mkdir k.Kernel.fs "/sub"));
+  ignore (expect_ok "nested" (Diskfs.mkdir k.Kernel.fs "/sub/deep"));
+  ignore (expect_ok "create" (Diskfs.create k.Kernel.fs "/sub/deep/f"));
+  let ino = expect_ok "lookup" (Diskfs.lookup k.Kernel.fs "/sub/deep/f") in
+  let st = expect_ok "stat" (Diskfs.stat k.Kernel.fs ~ino) in
+  Alcotest.(check bool) "regular" true (st.Diskfs.itype = Diskfs.Reg);
+  let dir = expect_ok "lookup dir" (Diskfs.lookup k.Kernel.fs "/sub/deep") in
+  let entries = expect_ok "readdir" (Diskfs.readdir k.Kernel.fs ~ino:dir) in
+  Alcotest.(check (list string)) "entries" [ "f" ] (List.map fst entries);
+  expect_err Errno.ENOTEMPTY "rmdir non-empty" (Diskfs.rmdir k.Kernel.fs "/sub");
+  ignore (expect_ok "unlink" (Diskfs.unlink k.Kernel.fs "/sub/deep/f"));
+  ignore (expect_ok "rmdir deep" (Diskfs.rmdir k.Kernel.fs "/sub/deep"));
+  ignore (expect_ok "rmdir sub" (Diskfs.rmdir k.Kernel.fs "/sub"))
+
+let test_fs_errors () =
+  let k = boot () in
+  expect_err Errno.ENOENT "missing" (Diskfs.lookup k.Kernel.fs "/nope");
+  ignore (expect_ok "create" (Diskfs.create k.Kernel.fs "/dup"));
+  expect_err Errno.EEXIST "duplicate" (Diskfs.create k.Kernel.fs "/dup");
+  expect_err Errno.EINVAL "relative path" (Diskfs.lookup k.Kernel.fs "dup");
+  ignore (expect_ok "mkdir" (Diskfs.mkdir k.Kernel.fs "/adir"));
+  expect_err Errno.EISDIR "unlink dir" (Diskfs.unlink k.Kernel.fs "/adir");
+  expect_err Errno.EINVAL "unlink root" (Diskfs.unlink k.Kernel.fs "/")
+
+let test_fs_truncate () =
+  let k = boot () in
+  let ino = expect_ok "create" (Diskfs.create k.Kernel.fs "/t") in
+  ignore (expect_ok "write" (Diskfs.write k.Kernel.fs ~ino ~off:0 (Bytes.make 10000 'y')));
+  ignore (expect_ok "truncate" (Diskfs.truncate k.Kernel.fs ~ino ~len:100));
+  let st = expect_ok "stat" (Diskfs.stat k.Kernel.fs ~ino) in
+  Alcotest.(check int) "shrunk" 100 st.Diskfs.size;
+  Alcotest.(check int) "read capped" 100
+    (Bytes.length (expect_ok "read" (Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:10000)))
+
+(* Random create/write/read/delete sequences against a pure model: the
+   file system must agree with a Map of path -> contents at every
+   read, and end state must match exactly. *)
+let prop_diskfs_model =
+  QCheck2.Test.make ~name:"diskfs agrees with a model under random ops" ~count:30
+    QCheck2.Gen.(list_size (int_range 5 60)
+                   (triple (int_bound 7) (int_bound 3) (string_size ~gen:printable (int_range 0 9000))))
+    (fun ops ->
+      let k = boot () in
+      let fs = k.Kernel.fs in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let path i = Printf.sprintf "/model-%d" i in
+      let ok = ref true in
+      List.iter
+        (fun (file, op, data) ->
+          let p = path file in
+          match op with
+          | 0 (* create/overwrite *) -> (
+              (match Diskfs.lookup fs p with
+              | Ok ino -> ignore (Diskfs.truncate fs ~ino ~len:0)
+              | Error _ -> ignore (Diskfs.create fs p));
+              match Diskfs.lookup fs p with
+              | Ok ino -> (
+                  match Diskfs.write fs ~ino ~off:0 (Bytes.of_string data) with
+                  | Ok n when n = String.length data -> Hashtbl.replace model p data
+                  | Ok _ | Error _ -> ok := false)
+              | Error _ -> ok := false)
+          | 1 (* append *) -> (
+              match (Diskfs.lookup fs p, Hashtbl.find_opt model p) with
+              | Ok ino, Some existing -> (
+                  match
+                    Diskfs.write fs ~ino ~off:(String.length existing)
+                      (Bytes.of_string data)
+                  with
+                  | Ok n when n = String.length data ->
+                      Hashtbl.replace model p (existing ^ data)
+                  | Ok _ | Error _ -> ok := false)
+              | Error _, None -> ()
+              | _ -> ok := false)
+          | 2 (* delete *) -> (
+              match (Diskfs.unlink fs p, Hashtbl.mem model p) with
+              | Ok (), true -> Hashtbl.remove model p
+              | Error Errno.ENOENT, false -> ()
+              | _ -> ok := false)
+          | _ (* read and compare *) -> (
+              match (Diskfs.lookup fs p, Hashtbl.find_opt model p) with
+              | Ok ino, Some expected -> (
+                  match Diskfs.read fs ~ino ~off:0 ~len:(String.length expected + 32) with
+                  | Ok b -> if Bytes.to_string b <> expected then ok := false
+                  | Error _ -> ok := false)
+              | Error Errno.ENOENT, None -> ()
+              | _ -> ok := false))
+        ops;
+      (* Final state equality, both directions. *)
+      Hashtbl.iter
+        (fun p expected ->
+          match Diskfs.lookup fs p with
+          | Ok ino -> (
+              match Diskfs.read fs ~ino ~off:0 ~len:(String.length expected + 32) with
+              | Ok b -> if Bytes.to_string b <> expected then ok := false
+              | Error _ -> ok := false)
+          | Error _ -> ok := false)
+        model;
+      (match Diskfs.readdir fs ~ino:Diskfs.root_ino with
+      | Ok entries ->
+          let model_files =
+            List.sort compare
+              (Hashtbl.fold (fun p _ acc -> String.sub p 1 (String.length p - 1) :: acc) model [])
+          in
+          let fs_files =
+            List.sort compare
+              (List.filter (fun n -> String.length n > 5 && String.sub n 0 6 = "model-")
+                 (List.map fst entries))
+          in
+          if model_files <> fs_files then ok := false
+      | Error _ -> ok := false);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Syscall layer: files, pipes                                         *)
+
+let test_syscall_file_io () =
+  let k = boot () in
+  let p = init k in
+  let fd = expect_ok "open" (Syscalls.open_ k p "/f" Syscalls.creat_trunc) in
+  user_write k p user_buf (Bytes.of_string "via syscalls");
+  Alcotest.(check int) "write" 12
+    (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:12));
+  ignore (expect_ok "seek" (Syscalls.lseek k p ~fd ~pos:4));
+  let dst = Int64.add user_buf 0x1000L in
+  Alcotest.(check int) "read" 8 (expect_ok "read" (Syscalls.read k p ~fd ~buf:dst ~len:100));
+  Alcotest.(check string) "data" "syscalls" (Bytes.to_string (user_read k p dst 8));
+  ignore (expect_ok "close" (Syscalls.close k p fd));
+  expect_err Errno.EBADF "closed fd" (Syscalls.read k p ~fd ~buf:dst ~len:1)
+
+let test_syscall_pipe () =
+  let k = boot () in
+  let p = init k in
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  user_write k p user_buf (Bytes.of_string "through the pipe");
+  Alcotest.(check int) "write" 16
+    (expect_ok "write" (Syscalls.write k p ~fd:w ~buf:user_buf ~len:16));
+  let dst = Int64.add user_buf 0x1000L in
+  Alcotest.(check int) "read" 7 (expect_ok "read" (Syscalls.read k p ~fd:r ~buf:dst ~len:7));
+  Alcotest.(check string) "first part" "through" (Bytes.to_string (user_read k p dst 7));
+  (* Empty + writer open = EAGAIN; after close = EOF. *)
+  Alcotest.(check int) "drain" 9 (expect_ok "read" (Syscalls.read k p ~fd:r ~buf:dst ~len:100));
+  expect_err Errno.EAGAIN "would block" (Syscalls.read k p ~fd:r ~buf:dst ~len:1);
+  ignore (expect_ok "close w" (Syscalls.close k p w));
+  Alcotest.(check int) "EOF" 0 (expect_ok "read" (Syscalls.read k p ~fd:r ~buf:dst ~len:1));
+  ignore (expect_ok "close r" (Syscalls.close k p r))
+
+let test_pipe_epipe () =
+  let k = boot () in
+  let p = init k in
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  ignore (expect_ok "close r" (Syscalls.close k p r));
+  user_write k p user_buf (Bytes.of_string "x");
+  expect_err Errno.EPIPE "no reader" (Syscalls.write k p ~fd:w ~buf:user_buf ~len:1)
+
+let test_rename () =
+  let k = boot () in
+  let p = init k in
+  let fd = expect_ok "open" (Syscalls.open_ k p "/old" Syscalls.creat_trunc) in
+  user_write k p user_buf (Bytes.of_string "moved");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:5));
+  ignore (expect_ok "close" (Syscalls.close k p fd));
+  ignore (expect_ok "mkdir" (Syscalls.mkdir k p "/dir"));
+  ignore (expect_ok "rename" (Syscalls.rename k p ~src:"/old" ~dst:"/dir/new"));
+  expect_err Errno.ENOENT "source gone" (Syscalls.open_ k p "/old" Syscalls.rdonly);
+  let fd = expect_ok "reopen" (Syscalls.open_ k p "/dir/new" Syscalls.rdonly) in
+  ignore (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:5));
+  Alcotest.(check string) "content" "moved" (Bytes.to_string (user_read k p user_buf 5));
+  (* Rename over an existing file replaces it and frees its storage. *)
+  let fd2 = expect_ok "open2" (Syscalls.open_ k p "/other" Syscalls.creat_trunc) in
+  ignore (expect_ok "close2" (Syscalls.close k p fd2));
+  ignore (expect_ok "replace" (Syscalls.rename k p ~src:"/dir/new" ~dst:"/other"));
+  let entries = expect_ok "readdir" (Syscalls.readdir k p "/dir") in
+  Alcotest.(check (list string)) "dir emptied" [] (List.map fst entries)
+
+let test_fstat_dup2 () =
+  let k = boot () in
+  let p = init k in
+  let fd = expect_ok "open" (Syscalls.open_ k p "/s" Syscalls.creat_trunc) in
+  user_write k p user_buf (Bytes.of_string "123456");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:6));
+  let st = expect_ok "fstat" (Syscalls.fstat k p ~fd) in
+  Alcotest.(check int) "size" 6 st.Diskfs.size;
+  expect_err Errno.EBADF "bad fd" (Syscalls.fstat k p ~fd:99);
+  (* dup2 shares the file offset object. *)
+  ignore (expect_ok "dup2" (Syscalls.dup2 k p ~src:fd ~dst:17));
+  ignore (expect_ok "seek via dup" (Syscalls.lseek k p ~fd:17 ~pos:3));
+  Alcotest.(check int) "shared offset read" 3
+    (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:10));
+  (* dup2 onto a pipe end drops its reference. *)
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  ignore (expect_ok "dup2 over writer" (Syscalls.dup2 k p ~src:fd ~dst:w));
+  expect_err Errno.EAGAIN "reader sees no writer yet... still EAGAIN? no:"
+    (match Syscalls.read k p ~fd:r ~buf:user_buf ~len:1 with
+    | Ok 0 -> Error Errno.EAGAIN (* EOF is also acceptable *)
+    | r -> r)
+
+(* ------------------------------------------------------------------ *)
+(* Processes                                                           *)
+
+let test_fork_and_wait () =
+  let k = boot () in
+  let p = init k in
+  user_write k p user_buf (Bytes.of_string "parent data");
+  let child = expect_ok "fork" (Syscalls.fork k p) in
+  Alcotest.(check bool) "new pid" true (child.Proc.pid <> p.Proc.pid);
+  (* The child sees a copy... *)
+  Alcotest.(check string) "child copy" "parent data"
+    (Bytes.to_string (user_read k child user_buf 11));
+  (* ...and writes to it do not affect the parent. *)
+  user_write k child user_buf (Bytes.of_string "child  data");
+  Alcotest.(check string) "parent intact" "parent data"
+    (Bytes.to_string (user_read k p user_buf 11));
+  expect_err Errno.EAGAIN "still running" (Syscalls.wait k p);
+  Syscalls.exit_ k child 7;
+  let pid, status = expect_ok "wait" (Syscalls.wait k p) in
+  Alcotest.(check int) "pid" child.Proc.pid pid;
+  Alcotest.(check int) "status" 7 status;
+  expect_err Errno.ECHILD "no children" (Syscalls.wait k p)
+
+let make_image k ~name =
+  let rng = Vg_crypto.Drbg.create ~seed:(Bytes.of_string "installer") in
+  Appimage.install
+    ~vg_key:(Sva.vg_private_key_for_installer k.Kernel.sva)
+    ~rng ~name
+    ~payload:(Bytes.of_string ("program text of " ^ name))
+    ~entry:0x400000L
+    ~app_key:(Bytes.of_string "0123456789abcdef")
+
+let test_exec () =
+  let k = boot () in
+  let p = init k in
+  let image = make_image k ~name:"demo" in
+  ignore (expect_ok "exec" (Syscalls.execve k p image));
+  let ic = Sva.thread_icontext k.Kernel.sva ~tid:p.Proc.tid in
+  Alcotest.(check int64) "pc at entry" 0x400000L ic.Icontext.pc;
+  (match Sva.get_app_key k.Kernel.sva ~pid:p.Proc.pid with
+  | Some key -> Alcotest.(check string) "app key" "0123456789abcdef" (Bytes.to_string key)
+  | None -> Alcotest.fail "no app key")
+
+let test_exec_refuses_tampered_image () =
+  let k = boot () in
+  let p = init k in
+  let image = Appimage.tamper_payload (make_image k ~name:"evil") in
+  expect_err Errno.EACCES "refused" (Syscalls.execve k p image);
+  Alcotest.(check bool) "logged" true
+    (Console.contains (Machine.console k.Kernel.machine) "execve refused")
+
+let test_exec_native_skips_validation () =
+  let k = boot ~mode:Sva.Native_build () in
+  let p = init k in
+  let image = Appimage.tamper_payload (make_image k ~name:"evil") in
+  (* The baseline kernel has no signature checking: tampered images
+     load — that is the vulnerable world. *)
+  ignore (expect_ok "native loads anything" (Syscalls.execve k p image))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let test_mmap_munmap () =
+  let k = boot () in
+  let p = init k in
+  let va = expect_ok "mmap" (Syscalls.mmap k p ~len:8192) in
+  user_write k p va (Bytes.of_string "mapped!");
+  Alcotest.(check string) "usable" "mapped!" (Bytes.to_string (user_read k p va 7));
+  ignore (expect_ok "munmap" (Syscalls.munmap k p ~addr:va ~len:8192));
+  Alcotest.(check bool) "unmapped" true
+    (try
+       Kernel.switch_to k p;
+       Machine.set_privilege k.Kernel.machine Machine.User;
+       ignore (Machine.read_virt k.Kernel.machine va ~len:8);
+       Machine.set_privilege k.Kernel.machine Machine.Kernel;
+       false
+     with Machine.Page_fault _ ->
+       Machine.set_privilege k.Kernel.machine Machine.Kernel;
+       true)
+
+let test_page_fault_handler () =
+  let k = boot () in
+  let p = init k in
+  let va = 0x0000_0000_0070_0000L in
+  ignore (expect_ok "fault" (Kernel.handle_page_fault k p va));
+  user_write k p va (Bytes.of_string "demand");
+  Alcotest.(check string) "mapped by fault" "demand" (Bytes.to_string (user_read k p va 6))
+
+(* The central enforcement property, end to end through the kernel. *)
+let ghost_heap = Int64.add Layout.ghost_start 0x100000L
+
+let test_ghost_isolation_end_to_end () =
+  let run mode =
+    let k = boot ~mode () in
+    let p = init k in
+    ignore (expect_ok "allocgm" (Syscalls.allocgm k p ~va:ghost_heap ~pages:1));
+    (* The application stores a secret in ghost memory. *)
+    Kernel.switch_to k p;
+    Machine.set_privilege k.Kernel.machine Machine.User;
+    Machine.write_bytes_virt k.Kernel.machine ghost_heap (Bytes.of_string "S3CRET!!");
+    Machine.set_privilege k.Kernel.machine Machine.Kernel;
+    (* Hostile kernel code tries to read it with an ordinary
+       (instrumented, under VG) kernel load. *)
+    Bytes.to_string (Kmem.read_bytes k.Kernel.kmem ghost_heap ~len:8)
+  in
+  Alcotest.(check string) "native kernel reads the secret" "S3CRET!!"
+    (run Sva.Native_build);
+  Alcotest.(check bool) "vg kernel cannot" true (run Sva.Virtual_ghost <> "S3CRET!!")
+
+let test_freegm_syscall () =
+  let k = boot () in
+  let p = init k in
+  ignore (expect_ok "allocgm" (Syscalls.allocgm k p ~va:ghost_heap ~pages:2));
+  Alcotest.(check int) "region recorded" 1 (List.length p.Proc.ghost_regions);
+  ignore (expect_ok "freegm" (Syscalls.freegm k p ~va:ghost_heap ~pages:2));
+  Alcotest.(check int) "region gone" 0 (List.length p.Proc.ghost_regions)
+
+let test_exit_releases_ghost () =
+  let k = boot () in
+  let p = init k in
+  let child = expect_ok "fork" (Syscalls.fork k p) in
+  let free_before = Frame_alloc.free_count k.Kernel.frames in
+  ignore (expect_ok "allocgm" (Syscalls.allocgm k child ~va:ghost_heap ~pages:4));
+  Syscalls.exit_ k child 0;
+  Alcotest.(check int) "frames recovered" free_before
+    (Frame_alloc.free_count k.Kernel.frames)
+
+let test_cow_sharing_and_breaking () =
+  let k = boot () in
+  let p = init k in
+  user_write k p user_buf (Bytes.of_string "shared!");
+  let child = expect_ok "fork" (Syscalls.fork k p) in
+  let vpage = Int64.shift_right_logical user_buf 12 in
+  let parent_frame = Hashtbl.find p.Proc.user_frames vpage in
+  let child_frame = Hashtbl.find child.Proc.user_frames vpage in
+  Alcotest.(check int) "frame shared after fork" parent_frame child_frame;
+  Alcotest.(check bool) "marked cow both sides" true
+    (Hashtbl.mem p.Proc.cow vpage && Hashtbl.mem child.Proc.cow vpage);
+  (* Child write breaks the share. *)
+  user_write k child user_buf (Bytes.of_string "private");
+  let child_frame' = Hashtbl.find child.Proc.user_frames vpage in
+  Alcotest.(check bool) "child got its own frame" true (child_frame' <> parent_frame);
+  Alcotest.(check string) "parent data intact" "shared!"
+    (Bytes.to_string (user_read k p user_buf 7));
+  Syscalls.exit_ k child 0;
+  ignore (Syscalls.wait k p)
+
+let test_cow_kernel_copyout_breaks_share () =
+  (* A read() into a COW page must not scribble on the sibling. *)
+  let k = boot () in
+  let p = init k in
+  let fd = expect_ok "open" (Syscalls.open_ k p "/cowfile" Syscalls.creat_trunc) in
+  user_write k p user_buf (Bytes.of_string "ABCDEFGH");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:8));
+  let child = expect_ok "fork" (Syscalls.fork k p) in
+  ignore (expect_ok "seek" (Syscalls.lseek k child ~fd ~pos:0));
+  (* Kernel copyout lands in the child's page... *)
+  ignore (expect_ok "read" (Syscalls.read k child ~fd ~buf:(Int64.add user_buf 16L) ~len:8));
+  (* ...and the parent's copy of that page is untouched. *)
+  Alcotest.(check string) "parent page clean" "\000\000\000\000"
+    (Bytes.to_string (user_read k p (Int64.add user_buf 16L) 4));
+  Syscalls.exit_ k child 0;
+  ignore (Syscalls.wait k p)
+
+let test_cow_frames_released_once () =
+  (* Fork then exit both sides: every frame must come back exactly
+     once (refcounting, no double free). *)
+  let k = boot () in
+  let p = init k in
+  let before = Frame_alloc.free_count k.Kernel.frames in
+  let child = expect_ok "fork" (Syscalls.fork k p) in
+  user_write k child user_buf (Bytes.of_string "dirty");
+  Syscalls.exit_ k child 0;
+  ignore (expect_ok "wait" (Syscalls.wait k p));
+  Alcotest.(check bool) "frames recovered (within cow slack)" true
+    (Frame_alloc.free_count k.Kernel.frames >= before - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                             *)
+
+let test_signal_delivery_via_vm () =
+  let k = boot () in
+  let p = init k in
+  let handler = 0x0000_0000_0041_0000L in
+  (* The application wrapper registers the handler with the VM and the
+     kernel. *)
+  Sva.permit_function k.Kernel.sva ~pid:p.Proc.pid handler;
+  ignore (expect_ok "signal" (Syscalls.signal k p ~signum:10 ~handler));
+  ignore (expect_ok "kill" (Syscalls.kill k p ~pid:p.Proc.pid ~signum:10));
+  let ic = Sva.thread_icontext k.Kernel.sva ~tid:p.Proc.tid in
+  Alcotest.(check int64) "pc -> handler" handler ic.Icontext.pc;
+  Alcotest.(check int64) "arg = signum" 10L ic.Icontext.gprs.(0);
+  ignore (expect_ok "sigreturn" (Syscalls.sigreturn k p));
+  Alcotest.(check bool) "restored" true
+    ((Sva.thread_icontext k.Kernel.sva ~tid:p.Proc.tid).Icontext.pc <> handler)
+
+let test_signal_unregistered_handler_blocked () =
+  let k = boot () in
+  let p = init k in
+  let evil = 0x0000_6660_0000_0000L in
+  (* Installed directly (as a malicious module would), never permitted. *)
+  ignore (expect_ok "signal" (Syscalls.signal k p ~signum:10 ~handler:evil));
+  ignore (expect_ok "kill" (Syscalls.kill k p ~pid:p.Proc.pid ~signum:10));
+  let ic = Sva.thread_icontext k.Kernel.sva ~tid:p.Proc.tid in
+  Alcotest.(check bool) "pc unchanged" true (ic.Icontext.pc <> evil);
+  Alcotest.(check bool) "refusal logged" true
+    (Console.contains (Machine.console k.Kernel.machine) "not a registered handler")
+
+let test_kill_errors () =
+  let k = boot () in
+  let p = init k in
+  expect_err Errno.ESRCH "no such pid" (Syscalls.kill k p ~pid:4242 ~signum:9);
+  expect_err Errno.EINVAL "sigreturn w/o signal" (Syscalls.sigreturn k p)
+
+(* ------------------------------------------------------------------ *)
+(* Sockets and select                                                  *)
+
+let test_socket_end_to_end () =
+  let k = boot () in
+  let p = init k in
+  let lfd = expect_ok "listen" (Syscalls.listen k p ~port:80) in
+  (* Remote client connects over the simulated wire. *)
+  let ep = Netstack.Remote.connect (Machine.remote_nic k.Kernel.machine) ~port:80 in
+  let cfd = expect_ok "accept" (Syscalls.accept k p ~fd:lfd) in
+  Netstack.Remote.send ep (Bytes.of_string "GET /x");
+  let dst = user_buf in
+  Alcotest.(check int) "recv" 6 (expect_ok "recv" (Syscalls.recv k p ~fd:cfd ~buf:dst ~len:100));
+  Alcotest.(check string) "request" "GET /x" (Bytes.to_string (user_read k p dst 6));
+  user_write k p dst (Bytes.of_string "200 OK");
+  ignore (expect_ok "send" (Syscalls.send k p ~fd:cfd ~buf:dst ~len:6));
+  (match Netstack.Remote.recv ep with
+  | Some b -> Alcotest.(check string) "response" "200 OK" (Bytes.to_string b)
+  | None -> Alcotest.fail "no response on the wire");
+  expect_err Errno.EAGAIN "no more pending" (Syscalls.accept k p ~fd:lfd)
+
+let test_select () =
+  let k = boot () in
+  let p = init k in
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  Alcotest.(check (list int)) "empty pipe not ready" []
+    (expect_ok "select" (Syscalls.select k p [ r ]));
+  user_write k p user_buf (Bytes.of_string "!");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd:w ~buf:user_buf ~len:1));
+  Alcotest.(check (list int)) "ready after write" [ r ]
+    (expect_ok "select" (Syscalls.select k p [ r ]))
+
+let test_netstack_details () =
+  let k = boot () in
+  let p = init k in
+  (* Connection to an unbound port: frames silently dropped, accept on
+     a bound port skips them. *)
+  let lfd = expect_ok "listen" (Syscalls.listen k p ~port:8080) in
+  expect_err Errno.EEXIST "port taken"
+    (match Syscalls.listen k p ~port:8080 with Ok _ -> Ok () | Error e -> Error e);
+  let _refused = Netstack.Remote.connect (Machine.remote_nic k.Kernel.machine) ~port:9999 in
+  expect_err Errno.EAGAIN "refused conn not accepted" (Syscalls.accept k p ~fd:lfd);
+  (* A real connection still goes through afterwards. *)
+  let _ok = Netstack.Remote.connect (Machine.remote_nic k.Kernel.machine) ~port:8080 in
+  ignore (expect_ok "accept" (Syscalls.accept k p ~fd:lfd))
+
+let prop_pipe_model =
+  QCheck2.Test.make ~name:"pipe behaves like a byte queue" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (pair bool (string_size ~gen:printable (int_range 0 50))))
+    (fun ops ->
+      let pipe = Pipe_dev.create ~capacity:256 () in
+      Pipe_dev.add_reader pipe;
+      Pipe_dev.add_writer pipe;
+      let model = Buffer.create 64 in
+      let consumed = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_write, payload) ->
+          if is_write then begin
+            match Pipe_dev.write pipe (Bytes.of_string payload) with
+            | Ok n -> Buffer.add_string model (String.sub payload 0 n)
+            | Error Errno.EAGAIN -> ()
+            | Error _ -> ok := false
+          end
+          else begin
+            let want = 1 + (String.length payload mod 17) in
+            match Pipe_dev.read pipe want with
+            | Ok b ->
+                let expect_len =
+                  min want (Buffer.length model - !consumed)
+                in
+                if Bytes.length b <> expect_len then ok := false
+                else if
+                  Bytes.to_string b
+                  <> Buffer.sub model !consumed expect_len
+                then ok := false
+                else consumed := !consumed + expect_len
+            | Error Errno.EAGAIN ->
+                if Buffer.length model - !consumed > 0 then ok := false
+            | Error _ -> ok := false
+          end)
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Modules                                                             *)
+
+let constant_read_module () =
+  let b = Builder.create () in
+  Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+  Builder.ret b (Some (Imm 42L));
+  Builder.program b
+
+let test_module_override () =
+  let k = boot () in
+  let p = init k in
+  Syscalls.register_builtin_externs k;
+  (match Module_loader.load k ~name:"const_read" (constant_read_module ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  Alcotest.(check (list string)) "override registered" [ "read" ]
+    (Module_loader.loaded_overrides k);
+  let fd = expect_ok "open" (Syscalls.open_ k p "/f" Syscalls.creat_trunc) in
+  Alcotest.(check int) "hijacked result" 42
+    (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:10));
+  Module_loader.unload k ~name:"const_read";
+  Alcotest.(check int) "genuine read restored" 0
+    (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:10))
+
+let test_module_chains_to_genuine () =
+  let k = boot () in
+  let p = init k in
+  Syscalls.register_builtin_externs k;
+  (* A passthrough module: calls the genuine handler and adds 1000. *)
+  let b = Builder.create () in
+  Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+  let real = Builder.call b "extern.genuine_read" [ Reg "fd"; Reg "buf"; Reg "len" ] in
+  let bumped = Builder.bin b Add real (Imm 1000L) in
+  Builder.ret b (Some bumped);
+  (match Module_loader.load k ~name:"bump" (Builder.program b) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  let fd = expect_ok "open" (Syscalls.open_ k p "/g" Syscalls.creat_trunc) in
+  user_write k p user_buf (Bytes.of_string "12345");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:5));
+  ignore (expect_ok "seek" (Syscalls.lseek k p ~fd ~pos:0));
+  Alcotest.(check int) "5 + 1000" 1005
+    (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:5));
+  Module_loader.unload k ~name:"bump"
+
+let test_malformed_module_rejected () =
+  let k = boot () in
+  let f : Ir.func =
+    { name = "sys_read"; params = []; blocks = [ { label = "entry"; instrs = []; term = Br "nowhere" } ] }
+  in
+  match Module_loader.load k ~name:"broken" { funcs = [ f ] } with
+  | Ok () -> Alcotest.fail "must reject malformed module"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cost shape                                                          *)
+
+let test_vg_syscall_overhead_shape () =
+  let cost mode =
+    let k = boot ~mode () in
+    let p = init k in
+    ignore (Syscalls.getpid k p);
+    Machine.reset_clock k.Kernel.machine;
+    for _ = 1 to 100 do
+      ignore (Syscalls.getpid k p)
+    done;
+    Machine.cycles k.Kernel.machine
+  in
+  let native = cost Sva.Native_build and vg = cost Sva.Virtual_ghost in
+  let ratio = float_of_int vg /. float_of_int native in
+  Alcotest.(check bool)
+    (Printf.sprintf "null-syscall overhead plausible (got %.2fx)" ratio)
+    true
+    (ratio > 2.0 && ratio < 8.0)
+
+let () =
+  Alcotest.run "vg_kernel"
+    [
+      ( "boot",
+        [
+          Alcotest.test_case "boots with init" `Quick test_boot;
+          Alcotest.test_case "fs persists across reboot" `Quick test_fs_persists_across_reboot;
+        ] );
+      ( "diskfs",
+        [
+          Alcotest.test_case "create/read/write" `Quick test_fs_create_read_write;
+          Alcotest.test_case "large file (indirect)" `Quick test_fs_large_file_indirect;
+          Alcotest.test_case "unlink frees space" `Quick test_fs_unlink_frees_space;
+          Alcotest.test_case "directories" `Quick test_fs_directories;
+          Alcotest.test_case "errors" `Quick test_fs_errors;
+          Alcotest.test_case "truncate" `Quick test_fs_truncate;
+          QCheck_alcotest.to_alcotest prop_diskfs_model;
+        ] );
+      ( "syscalls-files",
+        [
+          Alcotest.test_case "file io" `Quick test_syscall_file_io;
+          Alcotest.test_case "pipes" `Quick test_syscall_pipe;
+          Alcotest.test_case "EPIPE" `Quick test_pipe_epipe;
+          Alcotest.test_case "rename + readdir" `Quick test_rename;
+          Alcotest.test_case "fstat + dup2" `Quick test_fstat_dup2;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "fork + wait" `Quick test_fork_and_wait;
+          Alcotest.test_case "exec" `Slow test_exec;
+          Alcotest.test_case "tampered image refused" `Slow test_exec_refuses_tampered_image;
+          Alcotest.test_case "native skips validation" `Quick test_exec_native_skips_validation;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "mmap/munmap" `Quick test_mmap_munmap;
+          Alcotest.test_case "page fault handler" `Quick test_page_fault_handler;
+          Alcotest.test_case "ghost isolation end-to-end" `Quick
+            test_ghost_isolation_end_to_end;
+          Alcotest.test_case "freegm syscall" `Quick test_freegm_syscall;
+          Alcotest.test_case "exit releases ghost" `Quick test_exit_releases_ghost;
+        ] );
+      ( "cow",
+        [
+          Alcotest.test_case "sharing and breaking" `Quick test_cow_sharing_and_breaking;
+          Alcotest.test_case "kernel copyout breaks share" `Quick
+            test_cow_kernel_copyout_breaks_share;
+          Alcotest.test_case "frames released once" `Quick test_cow_frames_released_once;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "delivery via VM" `Quick test_signal_delivery_via_vm;
+          Alcotest.test_case "unregistered handler blocked" `Quick
+            test_signal_unregistered_handler_blocked;
+          Alcotest.test_case "errors" `Quick test_kill_errors;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "netstack details" `Quick test_netstack_details;
+          QCheck_alcotest.to_alcotest prop_pipe_model;
+        ] );
+      ( "modules",
+        [
+          Alcotest.test_case "override" `Quick test_module_override;
+          Alcotest.test_case "chains to genuine" `Quick test_module_chains_to_genuine;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_module_rejected;
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "vg syscall overhead" `Quick test_vg_syscall_overhead_shape ] );
+    ]
