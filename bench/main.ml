@@ -359,22 +359,30 @@ let collatz_program () =
   Builder.ret b (Some count);
   Builder.program b
 
-let run_image_cycles image =
+let bench_env ~cycles ~instrs =
   let mem = Bytes.make 65536 '\000' in
-  let cycles = ref 0 in
-  let env =
-    {
-      Vg_compiler.Executor.null_env with
-      load =
-        (fun addr _ -> Bytes.get_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)));
-      store =
-        (fun addr _ v ->
-          Bytes.set_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)) v);
-      charge = (fun n -> cycles := !cycles + n);
-    }
-  in
-  ignore (Vg_compiler.Executor.run env image "collatz" [| 97L |]);
-  !cycles
+  {
+    Vg_compiler.Executor.null_env with
+    load =
+      (fun addr _ -> Bytes.get_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)));
+    store =
+      (fun addr _ v ->
+        Bytes.set_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)) v);
+    charge =
+      (fun n ->
+        cycles := !cycles + n;
+        (* multi-cycle charges (CFI checks, memcpy surcharges) ride on
+           an already-counted instruction slot *)
+        if n = 1 then incr instrs);
+  }
+
+let run_image_counts ?(arg = 97L) image =
+  let cycles = ref 0 and instrs = ref 0 in
+  let env = bench_env ~cycles ~instrs in
+  ignore (Vg_compiler.Executor.run env image "collatz" [| arg |]);
+  (!cycles, !instrs)
+
+let run_image_cycles image = fst (run_image_counts image)
 
 (* Call-heavy kernel code: recursion makes every call/return pay the
    CFI check. *)
@@ -394,16 +402,17 @@ let rec_sum_program () =
   Builder.ret b (Some total);
   Builder.program b
 
+let compile_linked ~cfi program =
+  Vg_compiler.Linker.link (Vg_compiler.Codegen.compile ~cfi program)
+
 let pass_cost_table title program =
-  let plain = Vg_compiler.Codegen.compile ~cfi:false program in
-  let cfi_only = Vg_compiler.Codegen.compile ~cfi:true program in
+  let plain = compile_linked ~cfi:false program in
+  let cfi_only = compile_linked ~cfi:true program in
   let sandboxed =
-    Vg_compiler.Codegen.compile ~cfi:false
-      (Vg_compiler.Sandbox_pass.instrument_program program)
+    compile_linked ~cfi:false (Vg_compiler.Sandbox_pass.instrument_program program)
   in
   let full =
-    Vg_compiler.Codegen.compile ~cfi:true
-      (Vg_compiler.Sandbox_pass.instrument_program program)
+    compile_linked ~cfi:true (Vg_compiler.Sandbox_pass.instrument_program program)
   in
   let base = run_image_cycles plain in
   Printf.printf "  pass cost on %s (executor cycles):\n" title;
@@ -496,10 +505,15 @@ let bechamel () =
   section "Bechamel: host-time microbenchmarks of the simulator itself";
   let key = Vg_crypto.Aes128.expand (Bytes.make 16 'k') in
   let block = Bytes.make 16 'p' in
-  let program = collatz_program () in
-  let image =
-    Vg_compiler.Codegen.compile ~cfi:true
-      (Vg_compiler.Sandbox_pass.instrument_program program)
+  (* images are linked once, outside the staged thunks: linking is a
+     translation-time cost, amortised across every execution *)
+  let collatz =
+    compile_linked ~cfi:true
+      (Vg_compiler.Sandbox_pass.instrument_program (collatz_program ()))
+  in
+  let recsum =
+    compile_linked ~cfi:true
+      (Vg_compiler.Sandbox_pass.instrument_program (rec_sum_program ()))
   in
   let tests =
     Test.make_grouped ~name:"vg" ~fmt:"%s %s"
@@ -512,7 +526,9 @@ let bechamel () =
         Test.make ~name:"sha256-block"
           (Staged.stage (fun () -> ignore (Vg_crypto.Sha256.digest block)));
         Test.make ~name:"executor-collatz"
-          (Staged.stage (fun () -> ignore (run_image_cycles image)));
+          (Staged.stage (fun () -> ignore (run_image_cycles collatz)));
+        Test.make ~name:"executor-recsum"
+          (Staged.stage (fun () -> ignore (fst (run_image_counts ~arg:40L recsum))));
       ]
   in
   let ols =
@@ -536,6 +552,66 @@ let bechamel () =
   Notty_unix.eol img |> Notty_unix.output_image
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable executor benchmark (BENCH_executor.json)           *)
+
+(* Host ns/instr and simulated cycles per executor-bound benchmark, so
+   the host-performance trajectory of the simulator is tracked across
+   PRs.  Simulated cycles must be bit-stable run to run (and across
+   host-side optimisations); host timings are whatever the hardware
+   gives. *)
+let bench_json () =
+  let fixtures =
+    let collatz = collatz_program () and recsum = rec_sum_program () in
+    [
+      ("collatz-plain", compile_linked ~cfi:false collatz, 97L);
+      ( "collatz-full",
+        compile_linked ~cfi:true (Vg_compiler.Sandbox_pass.instrument_program collatz),
+        97L );
+      ("recsum-plain", compile_linked ~cfi:false recsum, 40L);
+      ( "recsum-full",
+        compile_linked ~cfi:true (Vg_compiler.Sandbox_pass.instrument_program recsum),
+        40L );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, image, arg) ->
+        let cycles, instrs = run_image_counts ~arg image in
+        let runs = 2000 in
+        for _ = 1 to 200 do
+          ignore (run_image_counts ~arg image)
+        done;
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to runs do
+          ignore (run_image_counts ~arg image)
+        done;
+        let t1 = Unix.gettimeofday () in
+        let ns_per_run = (t1 -. t0) /. float_of_int runs *. 1e9 in
+        (name, cycles, instrs, ns_per_run))
+      fixtures
+  in
+  let oc = open_out "BENCH_executor.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, cycles, instrs, ns_per_run) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"simulated_cycles\": %d, \"instructions\": %d, \
+         \"host_ns_per_run\": %.1f, \"host_ns_per_instr\": %.2f}%s\n"
+        name cycles instrs ns_per_run
+        (ns_per_run /. float_of_int instrs)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  List.iter
+    (fun (name, cycles, instrs, ns_per_run) ->
+      Printf.printf "%-16s %8d cycles %8d instrs %10.1f ns/run %6.2f ns/instr\n" name
+        cycles instrs ns_per_run
+        (ns_per_run /. float_of_int instrs))
+    rows;
+  print_endline "wrote BENCH_executor.json"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments =
@@ -556,8 +632,10 @@ let () =
   match args with
   | [ "--list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments;
-      print_endline "bechamel"
+      print_endline "bechamel";
+      print_endline "json"
   | [ "--bechamel" ] -> bechamel ()
+  | [ "--json" ] -> bench_json ()
   | [] ->
       Printf.printf "Virtual Ghost reproduction — full benchmark run\n";
       List.iter (fun (_, f) -> f ()) experiments

@@ -59,7 +59,8 @@ let () =
   in
   let ghost_ptr = Int64.add Layout.ghost_start 0x5000L in
   let kernel_ptr = Layout.kernel_data_start in
-  ignore (Vg_compiler.Executor.run env vg "copy_word" [| kernel_ptr; ghost_ptr |]);
+  let linked = Vg_compiler.Linker.link vg in
+  ignore (Vg_compiler.Executor.run env linked "copy_word" [| kernel_ptr; ghost_ptr |]);
   print_endline "Executing copy_word(kernel_ptr, ghost_ptr) on the instrumented code:";
   List.iter
     (fun (op, addr) ->
@@ -73,7 +74,7 @@ let () =
 
   (* And the signed translation cache. *)
   let cache = Vg_compiler.Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
-  Vg_compiler.Trans_cache.add cache ~name:"copy_word" vg;
+  Vg_compiler.Trans_cache.add cache ~name:"copy_word" linked;
   Printf.printf "translation cache: stored and re-verified image: %b\n"
     (Vg_compiler.Trans_cache.find cache ~name:"copy_word" <> None);
   Vg_compiler.Trans_cache.tamper cache ~name:"copy_word";

@@ -1,0 +1,222 @@
+exception Link_error of string
+
+type operand = Imm of int64 | Slot of int
+
+type instr =
+  | LMov of { dst : int; src : operand }
+  | LBin of { dst : int; op : Ir.binop; a : operand; b : operand }
+  | LCmp of { dst : int; op : Ir.cmp; a : operand; b : operand }
+  | LSelect of { dst : int; cond : operand; if_true : operand; if_false : operand }
+  | LLoad of { dst : int; addr : operand; width : Ir.width }
+  | LStore of { src : operand; addr : operand; width : Ir.width }
+  | LMemcpy of { dst : operand; src : operand; len : operand }
+  | LAtomic of { dst : int; op : Ir.binop; addr : operand; operand_ : operand; width : Ir.width }
+  | LJmp of int
+  | LJz of { cond : operand; target : int }
+  | LCall of { dst : int; target : int; args : operand array }
+  | LCallExtern of { dst : int; name : string; args : operand array }
+  | LCallIndirect of { dst : int; target : operand; args : operand array }
+  | LCallIndirectChecked of { dst : int; target : operand; args : operand array; label : int }
+  | LRet of operand option
+  | LRetChecked of { value : operand option; label : int }
+  | LCfiLabel of int32
+  | LIoRead of { dst : int; port : operand }
+  | LIoWrite of { port : operand; src : operand }
+  | LHalt
+
+type func = {
+  f_name : string;
+  f_entry : int;
+  f_params : int array;
+  f_nregs : int;
+  f_names : string array;
+}
+
+type image = {
+  native : Native.image;
+  lcode : instr array;
+  funcs : func array;
+  by_name : (string, int) Hashtbl.t;
+  entry_of : int array;
+  owner_of : int array;
+  label_of : int array;
+  ret_label_of : int array;
+  max_args : int;
+}
+
+let no_label = min_int
+
+(* Per-function register allocation state while linking. *)
+type ra = {
+  tbl : (string, int) Hashtbl.t;
+  mutable names_rev : string list;
+  mutable count : int;
+}
+
+let ra_slot ra name =
+  match Hashtbl.find_opt ra.tbl name with
+  | Some s -> s
+  | None ->
+      let s = ra.count in
+      ra.count <- s + 1;
+      Hashtbl.replace ra.tbl name s;
+      ra.names_rev <- name :: ra.names_rev;
+      s
+
+let link (native : Native.image) : image =
+  let code = native.Native.code in
+  let n = Array.length code in
+  let syms = Array.of_list native.Native.symbols in
+  let nsyms = Array.length syms in
+  let entry_of = Array.make n (-1) in
+  Array.iteri
+    (fun id (s : Native.symbol) ->
+      if s.Native.entry < 0 || s.Native.entry >= n then
+        raise
+          (Link_error
+             (Printf.sprintf "symbol %s: entry slot %d outside code" s.Native.name
+                s.Native.entry));
+      if entry_of.(s.Native.entry) >= 0 then
+        raise
+          (Link_error
+             (Printf.sprintf "symbols %s and %s share entry slot %d"
+                syms.(entry_of.(s.Native.entry)).Native.name s.Native.name s.Native.entry));
+      entry_of.(s.Native.entry) <- id)
+    syms;
+  (* Function extents: codegen lays functions out contiguously, each
+     starting at its entry slot, so the owner of a slot is the function
+     whose entry was seen most recently. *)
+  let owner_of = Array.make n (-1) in
+  let cur = ref (-1) in
+  for i = 0 to n - 1 do
+    if entry_of.(i) >= 0 then cur := entry_of.(i);
+    owner_of.(i) <- !cur
+  done;
+  let ras =
+    Array.map
+      (fun (s : Native.symbol) ->
+        let ra = { tbl = Hashtbl.create 16; names_rev = []; count = 0 } in
+        (* Parameters claim the first slots, in declaration order; a
+           repeated parameter name maps both positions to one slot, as
+           the hashtable frames did. *)
+        let params = Array.of_list (List.map (ra_slot ra) s.Native.params) in
+        (ra, params))
+      syms
+  in
+  let reg i name =
+    match owner_of.(i) with
+    | -1 ->
+        raise
+          (Link_error (Printf.sprintf "slot %d: register %s used outside any function" i name))
+    | f -> ra_slot (fst ras.(f)) name
+  in
+  let op i : Native.operand -> operand = function
+    | Native.Imm v -> Imm v
+    | Native.Reg r -> Slot (reg i r)
+  in
+  let dst_opt i = function None -> -1 | Some d -> reg i d in
+  let branch_target i t =
+    if t < 0 || t >= n then
+      raise (Link_error (Printf.sprintf "slot %d: branch target %d outside code" i t));
+    if owner_of.(t) <> owner_of.(i) then
+      raise (Link_error (Printf.sprintf "slot %d: branch target %d crosses a function boundary" i t));
+    t
+  in
+  let args_of i l = Array.of_list (List.map (op i) l) in
+  let max_args = ref 1 in
+  let note_args (a : operand array) =
+    if Array.length a > !max_args then max_args := Array.length a
+  in
+  let label_of = Array.make n no_label in
+  let lcode =
+    Array.mapi
+      (fun i (ins : Native.ninstr) ->
+        match ins with
+        | Native.NMov { dst; src } -> LMov { dst = reg i dst; src = op i src }
+        | Native.NBin { dst; op = o; a; b } ->
+            LBin { dst = reg i dst; op = o; a = op i a; b = op i b }
+        | Native.NCmp { dst; op = o; a; b } ->
+            LCmp { dst = reg i dst; op = o; a = op i a; b = op i b }
+        | Native.NSelect { dst; cond; if_true; if_false } ->
+            LSelect
+              { dst = reg i dst; cond = op i cond; if_true = op i if_true;
+                if_false = op i if_false }
+        | Native.NLoad { dst; addr; width } ->
+            LLoad { dst = reg i dst; addr = op i addr; width }
+        | Native.NStore { src; addr; width } ->
+            LStore { src = op i src; addr = op i addr; width }
+        | Native.NMemcpy { dst; src; len } ->
+            LMemcpy { dst = op i dst; src = op i src; len = op i len }
+        | Native.NAtomic { dst; op = o; addr; operand_; width } ->
+            LAtomic { dst = reg i dst; op = o; addr = op i addr; operand_ = op i operand_; width }
+        | Native.NJmp t -> LJmp (branch_target i t)
+        | Native.NJz { cond; target } ->
+            LJz { cond = op i cond; target = branch_target i target }
+        | Native.NCall { dst; target; args } ->
+            if target < 0 || target >= n then
+              raise (Link_error (Printf.sprintf "slot %d: call target %d outside code" i target));
+            let args = args_of i args in
+            note_args args;
+            LCall { dst = dst_opt i dst; target; args }
+        | Native.NCallExtern { dst; name; args } ->
+            let args = args_of i args in
+            note_args args;
+            LCallExtern { dst = dst_opt i dst; name; args }
+        | Native.NCallIndirect { dst; target; args } ->
+            let args = args_of i args in
+            note_args args;
+            LCallIndirect { dst = dst_opt i dst; target = op i target; args }
+        | Native.NCallIndirectChecked { dst; target; args; label } ->
+            let args = args_of i args in
+            note_args args;
+            LCallIndirectChecked
+              { dst = dst_opt i dst; target = op i target; args; label = Int32.to_int label }
+        | Native.NRet v -> LRet (Option.map (op i) v)
+        | Native.NRetChecked { value; label } ->
+            LRetChecked { value = Option.map (op i) value; label = Int32.to_int label }
+        | Native.NCfiLabel l ->
+            label_of.(i) <- Int32.to_int l;
+            LCfiLabel l
+        | Native.NIoRead { dst; port } -> LIoRead { dst = reg i dst; port = op i port }
+        | Native.NIoWrite { port; src } -> LIoWrite { port = op i port; src = op i src }
+        | Native.NHalt -> LHalt)
+      code
+  in
+  (* A checked return to slot [i] masks the return address into kernel
+     space and demands the expected label there.  When the slot's own
+     address survives the mask unchanged, the whole check reduces to one
+     precomputed label compare. *)
+  let ret_label_of =
+    Array.init n (fun i ->
+        if label_of.(i) = no_label then no_label
+        else
+          let addr = Native.addr_of_index native i in
+          if Layout.mask_kernel_target addr = addr then label_of.(i) else no_label)
+  in
+  let funcs =
+    Array.mapi
+      (fun id (s : Native.symbol) ->
+        let ra, params = ras.(id) in
+        {
+          f_name = s.Native.name;
+          f_entry = s.Native.entry;
+          f_params = params;
+          f_nregs = ra.count;
+          f_names = Array.of_list (List.rev ra.names_rev);
+        })
+      syms
+  in
+  let by_name = Hashtbl.create (max 8 nsyms) in
+  Array.iteri (fun id (f : func) -> Hashtbl.replace by_name f.f_name id) funcs;
+  { native; lcode; funcs; by_name; entry_of; owner_of; label_of; ret_label_of;
+    max_args = !max_args }
+
+let find_func image name = Hashtbl.find_opt image.by_name name
+
+let describe_slot image i =
+  match image.owner_of.(i) with
+  | -1 -> Printf.sprintf "slot %d" i
+  | f ->
+      let fn = image.funcs.(f) in
+      if i = fn.f_entry then Printf.sprintf "slot %d (%s)" i fn.f_name
+      else Printf.sprintf "slot %d (%s+%d)" i fn.f_name (i - fn.f_entry)

@@ -1,0 +1,94 @@
+(** Link/lowering stage: rewrites a {!Native.image} into the
+    executor-ready form.
+
+    Codegen emits string-named registers and a symbol {e list}; the old
+    executor resolved both with hashtables rebuilt per call and linear
+    scans per transfer.  This stage runs once per image, at translation
+    time (so the signed translation cache stores the already-linked
+    form), and produces:
+
+    - a per-function {e register allocation}: every string register maps
+      to a dense integer slot, so frames become spans of one growable
+      [int64] register-file stack instead of per-call hashtables;
+    - operands lowered to [Slot of int | Imm of int64];
+    - the symbol table materialised as arrays ([entry_of], [owner_of],
+      [by_name]) so [find_symbol] / [symbol_of_index] / parameter
+      binding are O(1);
+    - CFI labels pre-resolved per slot ([label_of]), and, for direct
+      return sites whose address survives the kernel mask unchanged,
+      the whole checked-return probe reduced to one precomputed compare
+      ([ret_label_of]).
+
+    None of this changes the simulated cost model: the lowered code has
+    the same slots, so [charge] sees byte-for-byte identical cycle
+    counts — linking only makes the {e host} interpreter loop faster. *)
+
+exception Link_error of string
+(** The image is not linkable (overlapping symbols, a branch that
+    crosses a function boundary, a register used outside any function).
+    Never raised on codegen output. *)
+
+type operand = Imm of int64 | Slot of int
+(** A lowered operand: an immediate or a dense register slot, valid
+    within the owning function's frame. *)
+
+type instr =
+  | LMov of { dst : int; src : operand }
+  | LBin of { dst : int; op : Ir.binop; a : operand; b : operand }
+  | LCmp of { dst : int; op : Ir.cmp; a : operand; b : operand }
+  | LSelect of { dst : int; cond : operand; if_true : operand; if_false : operand }
+  | LLoad of { dst : int; addr : operand; width : Ir.width }
+  | LStore of { src : operand; addr : operand; width : Ir.width }
+  | LMemcpy of { dst : operand; src : operand; len : operand }
+  | LAtomic of { dst : int; op : Ir.binop; addr : operand; operand_ : operand; width : Ir.width }
+  | LJmp of int
+  | LJz of { cond : operand; target : int }
+  | LCall of { dst : int; target : int; args : operand array }
+      (** [dst = -1] when the result is discarded. *)
+  | LCallExtern of { dst : int; name : string; args : operand array }
+  | LCallIndirect of { dst : int; target : operand; args : operand array }
+  | LCallIndirectChecked of { dst : int; target : operand; args : operand array; label : int }
+  | LRet of operand option
+  | LRetChecked of { value : operand option; label : int }
+  | LCfiLabel of int32
+  | LIoRead of { dst : int; port : operand }
+  | LIoWrite of { port : operand; src : operand }
+  | LHalt
+
+type func = {
+  f_name : string;
+  f_entry : int;  (** entry slot index, as in {!Native.symbol} *)
+  f_params : int array;  (** register slot of each parameter, in order *)
+  f_nregs : int;  (** frame size in register slots *)
+  f_names : string array;  (** slot -> source register name (diagnostics) *)
+}
+
+type image = {
+  native : Native.image;  (** the unlowered image (addresses, symbols) *)
+  lcode : instr array;  (** same slot indexing as [native.code] *)
+  funcs : func array;  (** same order as [native.symbols] *)
+  by_name : (string, int) Hashtbl.t;  (** function name -> index in [funcs] *)
+  entry_of : int array;  (** slot -> function whose entry it is, or -1 *)
+  owner_of : int array;  (** slot -> function containing it, or -1 *)
+  label_of : int array;  (** slot -> CFI label carried there, or {!no_label} *)
+  ret_label_of : int array;
+      (** slot -> label, when a checked return to this slot's own
+          address provably passes the mask-and-probe; {!no_label}
+          otherwise. *)
+  max_args : int;  (** scratch-buffer size for argument passing, >= 1 *)
+}
+
+val no_label : int
+(** Sentinel in [label_of] / [ret_label_of]: no label.  Distinct from
+    every [Int32.to_int] image label. *)
+
+val link : Native.image -> image
+(** Link an image.  Pure host-side transformation; O(code size).
+    @raise Link_error per above (never on codegen output). *)
+
+val find_func : image -> string -> int option
+(** O(1) replacement for {!Native.find_symbol}. *)
+
+val describe_slot : image -> int -> string
+(** ["slot 12 (sys_getpid+3)"] — slot plus owning function, for trap
+    messages. *)

@@ -1,5 +1,11 @@
 type mode = Native_build | Virtual_ghost
-type compiled = { image : Native.image; instrumented_ir : Ir.program; mode : mode }
+
+type compiled = {
+  image : Native.image;
+  linked : Linker.image;
+  instrumented_ir : Ir.program;
+  mode : mode;
+}
 
 exception Rejected of string
 
@@ -21,7 +27,7 @@ let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false) ?base ?globa
       (match Cfi_pass.validate_uninstrumented image with
       | Ok () -> ()
       | Error _ -> raise (Rejected "native build contains CFI artifacts"));
-      { image; instrumented_ir = program; mode }
+      { image; linked = Linker.link image; instrumented_ir = program; mode }
   | Virtual_ghost ->
       let instrumented = Sandbox_pass.instrument_program program in
       let image = Codegen.compile ?base ?globals ~cfi:true instrumented in
@@ -33,10 +39,10 @@ let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false) ?base ?globa
               (List.map (fun (v : Cfi_pass.violation) -> v.message) violations)
           in
           raise (Rejected ("CFI audit failed: " ^ msg)));
-      { image; instrumented_ir = instrumented; mode }
+      { image; linked = Linker.link image; instrumented_ir = instrumented; mode }
 
 let compile_application_code ?(mmap_callees = [ "extern.mmap" ]) ?base program =
   verify_or_reject program;
   let instrumented = Mmap_mask_pass.instrument_program ~mmap_callees program in
   let image = Codegen.compile ?base ~cfi:false instrumented in
-  { image; instrumented_ir = instrumented; mode = Native_build }
+  { image; linked = Linker.link image; instrumented_ir = instrumented; mode = Native_build }

@@ -14,6 +14,9 @@ type mode =
 
 type compiled = {
   image : Native.image;
+  linked : Linker.image;
+      (** the executor-ready linked form of [image]; what the signed
+          translation cache stores and the executor runs *)
   instrumented_ir : Ir.program;  (** the IR actually lowered *)
   mode : mode;
 }

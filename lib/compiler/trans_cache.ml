@@ -1,15 +1,25 @@
 type t = { key : bytes; entries : (string, signed_image) Hashtbl.t }
 and signed_image = { blob : bytes; tag : bytes }
 
+(* v1 stored the raw Native.image; v2 stores the linked form, so an
+   image loaded back from the cache is immediately executable without
+   relinking.  The version is under the MAC, and a verified blob of the
+   wrong version loads as None rather than as garbage. *)
+let format_version = 2
+
 let create ~key = { key; entries = Hashtbl.create 8 }
 
 let sign t image =
-  let blob = Marshal.to_bytes (image : Native.image) [] in
+  let blob = Marshal.to_bytes (format_version, (image : Linker.image)) [] in
   { blob; tag = Vg_crypto.Hmac.mac ~key:t.key blob }
 
 let verify_and_load t { blob; tag } =
-  if Vg_crypto.Hmac.verify ~key:t.key ~tag blob then
-    Some (Marshal.from_bytes blob 0 : Native.image)
+  if Vg_crypto.Hmac.verify ~key:t.key ~tag blob then begin
+    match (Marshal.from_bytes blob 0 : int * Linker.image) with
+    | v, image when v = format_version -> Some image
+    | _ -> None
+    | exception _ -> None
+  end
   else None
 
 let add t ~name image = Hashtbl.replace t.entries name (sign t image)

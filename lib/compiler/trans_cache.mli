@@ -6,8 +6,12 @@
     image whose signature verifies under the VM's own MAC key — a
     hostile OS cannot inject or patch native code through the cache.
 
-    Images are serialised with [Marshal]; the signature is HMAC-SHA256
-    over the serialised bytes. *)
+    Since format version 2 the cache stores the {e linked}
+    (slot-allocated, executor-ready) form produced by {!Linker.link}:
+    register allocation and symbol/label resolution happen once at
+    translation time and are amortised across every execution of the
+    cached image.  Images are serialised with [Marshal], versioned, and
+    the signature is HMAC-SHA256 over the serialised bytes. *)
 
 type t
 
@@ -17,15 +21,19 @@ val create : key:bytes -> t
 
 type signed_image = { blob : bytes; tag : bytes }
 
-val sign : t -> Native.image -> signed_image
-val verify_and_load : t -> signed_image -> Native.image option
-(** [None] when the blob was modified or signed under a different key. *)
+val format_version : int
+(** Serialisation format of the signed blobs (2: linked images). *)
 
-val add : t -> name:string -> Native.image -> unit
+val sign : t -> Linker.image -> signed_image
+val verify_and_load : t -> signed_image -> Linker.image option
+(** [None] when the blob was modified, signed under a different key, or
+    carries a different {!format_version}. *)
+
+val add : t -> name:string -> Linker.image -> unit
 (** Sign and retain an image under a name (e.g. "kernel",
     "module.rootkit"). *)
 
-val find : t -> name:string -> Native.image option
+val find : t -> name:string -> Linker.image option
 (** Re-verify the stored signature and return the image; [None] if it
     is absent or fails verification. *)
 

@@ -1,0 +1,41 @@
+(* Shared evaluation of the IR's pure operations.  Both the reference
+   interpreter and the native executor (which runs the lowered,
+   slot-allocated form) use these, so the two can never drift on
+   arithmetic semantics. *)
+
+exception Trap of string
+
+let truncate (width : Ir.width) v =
+  match width with
+  | W8 -> Int64.logand v 0xffL
+  | W16 -> Int64.logand v 0xffffL
+  | W32 -> Int64.logand v 0xffffffffL
+  | W64 -> v
+
+let eval_binop (op : Ir.binop) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Udiv -> if b = 0L then raise (Trap "udiv by zero") else Int64.unsigned_div a b
+  | Urem -> if b = 0L then raise (Trap "urem by zero") else Int64.unsigned_rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | Ashr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+
+let eval_cmp (op : Ir.cmp) a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Ult -> Int64.unsigned_compare a b < 0
+    | Ule -> Int64.unsigned_compare a b <= 0
+    | Ugt -> Int64.unsigned_compare a b > 0
+    | Uge -> Int64.unsigned_compare a b >= 0
+    | Slt -> Int64.compare a b < 0
+    | Sle -> Int64.compare a b <= 0
+  in
+  if r then 1L else 0L

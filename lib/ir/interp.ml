@@ -7,47 +7,22 @@ type env = {
   extern : string -> int64 array -> int64;
   resolve_sym : string -> int64;
   func_of_addr : int64 -> string option;
+  charge : int -> unit;
 }
 
-exception Trap of string
+exception Trap = Eval.Trap
 
-let truncate (width : Ir.width) v =
-  match width with
-  | W8 -> Int64.logand v 0xffL
-  | W16 -> Int64.logand v 0xffffL
-  | W32 -> Int64.logand v 0xffffffffL
-  | W64 -> v
-
-let eval_binop (op : Ir.binop) a b =
-  match op with
-  | Add -> Int64.add a b
-  | Sub -> Int64.sub a b
-  | Mul -> Int64.mul a b
-  | Udiv -> if b = 0L then raise (Trap "udiv by zero") else Int64.unsigned_div a b
-  | Urem -> if b = 0L then raise (Trap "urem by zero") else Int64.unsigned_rem a b
-  | And -> Int64.logand a b
-  | Or -> Int64.logor a b
-  | Xor -> Int64.logxor a b
-  | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
-  | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
-  | Ashr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
-
-let eval_cmp (op : Ir.cmp) a b =
-  let r =
-    match op with
-    | Eq -> a = b
-    | Ne -> a <> b
-    | Ult -> Int64.unsigned_compare a b < 0
-    | Ule -> Int64.unsigned_compare a b <= 0
-    | Ugt -> Int64.unsigned_compare a b > 0
-    | Uge -> Int64.unsigned_compare a b >= 0
-    | Slt -> Int64.compare a b < 0
-    | Sle -> Int64.compare a b <= 0
-  in
-  if r then 1L else 0L
+let truncate = Eval.truncate
+let eval_binop = Eval.eval_binop
+let eval_cmp = Eval.eval_cmp
 
 type frame = (Ir.reg, int64) Hashtbl.t
 
+(* The interpreter charges cycles exactly as the uninstrumented lowered
+   code would: one cycle per instruction slot the codegen would emit
+   (Cbr lowers to a jump-if-zero plus a fall-through jump, so a taken
+   true-edge costs one extra), plus the length-scaled memcpy surcharge.
+   The differential fuzz suite holds the executor to this model. *)
 let run ?(fuel = 10_000_000) env program entry args =
   let fuel = ref fuel in
   let burn () =
@@ -81,19 +56,27 @@ let run ?(fuel = 10_000_000) env program entry args =
   and exec_block f frame (block : Ir.block) : int64 =
     List.iter (exec_instr frame) block.Ir.instrs;
     burn ();
+    env.charge 1;
     match block.Ir.term with
     | Ret None -> 0L
     | Ret (Some v) -> value frame v
     | Unreachable -> raise (Trap "unreachable executed")
     | Br label -> goto f frame label
     | Cbr { cond; if_true; if_false } ->
-        if value frame cond <> 0L then goto f frame if_true else goto f frame if_false
+        if value frame cond <> 0L then begin
+          (* the lowered form falls through the jump-if-zero into an
+             unconditional jump: one extra slot executed *)
+          env.charge 1;
+          goto f frame if_true
+        end
+        else goto f frame if_false
   and goto f frame label =
     match Ir.find_block f label with
     | Some b -> exec_block f frame b
     | None -> raise (Trap (Printf.sprintf "branch to unknown block %s" label))
   and exec_instr frame (instr : Ir.instr) =
     burn ();
+    env.charge 1;
     match instr with
     | Bin { dst; op; a; b } ->
         Hashtbl.replace frame dst (eval_binop op (value frame a) (value frame b))
@@ -107,7 +90,9 @@ let run ?(fuel = 10_000_000) env program entry args =
     | Store { src; addr; width } ->
         env.store (value frame addr) width (truncate width (value frame src))
     | Memcpy { dst; src; len } ->
-        env.memcpy ~dst:(value frame dst) ~src:(value frame src) ~len:(value frame len)
+        let len_v = value frame len in
+        env.charge (Int64.to_int (Vg_util.U64.div len_v 8L));
+        env.memcpy ~dst:(value frame dst) ~src:(value frame src) ~len:len_v
     | Atomic_rmw { dst; op; addr; operand; width } ->
         let a = value frame addr in
         let old = truncate width (env.load a width) in

@@ -21,21 +21,29 @@ type env = {
       (** Address of a global or function symbol. *)
   func_of_addr : int64 -> string option;
       (** Reverse mapping used by indirect calls. *)
+  charge : int -> unit;
+      (** Cycle accounting.  The interpreter charges exactly what the
+          {e uninstrumented} lowered code would: one cycle per native
+          slot that codegen would emit (a taken [Cbr] true-edge costs
+          one extra, for the fall-through jump), plus the
+          length-scaled memcpy surcharge.  The differential fuzz suite
+          holds the native executor to this model. *)
 }
 
 exception Trap of string
 (** Raised on division by zero, indirect calls to non-function
-    addresses, [Unreachable], and fuel exhaustion. *)
+    addresses, [Unreachable], and fuel exhaustion.  Alias of
+    {!Eval.Trap}. *)
 
 val eval_binop : Ir.binop -> int64 -> int64 -> int64
-(** 64-bit wrapping semantics of the IR binary operations; shared with
-    the native executor. @raise Trap on division by zero. *)
+(** Alias of {!Eval.eval_binop}; shared with the native executor.
+    @raise Trap on division by zero. *)
 
 val eval_cmp : Ir.cmp -> int64 -> int64 -> int64
-(** 0 or 1. *)
+(** Alias of {!Eval.eval_cmp}: 0 or 1. *)
 
 val truncate : Ir.width -> int64 -> int64
-(** Keep the low bits of a value per the access width. *)
+(** Alias of {!Eval.truncate}. *)
 
 val run : ?fuel:int -> env -> Ir.program -> string -> int64 array -> int64
 (** [run env program name args] calls function [name] with [args] bound

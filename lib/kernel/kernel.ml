@@ -15,7 +15,7 @@ type t = {
   mutable syscall_count : int;
 }
 
-and syscall_override = { image : Vg_compiler.Native.image; func : string }
+and syscall_override = { image : Vg_compiler.Linker.image; func : string }
 
 let mode t = Sva.mode t.sva
 

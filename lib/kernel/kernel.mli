@@ -32,7 +32,7 @@ type t = {
   mutable syscall_count : int;
 }
 
-and syscall_override = { image : Vg_compiler.Native.image; func : string }
+and syscall_override = { image : Vg_compiler.Linker.image; func : string }
 
 val boot : ?frame_limit:int -> mode:Sva.mode -> Machine.t -> t
 (** Initialise SVA, the frame allocator, buffer cache, a fresh file

@@ -1,6 +1,6 @@
 let override_prefix = "sys_"
 
-let overrides_of_image (image : Vg_compiler.Native.image) =
+let overrides_of_image (image : Vg_compiler.Linker.image) =
   List.filter_map
     (fun (s : Vg_compiler.Native.symbol) ->
       let n = s.Vg_compiler.Native.name in
@@ -8,7 +8,7 @@ let overrides_of_image (image : Vg_compiler.Native.image) =
          && String.sub n 0 (String.length override_prefix) = override_prefix
       then Some (String.sub n 4 (String.length n - 4), n)
       else None)
-    image.Vg_compiler.Native.symbols
+    image.Vg_compiler.Linker.native.Vg_compiler.Native.symbols
 
 let module_registry : (string, string list) Hashtbl.t = Hashtbl.create 4
 (* module name -> overridden syscall names (per process-wide kernel; a
@@ -27,7 +27,7 @@ let load (k : Kernel.t) ~name program =
       (* The VM caches and signs the translation; load back through the
          verifying path, as the OS would at module insertion. *)
       let cache = Sva.translation_cache k.Kernel.sva in
-      Vg_compiler.Trans_cache.add cache ~name compiled.Vg_compiler.Pipeline.image;
+      Vg_compiler.Trans_cache.add cache ~name compiled.Vg_compiler.Pipeline.linked;
       match Vg_compiler.Trans_cache.find cache ~name with
       | None -> Error "module translation failed signature verification"
       | Some image ->

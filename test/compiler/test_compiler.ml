@@ -51,6 +51,7 @@ let interp_env w : Interp.env =
     extern = (fun name _ -> failwith ("interp extern: " ^ name));
     resolve_sym = (fun s -> failwith ("interp sym: " ^ s));
     func_of_addr = (fun _ -> None);
+    charge = (fun n -> w.cycles <- w.cycles + n);
   }
 
 let exec_env w : Executor.env =
@@ -199,6 +200,7 @@ let observe_store_target addr_value =
       extern = (fun _ _ -> 0L);
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
+      charge = (fun _ -> ());
     }
   in
   ignore (Interp.run env program "f" [| addr_value |]);
@@ -243,25 +245,29 @@ let test_sandbox_leaves_non_memory_alone () =
 (* ------------------------------------------------------------------ *)
 (* Codegen + executor, differential against the interpreter            *)
 
+let compile_link ~cfi program = Linker.link (Codegen.compile ~cfi program)
+
 let run_both program func args =
   let wi = make_world () in
   let interp_result = Interp.run (interp_env wi) program func args in
   let we = make_world () in
-  let image = Codegen.compile ~cfi:false program in
+  let image = compile_link ~cfi:false program in
   let exec_result = Executor.run (exec_env we) image func args in
   (interp_result, exec_result, wi, we)
 
 let test_differential_sum () =
-  let i, e, _, _ = run_both (rec_sum_program ()) "sum" [| 250L |] in
+  let i, e, wi, we = run_both (rec_sum_program ()) "sum" [| 250L |] in
   Alcotest.(check int64) "interp" 31375L i;
-  Alcotest.(check int64) "exec agrees" i e
+  Alcotest.(check int64) "exec agrees" i e;
+  Alcotest.(check int) "cycles agree" wi.cycles we.cycles
 
 let test_differential_collatz () =
   List.iter
     (fun n ->
       let i, e, wi, we = run_both (collatz_program ()) "collatz" [| n |] in
       Alcotest.(check int64) (Printf.sprintf "collatz %Ld" n) i e;
-      Alcotest.(check bytes) "memory agrees" wi.mem we.mem)
+      Alcotest.(check bytes) "memory agrees" wi.mem we.mem;
+      Alcotest.(check int) "cycles agree" wi.cycles we.cycles)
     [ 1L; 6L; 27L; 97L ]
 
 let test_differential_fptr () =
@@ -283,8 +289,9 @@ let test_differential_fptr () =
   let i0 = Interp.run ienv program "dispatch" [| 0L; 10L |] in
   let i1 = Interp.run ienv program "dispatch" [| 1L; 10L |] in
   let we = make_world () in
-  let e0 = Executor.run (exec_env we) image "dispatch" [| 0L; 10L |] in
-  let e1 = Executor.run (exec_env we) image "dispatch" [| 1L; 10L |] in
+  let linked = Linker.link image in
+  let e0 = Executor.run (exec_env we) linked "dispatch" [| 0L; 10L |] in
+  let e1 = Executor.run (exec_env we) linked "dispatch" [| 1L; 10L |] in
   Alcotest.(check int64) "inc" 11L i0;
   Alcotest.(check int64) "dec" 9L i1;
   Alcotest.(check int64) "exec inc" i0 e0;
@@ -297,7 +304,7 @@ let test_differential_instrumented () =
   let wi = make_world () in
   let i = Interp.run (interp_env wi) program "collatz" [| 27L |] in
   let we = make_world () in
-  let image = Codegen.compile ~cfi:true program in
+  let image = compile_link ~cfi:true program in
   let e = Executor.run (exec_env we) image "collatz" [| 27L |] in
   Alcotest.(check int64) "instrumented agree" i e;
   Alcotest.(check int64) "steps" 111L e
@@ -308,7 +315,7 @@ let test_executor_io () =
   Builder.io_write b ~port:(Imm 0x3f8L) (Imm 65L);
   let v = Builder.io_read b (Imm 0x60L) in
   Builder.ret b (Some v);
-  let image = Codegen.compile ~cfi:false (Builder.program b) in
+  let image = compile_link ~cfi:false (Builder.program b) in
   let w = make_world () in
   Alcotest.(check int64) "io" 0x67L (Executor.run (exec_env w) image "main" [||])
 
@@ -317,7 +324,7 @@ let test_executor_extern () =
   Builder.func b "main" ~params:[];
   let r = Builder.call b "extern.helper" [ Imm 5L ] in
   Builder.ret b (Some r);
-  let image = Codegen.compile ~cfi:false (Builder.program b) in
+  let image = compile_link ~cfi:false (Builder.program b) in
   let w = make_world () in
   let env =
     { (exec_env w) with Executor.extern = (fun name args ->
@@ -332,7 +339,7 @@ let test_executor_fuel () =
   Builder.br b "spin";
   Builder.block b "spin";
   Builder.br b "spin";
-  let image = Codegen.compile ~cfi:false (Builder.program b) in
+  let image = compile_link ~cfi:false (Builder.program b) in
   let w = make_world () in
   Alcotest.(check bool) "fuel" true
     (try
@@ -342,9 +349,9 @@ let test_executor_fuel () =
 
 let test_cycle_accounting () =
   (* The instrumented build must charge strictly more cycles. *)
-  let native = Codegen.compile ~cfi:false (collatz_program ()) in
+  let native = compile_link ~cfi:false (collatz_program ()) in
   let vg =
-    Codegen.compile ~cfi:true (Sandbox_pass.instrument_program (collatz_program ()))
+    compile_link ~cfi:true (Sandbox_pass.instrument_program (collatz_program ()))
   in
   let wn = make_world () in
   ignore (Executor.run (exec_env wn) native "collatz" [| 97L |]);
@@ -382,7 +389,7 @@ let test_cfi_catches_unchecked_ret () =
 let test_cfi_indirect_call_works () =
   (* A legitimate indirect call through the ops table still works under
      CFI: the target carries the shared label. *)
-  let image = Codegen.compile ~cfi:true (fptr_program ()) in
+  let image = compile_link ~cfi:true (fptr_program ()) in
   let w = make_world () in
   Alcotest.(check int64) "legit call" 11L
     (Executor.run (exec_env w) image "dispatch" [| 0L; 10L |])
@@ -398,7 +405,7 @@ let test_cfi_blocks_corrupted_fptr () =
   Builder.ret b (Some r);
   let program = Builder.program b in
   (* CFI build: violation *)
-  let image = Codegen.compile ~cfi:true program in
+  let image = compile_link ~cfi:true program in
   let w = make_world () in
   world_store w 0x3000L W64 0x400000L (* user-space address *);
   Alcotest.(check bool) "cfi violation" true
@@ -407,7 +414,7 @@ let test_cfi_blocks_corrupted_fptr () =
        false
      with Executor.Cfi_violation _ -> true);
   (* Native build: the foreign call goes through — hijack succeeds. *)
-  let image_native = Codegen.compile ~cfi:false program in
+  let image_native = compile_link ~cfi:false program in
   let hijacked = ref false in
   let w2 = make_world () in
   world_store w2 0x3000L W64 0x400000L;
@@ -426,21 +433,21 @@ let test_cfi_blocks_rop_return () =
      return is refused because the gadget slot carries no label; the
      uninstrumented kernel happily returns there. *)
   let program = rec_sum_program () in
-  let run_with_tamper image =
+  let run_with_tamper (image : Linker.image) =
     let w = make_world () in
     (* Redirect every return into the middle of `sum` (slot 3 — an
        arbitrary non-label slot). *)
-    let gadget = Native.addr_of_index image 3 in
+    let gadget = Native.addr_of_index image.Linker.native 3 in
     let env = { (exec_env w) with Executor.tamper_return = Some (fun _ -> gadget) } in
     Executor.run ~fuel:10_000 env image "sum" [| 5L |]
   in
-  let vg = Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program) in
+  let vg = compile_link ~cfi:true (Sandbox_pass.instrument_program program) in
   Alcotest.(check bool) "cfi blocks" true
     (try
        ignore (run_with_tamper vg);
        false
      with Executor.Cfi_violation _ -> true);
-  let native = Codegen.compile ~cfi:false program in
+  let native = compile_link ~cfi:false program in
   Alcotest.(check bool) "native follows corrupted return" true
     (try
        ignore (run_with_tamper native);
@@ -458,7 +465,7 @@ let test_cfi_kernel_masking () =
   Builder.func b "victim" ~params:[];
   let r = Builder.call_indirect b (Imm 0x40L) [] in
   Builder.ret b (Some r);
-  let image = Codegen.compile ~cfi:true (Builder.program b) in
+  let image = compile_link ~cfi:true (Builder.program b) in
   let w = make_world () in
   let foreign_called = ref false in
   let env =
@@ -493,6 +500,7 @@ let test_mmap_mask_pass () =
       extern = (fun _ _ -> !returns);
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
+      charge = (fun _ -> ());
     }
   in
   (* Hostile kernel returns a pointer into ghost memory. *)
@@ -534,6 +542,7 @@ let test_opt_constant_folding () =
       extern = (fun _ _ -> 0L);
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
+      charge = (fun _ -> ());
     }
   in
   Alcotest.(check int64) "folded result" 111L (Interp.run env opt "f" [||])
@@ -601,6 +610,7 @@ let test_opt_no_div_by_zero_folding () =
       extern = (fun _ _ -> 0L);
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
+      charge = (fun _ -> ());
     }
   in
   Alcotest.(check bool) "still traps" true
@@ -610,31 +620,142 @@ let test_opt_no_div_by_zero_folding () =
      with Interp.Trap _ -> true)
 
 (* ------------------------------------------------------------------ *)
-(* Translation cache                                                   *)
+(* Linker                                                              *)
+
+let test_linker_structure () =
+  let program = fptr_program () in
+  let native = Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program) in
+  let linked = Linker.link native in
+  Alcotest.(check int) "one func per symbol" (List.length native.Native.symbols)
+    (Array.length linked.Linker.funcs);
+  Alcotest.(check int) "lcode covers code" (Array.length native.Native.code)
+    (Array.length linked.Linker.lcode);
+  List.iter
+    (fun (s : Native.symbol) ->
+      match Linker.find_func linked s.Native.name with
+      | None -> Alcotest.failf "symbol %s lost by linker" s.Native.name
+      | Some id ->
+          let f = linked.Linker.funcs.(id) in
+          Alcotest.(check string) "name" s.Native.name f.Linker.f_name;
+          Alcotest.(check int) "entry" s.Native.entry f.Linker.f_entry;
+          Alcotest.(check int) "arity" (List.length s.Native.params)
+            (Array.length f.Linker.f_params);
+          Alcotest.(check int) "entry_of inverse" id
+            linked.Linker.entry_of.(s.Native.entry);
+          Alcotest.(check int) "owner of entry" id
+            linked.Linker.owner_of.(s.Native.entry))
+    native.Native.symbols;
+  (* every CFI label is pre-resolved *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Native.NCfiLabel l ->
+          Alcotest.(check int) "label_of" (Int32.to_int l) linked.Linker.label_of.(i)
+      | _ ->
+          Alcotest.(check int) "no stray label" Linker.no_label
+            linked.Linker.label_of.(i))
+    native.Native.code
+
+let test_linker_register_slots_dense () =
+  (* Parameters take the first frame slots, in order; every register
+     named in a function maps below f_nregs. *)
+  let linked = compile_link ~cfi:false (fptr_program ()) in
+  Array.iter
+    (fun (f : Linker.func) ->
+      Array.iteri
+        (fun j slot ->
+          Alcotest.(check bool) (Printf.sprintf "%s param %d" f.Linker.f_name j) true
+            (slot = j))
+        f.Linker.f_params;
+      Alcotest.(check int) "names cover frame" f.Linker.f_nregs
+        (Array.length f.Linker.f_names))
+    linked.Linker.funcs
+
+(* An indirect checked call that lands on a *return-site* label (a
+   labelled slot that is not a function entry) must name the owning
+   function in the trap, not just a raw slot number. *)
+let test_indirect_call_to_nonentry_names_owner () =
+  let b = Builder.create () in
+  Builder.func b "leaf" ~params:[];
+  Builder.ret b (Some (Imm 1L));
+  Builder.func b "caller" ~params:[];
+  let r = Builder.call b "leaf" [] in
+  Builder.ret b (Some r);
+  Builder.func b "victim" ~params:[];
+  let fp = Builder.load b (Imm 0x3000L) in
+  let r = Builder.call_indirect b fp [] in
+  Builder.ret b (Some r);
+  let image = Codegen.compile ~cfi:true (Builder.program b) in
+  let linked = Linker.link image in
+  (* find a labelled slot that is not any function's entry: the return
+     site of the call inside `caller` *)
+  let gadget = ref (-1) in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Native.NCfiLabel _ when linked.Linker.entry_of.(i) < 0 && !gadget < 0 ->
+          gadget := i
+      | _ -> ())
+    image.Native.code;
+  Alcotest.(check bool) "found a return-site label" true (!gadget >= 0);
+  let w = make_world () in
+  world_store w 0x3000L W64 (Native.addr_of_index image !gadget);
+  let contains ~needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match Executor.run (exec_env w) linked "victim" [||] with
+  | _ -> Alcotest.fail "expected a trap"
+  | exception Executor.Exec_trap msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trap names owner: %s" msg)
+        true
+        (contains ~needle:"caller" msg
+        && contains ~needle:"not a function entry" msg)
+  | exception Executor.Cfi_violation msg ->
+      Alcotest.failf "unexpected CFI violation: %s" msg
+
+let test_checked_return_cycles_unchanged () =
+  (* The pre-resolved fast path for checked returns must charge exactly
+     what the slow probe does: Cfi_pass.check_extra_cycles per return,
+     on top of one cycle per slot. *)
+  let program = Sandbox_pass.instrument_program (rec_sum_program ()) in
+  let vg = compile_link ~cfi:true program in
+  let w = make_world () in
+  ignore (Executor.run (exec_env w) vg "sum" [| 10L |]);
+  let with_fast_path = w.cycles in
+  (* Force the slow path with an identity tamper hook: same masking and
+     label probe, just not pre-resolved. *)
+  let w2 = make_world () in
+  let env = { (exec_env w2) with Executor.tamper_return = Some (fun a -> a) } in
+  ignore (Executor.run env vg "sum" [| 10L |]);
+  Alcotest.(check int) "fast path charges the same" w2.cycles with_fast_path
 
 let test_trans_cache_roundtrip () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
-  let image = Codegen.compile ~cfi:true (rec_sum_program ()) in
+  let image = compile_link ~cfi:true (rec_sum_program ()) in
   Trans_cache.add cache ~name:"kernel" image;
   match Trans_cache.find cache ~name:"kernel" with
   | None -> Alcotest.fail "image should verify"
   | Some image' ->
-      Alcotest.(check int) "same size" (Array.length image.Native.code)
-        (Array.length image'.Native.code);
+      Alcotest.(check int) "same size"
+        (Array.length image.Linker.native.Native.code)
+        (Array.length image'.Linker.native.Native.code);
       let w = make_world () in
       Alcotest.(check int64) "still runs" 15L
         (Executor.run (exec_env w) image' "sum" [| 5L |])
 
 let test_trans_cache_tamper_detected () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
-  let image = Codegen.compile ~cfi:true (rec_sum_program ()) in
+  let image = compile_link ~cfi:true (rec_sum_program ()) in
   Trans_cache.add cache ~name:"kernel" image;
   Trans_cache.tamper cache ~name:"kernel";
   Alcotest.(check bool) "rejected" true (Trans_cache.find cache ~name:"kernel" = None)
 
 let test_trans_cache_wrong_key () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
-  let image = Codegen.compile ~cfi:true (rec_sum_program ()) in
+  let image = compile_link ~cfi:true (rec_sum_program ()) in
   let signed = Trans_cache.sign cache image in
   let other = Trans_cache.create ~key:(Bytes.of_string "evil-key") in
   Alcotest.(check bool) "foreign signature rejected" true
@@ -711,6 +832,16 @@ let () =
           Alcotest.test_case "extern" `Quick test_executor_extern;
           Alcotest.test_case "fuel" `Quick test_executor_fuel;
           Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+        ] );
+      ( "linker",
+        [
+          Alcotest.test_case "structure" `Quick test_linker_structure;
+          Alcotest.test_case "dense register slots" `Quick
+            test_linker_register_slots_dense;
+          Alcotest.test_case "indirect call to non-entry names owner" `Quick
+            test_indirect_call_to_nonentry_names_owner;
+          Alcotest.test_case "checked-return cycles unchanged" `Quick
+            test_checked_return_cycles_unchanged;
         ] );
       ( "cfi",
         [

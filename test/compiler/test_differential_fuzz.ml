@@ -185,10 +185,14 @@ let w_store w addr (width : Ir.width) v =
   | W32 -> Bytes.set_int32_le w.mem i (Int64.to_int32 v)
   | W64 -> Bytes.set_int64_le w.mem i v
 
-type run_result = Value of int64 * Bytes.t | Trapped
+(* [Value (result, memory, cycles)]: the simulated cycle count rides
+   along so the slot-file executor can be checked against the
+   interpreter's cost model, not just its answers. *)
+type run_result = Value of int64 * Bytes.t * int | Trapped
 
 let run_interp program args =
   let w = make_world () in
+  let cycles = ref 0 in
   let env =
     {
       Interp.load = w_load w;
@@ -199,19 +203,22 @@ let run_interp program args =
       extern = (fun _ _ -> 0L);
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
+      charge = (fun n -> cycles := !cycles + n);
     }
   in
   match Interp.run ~fuel:200_000 env program "f0" args with
-  | v -> Value (v, w.mem)
+  | v -> Value (v, w.mem, !cycles)
   | exception Interp.Trap _ -> Trapped
 
 let run_native ~vg program args =
   let w = make_world () in
+  let cycles = ref 0 in
   let env =
     {
       Executor.null_env with
       load = w_load w;
       store = w_store w;
+      charge = (fun n -> cycles := !cycles + n);
     }
   in
   let image =
@@ -219,15 +226,27 @@ let run_native ~vg program args =
       Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program)
     else Codegen.compile ~cfi:false program
   in
-  match Executor.run ~fuel:400_000 env image "f0" args with
-  | v -> Value (v, w.mem)
+  match Executor.run ~fuel:400_000 env (Linker.link image) "f0" args with
+  | v -> Value (v, w.mem, !cycles)
   | exception Executor.Exec_trap _ -> Trapped
 
+(* Results agree: same trap behaviour, same value, same final memory.
+   Cycle counts are compared separately ({!agree_cycles}) because the
+   instrumented pipeline legitimately charges more. *)
 let agree a b =
   match (a, b) with
   | Trapped, Trapped -> true
-  | Value (va, ma), Value (vb, mb) -> va = vb && Bytes.equal ma mb
+  | Value (va, ma, _), Value (vb, mb, _) -> va = vb && Bytes.equal ma mb
   | Value _, Trapped | Trapped, Value _ -> false
+
+(* The uninstrumented executor must charge exactly what the reference
+   interpreter charges: slot allocation and O(1) resolution are host-time
+   optimisations and must not perturb the simulated cost model. *)
+let agree_cycles a b =
+  match (a, b) with
+  | Value (_, _, ca), Value (_, _, cb) -> ca = cb
+  | Trapped, Trapped -> true
+  | _ -> false
 
 let prop_three_way_agreement =
   QCheck2.Test.make ~name:"interp = native = virtual-ghost on random programs"
@@ -240,7 +259,9 @@ let prop_three_way_agreement =
       | Ok () ->
           let args = [| Int64.of_int a; Int64.of_int b |] in
           let reference = run_interp program args in
-          agree reference (run_native ~vg:false program args)
+          let native = run_native ~vg:false program args in
+          agree reference native
+          && agree_cycles reference native
           && agree reference (run_native ~vg:true program args))
 
 let prop_optimizer_preserves_semantics =
@@ -262,12 +283,12 @@ let prop_optimizer_preserves_semantics =
          semantics (and thus the masking, checked next). *)
       &&
       let inst_then_opt = Opt_pass.optimize_program (Sandbox_pass.instrument_program program) in
-      let image = Codegen.compile ~cfi:true inst_then_opt in
+      let image = Linker.link (Codegen.compile ~cfi:true inst_then_opt) in
       let w = make_world () in
       let env = { Executor.null_env with load = w_load w; store = w_store w } in
       agree reference
         (match Executor.run ~fuel:400_000 env image "f0" args with
-        | v -> Value (v, w.mem)
+        | v -> Value (v, w.mem, 0)
         | exception Executor.Exec_trap _ -> Trapped))
 
 let prop_optimizer_never_unmasks =
@@ -280,7 +301,7 @@ let prop_optimizer_never_unmasks =
       let inst_then_opt =
         Opt_pass.optimize_program (Sandbox_pass.instrument_program program)
       in
-      let image = Codegen.compile ~cfi:true inst_then_opt in
+      let image = Linker.link (Codegen.compile ~cfi:true inst_then_opt) in
       let safe = ref true in
       let check addr =
         if Layout.in_ghost addr || Layout.in_sva addr then safe := false

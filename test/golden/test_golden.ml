@@ -1,0 +1,134 @@
+(* Golden simulated-cycle regression tests.
+
+   The executor's slot-allocated register files and O(1) symbol/label
+   resolution are host-time optimisations: every simulated cycle count
+   in the paper's tables must be bit-identical to what the tree produced
+   before that refactor.  These goldens pin the counts; if one of them
+   moves, the cost model changed — that is a bug (or a deliberate model
+   change that must be called out and these numbers re-baselined).
+
+   Two fixtures cover the compiler cost model (a memory-bound loop and
+   call-heavy recursion, in all four instrumentation modes), and the
+   LMBench null-syscall pins the whole-kernel path in both build
+   modes. *)
+
+(* --- fixtures (same shapes as bench/main.ml) ---------------------- *)
+
+let collatz_program () =
+  let b = Builder.create () in
+  Builder.func b "collatz" ~params:[ "n" ];
+  Builder.store b ~src:(Ir.Imm 0L) ~addr:(Ir.Imm 0x2000L) ();
+  Builder.store b ~src:(Ir.Reg "n") ~addr:(Ir.Imm 0x2008L) ();
+  Builder.br b "loop";
+  Builder.block b "loop";
+  let n = Builder.load b (Ir.Imm 0x2008L) in
+  let at_one = Builder.cmp b Ule n (Ir.Imm 1L) in
+  Builder.cbr b at_one "done" "step";
+  Builder.block b "step";
+  let odd = Builder.bin b And n (Ir.Imm 1L) in
+  let half = Builder.bin b Lshr n (Ir.Imm 1L) in
+  let tripled = Builder.bin b Mul n (Ir.Imm 3L) in
+  let plus1 = Builder.bin b Add tripled (Ir.Imm 1L) in
+  let next = Builder.select b odd plus1 half in
+  Builder.store b ~src:next ~addr:(Ir.Imm 0x2008L) ();
+  let count = Builder.load b (Ir.Imm 0x2000L) in
+  let count' = Builder.bin b Add count (Ir.Imm 1L) in
+  Builder.store b ~src:count' ~addr:(Ir.Imm 0x2000L) ();
+  Builder.br b "loop";
+  Builder.block b "done";
+  let count = Builder.load b (Ir.Imm 0x2000L) in
+  Builder.ret b (Some count);
+  Builder.program b
+
+let rec_sum_program () =
+  let b = Builder.create () in
+  Builder.func b "sum" ~params:[ "n" ];
+  let is_zero = Builder.cmp b Eq (Ir.Reg "n") (Ir.Imm 0L) in
+  Builder.cbr b is_zero "base" "rec";
+  Builder.block b "base";
+  Builder.ret b (Some (Ir.Imm 0L));
+  Builder.block b "rec";
+  let n1 = Builder.bin b Sub (Ir.Reg "n") (Ir.Imm 1L) in
+  let sub = Builder.call b "sum" [ n1 ] in
+  let total = Builder.bin b Add (Ir.Reg "n") sub in
+  Builder.ret b (Some total);
+  Builder.program b
+
+let run_cycles ~cfi ~sandbox program entry arg =
+  let program =
+    if sandbox then Vg_compiler.Sandbox_pass.instrument_program program
+    else program
+  in
+  let image = Vg_compiler.Linker.link (Vg_compiler.Codegen.compile ~cfi program) in
+  let mem = Bytes.make 65536 '\000' in
+  let cycles = ref 0 in
+  let env =
+    {
+      Vg_compiler.Executor.null_env with
+      load =
+        (fun addr _ ->
+          Bytes.get_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)));
+      store =
+        (fun addr _ v ->
+          Bytes.set_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)) v);
+      charge = (fun n -> cycles := !cycles + n);
+    }
+  in
+  ignore (Vg_compiler.Executor.run env image entry [| arg |]);
+  !cycles
+
+let check_modes name program entry arg ~plain ~cfi ~sandbox ~full =
+  Alcotest.(check int)
+    (name ^ ": plain") plain
+    (run_cycles ~cfi:false ~sandbox:false program entry arg);
+  Alcotest.(check int)
+    (name ^ ": cfi") cfi
+    (run_cycles ~cfi:true ~sandbox:false program entry arg);
+  Alcotest.(check int)
+    (name ^ ": sandbox") sandbox
+    (run_cycles ~cfi:false ~sandbox:true program entry arg);
+  Alcotest.(check int)
+    (name ^ ": full") full
+    (run_cycles ~cfi:true ~sandbox:true program entry arg)
+
+let test_collatz_cycles () =
+  check_modes "collatz(97)" (collatz_program ()) "collatz" 97L ~plain:1543
+    ~cfi:1544 ~sandbox:4875 ~full:4876
+
+let test_recsum_cycles () =
+  check_modes "recsum(40)" (rec_sum_program ()) "sum" 40L ~plain:244 ~cfi:445
+    ~sandbox:244 ~full:445
+
+(* --- whole-kernel golden: LMBench null syscall -------------------- *)
+
+let null_syscall_cycles mode =
+  let machine =
+    Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
+  in
+  let k = Kernel.boot ~mode machine in
+  Runtime.launch k ~ghosting:false (fun ctx ->
+      let proc = ctx.Runtime.proc in
+      let start = Machine.cycles machine in
+      for _ = 1 to 200 do
+        ignore (Syscalls.getpid k proc)
+      done;
+      Machine.cycles machine - start)
+
+let test_null_syscall_cycles () =
+  Alcotest.(check int) "native build" 71600
+    (null_syscall_cycles Sva.Native_build);
+  Alcotest.(check int) "virtual ghost" 261000
+    (null_syscall_cycles Sva.Virtual_ghost)
+
+let () =
+  Alcotest.run "vg_golden"
+    [
+      ( "simulated-cycles",
+        [
+          Alcotest.test_case "collatz, four modes" `Quick test_collatz_cycles;
+          Alcotest.test_case "recursive sum, four modes" `Quick
+            test_recsum_cycles;
+          Alcotest.test_case "LMBench null syscall" `Quick
+            test_null_syscall_cycles;
+        ] );
+    ]

@@ -36,6 +36,7 @@ let make_mem_env () =
       extern = (fun name _ -> failwith ("unexpected extern " ^ name));
       resolve_sym = (fun s -> failwith ("unresolved " ^ s));
       func_of_addr = (fun _ -> None);
+      charge = (fun _ -> ());
     }
   in
   (env, mem)
