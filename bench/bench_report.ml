@@ -1,0 +1,69 @@
+(* Shared reporting for the benchmark harness: every experiment prints
+   its human-readable table as before AND accumulates machine-readable
+   rows, written as BENCH_<experiment>.json on [finish] — the same
+   schema family as BENCH_executor.json, so the driver can diff any
+   table or figure across PRs without scraping stdout. *)
+
+type t = {
+  name : string;
+  title : string;
+  mutable rev_rows : Obs_json.t list;
+  mutable rev_notes : string list;
+}
+
+let create ~name ~title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n";
+  { name; title; rev_rows = []; rev_notes = [] }
+
+(* Human-only output: prints exactly like the Printf tables it
+   replaces. *)
+let line _t s = print_string s
+
+let linef t fmt = Printf.ksprintf (line t) fmt
+
+(* A machine-readable row.  [label] names the row ("null syscall",
+   "64KB", ...); [fields] carry the measurements. *)
+let row t ~label fields =
+  t.rev_rows <- Obs_json.Obj (("name", Obs_json.String label) :: fields) :: t.rev_rows
+
+(* A remark recorded in the JSON and printed to the table. *)
+let note t s =
+  t.rev_notes <- s :: t.rev_notes;
+  Printf.printf "%s\n" s
+
+let num f = Obs_json.Float f
+let int n = Obs_json.Int n
+let str s = Obs_json.String s
+let bool b = Obs_json.Bool b
+
+let to_json t : Obs_json.t =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String t.name);
+      ("title", Obs_json.String t.title);
+      ("schema", Obs_json.String "virtual-ghost-bench/1");
+      ("rows", Obs_json.List (List.rev t.rev_rows));
+      ( "notes",
+        Obs_json.List (List.rev_map (fun s -> Obs_json.String s) t.rev_notes) );
+    ]
+
+let finish t =
+  let path = Printf.sprintf "BENCH_%s.json" t.name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs_json.to_string (to_json t));
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* Run [f] with a fresh stats sink attached to [Obs.default] (which all
+   machines booted by the harness observe); returns the result and the
+   per-tag attribution.  Attaching a sink never changes simulated
+   cycles. *)
+let with_stats f =
+  let st = Obs_stats.create () in
+  let result = Obs.with_sink Obs.default (Obs_stats.sink st) f in
+  (result, st)

@@ -68,34 +68,98 @@ let lmbench_rows k =
 let run_lm_row mode (row : lm_row) =
   with_ctx mode ~ghosting:false (fun _k ctx -> row.run ctx ~iterations:row.iterations)
 
+(* Overhead attribution: the per-tag cycle deltas between the VG and
+   native legs decompose a Table 2 row into the paper's cost sources —
+   trap entry, interrupt-context save + register zeroing, sandbox
+   masking, CFI checks, MMU vetting, ghost crypto. *)
+let attribution_tags =
+  [
+    (Obs.Tag.Trap, "trap");
+    (Obs.Tag.Trap_save, "ic-save+zero");
+    (Obs.Tag.Trap_return, "trap-return");
+    (Obs.Tag.Mask, "mask");
+    (Obs.Tag.Cfi, "cfi");
+    (Obs.Tag.Mmu_check, "mmu-check");
+    (Obs.Tag.Crypto, "crypto");
+    (Obs.Tag.Zero, "zero");
+  ]
+
+let attribution ~native ~vg =
+  let parts =
+    List.filter_map
+      (fun (tag, label) ->
+        let d = Obs_stats.cycles vg tag - Obs_stats.cycles native tag in
+        if d <= 0 then None else Some (label, d))
+      attribution_tags
+  in
+  let delta_total = Obs_stats.total_cycles vg - Obs_stats.total_cycles native in
+  let attributed = List.fold_left (fun acc (_, d) -> acc + d) 0 parts in
+  let other = delta_total - attributed in
+  let parts = if other > 0 then parts @ [ ("other", other) ] else parts in
+  (parts, max delta_total 1)
+
+let print_attribution r parts total =
+  Bench_report.linef r "    overhead attribution:";
+  List.iter
+    (fun (label, d) ->
+      Bench_report.linef r " %s %.1f%%" label
+        (100.0 *. float_of_int d /. float_of_int total))
+    parts;
+  Bench_report.linef r "\n"
+
 let table2 () =
-  section "Table 2: LMBench latencies (microseconds; paper in parens)";
-  Printf.printf "%-18s %12s %12s %9s %9s %9s\n" "test" "native(us)" "vg(us)" "ovh(x)"
-    "paper(x)" "inktag(x)";
+  let r =
+    Bench_report.create ~name:"table2"
+      ~title:"Table 2: LMBench latencies (microseconds; paper in parens)"
+  in
+  Bench_report.linef r "%-18s %12s %12s %9s %9s %9s\n" "test" "native(us)" "vg(us)"
+    "ovh(x)" "paper(x)" "inktag(x)";
   let k = boot_fresh Sva.Virtual_ghost in
   List.iter
     (fun row ->
-      let native = run_lm_row Sva.Native_build row in
-      let vg = run_lm_row Sva.Virtual_ghost row in
+      let native, st_native =
+        Bench_report.with_stats (fun () -> run_lm_row Sva.Native_build row)
+      in
+      let vg, st_vg =
+        Bench_report.with_stats (fun () -> run_lm_row Sva.Virtual_ghost row)
+      in
       let paper_x = row.paper_vg_us /. row.paper_native_us in
-      Printf.printf "%-18s %8.3f(%.3f) %8.3f(%.3f) %8.2fx %8.2fx %s\n" row.name native
-        row.paper_native_us vg row.paper_vg_us (vg /. native) paper_x
+      Bench_report.linef r "%-18s %8.3f(%.3f) %8.3f(%.3f) %8.2fx %8.2fx %s\n" row.name
+        native row.paper_native_us vg row.paper_vg_us (vg /. native) paper_x
         (match row.paper_inktag_x with
         | Some x -> Printf.sprintf "%8.2fx" x
-        | None -> "      - ")
-    )
-    (lmbench_rows k)
+        | None -> "      - ");
+      let parts, delta_total = attribution ~native:st_native ~vg:st_vg in
+      print_attribution r parts delta_total;
+      Bench_report.row r ~label:row.name
+        [
+          ("native_us", Bench_report.num native);
+          ("vg_us", Bench_report.num vg);
+          ("overhead_x", Bench_report.num (vg /. native));
+          ("paper_native_us", Bench_report.num row.paper_native_us);
+          ("paper_vg_us", Bench_report.num row.paper_vg_us);
+          ("paper_overhead_x", Bench_report.num paper_x);
+          ( "attribution_cycles",
+            Obs_json.Obj (List.map (fun (l, d) -> (l, Bench_report.int d)) parts) );
+          ("overhead_cycles_total", Bench_report.int delta_total);
+        ])
+    (lmbench_rows k);
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Tables 3 and 4: file delete / create per second                     *)
 
 let table34 () =
-  section "Tables 3 & 4: LMBench file create/delete per second (paper in parens)";
+  let r =
+    Bench_report.create ~name:"table34"
+      ~title:"Tables 3 & 4: LMBench file create/delete per second (paper in parens)"
+  in
   let sizes = [ (0, 166846., 36164., 156276., 33777.);
                 (1024, 116668., 25817., 97839., 18796.);
                 (4096, 116657., 25806., 97102., 18725.);
                 (10240, 110842., 25042., 85319., 18095.) ] in
-  Printf.printf "%-8s | %28s | %28s\n" "size" "deletions/sec nat vs vg" "creations/sec nat vs vg";
+  Bench_report.linef r "%-8s | %28s | %28s\n" "size" "deletions/sec nat vs vg"
+    "creations/sec nat vs vg";
   List.iter
     (fun (size, pdn, pdv, pcn, pcv) ->
       let del mode =
@@ -108,10 +172,23 @@ let table34 () =
       in
       let dn = del Sva.Native_build and dv = del Sva.Virtual_ghost in
       let cn = cre Sva.Native_build and cv = cre Sva.Virtual_ghost in
-      Printf.printf
+      Bench_report.linef r
         "%-8d | %9.0f %9.0f %5.2fx (%4.2fx) | %9.0f %9.0f %5.2fx (%4.2fx)\n" size dn dv
-        (dn /. dv) (pdn /. pdv) cn cv (cn /. cv) (pcn /. pcv))
-    sizes
+        (dn /. dv) (pdn /. pdv) cn cv (cn /. cv) (pcn /. pcv);
+      Bench_report.row r ~label:(Printf.sprintf "%d-bytes" size)
+        [
+          ("file_size_bytes", Bench_report.int size);
+          ("delete_native_per_sec", Bench_report.num dn);
+          ("delete_vg_per_sec", Bench_report.num dv);
+          ("delete_slowdown_x", Bench_report.num (dn /. dv));
+          ("paper_delete_slowdown_x", Bench_report.num (pdn /. pdv));
+          ("create_native_per_sec", Bench_report.num cn);
+          ("create_vg_per_sec", Bench_report.num cv);
+          ("create_slowdown_x", Bench_report.num (cn /. cv));
+          ("paper_create_slowdown_x", Bench_report.num (pcn /. pcv));
+        ])
+    sizes;
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: thttpd bandwidth                                          *)
@@ -157,16 +234,29 @@ let thttpd_bandwidth mode size ~requests =
           else float_of_int (!ok * size) /. 1024.0 /. seconds)
 
 let figure2 () =
-  section "Figure 2: thttpd average bandwidth (KB/s; higher is better)";
-  Printf.printf "%-10s %14s %14s %10s\n" "file size" "native KB/s" "vg KB/s" "ratio";
+  let r =
+    Bench_report.create ~name:"figure2"
+      ~title:"Figure 2: thttpd average bandwidth (KB/s; higher is better)"
+  in
+  Bench_report.linef r "%-10s %14s %14s %10s\n" "file size" "native KB/s" "vg KB/s"
+    "ratio";
   List.iter
     (fun size ->
       let requests = if size >= 256 * kb then 5 else 20 in
       let native = thttpd_bandwidth Sva.Native_build size ~requests in
       let vg = thttpd_bandwidth Sva.Virtual_ghost size ~requests in
-      Printf.printf "%7dKB %14.0f %14.0f %9.2fx\n" (size / kb) native vg (native /. vg))
+      Bench_report.linef r "%7dKB %14.0f %14.0f %9.2fx\n" (size / kb) native vg
+        (native /. vg);
+      Bench_report.row r ~label:(Printf.sprintf "%dKB" (size / kb))
+        [
+          ("file_size_bytes", Bench_report.int size);
+          ("native_kb_per_sec", Bench_report.num native);
+          ("vg_kb_per_sec", Bench_report.num vg);
+          ("ratio_x", Bench_report.num (native /. vg));
+        ])
     figure_sizes;
-  Printf.printf "(paper: negligible impact at all sizes)\n"
+  Bench_report.note r "(paper: negligible impact at all sizes)";
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: sshd download bandwidth                                   *)
@@ -199,16 +289,30 @@ let sshd_bandwidth mode size =
           float_of_int (iterations * size) /. 1024.0 /. seconds)
 
 let figure3 () =
-  section "Figure 3: sshd (non-ghosting) download bandwidth (KB/s)";
-  Printf.printf "%-10s %14s %14s %10s\n" "file size" "native KB/s" "vg KB/s" "reduction";
+  let r =
+    Bench_report.create ~name:"figure3"
+      ~title:"Figure 3: sshd (non-ghosting) download bandwidth (KB/s)"
+  in
+  Bench_report.linef r "%-10s %14s %14s %10s\n" "file size" "native KB/s" "vg KB/s"
+    "reduction";
   List.iter
     (fun size ->
       let native = sshd_bandwidth Sva.Native_build size in
       let vg = sshd_bandwidth Sva.Virtual_ghost size in
-      Printf.printf "%7dKB %14.0f %14.0f %9.1f%%\n" (size / kb) native vg
-        ((native -. vg) /. native *. 100.0))
+      let reduction = (native -. vg) /. native *. 100.0 in
+      Bench_report.linef r "%7dKB %14.0f %14.0f %9.1f%%\n" (size / kb) native vg
+        reduction;
+      Bench_report.row r ~label:(Printf.sprintf "%dKB" (size / kb))
+        [
+          ("file_size_bytes", Bench_report.int size);
+          ("native_kb_per_sec", Bench_report.num native);
+          ("vg_kb_per_sec", Bench_report.num vg);
+          ("reduction_pct", Bench_report.num reduction);
+        ])
     figure_sizes;
-  Printf.printf "(paper: 23%% reduction on average, 45%% worst case, ~0 for large files)\n"
+  Bench_report.note r
+    "(paper: 23% reduction on average, 45% worst case, ~0 for large files)";
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: ghosting vs original ssh client (both on the VG kernel)   *)
@@ -238,16 +342,29 @@ let ssh_client_bandwidth ~ghosting size =
       float_of_int (iterations * size) /. 1024.0 /. seconds)
 
 let figure4 () =
-  section "Figure 4: ssh client transfer rate, original vs ghosting (VG kernel)";
-  Printf.printf "%-10s %14s %14s %10s\n" "file size" "orig KB/s" "ghosting KB/s" "reduction";
+  let r =
+    Bench_report.create ~name:"figure4"
+      ~title:"Figure 4: ssh client transfer rate, original vs ghosting (VG kernel)"
+  in
+  Bench_report.linef r "%-10s %14s %14s %10s\n" "file size" "orig KB/s"
+    "ghosting KB/s" "reduction";
   List.iter
     (fun size ->
       let original = ssh_client_bandwidth ~ghosting:false size in
       let ghosting = ssh_client_bandwidth ~ghosting:true size in
-      Printf.printf "%7dKB %14.0f %14.0f %9.1f%%\n" (size / kb) original ghosting
-        ((original -. ghosting) /. original *. 100.0))
+      let reduction = (original -. ghosting) /. original *. 100.0 in
+      Bench_report.linef r "%7dKB %14.0f %14.0f %9.1f%%\n" (size / kb) original
+        ghosting reduction;
+      Bench_report.row r ~label:(Printf.sprintf "%dKB" (size / kb))
+        [
+          ("file_size_bytes", Bench_report.int size);
+          ("original_kb_per_sec", Bench_report.num original);
+          ("ghosting_kb_per_sec", Bench_report.num ghosting);
+          ("reduction_pct", Bench_report.num reduction);
+        ])
     figure_sizes;
-  Printf.printf "(paper: at most 5%% reduction from using ghost memory)\n"
+  Bench_report.note r "(paper: at most 5% reduction from using ghost memory)";
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Table 5: Postmark                                                   *)
@@ -266,46 +383,114 @@ let postmark_time mode ~transactions =
       Cost.to_seconds (Machine.cycles machine - start))
 
 let table5 () =
-  section "Table 5: Postmark (simulated seconds; scaled to 20k transactions)";
+  let r =
+    Bench_report.create ~name:"table5"
+      ~title:"Table 5: Postmark (simulated seconds; scaled to 20k transactions)"
+  in
   let transactions = 20_000 in
-  let native = postmark_time Sva.Native_build ~transactions in
-  let vg = postmark_time Sva.Virtual_ghost ~transactions in
-  Printf.printf "%-14s %10s %10s %8s %10s\n" "benchmark" "native(s)" "vg(s)" "ovh" "paper";
-  Printf.printf "%-14s %10.3f %10.3f %7.2fx %9.2fx\n" "postmark" native vg (vg /. native)
-    (67.50 /. 14.30)
+  let native, st_native =
+    Bench_report.with_stats (fun () -> postmark_time Sva.Native_build ~transactions)
+  in
+  let vg, st_vg =
+    Bench_report.with_stats (fun () -> postmark_time Sva.Virtual_ghost ~transactions)
+  in
+  let paper_x = 67.50 /. 14.30 in
+  Bench_report.linef r "%-14s %10s %10s %8s %10s\n" "benchmark" "native(s)" "vg(s)"
+    "ovh" "paper";
+  Bench_report.linef r "%-14s %10.3f %10.3f %7.2fx %9.2fx\n" "postmark" native vg
+    (vg /. native) paper_x;
+  let parts, delta_total = attribution ~native:st_native ~vg:st_vg in
+  print_attribution r parts delta_total;
+  Bench_report.row r ~label:"postmark"
+    [
+      ("transactions", Bench_report.int transactions);
+      ("native_seconds", Bench_report.num native);
+      ("vg_seconds", Bench_report.num vg);
+      ("overhead_x", Bench_report.num (vg /. native));
+      ("paper_overhead_x", Bench_report.num paper_x);
+      ( "attribution_cycles",
+        Obs_json.Obj (List.map (fun (l, d) -> (l, Bench_report.int d)) parts) );
+    ];
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Additional LMBench-style microbenchmarks (beyond Table 2)           *)
 
 let extra_micro () =
-  section "Additional microbenchmarks (beyond the paper's Table 2)";
+  let r =
+    Bench_report.create ~name:"extra_micro"
+      ~title:"Additional microbenchmarks (beyond the paper's Table 2)"
+  in
   let rows =
     [
       ("pipe latency (us)", fun ctx -> Lmbench.pipe_latency ctx ~iterations:500);
       ("context switch (us)", fun ctx -> Lmbench.context_switch ctx ~iterations:500);
     ]
   in
-  Printf.printf "%-22s %12s %12s %9s\n" "test" "native" "vg" "ovh(x)";
+  Bench_report.linef r "%-22s %12s %12s %9s\n" "test" "native" "vg" "ovh(x)";
   List.iter
     (fun (name, run) ->
       let go mode = with_ctx mode ~ghosting:false (fun _ ctx -> run ctx) in
       let native = go Sva.Native_build and vg = go Sva.Virtual_ghost in
-      Printf.printf "%-22s %12.3f %12.3f %8.2fx\n" name native vg (vg /. native))
+      Bench_report.linef r "%-22s %12.3f %12.3f %8.2fx\n" name native vg (vg /. native);
+      Bench_report.row r ~label:name
+        [
+          ("native_us", Bench_report.num native);
+          ("vg_us", Bench_report.num vg);
+          ("overhead_x", Bench_report.num (vg /. native));
+        ])
     rows;
   let bw mode = with_ctx mode ~ghosting:false (fun _ ctx -> Lmbench.pipe_bandwidth ctx ~iterations:100) in
   let native = bw Sva.Native_build and vg = bw Sva.Virtual_ghost in
-  Printf.printf "%-22s %10.1fMB %10.1fMB %8.2fx (native/vg)\n" "pipe bandwidth" native vg
-    (native /. vg)
+  Bench_report.linef r "%-22s %10.1fMB %10.1fMB %8.2fx (native/vg)\n" "pipe bandwidth"
+    native vg (native /. vg);
+  Bench_report.row r ~label:"pipe bandwidth"
+    [
+      ("native_mb_per_sec", Bench_report.num native);
+      ("vg_mb_per_sec", Bench_report.num vg);
+      ("ratio_x", Bench_report.num (native /. vg));
+    ];
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Section 7: security experiments                                     *)
 
 let security () =
-  section "Section 7: security experiments (rootkit + other vectors)";
+  let r =
+    Bench_report.create ~name:"security"
+      ~title:"Section 7: security experiments (rootkit + other vectors)"
+  in
+  (* Each leg runs under a stats sink: under VG a blocked attack must
+     also announce itself on the event stream, and the count makes the
+     JSON row auditable. *)
+  let observed f =
+    let result, st = Bench_report.with_stats f in
+    (result, Obs_stats.security_events st)
+  in
   List.iter
     (fun (mode, attack) ->
-      let o = Vg_attacks.Rootkit.run_experiment ~mode ~attack in
-      Format.printf "  %a@." Vg_attacks.Rootkit.pp_outcome o)
+      let o, sec =
+        observed (fun () -> Vg_attacks.Rootkit.run_experiment ~mode ~attack)
+      in
+      Bench_report.line r
+        (Format.asprintf "  %a@." Vg_attacks.Rootkit.pp_outcome o);
+      Bench_report.row r
+        ~label:
+          (Format.asprintf "rootkit %s on %s"
+             (match attack with
+             | Vg_attacks.Rootkit.Direct_read -> "direct-read"
+             | Vg_attacks.Rootkit.Signal_inject -> "signal-inject")
+             (match mode with
+             | Sva.Native_build -> "native"
+             | Sva.Virtual_ghost -> "vg"))
+        [
+          ( "secret_stolen",
+            Bench_report.bool
+              (o.Vg_attacks.Rootkit.secret_leaked_to_console
+              || o.Vg_attacks.Rootkit.secret_in_exfil_file) );
+          ("victim_survived", Bench_report.bool o.Vg_attacks.Rootkit.victim_survived);
+          ("security_events", Bench_report.int sec);
+        ])
     [
       (Sva.Native_build, Vg_attacks.Rootkit.Direct_read);
       (Sva.Virtual_ghost, Vg_attacks.Rootkit.Direct_read);
@@ -313,20 +498,45 @@ let security () =
       (Sva.Virtual_ghost, Vg_attacks.Rootkit.Signal_inject);
     ];
   let vector name f =
-    Printf.printf "  %-28s native:%-9s vg:%s\n" name
-      (if f ~mode:Sva.Native_build then "STOLEN" else "blocked")
-      (if f ~mode:Sva.Virtual_ghost then "STOLEN" else "blocked")
+    let native, native_sec = observed (fun () -> f ~mode:Sva.Native_build) in
+    let vg, vg_sec = observed (fun () -> f ~mode:Sva.Virtual_ghost) in
+    Bench_report.linef r "  %-28s native:%-9s vg:%s\n" name
+      (if native then "STOLEN" else "blocked")
+      (if vg then "STOLEN" else "blocked");
+    Bench_report.row r ~label:name
+      [
+        ("native_stolen", Bench_report.bool native);
+        ("vg_stolen", Bench_report.bool vg);
+        ("native_security_events", Bench_report.int native_sec);
+        ("vg_security_events", Bench_report.int vg_sec);
+      ]
   in
   vector "mmu remap" Vg_attacks.Other_attacks.mmu_remap_attack;
   vector "dma" Vg_attacks.Other_attacks.dma_attack;
   vector "interrupt-context tamper" Vg_attacks.Other_attacks.icontext_tamper_attack;
   vector "swap tamper" Vg_attacks.Other_attacks.swap_tamper_attack;
   vector "file replay" Vg_attacks.Other_attacks.file_replay_attack;
-  Printf.printf "  %-28s unmasked:%-7s masked:%s\n" "iago mmap (on vg kernel)"
-    (if Vg_attacks.Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false
-     then "CORRUPT" else "safe")
-    (if Vg_attacks.Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true
-     then "CORRUPT" else "safe")
+  let unmasked, unmasked_sec =
+    observed (fun () ->
+        Vg_attacks.Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost
+          ~ghosting:false)
+  in
+  let masked, masked_sec =
+    observed (fun () ->
+        Vg_attacks.Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost
+          ~ghosting:true)
+  in
+  Bench_report.linef r "  %-28s unmasked:%-7s masked:%s\n" "iago mmap (on vg kernel)"
+    (if unmasked then "CORRUPT" else "safe")
+    (if masked then "CORRUPT" else "safe");
+  Bench_report.row r ~label:"iago mmap (on vg kernel)"
+    [
+      ("unmasked_corrupted", Bench_report.bool unmasked);
+      ("masked_corrupted", Bench_report.bool masked);
+      ("unmasked_security_events", Bench_report.int unmasked_sec);
+      ("masked_security_events", Bench_report.int masked_sec);
+    ];
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -369,11 +579,11 @@ let bench_env ~cycles ~instrs =
       (fun addr _ v ->
         Bytes.set_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)) v);
     charge =
-      (fun n ->
+      (fun tag n ->
         cycles := !cycles + n;
-        (* multi-cycle charges (CFI checks, memcpy surcharges) ride on
-           an already-counted instruction slot *)
-        if n = 1 then incr instrs);
+        (* instruction count = Exec charges; CFI checks and memcpy
+           surcharges carry their own tags *)
+        if tag = Vg_obs.Obs.Tag.Exec then incr instrs);
   }
 
 let run_image_counts ?(arg = 97L) image =
@@ -405,7 +615,7 @@ let rec_sum_program () =
 let compile_linked ~cfi program =
   Vg_compiler.Linker.link (Vg_compiler.Codegen.compile ~cfi program)
 
-let pass_cost_table title program =
+let pass_cost_table r ~key title program =
   let plain = compile_linked ~cfi:false program in
   let cfi_only = compile_linked ~cfi:true program in
   let sandboxed =
@@ -415,22 +625,33 @@ let pass_cost_table title program =
     compile_linked ~cfi:true (Vg_compiler.Sandbox_pass.instrument_program program)
   in
   let base = run_image_cycles plain in
-  Printf.printf "  pass cost on %s (executor cycles):\n" title;
-  Printf.printf "    %-22s %8d (1.00x)\n" "no instrumentation" base;
+  Bench_report.linef r "  pass cost on %s (executor cycles):\n" title;
+  Bench_report.linef r "    %-22s %8d (1.00x)\n" "no instrumentation" base;
   List.iter
     (fun (name, image) ->
       let c = run_image_cycles image in
-      Printf.printf "    %-22s %8d (%.2fx)\n" name c
-        (float_of_int c /. float_of_int base))
+      Bench_report.linef r "    %-22s %8d (%.2fx)\n" name c
+        (float_of_int c /. float_of_int base);
+      Bench_report.row r
+        ~label:(Printf.sprintf "pass-cost %s: %s" key name)
+        [
+          ("fixture", Bench_report.str key);
+          ("config", Bench_report.str name);
+          ("cycles", Bench_report.int c);
+          ("base_cycles", Bench_report.int base);
+          ("slowdown_x", Bench_report.num (float_of_int c /. float_of_int base));
+        ])
     [ ("cfi only", cfi_only); ("sandboxing only", sandboxed); ("sandbox + cfi", full) ]
 
 let ablations () =
-  section "Ablations (DESIGN.md section 5)";
+  let r = Bench_report.create ~name:"ablations" ~title:"Ablations (DESIGN.md section 5)" in
   (* (a) Instruction-level cost of the passes, measured on real
      compiled code in the executor: a memory-bound loop shows the
      sandboxing cost, a call-heavy recursion shows the CFI cost. *)
-  pass_cost_table "a memory-bound kernel loop (collatz)" (collatz_program ());
-  pass_cost_table "call-heavy kernel code (recursive sum)" (rec_sum_program ());
+  pass_cost_table r ~key:"collatz" "a memory-bound kernel loop (collatz)"
+    (collatz_program ());
+  pass_cost_table r ~key:"recsum" "call-heavy kernel code (recursive sum)"
+    (rec_sum_program ());
   (* (b) Ghosting versus the shadowing (Overshadow/InkTag) design: the
      shadowing model must encrypt+hash each application page the kernel
      touches on the syscall path; Virtual Ghost just masks. *)
@@ -441,14 +662,25 @@ let ablations () =
   let crypt_page_us =
     Cost.to_microseconds (4096 * (Cost.aes_per_byte + Cost.sha_per_byte))
   in
-  Printf.printf
+  Bench_report.linef r
     "  shadowing-model estimate: null syscall touching 1 app page would add\n";
-  Printf.printf
+  Bench_report.linef r
     "    +%.3f us of encrypt+hash per page versus %.3f us total under ghosting\n"
     crypt_page_us null_vg;
+  Bench_report.row r ~label:"shadowing-model estimate"
+    [
+      ("crypt_page_us", Bench_report.num crypt_page_us);
+      ("ghosting_null_syscall_us", Bench_report.num null_vg);
+    ];
   (* (c) Register zeroing / IC save share of the trap cost. *)
-  Printf.printf "  trap-entry composition (cycles): base=%d, vg extra (IC save+zeroing)=%d\n"
+  Bench_report.linef r
+    "  trap-entry composition (cycles): base=%d, vg extra (IC save+zeroing)=%d\n"
     Cost.trap_entry Cost.vg_trap_extra;
+  Bench_report.row r ~label:"trap-entry composition"
+    [
+      ("base_cycles", Bench_report.int Cost.trap_entry);
+      ("vg_extra_cycles", Bench_report.int Cost.vg_trap_extra);
+    ];
   (* (d) Syscall-argument copying policy: the shadowing systems copy
      every buffer through a bounce region; Virtual Ghost copies only
      ghost-resident data.  Measure a non-ghost bulk write both ways. *)
@@ -480,11 +712,17 @@ let ablations () =
         Cost.to_microseconds (Machine.cycles machine - start) /. 20.0)
   in
   let selective = copy_policy true and always = copy_policy false in
-  Printf.printf
-    "  syscall-argument copy policy (64 KiB non-ghost write):\n";
-  Printf.printf "    copy-only-ghost (VG)   %10.2f us\n" selective;
-  Printf.printf "    copy-always (shadowing)%10.2f us (+%.0f%%)\n" always
+  Bench_report.linef r "  syscall-argument copy policy (64 KiB non-ghost write):\n";
+  Bench_report.linef r "    copy-only-ghost (VG)   %10.2f us\n" selective;
+  Bench_report.linef r "    copy-always (shadowing)%10.2f us (+%.0f%%)\n" always
     ((always -. selective) /. selective *. 100.0);
+  Bench_report.row r ~label:"syscall-argument copy policy"
+    [
+      ("copy_only_ghost_us", Bench_report.num selective);
+      ("copy_always_us", Bench_report.num always);
+      ( "copy_always_penalty_pct",
+        Bench_report.num ((always -. selective) /. selective *. 100.0) );
+    ];
   (* (e) What the optimiser buys on kernel code. *)
   let program = collatz_program () in
   let before = Vg_ir.Ir.instr_count (Vg_compiler.Sandbox_pass.instrument_program program) in
@@ -493,8 +731,14 @@ let ablations () =
       (Vg_compiler.Opt_pass.optimize_program
          (Vg_compiler.Sandbox_pass.instrument_program program))
   in
-  Printf.printf "  optimizer on instrumented collatz: %d -> %d IR instructions\n" before
-    after
+  Bench_report.linef r "  optimizer on instrumented collatz: %d -> %d IR instructions\n"
+    before after;
+  Bench_report.row r ~label:"optimizer on instrumented collatz"
+    [
+      ("ir_instructions_before", Bench_report.int before);
+      ("ir_instructions_after", Bench_report.int after);
+    ];
+  Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel host-time microbenchmarks (simulator hot paths)            *)

@@ -26,6 +26,50 @@ let boot mode =
   let machine = Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" () in
   (machine, Kernel.boot ~mode machine)
 
+(* -- observability flags (shared by the run commands) ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome-trace JSON of the run to $(docv) (open in \
+           chrome://tracing or Perfetto).  Timestamps follow the simulated \
+           clock.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"After the run, print per-subsystem cycle attribution and event counts.")
+
+(* Attach the requested sinks to [Obs.default] — which every machine
+   booted in this process reports to — for the duration of [f].  Sinks
+   never change simulated cycle counts. *)
+let with_obs ~trace ~stats f =
+  let with_stats g =
+    if not stats then g ()
+    else begin
+      let st = Obs_stats.create () in
+      Fun.protect
+        ~finally:(fun () -> Obs_stats.print st)
+        (fun () -> Obs.with_sink Obs.default (Obs_stats.sink st) g)
+    end
+  in
+  let with_trace g =
+    match trace with
+    | None -> g ()
+    | Some path ->
+        let tr = Obs_trace.create ~cycles_per_us:(Cost.cpu_hz /. 1e6) () in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs_trace.write_file tr path;
+            Printf.printf "trace written to %s\n" path)
+          (fun () -> Obs.with_sink Obs.default (Obs_trace.sink tr) g)
+  in
+  with_trace (fun () -> with_stats f)
+
 (* -- info ----------------------------------------------------------- *)
 
 let info_cmd =
@@ -64,16 +108,19 @@ let attack_cmd =
     Arg.(value & opt attack_conv Vg_attacks.Rootkit.Direct_read
          & info [ "attack" ] ~doc:"Attack: direct (read victim memory) or inject (signal handler).")
   in
-  let run mode attack =
-    let o = Vg_attacks.Rootkit.run_experiment ~mode ~attack in
-    Format.printf "%a@." Vg_attacks.Rootkit.pp_outcome o;
-    let stolen = o.Vg_attacks.Rootkit.secret_leaked_to_console || o.secret_in_exfil_file in
-    Format.printf "verdict: the secret was %s@."
-      (if stolen then "STOLEN" else "NOT obtained")
+  let run mode attack trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let o = Vg_attacks.Rootkit.run_experiment ~mode ~attack in
+        Format.printf "%a@." Vg_attacks.Rootkit.pp_outcome o;
+        let stolen =
+          o.Vg_attacks.Rootkit.secret_leaked_to_console || o.secret_in_exfil_file
+        in
+        Format.printf "verdict: the secret was %s@."
+          (if stolen then "STOLEN" else "NOT obtained"))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a section-7 rootkit experiment.")
-    Term.(const run $ mode_arg $ attack_arg)
+    Term.(const run $ mode_arg $ attack_arg $ trace_arg $ stats_arg)
 
 (* -- sealed store demo ---------------------------------------------- *)
 
@@ -127,26 +174,28 @@ let lmbench_cmd =
   let iters_arg =
     Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
   in
-  let run mode op iterations =
-    let _, kernel = boot mode in
-    Runtime.launch kernel ~ghosting:false (fun ctx ->
-        let f =
-          match op with
-          | "null" -> Lmbench.null_syscall
-          | "open-close" -> Lmbench.open_close
-          | "mmap" -> Lmbench.mmap_bench
-          | "page-fault" -> Lmbench.page_fault
-          | "sig-install" -> Lmbench.signal_install
-          | "sig-deliver" -> Lmbench.signal_delivery
-          | "fork-exit" -> Lmbench.fork_exit
-          | "select" -> Lmbench.select_10
-          | other -> failwith ("unknown op " ^ other)
-        in
-        Printf.printf "%s: %.3f us per operation (simulated)\n" op (f ctx ~iterations))
+  let run mode op iterations trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let _, kernel = boot mode in
+        Runtime.launch kernel ~ghosting:false (fun ctx ->
+            let f =
+              match op with
+              | "null" -> Lmbench.null_syscall
+              | "open-close" -> Lmbench.open_close
+              | "mmap" -> Lmbench.mmap_bench
+              | "page-fault" -> Lmbench.page_fault
+              | "sig-install" -> Lmbench.signal_install
+              | "sig-deliver" -> Lmbench.signal_delivery
+              | "fork-exit" -> Lmbench.fork_exit
+              | "select" -> Lmbench.select_10
+              | other -> failwith ("unknown op " ^ other)
+            in
+            Printf.printf "%s: %.3f us per operation (simulated)\n" op
+              (f ctx ~iterations)))
   in
   Cmd.v
     (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
-    Term.(const run $ mode_arg $ op_arg $ iters_arg)
+    Term.(const run $ mode_arg $ op_arg $ iters_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 
@@ -157,23 +206,24 @@ let postmark_cmd =
   let files_arg =
     Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
   in
-  let run mode transactions base_files =
-    let machine, kernel = boot mode in
-    Runtime.launch kernel ~ghosting:false (fun ctx ->
-        let config = { Postmark.paper_config with transactions; base_files } in
-        let start = Machine.cycles machine in
-        match Postmark.run ctx config with
-        | Error e -> Printf.printf "postmark failed: %s\n" (Errno.to_string e)
-        | Ok stats ->
-            let seconds = Cost.to_seconds (Machine.cycles machine - start) in
-            Printf.printf
-              "postmark: %.3f simulated seconds (created=%d deleted=%d reads=%d appends=%d)\n"
-              seconds stats.Postmark.created stats.Postmark.deleted stats.Postmark.reads
-              stats.Postmark.appends)
+  let run mode transactions base_files trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let machine, kernel = boot mode in
+        Runtime.launch kernel ~ghosting:false (fun ctx ->
+            let config = { Postmark.paper_config with transactions; base_files } in
+            let start = Machine.cycles machine in
+            match Postmark.run ctx config with
+            | Error e -> Format.printf "postmark failed: %a@." Errno.pp e
+            | Ok st ->
+                let seconds = Cost.to_seconds (Machine.cycles machine - start) in
+                Printf.printf
+                  "postmark: %.3f simulated seconds (created=%d deleted=%d reads=%d appends=%d)\n"
+                  seconds st.Postmark.created st.Postmark.deleted st.Postmark.reads
+                  st.Postmark.appends))
   in
   Cmd.v
     (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
-    Term.(const run $ mode_arg $ tx_arg $ files_arg)
+    Term.(const run $ mode_arg $ tx_arg $ files_arg $ trace_arg $ stats_arg)
 
 let () =
   let doc = "Virtual Ghost (ASPLOS 2014) reproduction simulator" in

@@ -50,7 +50,7 @@ let () =
   Runtime.launch kernel ~image:keygen ~ghosting:true (fun ctx ->
       match Ssh_suite.keygen ctx ~path:"/root-id" with
       | Ok () -> print_endline "  ssh-keygen: wrote sealed private key to /root-id"
-      | Error e -> Printf.printf "  keygen failed: %s\n" (Errno.to_string e));
+      | Error e -> Format.printf "  keygen failed: %a@." Errno.pp e);
   (* The raw bytes on disk are ciphertext. *)
   (match Diskfs.lookup kernel.Kernel.fs "/root-id" with
   | Ok ino -> (

@@ -13,10 +13,10 @@ let serve_one_size mode size =
       ignore
         (Diskfs.write kernel.Kernel.fs ~ino ~off:0
            (Bytes.init size (fun i -> Char.chr (32 + (i mod 95)))))
-  | Error _ -> failwith "create");
+  | Error e -> failwith (Format.asprintf "create /index.html: %a" Errno.pp e));
   Runtime.launch kernel ~ghosting:false (fun ctx ->
       match Httpd.start ctx ~port:80 with
-      | Error e -> failwith (Errno.to_string e)
+      | Error e -> failwith (Format.asprintf "httpd start: %a" Errno.pp e)
       | Ok listen_fd ->
           (* One warm-up, then ten timed requests from the remote
              client across the simulated gigabit link. *)

@@ -6,7 +6,7 @@ type env = {
   io_write : int64 -> int64 -> unit;
   extern : string -> int64 array -> int64;
   call_foreign : int64 -> int64 array -> int64;
-  charge : int -> unit;
+  charge : Obs.Tag.t -> int -> unit;
   tamper_return : (int64 -> int64) option;
 }
 
@@ -41,7 +41,7 @@ let null_env =
     io_write = (fun _ _ -> raise (Exec_trap "null_env: io_write"));
     extern = (fun name _ -> raise (Exec_trap ("null_env: extern " ^ name)));
     call_foreign = (fun _ _ -> raise (Exec_trap "null_env: foreign call"));
-    charge = (fun _ -> ());
+    charge = (fun _ _ -> ());
     tamper_return = None;
   }
 
@@ -232,7 +232,7 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
     if !sp = 0 then running := false
     else begin
       let ret_pc, ret_dst = pop_frame () in
-      env.charge Cfi_pass.check_extra_cycles;
+      env.charge Obs.Tag.Cfi Cfi_pass.check_extra_cycles;
       let target =
         match env.tamper_return with
         | None ->
@@ -253,7 +253,7 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
     let p = !pc in
     if p < 0 || p >= ncode then
       raise (Exec_trap (Printf.sprintf "pc %d out of code bounds" p));
-    env.charge 1;
+    env.charge Obs.Tag.Exec 1;
     match lcode.(p) with
     | LMov { dst; src } ->
         write dst (v src);
@@ -277,7 +277,7 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
     | LMemcpy { dst; src; len } ->
         let len_v = v len in
         (* Copy cost scales with length, as it would on hardware. *)
-        env.charge (Int64.to_int (Vg_util.U64.div len_v 8L));
+        env.charge Obs.Tag.Copy (Int64.to_int (Vg_util.U64.div len_v 8L));
         env.memcpy ~dst:(v dst) ~src:(v src) ~len:len_v;
         pc := p + 1
     | LAtomic { dst; op; addr; operand_; width } ->
@@ -308,7 +308,7 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
     | LCallIndirectChecked { dst; target; args; label } ->
         let addr = v target in
         let nargs = eval_args args in
-        env.charge Cfi_pass.check_extra_cycles;
+        env.charge Obs.Tag.Cfi Cfi_pass.check_extra_cycles;
         let idx = checked_target label addr in
         (* The label slot is the function entry; execution starts there
            and falls through it. *)

@@ -31,7 +31,13 @@ type env = {
       (** Indirect calls whose (possibly masked) target lies outside the
           image. Only consulted by {e unchecked} indirect calls; checked
           ones refuse such targets. *)
-  charge : int -> unit;  (** cycle accounting *)
+  charge : Vg_obs.Obs.Tag.t -> int -> unit;
+      (** Cycle accounting.  The tag says what the cycles pay for
+          ({!Vg_obs.Obs.Tag.Exec} for ordinary instructions,
+          {!Vg_obs.Obs.Tag.Cfi} for label checks,
+          {!Vg_obs.Obs.Tag.Copy} for memcpy length cost) so sinks can
+          attribute instrumentation overhead; implementations that don't
+          care simply ignore it. *)
   tamper_return : (int64 -> int64) option;
       (** Attack hook: rewrite each popped return address. *)
 }

@@ -68,7 +68,7 @@ let lookup t b =
 
 let read t b =
   let entry = lookup t b in
-  Machine.charge (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
+  Machine.charge ~tag:Obs.Tag.Copy (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
   Bytes.copy entry.data
 
 (* A full-block write never needs the old contents: a cache miss here
@@ -91,7 +91,7 @@ let write t b src =
         Hashtbl.replace t.cache b entry;
         entry
   in
-  Machine.charge (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
+  Machine.charge ~tag:Obs.Tag.Copy (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
   Bytes.fill entry.data 0 block_bytes '\000';
   Bytes.blit src 0 entry.data 0 (Bytes.length src);
   entry.dirty <- true

@@ -67,4 +67,6 @@ let to_int = function
   | ENOTEMPTY -> 66
   | ECONNREFUSED -> 61
 
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
 type 'a result = ('a, t) Stdlib.result

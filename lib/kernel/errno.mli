@@ -28,5 +28,9 @@ val to_string : t -> string
 val to_int : t -> int
 (** Conventional positive errno numbers. *)
 
+val pp : Format.formatter -> t -> unit
+(** Prints the symbolic name ([EPERM], ...); usable as [%a] so callers
+    report failures uniformly instead of hand-rolling match arms. *)
+
 type 'a result = ('a, t) Stdlib.result
 (** The return type of every system call. *)

@@ -156,7 +156,7 @@ let resolve_cow t (proc : Proc.t) vpage =
             let dst = Int64.shift_left (Int64.of_int fresh) 12 in
             Phys_mem.write_bytes (Machine.mem t.machine) ~addr:dst
               (Phys_mem.read_bytes (Machine.mem t.machine) ~addr:src ~len:4096);
-            Machine.charge t.machine (Cost.copy_cycles 4096);
+            Machine.charge ~tag:Obs.Tag.Copy t.machine (Cost.copy_cycles 4096);
             match Sva.map_page t.sva proc.Proc.pt ~va ~frame:fresh ~perm:user_perm with
             | Ok () ->
                 release_frame t frame;
@@ -200,13 +200,13 @@ let ensure_user_range t proc va ~len =
 let handle_page_fault t proc va =
   (* Hardware fault delivery, VM trap entry, then the (instrumented)
      fault handler's vm_map lookup before the page is materialised. *)
-  Machine.charge t.machine Cost.page_fault_hw;
+  Machine.charge ~tag:Obs.Tag.Page_fault t.machine Cost.page_fault_hw;
   Sva.enter_trap t.sva ~tid:proc.Proc.tid;
   Kmem.fn_entry t.kmem;
   Kmem.work t.kmem 80;
   (* The fault path is long, mostly register/ALU work (vm_map lookups,
      object chains) whose instrumentation overhead is small. *)
-  Machine.charge t.machine 6000;
+  Machine.charge ~tag:Obs.Tag.Kernel_work t.machine 6000;
   let vpage = Int64.shift_right_logical va 12 in
   let result =
     if Hashtbl.mem proc.Proc.cow vpage then resolve_cow t proc vpage

@@ -15,8 +15,22 @@ let effective t addr =
   match t.mode with
   | Sva.Native_build -> addr
   | Sva.Virtual_ghost ->
-      Machine.charge t.machine Cost.sandbox_mask;
+      Machine.charge ~tag:Obs.Tag.Mask t.machine Cost.sandbox_mask;
       Vg_compiler.Sandbox_pass.masked_address addr
+
+(* A masked access that still faulted: under Virtual Ghost that means
+   instrumented kernel code aimed at memory the sandbox denies it
+   (e.g. a ghost address forced out of range) — a defence engaging, so
+   it must not pass silently. *)
+let fault t what addr =
+  t.faults <- t.faults + 1;
+  if t.mode = Sva.Virtual_ghost && Machine.tracing t.machine then
+    Machine.emit t.machine
+      (Obs.Event.Security
+         {
+           subsystem = "sandbox";
+           detail = Printf.sprintf "masked kernel %s at %s faulted" what (U64.to_hex addr);
+         })
 
 (* Kernel accesses always run at kernel privilege; restore afterwards so
    interleaved user-level code is unaffected. *)
@@ -26,18 +40,18 @@ let as_kernel t f =
   Fun.protect ~finally:(fun () -> Machine.set_privilege t.machine saved) f
 
 let load t addr ~len =
-  let addr = effective t addr in
+  let ea = effective t addr in
   as_kernel t (fun () ->
-      try Machine.read_virt t.machine addr ~len
+      try Machine.read_virt t.machine ea ~len
       with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-        t.faults <- t.faults + 1;
+        fault t "load" addr;
         0L)
 
 let store t addr ~len v =
-  let addr = effective t addr in
+  let ea = effective t addr in
   as_kernel t (fun () ->
-      try Machine.write_virt t.machine addr ~len v
-      with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> t.faults <- t.faults + 1)
+      try Machine.write_virt t.machine ea ~len v
+      with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> fault t "store" addr)
 
 let read_bytes t addr ~len =
   let out = Bytes.create len in
@@ -51,7 +65,7 @@ let read_bytes t addr ~len =
         (try
            Bytes.blit (Machine.read_bytes_virt t.machine ea ~len:chunk) 0 out !pos chunk
          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-           t.faults <- t.faults + 1;
+           fault t "read" va;
            Bytes.fill out !pos chunk '\000');
         pos := !pos + chunk
       done);
@@ -68,19 +82,20 @@ let write_bytes t addr src =
         let ea = effective t va in
         (try Machine.write_bytes_virt t.machine ea (Bytes.sub src !pos chunk)
          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-           t.faults <- t.faults + 1);
+           fault t "write" va);
         pos := !pos + chunk
       done)
 
+(* [n * (mem_access + sandbox_mask)] split by distributivity so the
+   mask surcharge is attributed separately; the total is unchanged. *)
 let work t n =
-  let per_op =
-    match t.mode with
-    | Sva.Native_build -> Cost.mem_access
-    | Sva.Virtual_ghost -> Cost.mem_access + Cost.sandbox_mask
-  in
-  Machine.charge t.machine (n * per_op)
+  Machine.charge ~tag:Obs.Tag.Kernel_work t.machine (n * Cost.mem_access);
+  match t.mode with
+  | Sva.Native_build -> ()
+  | Sva.Virtual_ghost ->
+      Machine.charge ~tag:Obs.Tag.Mask t.machine (n * Cost.sandbox_mask)
 
 let fn_entry t =
   match t.mode with
   | Sva.Native_build -> ()
-  | Sva.Virtual_ghost -> Machine.charge t.machine Cost.cfi_call
+  | Sva.Virtual_ghost -> Machine.charge ~tag:Obs.Tag.Cfi t.machine Cost.cfi_call

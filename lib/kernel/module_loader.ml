@@ -37,6 +37,8 @@ let load (k : Kernel.t) ~name program =
               Hashtbl.replace k.Kernel.overrides syscall { Kernel.image; func })
             overrides;
           Hashtbl.replace module_registry name (List.map fst overrides);
+          Machine.emit k.Kernel.machine
+            (Obs.Event.Module_load { name; overrides = List.length overrides });
           Console.write
             (Machine.console k.Kernel.machine)
             (Printf.sprintf "kernel: loaded module %s (%d syscall overrides)" name

@@ -102,7 +102,7 @@ let swap_in k (proc : Proc.t) va =
   | Error _ -> Error Errno.EFAULT
   | Ok ino -> (
       (* Fault accounting: hardware fault, VM trap, handler work. *)
-      Machine.charge k.Kernel.machine Cost.page_fault_hw;
+      Machine.charge ~tag:Obs.Tag.Page_fault k.Kernel.machine Cost.page_fault_hw;
       Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 100;

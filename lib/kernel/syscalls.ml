@@ -14,15 +14,18 @@ let ret_unit = function Ok () -> 0L | Error e -> Int64.of_int (-Errno.to_int e)
 let ret_any = fun _ -> 0L
 
 (* Wrap a handler in the full system-call protocol.  [encode] derives
-   the value placed in the saved context's return register. *)
-let trap ?(after_result = fun () -> ()) (k : Kernel.t) (proc : Proc.t) ~encode f =
+   the value placed in the saved context's return register; [name] is
+   the syscall's name as reported to observability sinks. *)
+let trap ?(after_result = fun () -> ()) (k : Kernel.t) (proc : Proc.t) ~name ~encode f =
   Kernel.switch_to k proc;
   k.Kernel.syscall_count <- k.Kernel.syscall_count + 1;
   Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  if Machine.tracing k.Kernel.machine then
+    Machine.emit k.Kernel.machine (Obs.Event.Syscall { name; pid = proc.Proc.pid });
   (* Dispatch: table lookup, argument validation, credential checks. *)
   Kmem.fn_entry k.Kernel.kmem;
   Kmem.work k.Kernel.kmem 40;
-  Machine.charge k.Kernel.machine 40;
+  Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 40;
   let result = f () in
   Sva.set_syscall_result k.Kernel.sva ~tid:proc.Proc.tid (encode result);
   (* Work done on the return-to-user path (e.g. signal delivery)
@@ -53,7 +56,7 @@ let copyin k proc ~src ~len =
 let path_charge k path = Kmem.work k.Kernel.kmem (40 + (2 * String.length path))
 
 let open_ k proc path flags =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"open" ~encode:ret_int (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k path;
       let resolved = Diskfs.lookup k.Kernel.fs path in
@@ -78,7 +81,7 @@ let open_ k proc path flags =
               end))
 
 let close k proc fd =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"close" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 12;
       match Proc.find_fd proc fd with
@@ -147,21 +150,38 @@ let genuine_write k proc ~fd ~buf ~len =
 
 let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64 =
   let machine = k.Kernel.machine in
+  (* Under Virtual Ghost, module code is sandbox-instrumented: an access
+     the sandbox forced out of range faults here and is absorbed.  That
+     absorbed fault is the defence engaging, so report it. *)
+  let sandbox_fault what addr =
+    if Sva.mode k.Kernel.sva = Sva.Virtual_ghost && Machine.tracing machine then
+      Machine.emit machine
+        (Obs.Event.Security
+           {
+             subsystem = "sandbox";
+             detail =
+               Printf.sprintf "module %s at %s denied" what (U64.to_hex addr);
+           })
+  in
   let env =
     {
       Vg_compiler.Executor.null_env with
       load =
         (fun addr width ->
           try Machine.read_virt machine addr ~len:(Ir.bytes_of_width width)
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> 0L);
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+            sandbox_fault "load" addr;
+            0L);
       store =
         (fun addr width v ->
           try Machine.write_virt machine addr ~len:(Ir.bytes_of_width width) v
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> ());
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+            sandbox_fault "store" addr);
       memcpy =
         (fun ~dst ~src ~len ->
           try Machine.memcpy_virt machine ~dst ~src ~len:(Int64.to_int len)
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ -> ());
+          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
+            sandbox_fault "memcpy" src);
       io_read = (fun port -> Sva.io_read k.Kernel.sva ~port);
       io_write =
         (fun port v ->
@@ -174,7 +194,7 @@ let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64
               Console.write (Machine.console machine)
                 ("module: call to unknown kernel symbol " ^ name);
               0L);
-      charge = Machine.charge machine;
+      charge = (fun tag n -> Machine.charge ~tag machine n);
     }
   in
   Vg_compiler.Executor.run env ov.Kernel.image ov.Kernel.func args
@@ -188,25 +208,26 @@ let with_override k proc name args builtin =
   | Some ov -> (
       try decode_int (run_override k proc ov args)
       with Vg_compiler.Executor.Cfi_violation msg ->
+        Machine.emit k.Kernel.machine (Obs.Event.Cfi_violation { detail = msg });
         Console.write
           (Machine.console k.Kernel.machine)
           ("vg: kernel thread terminated: " ^ msg);
         Error Errno.EFAULT)
 
 let read k proc ~fd ~buf ~len =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"read" ~encode:ret_int (fun () ->
       with_override k proc "read"
         [| Int64.of_int fd; buf; Int64.of_int len |]
         (fun () -> genuine_read_unwrapped k proc ~fd ~buf ~len))
 
 let write k proc ~fd ~buf ~len =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"write" ~encode:ret_int (fun () ->
       with_override k proc "write"
         [| Int64.of_int fd; buf; Int64.of_int len |]
         (fun () -> genuine_write k proc ~fd ~buf ~len))
 
 let lseek k proc ~fd ~pos =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"lseek" ~encode:ret_int (fun () ->
       Kmem.work k.Kernel.kmem 10;
       match Proc.find_fd proc fd with
       | Some (Proc.File f) when pos >= 0 ->
@@ -217,32 +238,32 @@ let lseek k proc ~fd ~pos =
       | None -> Error Errno.EBADF)
 
 let unlink k proc path =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"unlink" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k path;
       Diskfs.unlink k.Kernel.fs path)
 
 let mkdir k proc path =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"mkdir" ~encode:ret_unit (fun () ->
       path_charge k path;
       match Diskfs.mkdir k.Kernel.fs path with Ok _ -> Ok () | Error e -> Error e)
 
 let stat k proc path =
-  trap k proc ~encode:ret_any (fun () ->
+  trap k proc ~name:"stat" ~encode:ret_any (fun () ->
       path_charge k path;
       match Diskfs.lookup k.Kernel.fs path with
       | Error e -> Error e
       | Ok ino -> Diskfs.stat k.Kernel.fs ~ino)
 
 let rename k proc ~src ~dst =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"rename" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k src;
       path_charge k dst;
       Diskfs.rename k.Kernel.fs ~src ~dst)
 
 let fstat k proc ~fd =
-  trap k proc ~encode:ret_any (fun () ->
+  trap k proc ~name:"fstat" ~encode:ret_any (fun () ->
       Kmem.work k.Kernel.kmem 15;
       match Proc.find_fd proc fd with
       | Some (Proc.File f) -> Diskfs.stat k.Kernel.fs ~ino:f.ino
@@ -250,7 +271,7 @@ let fstat k proc ~fd =
       | None -> Error Errno.EBADF)
 
 let dup2 k proc ~src ~dst =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"dup2" ~encode:ret_unit (fun () ->
       Kmem.work k.Kernel.kmem 15;
       match Proc.find_fd proc src with
       | None -> Error Errno.EBADF
@@ -269,14 +290,14 @@ let dup2 k proc ~src ~dst =
           Ok ())
 
 let readdir k proc path =
-  trap k proc ~encode:ret_any (fun () ->
+  trap k proc ~name:"readdir" ~encode:ret_any (fun () ->
       path_charge k path;
       match Diskfs.lookup k.Kernel.fs path with
       | Error e -> Error e
       | Ok ino -> Diskfs.readdir k.Kernel.fs ~ino)
 
 let fsync k proc =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"fsync" ~encode:ret_unit (fun () ->
       Diskfs.sync k.Kernel.fs;
       Ok ())
 
@@ -284,12 +305,12 @@ let fsync k proc =
 (* Processes                                                           *)
 
 let getpid k proc =
-  trap k proc ~encode:(fun n -> Int64.of_int n) (fun () -> proc.Proc.pid)
+  trap k proc ~name:"getpid" ~encode:(fun n -> Int64.of_int n) (fun () -> proc.Proc.pid)
 
 exception Fork_out_of_memory
 
 let fork k proc =
-  trap k proc ~encode:(function Ok (c : Proc.t) -> Int64.of_int c.Proc.pid | Error e -> Int64.of_int (-Errno.to_int e))
+  trap k proc ~name:"fork" ~encode:(function Ok (c : Proc.t) -> Int64.of_int c.Proc.pid | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
       match Kernel.create_process k ~parent:proc with
       | Error e -> Error e
@@ -336,17 +357,17 @@ let fork k proc =
             child.Proc.image <- proc.Proc.image;
             child.Proc.mmap_cursor <- proc.Proc.mmap_cursor;
             Kmem.work k.Kernel.kmem 400;
-            Machine.charge k.Kernel.machine 300;
+            Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 300;
             Ok child
           with Fork_out_of_memory -> Error Errno.ENOMEM))
 
 let text_base = 0x0000_0000_0040_0000L
 
 let execve k proc image =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"execve" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 600;
-      Machine.charge k.Kernel.machine 600;
+      Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 600;
       (* Load the text segment into user memory. *)
       let payload = image.Appimage.payload in
       (match Kernel.ensure_user_range k proc text_base ~len:(Bytes.length payload) with
@@ -373,6 +394,9 @@ let exit_ k proc status =
   Kernel.switch_to k proc;
   k.Kernel.syscall_count <- k.Kernel.syscall_count + 1;
   Sva.enter_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  if Machine.tracing k.Kernel.machine then
+    Machine.emit k.Kernel.machine
+      (Obs.Event.Syscall { name = "exit"; pid = proc.Proc.pid });
   (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 300;
@@ -401,7 +425,7 @@ let exit_ k proc status =
     ()
 
 let wait k proc =
-  trap k proc ~encode:(function Ok (pid, _) -> Int64.of_int pid | Error e -> Int64.of_int (-Errno.to_int e))
+  trap k proc ~name:"wait" ~encode:(function Ok (pid, _) -> Int64.of_int pid | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
       Kmem.work k.Kernel.kmem 40;
       let children =
@@ -437,7 +461,7 @@ let genuine_mmap k proc ~len =
   end
 
 let mmap k proc ~len =
-  trap k proc ~encode:(function Ok va -> va | Error e -> Int64.of_int (-Errno.to_int e))
+  trap k proc ~name:"mmap" ~encode:(function Ok va -> va | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
       match Hashtbl.find_opt k.Kernel.overrides "mmap" with
       | None -> genuine_mmap k proc ~len
@@ -446,12 +470,13 @@ let mmap k proc ~len =
              computes is handed straight back to the application. *)
           try Ok (run_override k proc ov [| Int64.of_int len |])
           with Vg_compiler.Executor.Cfi_violation msg ->
+            Machine.emit k.Kernel.machine (Obs.Event.Cfi_violation { detail = msg });
             Console.write (Machine.console k.Kernel.machine)
               ("vg: kernel thread terminated: " ^ msg);
             Error Errno.EFAULT))
 
 let munmap k proc ~addr ~len =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"munmap" ~encode:ret_unit (fun () ->
       Kmem.work k.Kernel.kmem 40;
       let first = Int64.shift_right_logical addr 12 in
       let pages = (len + 4095) / 4096 in
@@ -470,7 +495,7 @@ let munmap k proc ~addr ~len =
       Ok ())
 
 let allocgm k proc ~va ~pages =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"allocgm" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 40;
       (* Memory pressure: evict ghost pages (through the VM) until the
@@ -490,7 +515,7 @@ let allocgm k proc ~va ~pages =
               Error Errno.EINVAL))
 
 let freegm k proc ~va ~pages =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"freegm" ~encode:ret_unit (fun () ->
       Kmem.work k.Kernel.kmem 30;
       match Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~count:pages with
       | Ok frames ->
@@ -506,7 +531,7 @@ let freegm k proc ~va ~pages =
 (* Signals                                                             *)
 
 let signal k proc ~signum ~handler =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"signal" ~encode:ret_unit (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 25;
       Hashtbl.replace proc.Proc.signal_handlers signum handler;
@@ -519,7 +544,7 @@ let deliver_signal k (target : Proc.t) signum =
       Kmem.work k.Kernel.kmem 40;
       (* Building and copying the signal frame is dominated by
          straight-line work common to both builds. *)
-      Machine.charge k.Kernel.machine 1500;
+      Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 1500;
       match
         Sva.ipush_function k.Kernel.sva ~tid:target.Proc.tid ~target:handler
           ~arg:(Int64.of_int signum)
@@ -532,7 +557,7 @@ let kill k proc ~pid ~signum =
      self-signal, the syscall result lands in the interrupted context
      rather than in the handler's fresh one. *)
   let pending = ref None in
-  trap k proc ~encode:ret_unit
+  trap k proc ~name:"kill" ~encode:ret_unit
     ~after_result:(fun () ->
       match !pending with
       | Some target -> deliver_signal k target signum
@@ -548,9 +573,9 @@ let kill k proc ~pid ~signum =
           Ok ())
 
 let sigreturn k proc =
-  trap k proc ~encode:ret_unit (fun () ->
+  trap k proc ~name:"sigreturn" ~encode:ret_unit (fun () ->
       Kmem.work k.Kernel.kmem 20;
-      Machine.charge k.Kernel.machine 800;
+      Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 800;
       match Sva.icontext_load k.Kernel.sva ~tid:proc.Proc.tid with
       | Ok () -> Ok ()
       | Error _ -> Error Errno.EINVAL)
@@ -559,7 +584,7 @@ let sigreturn k proc =
 (* Pipes, sockets, select                                              *)
 
 let pipe k proc =
-  trap k proc ~encode:(function Ok (r, _) -> Int64.of_int r | Error e -> Int64.of_int (-Errno.to_int e))
+  trap k proc ~name:"pipe" ~encode:(function Ok (r, _) -> Int64.of_int r | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
       Kmem.work k.Kernel.kmem 50;
       let p = Pipe_dev.create () in
@@ -570,14 +595,14 @@ let pipe k proc =
       Ok (r, w))
 
 let listen k proc ~port =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"listen" ~encode:ret_int (fun () ->
       Kmem.work k.Kernel.kmem 40;
       match Netstack.listen k.Kernel.net ~port with
       | Ok () -> Ok (Proc.add_fd proc (Proc.Sock_listen port))
       | Error e -> Error e)
 
 let accept k proc ~fd =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"accept" ~encode:ret_int (fun () ->
       Kmem.work k.Kernel.kmem 40;
       match Proc.find_fd proc fd with
       | Some (Proc.Sock_listen port) -> (
@@ -588,13 +613,13 @@ let accept k proc ~fd =
       | None -> Error Errno.EBADF)
 
 let connect k proc ~port =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"connect" ~encode:ret_int (fun () ->
       Kmem.work k.Kernel.kmem 60;
       let conn = Netstack.connect k.Kernel.net ~port in
       Ok (Proc.add_fd proc (Proc.Sock_conn conn)))
 
 let send k proc ~fd ~buf ~len =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"send" ~encode:ret_int (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       match Proc.find_fd proc fd with
       | Some (Proc.Sock_conn conn) ->
@@ -604,7 +629,7 @@ let send k proc ~fd ~buf ~len =
       | None -> Error Errno.EBADF)
 
 let recv k proc ~fd ~buf ~len =
-  trap k proc ~encode:ret_int (fun () ->
+  trap k proc ~name:"recv" ~encode:ret_int (fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       match Proc.find_fd proc fd with
       | Some (Proc.Sock_conn conn) -> (
@@ -633,7 +658,7 @@ let fd_ready k kind =
       | Error _ -> true)
 
 let select k proc fds =
-  trap k proc ~encode:(fun r ->
+  trap k proc ~name:"select" ~encode:(fun r ->
       match r with Ok ready -> Int64.of_int (List.length ready) | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
       Kmem.fn_entry k.Kernel.kmem;

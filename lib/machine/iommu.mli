@@ -18,6 +18,11 @@ val set_protected : t -> (int -> bool) -> unit
 
 val frame_allowed : t -> int -> bool
 
+val set_observer : t -> (int -> unit) -> unit
+(** [set_observer t f] registers a callback invoked with the offending
+    frame just before {!Dma_blocked} is raised, so blocked transfers can
+    be reported (e.g. as observability events). *)
+
 exception Dma_blocked of int
 (** Raised (with the offending frame) when a transfer hits a protected
     frame. *)

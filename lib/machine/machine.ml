@@ -17,19 +17,31 @@ type t = {
   remote_nic : Nic.t;
   iommu : Iommu.t;
   tpm : Tpm.t;
+  obs : Obs.t;
 }
 
-let charge t n = t.cycles <- t.cycles + n
+(* Observability never touches [t.cycles]: the clock advances by [n]
+   whether or not a sink is attached, so simulated cycle counts are
+   byte-identical with observation on or off. *)
+let charge ?(tag = Obs.Tag.Other) t n =
+  t.cycles <- t.cycles + n;
+  if Obs.is_armed t.obs then Obs.charge t.obs ~cycles:t.cycles tag n
+
 let cycles t = t.cycles
 let elapsed_seconds t = Cost.to_seconds t.cycles
 let reset_clock t = t.cycles <- 0
 
-let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ~seed () =
+let obs t = t.obs
+let tracing t = Obs.is_armed t.obs
+let emit t ev = if Obs.is_armed t.obs then Obs.event t.obs ~cycles:t.cycles ev
+
+let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ?(obs = Obs.default)
+    ~seed () =
   let mem = Phys_mem.create ~frames:phys_frames in
   let rec t =
     lazy
-      (let charge n = (Lazy.force t).cycles <- (Lazy.force t).cycles + n in
-       let nic, remote_nic = Nic.pair ~charge () in
+      (let charge_as tag n = charge ~tag (Lazy.force t) n in
+       let nic, remote_nic = Nic.pair ~charge:(charge_as Obs.Tag.Net) () in
        {
          mem;
          kernel_pt = Pagetable.create ();
@@ -38,14 +50,20 @@ let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ~seed () =
          cycles = 0;
          tlb = Hashtbl.create 512;
          console = Console.create ();
-         disk = Disk.create ~charge ~sectors:disk_sectors ();
+         disk = Disk.create ~charge:(charge_as Obs.Tag.Disk) ~sectors:disk_sectors ();
          nic;
          remote_nic;
          iommu = Iommu.create ();
          tpm = Tpm.create ~seed;
+         obs;
        })
   in
-  Lazy.force t
+  let m = Lazy.force t in
+  Iommu.set_observer m.iommu (fun frame ->
+      emit m
+        (Obs.Event.Security
+           { subsystem = "iommu"; detail = Printf.sprintf "DMA blocked on protected frame %d" frame }));
+  m
 
 let privilege t = t.privilege
 let set_privilege t p = t.privilege <- p
@@ -55,7 +73,7 @@ let flush_tlb t = Hashtbl.reset t.tlb
 
 let set_current_pt t pt =
   t.current_pt <- pt;
-  charge t Cost.context_switch;
+  charge ~tag:Obs.Tag.Context_switch t Cost.context_switch;
   flush_tlb t
 
 (* The kernel half of the address space (including SVA-internal memory)
@@ -68,7 +86,7 @@ let lookup_pte t va =
   match Hashtbl.find_opt t.tlb vpage with
   | Some pte -> pte
   | None -> (
-      charge t Cost.tlb_miss;
+      charge ~tag:Obs.Tag.Tlb t Cost.tlb_miss;
       match Pagetable.lookup (table_for t va) ~vpage with
       | None -> raise (Page_fault { va; access = Read; present = false })
       | Some pte ->
@@ -98,11 +116,11 @@ let translate t access va =
     (Int64.logand va 0xfffL)
 
 let read_virt t va ~len =
-  charge t Cost.mem_access;
+  charge ~tag:Obs.Tag.Mem t Cost.mem_access;
   Phys_mem.read t.mem ~addr:(translate t Read va) ~len
 
 let write_virt t va ~len v =
-  charge t Cost.mem_access;
+  charge ~tag:Obs.Tag.Mem t Cost.mem_access;
   Phys_mem.write t.mem ~addr:(translate t Write va) ~len v
 
 let iter_pages va len f =
@@ -116,7 +134,7 @@ let iter_pages va len f =
   done
 
 let read_bytes_virt t va ~len =
-  charge t (Cost.copy_cycles len);
+  charge ~tag:Obs.Tag.Copy t (Cost.copy_cycles len);
   let out = Bytes.create len in
   iter_pages va len (fun ~off ~va ~len ->
       let chunk = Phys_mem.read_bytes t.mem ~addr:(translate t Read va) ~len in
@@ -125,7 +143,7 @@ let read_bytes_virt t va ~len =
 
 let write_bytes_virt t va src =
   let len = Bytes.length src in
-  charge t (Cost.copy_cycles len);
+  charge ~tag:Obs.Tag.Copy t (Cost.copy_cycles len);
   iter_pages va len (fun ~off ~va ~len ->
       Phys_mem.write_bytes t.mem ~addr:(translate t Write va) (Bytes.sub src off len))
 

@@ -25,19 +25,40 @@ exception
 type t
 
 val create :
-  ?phys_frames:int -> ?disk_sectors:int -> seed:string -> unit -> t
+  ?phys_frames:int ->
+  ?disk_sectors:int ->
+  ?obs:Vg_obs.Obs.t ->
+  seed:string ->
+  unit ->
+  t
 (** [create ~seed ()] builds a machine.  Defaults: 32768 frames
     (128 MiB), 65536 sectors (32 MiB disk).  The seed determinises the
-    TPM and entropy source so experiments are reproducible. *)
+    TPM and entropy source so experiments are reproducible.  [obs]
+    defaults to {!Vg_obs.Obs.default}, so sinks attached to the
+    process-wide instance observe every machine. *)
 
 (** {1 Clock and accounting} *)
 
-val charge : t -> int -> unit
-(** Advance the cycle clock. *)
+val charge : ?tag:Vg_obs.Obs.Tag.t -> t -> int -> unit
+(** Advance the cycle clock, attributing the cycles to [tag]
+    (default {!Vg_obs.Obs.Tag.Other}).  The clock advances identically
+    whether or not observability sinks are attached. *)
 
 val cycles : t -> int
 val elapsed_seconds : t -> float
 val reset_clock : t -> unit
+
+(** {1 Observability} *)
+
+val obs : t -> Vg_obs.Obs.t
+
+val tracing : t -> bool
+(** True iff at least one sink is attached — cheap enough to guard
+    event construction on hot paths. *)
+
+val emit : t -> Vg_obs.Obs.Event.t -> unit
+(** Emit an event stamped with the current cycle clock.  No-op (one
+    boolean load) when no sink is attached; never charges cycles. *)
 
 (** {1 CPU state} *)
 

@@ -1,0 +1,24 @@
+(* Ordered in-memory event log, for tests that assert on the event
+   stream (e.g. "this attack produced a security event under VG and
+   none under the native build"). *)
+
+type entry = { cycles : int; event : Obs.Event.t }
+
+type t = { mutable rev_entries : entry list }
+
+let create () = { rev_entries = [] }
+let clear t = t.rev_entries <- []
+
+let sink t =
+  {
+    Obs.name = "recorder";
+    on_charge = (fun ~cycles:_ _ _ -> ());
+    on_event = (fun ~cycles event -> t.rev_entries <- { cycles; event } :: t.rev_entries);
+  }
+
+let events t = List.rev t.rev_entries
+
+let security_events t =
+  List.filter (fun e -> Obs.Event.is_security e.event) (events t)
+
+let count_matching t pred = List.length (List.filter (fun e -> pred e.event) (events t))

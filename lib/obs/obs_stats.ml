@@ -1,0 +1,96 @@
+(* Counter/attribution sink: cycles and charge counts per tag, event
+   counts per kind.  The per-tag cycle totals are what decomposes a
+   Table 2 row into trap/zeroing vs sandbox-mask vs CFI components. *)
+
+type t = {
+  cycles_by_tag : int array;
+  charges_by_tag : int array;
+  events_by_kind : (string, int) Hashtbl.t;
+  mutable security_events : int;
+}
+
+let create () =
+  {
+    cycles_by_tag = Array.make Obs.Tag.count 0;
+    charges_by_tag = Array.make Obs.Tag.count 0;
+    events_by_kind = Hashtbl.create 16;
+    security_events = 0;
+  }
+
+let reset t =
+  Array.fill t.cycles_by_tag 0 Obs.Tag.count 0;
+  Array.fill t.charges_by_tag 0 Obs.Tag.count 0;
+  Hashtbl.reset t.events_by_kind;
+  t.security_events <- 0
+
+let sink t =
+  {
+    Obs.name = "stats";
+    on_charge =
+      (fun ~cycles:_ tag n ->
+        let i = Obs.Tag.index tag in
+        t.cycles_by_tag.(i) <- t.cycles_by_tag.(i) + n;
+        t.charges_by_tag.(i) <- t.charges_by_tag.(i) + 1);
+    on_event =
+      (fun ~cycles:_ ev ->
+        let kind = Obs.Event.kind ev in
+        Hashtbl.replace t.events_by_kind kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.events_by_kind kind));
+        if Obs.Event.is_security ev then t.security_events <- t.security_events + 1);
+  }
+
+let cycles t tag = t.cycles_by_tag.(Obs.Tag.index tag)
+let charges t tag = t.charges_by_tag.(Obs.Tag.index tag)
+let total_cycles t = Array.fold_left ( + ) 0 t.cycles_by_tag
+let security_events t = t.security_events
+
+let event_count t kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.events_by_kind kind)
+
+let to_json t : Obs_json.t =
+  let tags =
+    List.filter_map
+      (fun tag ->
+        let c = cycles t tag in
+        if c = 0 && charges t tag = 0 then None
+        else
+          Some
+            ( Obs.Tag.to_string tag,
+              Obs_json.Obj
+                [ ("cycles", Obs_json.Int c); ("charges", Obs_json.Int (charges t tag)) ]
+            ))
+      Obs.Tag.all
+  in
+  let events =
+    Hashtbl.fold (fun kind n acc -> (kind, Obs_json.Int n) :: acc) t.events_by_kind []
+    |> List.sort compare
+  in
+  Obs_json.Obj
+    [
+      ("total_cycles", Obs_json.Int (total_cycles t));
+      ("security_events", Obs_json.Int t.security_events);
+      ("cycles_by_tag", Obs_json.Obj tags);
+      ("events", Obs_json.Obj events);
+    ]
+
+let print ?(out = stdout) t =
+  let total = total_cycles t in
+  Printf.fprintf out "cycle attribution (%d cycles observed):\n" total;
+  List.iter
+    (fun tag ->
+      let c = cycles t tag in
+      if c > 0 then
+        Printf.fprintf out "  %-12s %12d cycles %6.1f%%  (%d charges)\n"
+          (Obs.Tag.to_string tag) c
+          (100.0 *. float_of_int c /. float_of_int (max 1 total))
+          (charges t tag))
+    Obs.Tag.all;
+  let events =
+    Hashtbl.fold (fun kind n acc -> (kind, n) :: acc) t.events_by_kind []
+    |> List.sort compare
+  in
+  if events <> [] then begin
+    Printf.fprintf out "events:\n";
+    List.iter (fun (kind, n) -> Printf.fprintf out "  %-14s %8d\n" kind n) events;
+    Printf.fprintf out "  security events: %d\n" t.security_events
+  end

@@ -1,0 +1,106 @@
+(* Chrome-trace (chrome://tracing / Perfetto "traceEvents") exporter
+   driven by the simulated clock.  Trap enter/exit become duration
+   begin/end pairs; everything else becomes an instant event.  The
+   timestamp unit is microseconds of simulated time. *)
+
+type t = {
+  mutable entries : Obs_json.t list; (* reversed *)
+  cycles_per_us : float;
+  mutable dropped_charges : int;
+}
+
+let create ?(cycles_per_us = 3400.0) () =
+  { entries = []; cycles_per_us; dropped_charges = 0 }
+
+let ts t cycles = float_of_int cycles /. t.cycles_per_us
+
+let add t ~cycles ~ph ~name ~pid ~tid args =
+  let base =
+    [
+      ("name", Obs_json.String name);
+      ("ph", Obs_json.String ph);
+      ("ts", Obs_json.Float (ts t cycles));
+      ("pid", Obs_json.Int pid);
+      ("tid", Obs_json.Int tid);
+    ]
+  in
+  let fields =
+    if args = [] then base
+    else base @ [ ("args", Obs_json.Obj args) ]
+  in
+  t.entries <- Obs_json.Obj fields :: t.entries
+
+let on_event t ~cycles (ev : Obs.Event.t) =
+  let s v = Obs_json.String v in
+  match ev with
+  | Trap_enter { tid; pid } -> add t ~cycles ~ph:"B" ~name:"trap" ~pid ~tid []
+  | Trap_exit { tid; pid } -> add t ~cycles ~ph:"E" ~name:"trap" ~pid ~tid []
+  | Syscall { name; pid } ->
+      add t ~cycles ~ph:"i" ~name:("sys_" ^ name) ~pid ~tid:pid []
+  | Mmu { op; va; verdict } ->
+      add t ~cycles ~ph:"i" ~name:("mmu-" ^ Obs.Event.mmu_op_to_string op) ~pid:0
+        ~tid:0
+        [
+          ("va", s (Vg_util.U64.to_hex va));
+          ( "verdict",
+            s (match verdict with Allowed -> "allowed" | Denied why -> "denied: " ^ why)
+          );
+        ]
+  | Ghost_alloc { pid; pages } ->
+      add t ~cycles ~ph:"i" ~name:"ghost-alloc" ~pid ~tid:pid
+        [ ("pages", Obs_json.Int pages) ]
+  | Ghost_free { pid; pages } ->
+      add t ~cycles ~ph:"i" ~name:"ghost-free" ~pid ~tid:pid
+        [ ("pages", Obs_json.Int pages) ]
+  | Swap_out { pid; va } ->
+      add t ~cycles ~ph:"i" ~name:"swap-out" ~pid ~tid:pid
+        [ ("va", s (Vg_util.U64.to_hex va)) ]
+  | Swap_in { pid; va; ok } ->
+      add t ~cycles ~ph:"i" ~name:"swap-in" ~pid ~tid:pid
+        [ ("va", s (Vg_util.U64.to_hex va)); ("ok", Obs_json.Bool ok) ]
+  | Cfi_violation { detail } ->
+      add t ~cycles ~ph:"i" ~name:"cfi-violation" ~pid:0 ~tid:0
+        [ ("detail", s detail) ]
+  | Security { subsystem; detail } ->
+      add t ~cycles ~ph:"i" ~name:("security:" ^ subsystem) ~pid:0 ~tid:0
+        [ ("detail", s detail) ]
+  | Device_io { port; write } ->
+      add t ~cycles ~ph:"i"
+        ~name:(if write then "io-write" else "io-read")
+        ~pid:0 ~tid:0
+        [ ("port", s (Vg_util.U64.to_hex port)) ]
+  | Module_load { name; overrides } ->
+      add t ~cycles ~ph:"i" ~name:("module:" ^ name) ~pid:0 ~tid:0
+        [ ("overrides", Obs_json.Int overrides) ]
+
+let sink t =
+  {
+    Obs.name = "chrome-trace";
+    (* Individual charges are far too fine-grained for a timeline; the
+       stats sink is the tool for attribution.  Count what we drop so
+       the export can say so. *)
+    on_charge = (fun ~cycles:_ _ _ -> t.dropped_charges <- t.dropped_charges + 1);
+    on_event = (fun ~cycles ev -> on_event t ~cycles ev);
+  }
+
+let to_json t : Obs_json.t =
+  Obs_json.Obj
+    [
+      ("traceEvents", Obs_json.List (List.rev t.entries));
+      ("displayTimeUnit", Obs_json.String "ms");
+      ( "otherData",
+        Obs_json.Obj
+          [
+            ("clock", Obs_json.String "simulated");
+            ("cycles_per_us", Obs_json.Float t.cycles_per_us);
+            ("charges_not_shown", Obs_json.Int t.dropped_charges);
+          ] );
+    ]
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs_json.to_string (to_json t));
+      output_char oc '\n')

@@ -158,12 +158,29 @@ let vg_public_key t = (Lazy.force t.vg_key).Vg_crypto.Rsa.pub
 
 let mmu_check_cost = 60
 
+(* Report an MMU operation's verdict.  Denials are the defence engaging
+   — they must never pass silently, so every checked-MMU result flows
+   through here. *)
+let emit_mmu t ~op ~va (res : (unit, mmu_error) result) =
+  if Machine.tracing t.machine then
+    Machine.emit t.machine
+      (Obs.Event.Mmu
+         {
+           op;
+           va;
+           verdict =
+             (match res with
+             | Ok () -> Obs.Event.Allowed
+             | Error e -> Obs.Event.Denied (Format.asprintf "%a" pp_mmu_error e));
+         });
+  res
+
 let map_checks t pt ~va ~frame ~perm : (unit, mmu_error) result =
   match t.mode with
   | Native_build -> Ok ()
   | Virtual_ghost -> (
       t.mmu_checks <- t.mmu_checks + 1;
-      Machine.charge t.machine mmu_check_cost;
+      Machine.charge ~tag:Obs.Tag.Mmu_check t.machine mmu_check_cost;
       match frame_use t frame with
       | (Ghost_frame _ | Sva_internal) as u -> Error (Protected_frame u)
       | Code_frame when perm.Pagetable.writable -> Error (Protected_frame Code_frame)
@@ -180,35 +197,41 @@ let map_checks t pt ~va ~frame ~perm : (unit, mmu_error) result =
             | Some _ | None -> Ok ()
           end)
 
+let map_page_op t pt ~op ~va ~frame ~perm =
+  emit_mmu t ~op ~va
+    (match map_checks t pt ~va ~frame ~perm with
+    | Error _ as e -> e
+    | Ok () ->
+        Pagetable.map pt ~vpage:(Int64.shift_right_logical va 12)
+          { Pagetable.frame; perm };
+        Ok ())
+
 let map_page t pt ~va ~frame ~perm =
-  match map_checks t pt ~va ~frame ~perm with
-  | Error _ as e -> e
-  | Ok () ->
-      Pagetable.map pt ~vpage:(Int64.shift_right_logical va 12) { Pagetable.frame; perm };
-      Ok ()
+  map_page_op t pt ~op:Obs.Event.Map ~va ~frame ~perm
 
 let unmap_page t pt ~va =
   let vpage = Int64.shift_right_logical va 12 in
-  match t.mode with
-  | Native_build ->
-      Pagetable.unmap pt ~vpage;
-      Ok ()
-  | Virtual_ghost ->
-      t.mmu_checks <- t.mmu_checks + 1;
-      Machine.charge t.machine mmu_check_cost;
-      if Layout.in_ghost va then Error (Protected_range "ghost partition")
-      else if Layout.in_sva va then Error (Protected_range "SVA-internal memory")
-      else if Layout.in_kernel_code va then Error (Protected_range "kernel code")
-      else begin
+  emit_mmu t ~op:Obs.Event.Unmap ~va
+    (match t.mode with
+    | Native_build ->
         Pagetable.unmap pt ~vpage;
         Ok ()
-      end
+    | Virtual_ghost ->
+        t.mmu_checks <- t.mmu_checks + 1;
+        Machine.charge ~tag:Obs.Tag.Mmu_check t.machine mmu_check_cost;
+        if Layout.in_ghost va then Error (Protected_range "ghost partition")
+        else if Layout.in_sva va then Error (Protected_range "SVA-internal memory")
+        else if Layout.in_kernel_code va then Error (Protected_range "kernel code")
+        else begin
+          Pagetable.unmap pt ~vpage;
+          Ok ()
+        end)
 
 let protect_page t pt ~va ~perm =
   let vpage = Int64.shift_right_logical va 12 in
   match Pagetable.lookup pt ~vpage with
-  | None -> Error (Protected_range "no mapping present")
-  | Some pte -> map_page t pt ~va ~frame:pte.Pagetable.frame ~perm
+  | None -> emit_mmu t ~op:Obs.Event.Protect ~va (Error (Protected_range "no mapping present"))
+  | Some pte -> map_page_op t pt ~op:Obs.Event.Protect ~va ~frame:pte.Pagetable.frame ~perm
 
 let map_kernel_page t ~va ~frame ~perm =
   map_page t (Machine.kernel_pt t.machine) ~va ~frame ~perm
@@ -357,20 +380,24 @@ let native_ic_address t ~tid =
 
 let enter_trap t ~tid =
   t.traps <- t.traps + 1;
-  Machine.charge t.machine Cost.trap_entry;
+  Machine.charge ~tag:Obs.Tag.Trap t.machine Cost.trap_entry;
   let thread = find_thread t tid in
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Event.Trap_enter { tid; pid = thread.pid });
   write_mirror t thread;
   (match t.mode with
   | Virtual_ghost ->
       (* Saving into SVA memory via the IST plus zeroing registers. *)
-      Machine.charge t.machine Cost.vg_trap_extra
+      Machine.charge ~tag:Obs.Tag.Trap_save t.machine Cost.vg_trap_extra
   | Native_build -> ());
   Machine.set_privilege t.machine Machine.Kernel
 
 let return_from_trap t ~tid =
-  Machine.charge t.machine Cost.syscall_return;
+  Machine.charge ~tag:Obs.Tag.Trap_return t.machine Cost.syscall_return;
   let thread = find_thread t tid in
   refresh_from_mirror t thread;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Event.Trap_exit { tid; pid = thread.pid });
   Machine.set_privilege t.machine thread.ic.Icontext.privilege
 
 (* ------------------------------------------------------------------ *)
@@ -403,7 +430,9 @@ let reinit_icontext t ~tid ~pt ~image ~stack =
         end
   in
   match key_result with
-  | Error _ as e -> e
+  | Error msg as e ->
+      Machine.emit t.machine (Obs.Event.Security { subsystem = "sva.exec"; detail = msg });
+      e
   | Ok key ->
       (* Unmap any ghost memory of the program being replaced so the new
          image cannot read its predecessor's secrets. *)
@@ -416,7 +445,7 @@ let reinit_icontext t ~tid ~pt ~image ~stack =
         (fun (vpage, frame) ->
           Pagetable.unmap pt ~vpage;
           Phys_mem.zero_frame (Machine.mem t.machine) frame;
-          Machine.charge t.machine Cost.zero_page;
+          Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
           Hashtbl.remove t.uses frame;
           freed := frame :: !freed)
         !ghost_vpages;
@@ -466,7 +495,7 @@ let counter_next t ~pid name =
   match counter_namespace t ~pid with
   | Error _ as e -> e
   | Ok ns ->
-      Machine.charge t.machine 200;
+      Machine.charge ~tag:Obs.Tag.Crypto t.machine 200;
       let table = load_counters t in
       let v = 1 + Option.value ~default:0 (Hashtbl.find_opt table (ns, name)) in
       Hashtbl.replace table (ns, name) v;
@@ -477,7 +506,7 @@ let counter_current t ~pid name =
   match counter_namespace t ~pid with
   | Error _ as e -> e
   | Ok ns ->
-      Machine.charge t.machine 100;
+      Machine.charge ~tag:Obs.Tag.Crypto t.machine 100;
       Ok (Hashtbl.find_opt (load_counters t) (ns, name))
 
 (* ------------------------------------------------------------------ *)
@@ -507,10 +536,15 @@ let ipush_function t ~tid ~target ~arg =
     | Native_build -> true
     | Virtual_ghost -> is_permitted t ~pid:thread.pid target
   in
-  if not allowed then
-    Error
-      (Printf.sprintf "sva.ipush.function: %s is not a registered handler"
-         (U64.to_hex target))
+  if not allowed then begin
+    let msg =
+      Printf.sprintf "sva.ipush.function: %s is not a registered handler"
+        (U64.to_hex target)
+    in
+    Machine.emit t.machine
+      (Obs.Event.Security { subsystem = "sva.ipush"; detail = msg });
+    Error msg
+  end
   else begin
     Stack.push (Icontext.clone thread.ic) thread.ic_stack;
     (* Add a call frame: the handler runs with the signal number in the
@@ -550,10 +584,12 @@ let allocgm t ~pid ~pt ~va ~frames =
       match bad_frame with
       | Some frame -> Error (Printf.sprintf "allocgm: frame %d is in use or still mapped" frame)
       | None ->
+          if Machine.tracing t.machine then
+            Machine.emit t.machine (Obs.Event.Ghost_alloc { pid; pages = count });
           List.iteri
             (fun i frame ->
               Phys_mem.zero_frame (Machine.mem t.machine) frame;
-              Machine.charge t.machine Cost.zero_page;
+              Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
               Hashtbl.replace t.uses frame (Ghost_frame pid);
               Pagetable.map pt
                 ~vpage:(Int64.add (Int64.shift_right_logical va 12) (Int64.of_int i))
@@ -587,12 +623,14 @@ let freegm t ~pid ~pt ~va ~count =
     match collect 0 [] with
     | Error _ as e -> e
     | Ok frames ->
+        if Machine.tracing t.machine then
+          Machine.emit t.machine (Obs.Event.Ghost_free { pid; pages = count });
         List.iteri
           (fun i frame ->
             Pagetable.unmap pt
               ~vpage:(Int64.add (Int64.shift_right_logical va 12) (Int64.of_int i));
             Phys_mem.zero_frame (Machine.mem t.machine) frame;
-            Machine.charge t.machine Cost.zero_page;
+            Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
             Hashtbl.remove t.uses frame)
           frames;
         Machine.flush_tlb t.machine;
@@ -614,13 +652,16 @@ let swap_out_ghost t ~pid ~pt ~va =
       let nonce = Bytes.create 8 in
       Bytes.set_int64_le nonce 0 (Int64.of_int t.swap_epoch);
       Hashtbl.replace t.swap_nonces (pid, va) nonce;
-      Machine.charge t.machine (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
+      Machine.charge ~tag:Obs.Tag.Crypto t.machine
+        (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
       let blob = Vg_crypto.Ctr.seal ~key:t.swap_key ~nonce plain in
       Pagetable.unmap pt ~vpage:(Int64.shift_right_logical va 12);
       Phys_mem.zero_frame (Machine.mem t.machine) frame;
-      Machine.charge t.machine Cost.zero_page;
+      Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
       Hashtbl.remove t.uses frame;
       Machine.flush_tlb t.machine;
+      if Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Event.Swap_out { pid; va });
       Ok (frame, blob)
 
 let swap_in_ghost t ~pid ~pt ~va ~frame ~blob =
@@ -630,10 +671,15 @@ let swap_in_ghost t ~pid ~pt ~va ~frame ~blob =
       if frame_use t frame <> Kernel_managed || frame_mapped_somewhere t frame then
         Error "swap_in: frame is in use or still mapped"
       else begin
-        Machine.charge t.machine (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
+        Machine.charge ~tag:Obs.Tag.Crypto t.machine
+          (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
         match Vg_crypto.Ctr.open_ ~key:t.swap_key ~nonce blob with
-        | None -> Error "swap_in: page integrity check failed (OS tampered with swap)"
+        | None ->
+            Machine.emit t.machine (Obs.Event.Swap_in { pid; va; ok = false });
+            Error "swap_in: page integrity check failed (OS tampered with swap)"
         | Some plain ->
+            if Machine.tracing t.machine then
+              Machine.emit t.machine (Obs.Event.Swap_in { pid; va; ok = true });
             Hashtbl.remove t.swap_nonces (pid, va);
             let phys = Int64.shift_left (Int64.of_int frame) 12 in
             Phys_mem.write_bytes (Machine.mem t.machine) ~addr:phys plain;
@@ -653,15 +699,23 @@ let swap_in_ghost t ~pid ~pt ~va ~frame ~blob =
 let random_bytes t n = Vg_crypto.Drbg.bytes t.drbg n
 
 let io_read t ~port =
-  Machine.charge t.machine Cost.mem_access;
+  Machine.charge ~tag:Obs.Tag.Io t.machine Cost.mem_access;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Event.Device_io { port; write = false });
   (* No readable device registers are modelled beyond a fixed pattern. *)
   Int64.logxor port 0x5aL
 
 let io_write t ~port v =
-  Machine.charge t.machine Cost.mem_access;
+  Machine.charge ~tag:Obs.Tag.Io t.machine Cost.mem_access;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Event.Device_io { port; write = true });
   if port = iommu_config_port then begin
     match t.mode with
-    | Virtual_ghost -> Error "io.write: IOMMU configuration is reserved to the VM"
+    | Virtual_ghost ->
+        let msg = "io.write: IOMMU configuration is reserved to the VM" in
+        Machine.emit t.machine
+          (Obs.Event.Security { subsystem = "sva.io"; detail = msg });
+        Error msg
     | Native_build ->
         (* A hostile native kernel can strip DMA protection entirely. *)
         if v = 0L then Iommu.set_protected (Machine.iommu t.machine) (fun _ -> false);

@@ -214,7 +214,22 @@ let sys_mmap ctx ~len =
       (* Ghosting applications are compiled with the Iago-defence pass:
          a hostile kernel cannot trick them into writing through a
          pointer into their own ghost memory. *)
-      Ok (if ctx.ghosting then Vg_compiler.Mmap_mask_pass.masked_return va else va)
+      if ctx.ghosting then begin
+        let masked = Vg_compiler.Mmap_mask_pass.masked_return va in
+        (* The mask only changes pointers that aimed into the ghost
+           partition — i.e. an Iago attack the pass just defused. *)
+        if masked <> va then
+          Machine.emit ctx.kernel.Kernel.machine
+            (Obs.Event.Security
+               {
+                 subsystem = "iago-mask";
+                 detail =
+                   Printf.sprintf "mmap returned ghost pointer %s, masked to %s"
+                     (U64.to_hex va) (U64.to_hex masked);
+               });
+        Ok masked
+      end
+      else Ok va
   | Error _ as e -> e
 
 let sys_signal ctx ~signum handler =

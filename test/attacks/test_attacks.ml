@@ -68,6 +68,81 @@ let test_swap_tamper () =
   check "vg detects tampering" false
     (Other_attacks.swap_tamper_attack ~mode:Sva.Virtual_ghost)
 
+(* ------------------------------------------------------------------ *)
+(* Security-event observability: every blocked attack must announce
+   itself on the event stream under Virtual Ghost, and the same attack
+   against the baseline must stay silent (nothing was blocked). *)
+
+let record f =
+  let recorder = Obs_recorder.create () in
+  let result = Obs.with_sink Obs.default (Obs_recorder.sink recorder) f in
+  (result, recorder)
+
+let has_security recorder subsystem =
+  Obs_recorder.count_matching recorder (function
+    | Obs.Event.Security { subsystem = s; _ } -> s = subsystem
+    | _ -> false)
+  > 0
+
+let no_security_events msg recorder =
+  check msg true (Obs_recorder.security_events recorder = [])
+
+let test_events_direct_read () =
+  let _, native =
+    record (fun () ->
+        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Direct_read)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () ->
+        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Direct_read)
+  in
+  check "vg: sandbox fault reported" true (has_security vg "sandbox")
+
+let test_events_signal_inject () =
+  let _, native =
+    record (fun () ->
+        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Signal_inject)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () ->
+        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Signal_inject)
+  in
+  check "vg: dispatch refusal reported" true (has_security vg "sva.ipush")
+
+let test_events_mmu_remap () =
+  let _, native =
+    record (fun () -> Other_attacks.mmu_remap_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () -> Other_attacks.mmu_remap_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: denied mapping reported" true
+    (Obs_recorder.count_matching vg (function
+       | Obs.Event.Mmu { verdict = Obs.Event.Denied _; _ } -> true
+       | _ -> false)
+    > 0)
+
+let test_events_dma () =
+  let _, native = record (fun () -> Other_attacks.dma_attack ~mode:Sva.Native_build) in
+  no_security_events "native: silent" native;
+  let _, vg = record (fun () -> Other_attacks.dma_attack ~mode:Sva.Virtual_ghost) in
+  check "vg: blocked DMA reported" true (has_security vg "iommu")
+
+let test_events_iago_mmap () =
+  let _, unmasked =
+    record (fun () ->
+        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false)
+  in
+  check "unmasked app: no mask event" false (has_security unmasked "iago-mask");
+  let _, masked =
+    record (fun () ->
+        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true)
+  in
+  check "masked app: defused pointer reported" true (has_security masked "iago-mask")
+
 let () =
   Alcotest.run "vg_attacks"
     [
@@ -89,5 +164,13 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_iago_mmap;
           Alcotest.test_case "swap tamper" `Quick test_swap_tamper;
           Alcotest.test_case "file replay" `Slow test_file_replay;
+        ] );
+      ( "security-events",
+        [
+          Alcotest.test_case "direct read" `Slow test_events_direct_read;
+          Alcotest.test_case "signal inject" `Slow test_events_signal_inject;
+          Alcotest.test_case "mmu remap" `Quick test_events_mmu_remap;
+          Alcotest.test_case "dma" `Quick test_events_dma;
+          Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
         ] );
     ]

@@ -64,7 +64,7 @@ let exec_env w : Executor.env =
         Bytes.blit w.mem (world_off w src) w.mem (world_off w dst) (Int64.to_int len));
     io_read = (fun port -> Int64.add port 7L);
     io_write = (fun _ _ -> ());
-    charge = (fun n -> w.cycles <- w.cycles + n);
+    charge = (fun _ n -> w.cycles <- w.cycles + n);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -218,7 +218,7 @@ let run_native ~vg program args =
       Executor.null_env with
       load = w_load w;
       store = w_store w;
-      charge = (fun n -> cycles := !cycles + n);
+      charge = (fun _ n -> cycles := !cycles + n);
     }
   in
   let image =

@@ -54,14 +54,17 @@ let rec_sum_program () =
   Builder.ret b (Some total);
   Builder.program b
 
-let run_cycles ~cfi ~sandbox program entry arg =
+(* Runs the fixture and returns per-tag cycle totals: the grand total is
+   the golden, and summing a tagged breakdown proves charge tagging is a
+   pure relabelling (nothing double- or under-counted). *)
+let run_tagged_cycles ~cfi ~sandbox program entry arg =
   let program =
     if sandbox then Vg_compiler.Sandbox_pass.instrument_program program
     else program
   in
   let image = Vg_compiler.Linker.link (Vg_compiler.Codegen.compile ~cfi program) in
   let mem = Bytes.make 65536 '\000' in
-  let cycles = ref 0 in
+  let by_tag = Array.make Obs.Tag.count 0 in
   let env =
     {
       Vg_compiler.Executor.null_env with
@@ -71,11 +74,17 @@ let run_cycles ~cfi ~sandbox program entry arg =
       store =
         (fun addr _ v ->
           Bytes.set_int64_le mem (Int64.to_int (Int64.logand addr 0xfff8L)) v);
-      charge = (fun n -> cycles := !cycles + n);
+      charge =
+        (fun tag n ->
+          let i = Obs.Tag.index tag in
+          by_tag.(i) <- by_tag.(i) + n);
     }
   in
   ignore (Vg_compiler.Executor.run env image entry [| arg |]);
-  !cycles
+  by_tag
+
+let run_cycles ~cfi ~sandbox program entry arg =
+  Array.fold_left ( + ) 0 (run_tagged_cycles ~cfi ~sandbox program entry arg)
 
 let check_modes name program entry arg ~plain ~cfi ~sandbox ~full =
   Alcotest.(check int)
@@ -120,6 +129,65 @@ let test_null_syscall_cycles () =
   Alcotest.(check int) "virtual ghost" 261000
     (null_syscall_cycles Sva.Virtual_ghost)
 
+(* --- observability parity ----------------------------------------- *)
+(* The zero-overhead-off guarantee, pinned: simulated cycle counts must
+   be byte-identical whether sinks are attached or not.  The machines
+   these paths boot observe the process-wide [Obs.default]. *)
+
+let with_sinks f =
+  let stats = Obs_stats.create () in
+  let recorder = Obs_recorder.create () in
+  let result =
+    Obs.with_sink Obs.default (Obs_stats.sink stats) (fun () ->
+        Obs.with_sink Obs.default (Obs_recorder.sink recorder) f)
+  in
+  (result, stats, recorder)
+
+let test_null_syscall_obs_parity () =
+  let bare_native = null_syscall_cycles Sva.Native_build in
+  let bare_vg = null_syscall_cycles Sva.Virtual_ghost in
+  let observed_native, stats_native, _ =
+    with_sinks (fun () -> null_syscall_cycles Sva.Native_build)
+  in
+  let observed_vg, stats_vg, recorder =
+    with_sinks (fun () -> null_syscall_cycles Sva.Virtual_ghost)
+  in
+  Alcotest.(check int) "native: sinks do not change cycles" bare_native
+    observed_native;
+  Alcotest.(check int) "vg: sinks do not change cycles" bare_vg observed_vg;
+  Alcotest.(check int) "native still the golden" 71600 observed_native;
+  Alcotest.(check int) "vg still the golden" 261000 observed_vg;
+  (* The sinks genuinely observed the run. *)
+  Alcotest.(check bool) "native charges seen" true
+    (Obs_stats.total_cycles stats_native > 0);
+  Alcotest.(check bool) "vg syscall events seen" true
+    (Obs_stats.event_count stats_vg "syscall" >= 200);
+  Alcotest.(check bool) "recorder saw trap enters" true
+    (Obs_recorder.count_matching recorder (function
+       | Obs.Event.Trap_enter _ -> true
+       | _ -> false)
+    >= 200)
+
+let test_executor_obs_parity () =
+  (* Tagged totals must reproduce the goldens exactly — tagging is a
+     relabelling of the same charges, not a new cost model. *)
+  let total ~cfi ~sandbox program entry arg =
+    Array.fold_left ( + ) 0 (run_tagged_cycles ~cfi ~sandbox program entry arg)
+  in
+  Alcotest.(check int) "collatz full (tagged)" 4876
+    (total ~cfi:true ~sandbox:true (collatz_program ()) "collatz" 97L);
+  Alcotest.(check int) "recsum full (tagged)" 445
+    (total ~cfi:true ~sandbox:true (rec_sum_program ()) "sum" 40L);
+  (* And the CFI component is separable: the 40 checked returns of
+     recsum(40) each pay check_extra_cycles.  (The rest of the cfi-mode
+     delta is the extra *instructions* the instrumentation executes,
+     which stay under the Exec tag.) *)
+  let by_tag = run_tagged_cycles ~cfi:true ~sandbox:true (rec_sum_program ()) "sum" 40L in
+  let cfi_cycles = by_tag.(Obs.Tag.index Obs.Tag.Cfi) in
+  Alcotest.(check int) "recsum cfi component"
+    (40 * Vg_compiler.Cfi_pass.check_extra_cycles)
+    cfi_cycles
+
 let () =
   Alcotest.run "vg_golden"
     [
@@ -130,5 +198,12 @@ let () =
             test_recsum_cycles;
           Alcotest.test_case "LMBench null syscall" `Quick
             test_null_syscall_cycles;
+        ] );
+      ( "observability-parity",
+        [
+          Alcotest.test_case "null syscall, sinks attached" `Quick
+            test_null_syscall_obs_parity;
+          Alcotest.test_case "executor tag totals" `Quick
+            test_executor_obs_parity;
         ] );
     ]
