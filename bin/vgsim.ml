@@ -22,8 +22,20 @@ let mode_conv =
 let mode_arg =
   Arg.(value & opt mode_conv Sva.Virtual_ghost & info [ "mode" ] ~doc:"Kernel build: native or vg.")
 
-let boot mode =
-  let machine = Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" () in
+let cpus_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:
+          "Number of simulated cores (default 1).  A 1-CPU machine is \
+           cycle-identical to the pre-SMP simulator; more cores enable the \
+           preemptive scheduler, cross-core TLB shootdowns and spinlock \
+           transfer costs.")
+
+let boot ?(cpus = 1) mode =
+  let machine =
+    Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
+  in
   (machine, Kernel.boot ~mode machine)
 
 (* -- observability flags (shared by the run commands) ---------------- *)
@@ -108,9 +120,9 @@ let attack_cmd =
     Arg.(value & opt attack_conv Vg_attacks.Rootkit.Direct_read
          & info [ "attack" ] ~doc:"Attack: direct (read victim memory) or inject (signal handler).")
   in
-  let run mode attack trace stats =
+  let run mode cpus attack trace stats =
     with_obs ~trace ~stats (fun () ->
-        let o = Vg_attacks.Rootkit.run_experiment ~mode ~attack in
+        let o = Vg_attacks.Rootkit.run_experiment ~cpus ~mode ~attack () in
         Format.printf "%a@." Vg_attacks.Rootkit.pp_outcome o;
         let stolen =
           o.Vg_attacks.Rootkit.secret_leaked_to_console || o.secret_in_exfil_file
@@ -120,7 +132,7 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a section-7 rootkit experiment.")
-    Term.(const run $ mode_arg $ attack_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ attack_arg $ trace_arg $ stats_arg)
 
 (* -- sealed store demo ---------------------------------------------- *)
 
@@ -174,9 +186,9 @@ let lmbench_cmd =
   let iters_arg =
     Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
   in
-  let run mode op iterations trace stats =
+  let run mode cpus op iterations trace stats =
     with_obs ~trace ~stats (fun () ->
-        let _, kernel = boot mode in
+        let _, kernel = boot ~cpus mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let f =
               match op with
@@ -195,7 +207,41 @@ let lmbench_cmd =
   in
   Cmd.v
     (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
-    Term.(const run $ mode_arg $ op_arg $ iters_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ op_arg $ iters_arg $ trace_arg $ stats_arg)
+
+(* -- httpd worker pool ---------------------------------------------- *)
+
+let httpd_cmd =
+  let requests_arg =
+    Arg.(value & opt int 32 & info [ "requests" ] ~doc:"Client requests to serve.")
+  in
+  let run mode cpus requests trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let machine, kernel = boot ~cpus mode in
+        (match Diskfs.create kernel.Kernel.fs "/index.html" with
+        | Error _ -> failwith "create /index.html"
+        | Ok ino ->
+            let body = Bytes.init 8192 (fun i -> Char.chr ((i * 131) land 0xff)) in
+            ignore (Diskfs.write kernel.Kernel.fs ~ino ~off:0 body));
+        let st =
+          Httpd.Pool.run kernel ~workers:cpus ~requests ~port:80
+            ~path:"/index.html"
+        in
+        let seconds = Cost.to_seconds st.Httpd.Pool.elapsed_cycles in
+        Printf.printf
+          "httpd: %d workers on %d cores served %d/%d (ok=%d) in %d cycles \
+           (%.1f req/s simulated; preemptions=%d steals=%d)\n"
+          st.Httpd.Pool.workers (Machine.cpus machine) st.Httpd.Pool.served
+          requests st.Httpd.Pool.ok st.Httpd.Pool.elapsed_cycles
+          (if seconds > 0.0 then float_of_int st.Httpd.Pool.ok /. seconds else 0.0)
+          st.Httpd.Pool.preemptions st.Httpd.Pool.steals)
+  in
+  Cmd.v
+    (Cmd.info "httpd"
+       ~doc:
+         "Serve an 8KB document with one httpd worker per core under the \
+          preemptive scheduler.")
+    Term.(const run $ mode_arg $ cpus_arg $ requests_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 
@@ -206,9 +252,9 @@ let postmark_cmd =
   let files_arg =
     Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
   in
-  let run mode transactions base_files trace stats =
+  let run mode cpus transactions base_files trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot mode in
+        let machine, kernel = boot ~cpus mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let config = { Postmark.paper_config with transactions; base_files } in
             let start = Machine.cycles machine in
@@ -223,11 +269,11 @@ let postmark_cmd =
   in
   Cmd.v
     (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
-    Term.(const run $ mode_arg $ tx_arg $ files_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ tx_arg $ files_arg $ trace_arg $ stats_arg)
 
 let () =
   let doc = "Virtual Ghost (ASPLOS 2014) reproduction simulator" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vgsim" ~doc)
-          [ info_cmd; attack_cmd; lmbench_cmd; postmark_cmd; sealed_cmd ]))
+          [ info_cmd; attack_cmd; lmbench_cmd; postmark_cmd; sealed_cmd; httpd_cmd ]))

@@ -14,6 +14,34 @@ val serve_requests : Runtime.ctx -> listen_fd:int -> max:int -> int
     ApacheBench with HTTP/1.0 does); returns how many were served.
     Returns when no further connection is pending. *)
 
+(** Multi-worker pool: N preemptible worker processes share one
+    listening socket (inherited fd) and are spread over the machine's
+    cores by {!Sched} — the SMP scaling workload. *)
+module Pool : sig
+  type stats = {
+    workers : int;
+    served : int;  (** connections handled *)
+    ok : int;  (** clients that got a [200] response *)
+    elapsed_cycles : int;
+        (** wall-clock of the serving window: max per-core cycle delta *)
+    preemptions : int;
+    steals : int;
+  }
+
+  val run :
+    ?ghosting:bool ->
+    Kernel.t ->
+    workers:int ->
+    requests:int ->
+    port:int ->
+    path:string ->
+    stats
+  (** Listen, spawn [workers] fibers pinned round-robin across cores,
+      pre-connect [requests] clients (handshakes fall outside the
+      measured window), then drive the scheduler until every request
+      is served. *)
+end
+
 (** Client half, run on the remote machine by the benchmark harness. *)
 module Client : sig
   val get :

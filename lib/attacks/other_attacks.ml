@@ -213,3 +213,34 @@ let swap_tamper_attack ~mode =
            with
           | Ok () -> true (* tampering went undetected: attack success *)
           | Error _ -> false))
+
+let smp_remap_race_attack ~mode =
+  let machine =
+    Machine.create ~cpus:2 ~phys_frames:8192 ~disk_sectors:8192 ~seed:"smp-race" ()
+  in
+  let k = Kernel.boot ~mode machine in
+  (* Core 0: the victim is live, mid-access to its ghost page. *)
+  let proc, _va, frame = plant k in
+  (* Core 1: a malicious kernel module races a remap of the frame
+     backing the victim's ghost page into the shared kernel address
+     space, then reads it with an ordinary instrumented access.  On
+     real hardware the stale user translation could linger in core 0's
+     TLB; Virtual Ghost both refuses the mapping outright and, on any
+     successful remap, broadcasts a cross-core shootdown — the native
+     build does neither. *)
+  Machine.switch_core machine 1;
+  let attack_va = Int64.add Layout.kernel_data_start 0x9000L in
+  let stolen =
+    match
+      Sva.map_kernel_page k.Kernel.sva ~va:attack_va ~frame
+        ~perm:{ writable = false; user = false; executable = false }
+    with
+    | Error _ -> false (* the VM refused the cross-core remap *)
+    | Ok () ->
+        Machine.flush_tlb machine;
+        let data = Kmem.read_bytes k.Kernel.kmem attack_va ~len:(String.length secret) in
+        Bytes.to_string data = secret
+  in
+  Machine.switch_core machine 0;
+  ignore proc;
+  stolen

@@ -37,3 +37,12 @@ val swap_tamper_attack : mode:Sva.mode -> bool
     (section 2.2.2); success means the modification went undetected.
     Under the baseline there is no sealed swapping at all, so the OS
     trivially reads and modifies the page — reported as success. *)
+
+val smp_remap_race_attack : mode:Sva.mode -> bool
+(** Two-CPU variant of the MMU vector: while the victim is live on
+    core 0 with its ghost page mapped, a malicious module on core 1
+    races a remap of the backing frame into the kernel address space
+    and reads it.  Virtual Ghost refuses the mapping (emitting a
+    [Security] event) and would broadcast a TLB shootdown on any
+    successful remap; the baseline kernel happily installs the alias
+    and steals the secret. *)

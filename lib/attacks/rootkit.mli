@@ -51,10 +51,12 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val run_experiment : mode:Sva.mode -> attack:attack -> outcome
-(** The full section-7 experiment: boot a machine in [mode], start the
-    ghosting ssh-agent holding a known secret, load the malicious
-    module, trigger the victim's [read], and inspect the aftermath. *)
+val run_experiment : ?cpus:int -> mode:Sva.mode -> attack:attack -> unit -> outcome
+(** The full section-7 experiment: boot a machine in [mode] (with
+    [cpus] cores — default 1; the attack itself runs on the boot
+    core), start the ghosting ssh-agent holding a known secret, load
+    the malicious module, trigger the victim's [read], and inspect the
+    aftermath. *)
 
 val secret_string : string
 (** The planted secret the attacks hunt for. *)

@@ -8,13 +8,37 @@ type t = {
   kmem : Kmem.t;
   capacity : int;
   cache : (int, entry) Hashtbl.t;
+  mutable lock : Spinlock.t option;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
 }
 
 let create ?(capacity = 1024) ~kmem disk =
-  { disk; kmem; capacity; cache = Hashtbl.create capacity; tick = 0; hits = 0; misses = 0 }
+  {
+    disk;
+    kmem;
+    capacity;
+    cache = Hashtbl.create capacity;
+    lock = None;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let set_lock t lock = t.lock <- Some lock
+let lock t = t.lock
+
+(* Every public operation runs under the cache's spinlock once the
+   kernel installs one (free on one CPU; a cache-line transfer when
+   cores alternate). *)
+let guarded t f =
+  match t.lock with
+  | None -> f ()
+  | Some l ->
+      (* Filesystem operations nest (a [modify] callback freeing blocks
+         touches the bitmap block); same-core nesting is not contention. *)
+      if Spinlock.held_by_current l then f () else Spinlock.with_lock l f
 
 let blocks t = Disk.sectors t.disk / sectors_per_block
 let hits t = t.hits
@@ -67,13 +91,15 @@ let lookup t b =
       entry
 
 let read t b =
-  let entry = lookup t b in
-  Machine.charge ~tag:Obs.Tag.Copy (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
-  Bytes.copy entry.data
+  guarded t (fun () ->
+      let entry = lookup t b in
+      Machine.charge ~tag:Obs.Tag.Copy (Kmem.machine t.kmem) (Cost.copy_cycles block_bytes);
+      Bytes.copy entry.data)
 
 (* A full-block write never needs the old contents: a cache miss here
    allocates a fresh buffer instead of reading the disk. *)
 let write t b src =
+  guarded t @@ fun () ->
   if Bytes.length src > block_bytes then invalid_arg "Buffer_cache.write: oversized block";
   if b < 0 || b >= blocks t then invalid_arg "Buffer_cache: block out of range";
   Kmem.work t.kmem 25;
@@ -97,12 +123,14 @@ let write t b src =
   entry.dirty <- true
 
 let modify t b f =
-  let entry = lookup t b in
-  f entry.data;
-  entry.dirty <- true
+  guarded t (fun () ->
+      let entry = lookup t b in
+      f entry.data;
+      entry.dirty <- true)
 
 let view t b f =
-  let entry = lookup t b in
-  f entry.data
+  guarded t (fun () ->
+      let entry = lookup t b in
+      f entry.data)
 
-let sync t = Hashtbl.iter (fun b e -> flush_entry t b e) t.cache
+let sync t = guarded t (fun () -> Hashtbl.iter (fun b e -> flush_entry t b e) t.cache)

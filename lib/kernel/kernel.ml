@@ -8,10 +8,14 @@ type t = {
   net : Netstack.t;
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
-  mutable current : int;
+  current : int array; (* per-CPU: pid whose address space is installed *)
   overrides : (string, syscall_override) Hashtbl.t;
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
   frame_refs : (int, int) Hashtbl.t; (* COW sharing; absent = 1 *)
+  modules : (string, string list) Hashtbl.t; (* module name -> overridden syscalls *)
+  proc_lock : Spinlock.t;
+  frame_lock : Spinlock.t;
+  mutable preempt : unit -> unit;
   mutable syscall_count : int;
 }
 
@@ -31,6 +35,7 @@ let boot ?frame_limit ~mode machine =
   let last = match frame_limit with Some n -> min last (16 + n - 1) | None -> last in
   let frames = Frame_alloc.create ~first:16 ~last in
   let bc = Buffer_cache.create ~capacity:8192 ~kmem (Machine.disk machine) in
+  Buffer_cache.set_lock bc (Spinlock.create machine ~name:"bcache");
   let charge_work n = Kmem.work kmem n in
   let fs =
     match Diskfs.mount ~charge_work bc with
@@ -49,10 +54,14 @@ let boot ?frame_limit ~mode machine =
       net;
       procs = Hashtbl.create 32;
       next_pid = 1;
-      current = 1;
+      current = Array.make (Machine.cpus machine) 1;
       overrides = Hashtbl.create 4;
       module_externs = Hashtbl.create 16;
       frame_refs = Hashtbl.create 256;
+      modules = Hashtbl.create 4;
+      proc_lock = Spinlock.create machine ~name:"proc";
+      frame_lock = Spinlock.create machine ~name:"frame";
+      preempt = (fun () -> ());
       syscall_count = 0;
     }
   in
@@ -61,6 +70,7 @@ let boot ?frame_limit ~mode machine =
   let tid = Sva.new_thread sva ~pid:1 ~entry:0x400000L ~stack:0x7fff_f000L in
   Hashtbl.replace t.procs 1 (Proc.make ~pid:1 ~parent:0 ~pt ~tid);
   t.next_pid <- 2;
+  (match Sva.swap_integer sva ~tid with Ok () -> () | Error msg -> failwith msg);
   Machine.set_current_pt machine pt;
   t
 
@@ -69,28 +79,71 @@ let find_proc t pid = Hashtbl.find_opt t.procs pid
 let init_process t =
   match find_proc t 1 with Some p -> p | None -> failwith "Kernel: init is gone"
 
+let current_pid t = t.current.(Machine.cpu t.machine)
+
 let current_proc t =
-  match find_proc t t.current with
+  match find_proc t (current_pid t) with
   | Some p -> p
   | None -> failwith "Kernel: current process is gone"
 
+(* Context switch through the SVA-mediated path: the only way the
+   kernel changes threads is [sva.swap.integer] (which validates the
+   target and keeps its register state inside SVA memory), followed by
+   the checked page-table install.  A refusal — the thread is live on
+   another core — is a scheduler invariant violation here, so it is
+   fatal; hostile schedulers exercising that path go through
+   [Sva.swap_integer] directly and get the [Error]. *)
 let switch_to t (proc : Proc.t) =
-  if t.current <> proc.Proc.pid then begin
-    Kmem.fn_entry t.kmem;
-    Kmem.work t.kmem 40;
-    Machine.set_current_pt t.machine proc.Proc.pt;
-    t.current <- proc.Proc.pid
+  let cpu = Machine.cpu t.machine in
+  let same_space = t.current.(cpu) = proc.Proc.pid in
+  let live = Sva.running_on t.sva ~cpu = Some proc.Proc.tid in
+  if not (same_space && live) then begin
+    if not same_space then begin
+      Kmem.fn_entry t.kmem;
+      Kmem.work t.kmem 40
+    end;
+    (match Sva.swap_integer t.sva ~tid:proc.Proc.tid with
+    | Ok () -> ()
+    | Error msg -> failwith ("Kernel.switch_to: " ^ msg));
+    if not same_space then begin
+      Machine.set_current_pt t.machine proc.Proc.pt;
+      t.current.(cpu) <- proc.Proc.pid
+    end
   end
 
+(* The process-table half of wait(): remove one zombie child of
+   [parent].  The fiber runtime reaps on the dying fiber's core —
+   switching to the parent just to drop a table entry would make it
+   live on this core, colliding with wherever it actually runs. *)
+let reap_zombie t ~parent =
+  Spinlock.with_lock t.proc_lock (fun () ->
+      Kmem.work t.kmem 40;
+      let zombie =
+        Hashtbl.fold
+          (fun _ (p : Proc.t) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if p.Proc.parent = parent && Proc.is_zombie p then Some p
+                else None)
+          t.procs None
+      in
+      match zombie with
+      | Some z ->
+          Hashtbl.remove t.procs z.Proc.pid;
+          Some z.Proc.pid
+      | None -> None)
+
 let create_process t ~parent =
-  let pid = t.next_pid in
-  t.next_pid <- pid + 1;
-  Kmem.work t.kmem 250;
-  let pt = Sva.declare_address_space t.sva ~pid in
-  let tid = Sva.clone_thread t.sva ~tid:parent.Proc.tid ~new_pid:pid in
-  let proc = Proc.make ~pid ~parent:parent.Proc.pid ~pt ~tid in
-  Hashtbl.replace t.procs pid proc;
-  Ok proc
+  Spinlock.with_lock t.proc_lock (fun () ->
+      let pid = t.next_pid in
+      t.next_pid <- pid + 1;
+      Kmem.work t.kmem 250;
+      let pt = Sva.declare_address_space t.sva ~pid in
+      let tid = Sva.clone_thread t.sva ~tid:parent.Proc.tid ~new_pid:pid in
+      let proc = Proc.make ~pid ~parent:parent.Proc.pid ~pt ~tid in
+      Hashtbl.replace t.procs pid proc;
+      Ok proc)
 
 let user_perm : Pagetable.perm = { writable = true; user = true; executable = true }
 let user_ro : Pagetable.perm = { writable = false; user = true; executable = true }
@@ -108,7 +161,7 @@ let release_frame t f =
       (* Zero-on-free runs in the background pool worker; it is not on
          the critical path of munmap/exit, so it is not charged here. *)
       Phys_mem.zero_frame (Machine.mem t.machine) f;
-      Frame_alloc.free t.frames f
+      Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.free t.frames f)
   | n -> Hashtbl.replace t.frame_refs f (n - 1)
 
 let map_user_page t (proc : Proc.t) va =
@@ -116,7 +169,7 @@ let map_user_page t (proc : Proc.t) va =
   if Hashtbl.mem proc.Proc.user_frames vpage then Ok ()
   else if not (Layout.in_user va) then Error Errno.EFAULT
   else begin
-    match Frame_alloc.alloc t.frames with
+    match Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.alloc t.frames) with
     | None -> Error Errno.ENOMEM
     | Some frame -> (
         (* Frames come from a zero-on-free pool (see [release_frame]);
@@ -128,7 +181,7 @@ let map_user_page t (proc : Proc.t) va =
             Hashtbl.replace proc.Proc.user_frames vpage frame;
             Ok ()
         | Error _ ->
-            Frame_alloc.free t.frames frame;
+            Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.free t.frames frame);
             Error Errno.EFAULT)
   end
 
@@ -149,7 +202,7 @@ let resolve_cow t (proc : Proc.t) vpage =
         | Error _ -> Error Errno.EFAULT
       end
       else begin
-        match Frame_alloc.alloc t.frames with
+        match Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.alloc t.frames) with
         | None -> Error Errno.ENOMEM
         | Some fresh -> (
             let src = Int64.shift_left (Int64.of_int frame) 12 in
@@ -165,7 +218,7 @@ let resolve_cow t (proc : Proc.t) vpage =
                 Machine.flush_tlb t.machine;
                 Ok ()
             | Error _ ->
-                Frame_alloc.free t.frames fresh;
+                Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.free t.frames fresh);
                 Error Errno.EFAULT)
       end
 
@@ -216,14 +269,18 @@ let handle_page_fault t proc va =
   result
 
 let free_user_pages t (proc : Proc.t) =
-  Hashtbl.iter
-    (fun vpage frame ->
-      (match Sva.unmap_page t.sva proc.Proc.pt ~va:(Int64.shift_left vpage 12) with
-      | Ok () | Error _ -> ());
-      release_frame t frame)
-    proc.Proc.user_frames;
+  (* Batched teardown: one cross-core invalidation for the whole
+     address space, not one per page. *)
+  let vas =
+    Hashtbl.fold
+      (fun vpage _ acc -> Int64.shift_left vpage 12 :: acc)
+      proc.Proc.user_frames []
+  in
+  Sva.unmap_pages t.sva proc.Proc.pt ~vas:(List.sort compare vas);
+  Hashtbl.iter (fun _ frame -> release_frame t frame) proc.Proc.user_frames;
   Hashtbl.reset proc.Proc.user_frames;
   Hashtbl.reset proc.Proc.cow;
   Machine.flush_tlb t.machine
 
-let grant_ghost_frames t n = Frame_alloc.alloc_many t.frames n
+let grant_ghost_frames t n =
+  Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.alloc_many t.frames n)

@@ -7,10 +7,11 @@
     through {!Kmem} (which models compilation with or without the
     Virtual Ghost passes — the build mode is fixed at {!boot}).
 
-    Process execution is cooperative: user code runs as OCaml closures
-    (managed by the userland runtime) that invoke system calls through
-    {!Syscalls}; there is no preemption, and calls that would block
-    return [EAGAIN]. *)
+    User code runs as OCaml closures (managed by the userland runtime)
+    that invoke system calls through {!Syscalls}; calls that would
+    block return [EAGAIN].  Direct process driving is cooperative; the
+    {!Sched} fiber scheduler adds timer-tick preemption at syscall
+    boundaries via the {!t.preempt} hook. *)
 
 type t = {
   machine : Machine.t;
@@ -22,13 +23,22 @@ type t = {
   net : Netstack.t;
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
-  mutable current : int;  (** pid whose address space is installed *)
+  current : int array;
+      (** per-CPU: pid whose address space is installed on that core *)
   overrides : (string, syscall_override) Hashtbl.t;
       (** loadable-module replacements for named system calls *)
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
       (** kernel helper API exposed to module native code *)
   frame_refs : (int, int) Hashtbl.t;
       (** copy-on-write frame sharing counts (absent = 1) *)
+  modules : (string, string list) Hashtbl.t;
+      (** loaded module name -> syscalls it overrides (per kernel) *)
+  proc_lock : Spinlock.t;  (** guards the process table / pid counter *)
+  frame_lock : Spinlock.t;  (** guards the physical frame allocator *)
+  mutable preempt : unit -> unit;
+      (** called at the syscall-trap epilogue; the {!Sched} scheduler
+          installs a hook that yields the running fiber when the
+          core's timer has fired.  Default: nothing (cooperative). *)
   mutable syscall_count : int;
 }
 
@@ -45,11 +55,21 @@ val mode : t -> Sva.mode
 val init_process : t -> Proc.t
 
 val find_proc : t -> int -> Proc.t option
+val current_pid : t -> int
 val current_proc : t -> Proc.t
 
 val switch_to : t -> Proc.t -> unit
-(** Context switch: install the process's page table (charges the
-    context-switch cost and flushes the TLB) and make it current. *)
+(** Context switch on the current core, through the SVA-mediated path:
+    [sva.swap.integer] (the only way threads change — saved register
+    state never leaves SVA memory) followed by the checked page-table
+    install.  A refusal (thread live on another core) is fatal here;
+    hostile schedulers get the [Error] from {!Sva.swap_integer}. *)
+
+val reap_zombie : t -> parent:int -> int option
+(** Remove one zombie child of pid [parent] from the process table
+    (the table-side half of [wait]); returns its pid.  Used by the
+    fiber runtime, which reaps on the dying fiber's core instead of
+    context-switching to the parent. *)
 
 val create_process : t -> parent:Proc.t -> Proc.t Errno.result
 (** Allocate a pid, address space and SVA thread (used by [fork] and

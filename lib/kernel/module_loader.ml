@@ -10,11 +10,6 @@ let overrides_of_image (image : Vg_compiler.Linker.image) =
       else None)
     image.Vg_compiler.Linker.native.Vg_compiler.Native.symbols
 
-let module_registry : (string, string list) Hashtbl.t = Hashtbl.create 4
-(* module name -> overridden syscall names (per process-wide kernel; a
-   kernel instance keyed table would be cleaner, but module identity is
-   only used by unload in tests) *)
-
 let load (k : Kernel.t) ~name program =
   let mode =
     match Kernel.mode k with
@@ -36,7 +31,7 @@ let load (k : Kernel.t) ~name program =
             (fun (syscall, func) ->
               Hashtbl.replace k.Kernel.overrides syscall { Kernel.image; func })
             overrides;
-          Hashtbl.replace module_registry name (List.map fst overrides);
+          Hashtbl.replace k.Kernel.modules name (List.map fst overrides);
           Machine.emit k.Kernel.machine
             (Obs.Event.Module_load { name; overrides = List.length overrides });
           Console.write
@@ -46,11 +41,14 @@ let load (k : Kernel.t) ~name program =
           Ok ())
 
 let unload (k : Kernel.t) ~name =
-  match Hashtbl.find_opt module_registry name with
+  match Hashtbl.find_opt k.Kernel.modules name with
   | None -> ()
   | Some syscalls ->
       List.iter (Hashtbl.remove k.Kernel.overrides) syscalls;
-      Hashtbl.remove module_registry name
+      Hashtbl.remove k.Kernel.modules name
+
+let loaded_modules (k : Kernel.t) =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) k.Kernel.modules [])
 
 let loaded_overrides (k : Kernel.t) =
   Hashtbl.fold (fun name _ acc -> name :: acc) k.Kernel.overrides []

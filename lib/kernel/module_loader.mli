@@ -17,5 +17,9 @@ val load :
 val unload : Kernel.t -> name:string -> unit
 (** Remove this module's syscall overrides. *)
 
+val loaded_modules : Kernel.t -> string list
+(** Names of loaded modules, sorted (per-kernel state: two booted
+    kernels never see each other's modules). *)
+
 val loaded_overrides : Kernel.t -> string list
 (** Currently overridden system calls. *)

@@ -128,11 +128,24 @@ module Remote = struct
 
   let next_conn = ref 1000
 
+  (* Live endpoints by connection id (ids are globally unique), so a
+     frame popped off the shared NIC queue by one endpoint can be
+     delivered to the sibling it belongs to instead of being lost —
+     concurrent connections interleave their frames arbitrarily. *)
+  let by_conn : (int, endpoint) Hashtbl.t = Hashtbl.create 32
+
+  let stash_for ~conn payload =
+    match Hashtbl.find_opt by_conn conn with
+    | Some other -> Queue.push payload other.stash
+    | None -> () (* connection closed: drop *)
+
   let connect nic ~port =
     incr next_conn;
     let conn = !next_conn in
     Nic.transmit nic (frame ~ty:ty_syn ~conn ~port Bytes.empty);
-    { nic; conn; port; stash = Queue.create () }
+    let ep = { nic; conn; port; stash = Queue.create () } in
+    Hashtbl.replace by_conn conn ep;
+    ep
 
   let rec accept nic =
     match Nic.receive nic with
@@ -140,12 +153,17 @@ module Remote = struct
     | Some raw -> (
         match parse raw with
         | Some (ty, conn, port, _) when ty = ty_syn ->
-            Some { nic; conn; port; stash = Queue.create () }
-        | _ -> accept nic (* skip stale FIN/data from closed connections *))
+            let ep = { nic; conn; port; stash = Queue.create () } in
+            Hashtbl.replace by_conn conn ep;
+            Some ep
+        | Some (ty, conn, _, payload) when ty = ty_data ->
+            stash_for ~conn payload;
+            accept nic
+        | _ -> accept nic (* stale FIN from a closed connection *))
 
   let send ep payload = Nic.transmit ep.nic (frame ~ty:ty_data ~conn:ep.conn ~port:ep.port payload)
 
-  let recv ep =
+  let rec recv ep =
     if not (Queue.is_empty ep.stash) then Some (Queue.pop ep.stash)
     else begin
       match Nic.receive ep.nic with
@@ -153,7 +171,11 @@ module Remote = struct
       | Some raw -> (
           match parse raw with
           | Some (ty, conn, _, payload) when conn = ep.conn && ty = ty_data -> Some payload
-          | _ -> None)
+          | Some (ty, conn, _, payload) when ty = ty_data ->
+              (* a sibling's frame: deliver to its stash, keep looking *)
+              stash_for ~conn payload;
+              recv ep
+          | _ -> recv ep)
     end
 
   let recv_all_available ep =
@@ -166,6 +188,8 @@ module Remote = struct
     done;
     Buffer.to_bytes out
 
-  let close ep = Nic.transmit ep.nic (frame ~ty:ty_fin ~conn:ep.conn ~port:ep.port Bytes.empty)
+  let close ep =
+    Hashtbl.remove by_conn ep.conn;
+    Nic.transmit ep.nic (frame ~ty:ty_fin ~conn:ep.conn ~port:ep.port Bytes.empty)
   let conn_id ep = ep.conn
 end

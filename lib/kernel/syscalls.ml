@@ -32,6 +32,10 @@ let trap ?(after_result = fun () -> ()) (k : Kernel.t) (proc : Proc.t) ~name ~en
      happens after the result register is written. *)
   after_result ();
   Sva.return_from_trap k.Kernel.sva ~tid:proc.Proc.tid;
+  (* Timer interrupts are taken at the trap epilogue — the point where
+     a real kernel finds the thread preemptible.  The scheduler's hook
+     unwinds the running fiber here; the default hook does nothing. *)
+  k.Kernel.preempt ();
   result
 
 (* Copy between kernel and user/ghost buffers with the instrumented

@@ -74,6 +74,27 @@ val aes_per_byte : int
 val sha_per_byte : int
 (** Software hashing cost for page checksums. *)
 
+val timer_irq : int
+(** Local-APIC timer interrupt delivery + acknowledge on one core
+    (trap cost excluded — the tick is serviced at a trap boundary). *)
+
+val ipi_send : int
+(** Sending one inter-processor interrupt (ICR write + bus). *)
+
+val ipi_deliver : int
+(** Receiving an IPI on a remote core: interrupt delivery plus the
+    TLB-invalidation work of a shootdown. *)
+
+val lock_transfer : int
+(** Cache-line transfer when a spinlock last held on another core is
+    acquired (coherence miss).  Same-core reacquisition is free — a
+    uniprocessor kernel compiles spinlocks away entirely. *)
+
+val sva_swap_smp : int
+(** Extra cost of [sva.swap.integer] on a multi-CPU machine: the VM's
+    cross-CPU run-state check that refuses to resume a thread already
+    live on another core. *)
+
 val copy_cycles : int -> int
 (** [copy_cycles n] is the cost of copying [n] bytes. *)
 

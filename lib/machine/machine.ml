@@ -3,14 +3,28 @@ type access = Read | Write | Exec
 
 exception Page_fault of { va : int64; access : access; present : bool }
 
-type t = {
-  mem : Phys_mem.t;
-  kernel_pt : Pagetable.t;
-  mutable current_pt : Pagetable.t;
+(* One CPU core: its own privilege level, cycle clock, TLB, installed
+   address space and local-APIC timer.  The simulator runs cores one at
+   a time (see [switch_core]); parallelism is modelled by each core
+   accumulating cycles independently, with wall-clock time being the
+   maximum over the cores' clocks. *)
+type core = {
+  id : int;
   mutable privilege : privilege;
   mutable cycles : int;
   (* TLB: vpage -> pte, invalidated wholesale on context switch. *)
   tlb : (int64, Pagetable.pte) Hashtbl.t;
+  mutable current_pt : Pagetable.t;
+  mutable timer_period : int; (* 0 = disarmed *)
+  mutable timer_deadline : int;
+  mutable ipis_received : int;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  kernel_pt : Pagetable.t;
+  cores : core array;
+  mutable cur : int;
   console : Console.t;
   disk : Disk.t;
   nic : Nic.t;
@@ -20,23 +34,55 @@ type t = {
   obs : Obs.t;
 }
 
-(* Observability never touches [t.cycles]: the clock advances by [n]
-   whether or not a sink is attached, so simulated cycle counts are
+let cpus t = Array.length t.cores
+let cpu t = t.cur
+let core t = t.cores.(t.cur)
+
+let switch_core t i =
+  if i < 0 || i >= cpus t then invalid_arg "Machine.switch_core";
+  t.cur <- i
+
+(* Observability never touches the clock: the core's clock advances by
+   [n] whether or not a sink is attached, so simulated cycle counts are
    byte-identical with observation on or off. *)
 let charge ?(tag = Obs.Tag.Other) t n =
-  t.cycles <- t.cycles + n;
-  if Obs.is_armed t.obs then Obs.charge t.obs ~cycles:t.cycles tag n
+  let c = core t in
+  c.cycles <- c.cycles + n;
+  if Obs.is_armed t.obs then Obs.charge t.obs ~cycles:c.cycles tag n
 
-let cycles t = t.cycles
-let elapsed_seconds t = Cost.to_seconds t.cycles
-let reset_clock t = t.cycles <- 0
+let cycles t = (core t).cycles
+let core_cycles t i = t.cores.(i).cycles
+
+let max_cycles t = Array.fold_left (fun acc c -> max acc c.cycles) 0 t.cores
+
+let elapsed_seconds t = Cost.to_seconds (max_cycles t)
+
+let reset_clock t =
+  Array.iter
+    (fun c ->
+      c.cycles <- 0;
+      if c.timer_period > 0 then c.timer_deadline <- c.timer_period)
+    t.cores
 
 let obs t = t.obs
 let tracing t = Obs.is_armed t.obs
-let emit t ev = if Obs.is_armed t.obs then Obs.event t.obs ~cycles:t.cycles ev
+let emit t ev = if Obs.is_armed t.obs then Obs.event t.obs ~cycles:(core t).cycles ev
 
-let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ?(obs = Obs.default)
-    ~seed () =
+let make_core id =
+  {
+    id;
+    privilege = Kernel;
+    cycles = 0;
+    tlb = Hashtbl.create 512;
+    current_pt = Pagetable.create ();
+    timer_period = 0;
+    timer_deadline = 0;
+    ipis_received = 0;
+  }
+
+let create ?(cpus = 1) ?(phys_frames = 32768) ?(disk_sectors = 65536)
+    ?(obs = Obs.default) ~seed () =
+  if cpus < 1 then invalid_arg "Machine.create: cpus must be >= 1";
   let mem = Phys_mem.create ~frames:phys_frames in
   let rec t =
     lazy
@@ -45,10 +91,8 @@ let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ?(obs = Obs.default)
        {
          mem;
          kernel_pt = Pagetable.create ();
-         current_pt = Pagetable.create ();
-         privilege = Kernel;
-         cycles = 0;
-         tlb = Hashtbl.create 512;
+         cores = Array.init cpus make_core;
+         cur = 0;
          console = Console.create ();
          disk = Disk.create ~charge:(charge_as Obs.Tag.Disk) ~sectors:disk_sectors ();
          nic;
@@ -65,37 +109,99 @@ let create ?(phys_frames = 32768) ?(disk_sectors = 65536) ?(obs = Obs.default)
            { subsystem = "iommu"; detail = Printf.sprintf "DMA blocked on protected frame %d" frame }));
   m
 
-let privilege t = t.privilege
-let set_privilege t p = t.privilege <- p
+let privilege t = (core t).privilege
+let set_privilege t p = (core t).privilege <- p
 let kernel_pt t = t.kernel_pt
-let current_pt t = t.current_pt
-let flush_tlb t = Hashtbl.reset t.tlb
+let current_pt t = (core t).current_pt
+let flush_tlb t = Hashtbl.reset (core t).tlb
 
 let set_current_pt t pt =
-  t.current_pt <- pt;
+  let c = core t in
+  c.current_pt <- pt;
   charge ~tag:Obs.Tag.Context_switch t Cost.context_switch;
   flush_tlb t
+
+(* TLB shootdown: invalidate every remote core's TLB via IPI.  On a
+   single-CPU machine this is nothing at all — the local core's TLB is
+   managed by explicit [flush_tlb] calls exactly as before, so
+   uniprocessor cycle counts are untouched.  With several CPUs the
+   sender pays one ICR write per remote core and each remote core pays
+   interrupt delivery + invalidation, charged to its own clock. *)
+let tlb_shootdown t =
+  let n = cpus t in
+  if n > 1 then begin
+    let sender = core t in
+    Array.iter
+      (fun c ->
+        if c.id <> sender.id then begin
+          charge ~tag:Obs.Tag.Ipi t Cost.ipi_send;
+          Hashtbl.reset c.tlb;
+          c.cycles <- c.cycles + Cost.ipi_deliver;
+          if Obs.is_armed t.obs then
+            Obs.charge t.obs ~cycles:c.cycles Obs.Tag.Ipi Cost.ipi_deliver;
+          c.ipis_received <- c.ipis_received + 1;
+          emit t (Obs.Event.Ipi { from_cpu = sender.id; to_cpu = c.id })
+        end)
+      t.cores
+  end
+
+let ipis_received t i = t.cores.(i).ipis_received
+
+(* -- per-core timer --------------------------------------------------- *)
+
+let arm_timer t ~period =
+  if period <= 0 then invalid_arg "Machine.arm_timer: period must be > 0";
+  Array.iter
+    (fun c ->
+      c.timer_period <- period;
+      c.timer_deadline <- c.cycles + period)
+    t.cores
+
+let disarm_timer t =
+  Array.iter
+    (fun c ->
+      c.timer_period <- 0;
+      c.timer_deadline <- 0)
+    t.cores
+
+let timer_pending t =
+  let c = core t in
+  c.timer_period > 0 && c.cycles >= c.timer_deadline
+
+let ack_timer t =
+  let c = core t in
+  if c.timer_period > 0 then begin
+    charge ~tag:Obs.Tag.Timer t Cost.timer_irq;
+    emit t (Obs.Event.Timer_tick { cpu = c.id });
+    while c.timer_deadline <= c.cycles do
+      c.timer_deadline <- c.timer_deadline + c.timer_period
+    done
+  end
+
+(* -- virtual memory --------------------------------------------------- *)
 
 (* The kernel half of the address space (including SVA-internal memory)
    is translated through the shared kernel page table; user and ghost
    partitions through the per-process table. *)
-let table_for t va = if Vg_util.Layout.in_kernel va then t.kernel_pt else t.current_pt
+let table_for t va =
+  if Vg_util.Layout.in_kernel va then t.kernel_pt else (core t).current_pt
 
 let lookup_pte t va =
+  let c = core t in
   let vpage = Int64.shift_right_logical va 12 in
-  match Hashtbl.find_opt t.tlb vpage with
+  match Hashtbl.find_opt c.tlb vpage with
   | Some pte -> pte
   | None -> (
       charge ~tag:Obs.Tag.Tlb t Cost.tlb_miss;
       match Pagetable.lookup (table_for t va) ~vpage with
       | None -> raise (Page_fault { va; access = Read; present = false })
       | Some pte ->
-          Hashtbl.replace t.tlb vpage pte;
+          Hashtbl.replace c.tlb vpage pte;
           pte)
 
 let check_access t access va (pte : Pagetable.pte) =
   let denied =
-    match (access, t.privilege) with
+    match (access, (core t).privilege) with
     | Read, Kernel -> false
     | Read, User -> not pte.perm.user
     | Write, Kernel -> not pte.perm.writable

@@ -1,10 +1,20 @@
 (** The assembled simulated machine.
 
-    One CPU core with a privilege level and a current address space, a
-    TLB, lazily-allocated physical memory, a cycle clock, and the
-    device complement of the paper's testbed: console, SSD, a gigabit
-    NIC (whose far end is exposed so workload generators can play the
-    remote client), an IOMMU, and a TPM.
+    An array of CPU cores — each with its own privilege level, current
+    address space, TLB, cycle clock and local timer — over shared
+    lazily-allocated physical memory and the device complement of the
+    paper's testbed: console, SSD, a gigabit NIC (whose far end is
+    exposed so workload generators can play the remote client), an
+    IOMMU, and a TPM.
+
+    The simulator executes one core at a time: {!switch_core} selects
+    which core the accessors operate on and whose clock subsequent
+    {!charge}s advance.  Parallel execution is modelled by the
+    scheduler interleaving cores deterministically on the simulated
+    clock (always resuming the most-behind core), so wall-clock time is
+    the {e maximum} over the per-core clocks ({!max_cycles}).  A
+    machine created with the default [cpus:1] behaves exactly as the
+    single-CPU machine always has — same charges, same clock.
 
     Virtual-memory accessors perform the full translation and
     permission check and raise {!Page_fault} exactly as hardware would;
@@ -25,26 +35,48 @@ exception
 type t
 
 val create :
+  ?cpus:int ->
   ?phys_frames:int ->
   ?disk_sectors:int ->
   ?obs:Vg_obs.Obs.t ->
   seed:string ->
   unit ->
   t
-(** [create ~seed ()] builds a machine.  Defaults: 32768 frames
+(** [create ~seed ()] builds a machine.  Defaults: 1 CPU, 32768 frames
     (128 MiB), 65536 sectors (32 MiB disk).  The seed determinises the
     TPM and entropy source so experiments are reproducible.  [obs]
     defaults to {!Vg_obs.Obs.default}, so sinks attached to the
     process-wide instance observe every machine. *)
 
+(** {1 Cores} *)
+
+val cpus : t -> int
+
+val cpu : t -> int
+(** Index of the core currently executing. *)
+
+val switch_core : t -> int -> unit
+(** Select which core subsequent accessors and charges apply to.  This
+    is the simulator's interleaver stepping, not a hardware action — it
+    charges nothing. *)
+
 (** {1 Clock and accounting} *)
 
 val charge : ?tag:Vg_obs.Obs.Tag.t -> t -> int -> unit
-(** Advance the cycle clock, attributing the cycles to [tag]
-    (default {!Vg_obs.Obs.Tag.Other}).  The clock advances identically
-    whether or not observability sinks are attached. *)
+(** Advance the current core's cycle clock, attributing the cycles to
+    [tag] (default {!Vg_obs.Obs.Tag.Other}).  The clock advances
+    identically whether or not observability sinks are attached. *)
 
 val cycles : t -> int
+(** The current core's clock. *)
+
+val core_cycles : t -> int -> int
+(** [core_cycles t i] is core [i]'s clock. *)
+
+val max_cycles : t -> int
+(** Wall-clock time of the machine: the maximum over per-core clocks
+    (equals {!cycles} on a 1-CPU machine). *)
+
 val elapsed_seconds : t -> float
 val reset_clock : t -> unit
 
@@ -57,8 +89,9 @@ val tracing : t -> bool
     event construction on hot paths. *)
 
 val emit : t -> Vg_obs.Obs.Event.t -> unit
-(** Emit an event stamped with the current cycle clock.  No-op (one
-    boolean load) when no sink is attached; never charges cycles. *)
+(** Emit an event stamped with the current core's cycle clock.  No-op
+    (one boolean load) when no sink is attached; never charges
+    cycles. *)
 
 (** {1 CPU state} *)
 
@@ -69,11 +102,42 @@ val kernel_pt : t -> Pagetable.t
 (** The shared kernel address-space page table (high half). *)
 
 val current_pt : t -> Pagetable.t
-(** The current process's page table (user + ghost partitions). *)
+(** The current core's installed process page table (user + ghost
+    partitions). *)
 
 val set_current_pt : t -> Pagetable.t -> unit
-(** Context switch: installs a new user page table and flushes the
-    TLB. *)
+(** Context switch: installs a new user page table on the current core
+    and flushes its TLB. *)
+
+(** {1 Inter-processor interrupts} *)
+
+val tlb_shootdown : t -> unit
+(** Invalidate every {e remote} core's TLB: the current core pays
+    {!Cost.ipi_send} per target and each target pays
+    {!Cost.ipi_deliver} on its own clock, with an [Ipi] event per
+    target.  On a 1-CPU machine this is a complete no-op (zero cycles),
+    so uniprocessor runs are unaffected. *)
+
+val ipis_received : t -> int -> int
+(** How many IPIs core [i] has taken (shootdown audit). *)
+
+(** {1 Per-core timer} *)
+
+val arm_timer : t -> period:int -> unit
+(** Arm every core's local timer to fire each [period] cycles (next
+    deadline relative to each core's current clock). *)
+
+val disarm_timer : t -> unit
+
+val timer_pending : t -> bool
+(** Has the current core's timer deadline passed?  (Interrupts are
+    taken at trap boundaries — the scheduler polls this on the
+    return-to-user path.) *)
+
+val ack_timer : t -> unit
+(** Service a pending tick on the current core: charges
+    {!Cost.timer_irq}, emits [Timer_tick], advances the deadline past
+    the current clock.  No-op if the timer is disarmed. *)
 
 (** {1 Virtual memory} *)
 
@@ -95,6 +159,8 @@ val write_bytes_virt : t -> int64 -> bytes -> unit
 val memcpy_virt : t -> dst:int64 -> src:int64 -> len:int -> unit
 
 val flush_tlb : t -> unit
+(** Flush the current core's TLB only; see {!tlb_shootdown} for the
+    cross-core protocol. *)
 
 (** {1 Components} *)
 

@@ -26,12 +26,16 @@ module Tag = struct
     | Io  (** programmed I/O through the SVA port intrinsics *)
     | Kernel_work  (** generic instrumented kernel work (Kmem.work) *)
     | Other
+    | Sched  (** scheduler decisions and run-queue maintenance *)
+    | Ipi  (** inter-processor interrupts (TLB shootdown) *)
+    | Timer  (** per-core timer interrupts *)
+    | Lock  (** spinlock cache-line transfers *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other;
+      Other; Sched; Ipi; Timer; Lock;
     ]
 
   let count = List.length all
@@ -56,6 +60,10 @@ module Tag = struct
     | Io -> 16
     | Kernel_work -> 17
     | Other -> 18
+    | Sched -> 19
+    | Ipi -> 20
+    | Timer -> 21
+    | Lock -> 22
 
   let to_string = function
     | Exec -> "exec"
@@ -77,6 +85,10 @@ module Tag = struct
     | Io -> "io"
     | Kernel_work -> "kernel"
     | Other -> "other"
+    | Sched -> "sched"
+    | Ipi -> "ipi"
+    | Timer -> "timer"
+    | Lock -> "lock"
 end
 
 module Event = struct
@@ -96,6 +108,10 @@ module Event = struct
     | Security of { subsystem : string; detail : string }
     | Device_io of { port : int64; write : bool }
     | Module_load of { name : string; overrides : int }
+    | Sched_switch of { cpu : int; prev_tid : int; next_tid : int }
+    | Ipi of { from_cpu : int; to_cpu : int }
+    | Timer_tick of { cpu : int }
+    | Lock_contend of { name : string; cpu : int; last_cpu : int }
 
   let mmu_op_to_string = function
     | Map -> "map"
@@ -115,6 +131,10 @@ module Event = struct
     | Security _ -> "security"
     | Device_io _ -> "device-io"
     | Module_load _ -> "module-load"
+    | Sched_switch _ -> "sched-switch"
+    | Ipi _ -> "ipi"
+    | Timer_tick _ -> "timer-tick"
+    | Lock_contend _ -> "lock-contend"
 
   (* The events that record a defence engaging (a denial, a detected
      tamper, a deflected access) — what the attack suite greps for. *)
@@ -123,7 +143,8 @@ module Event = struct
     | Swap_in { ok = false; _ } -> true
     | Cfi_violation _ | Security _ -> true
     | Trap_enter _ | Trap_exit _ | Syscall _ | Mmu _ | Ghost_alloc _
-    | Ghost_free _ | Swap_out _ | Swap_in _ | Device_io _ | Module_load _ ->
+    | Ghost_free _ | Swap_out _ | Swap_in _ | Device_io _ | Module_load _
+    | Sched_switch _ | Ipi _ | Timer_tick _ | Lock_contend _ ->
         false
 
   let describe = function
@@ -151,6 +172,12 @@ module Event = struct
           (Vg_util.U64.to_hex port)
     | Module_load { name; overrides } ->
         Printf.sprintf "module %s loaded (%d overrides)" name overrides
+    | Sched_switch { cpu; prev_tid; next_tid } ->
+        Printf.sprintf "cpu%d: switch tid %d -> %d" cpu prev_tid next_tid
+    | Ipi { from_cpu; to_cpu } -> Printf.sprintf "ipi cpu%d -> cpu%d" from_cpu to_cpu
+    | Timer_tick { cpu } -> Printf.sprintf "timer tick cpu%d" cpu
+    | Lock_contend { name; cpu; last_cpu } ->
+        Printf.sprintf "lock %s: cpu%d takes line from cpu%d" name cpu last_cpu
 end
 
 type sink = {

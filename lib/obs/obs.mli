@@ -34,6 +34,10 @@ module Tag : sig
     | Io
     | Kernel_work
     | Other
+    | Sched
+    | Ipi
+    | Timer
+    | Lock
 
   val all : t list
   val count : int
@@ -61,6 +65,10 @@ module Event : sig
     | Security of { subsystem : string; detail : string }
     | Device_io of { port : int64; write : bool }
     | Module_load of { name : string; overrides : int }
+    | Sched_switch of { cpu : int; prev_tid : int; next_tid : int }
+    | Ipi of { from_cpu : int; to_cpu : int }
+    | Timer_tick of { cpu : int }
+    | Lock_contend of { name : string; cpu : int; last_cpu : int }
 
   val mmu_op_to_string : mmu_op -> string
 

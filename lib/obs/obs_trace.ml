@@ -72,6 +72,18 @@ let on_event t ~cycles (ev : Obs.Event.t) =
   | Module_load { name; overrides } ->
       add t ~cycles ~ph:"i" ~name:("module:" ^ name) ~pid:0 ~tid:0
         [ ("overrides", Obs_json.Int overrides) ]
+  | Sched_switch { cpu; prev_tid; next_tid } ->
+      add t ~cycles ~ph:"i" ~name:"sched-switch" ~pid:0 ~tid:next_tid
+        [ ("cpu", Obs_json.Int cpu); ("prev_tid", Obs_json.Int prev_tid) ]
+  | Ipi { from_cpu; to_cpu } ->
+      add t ~cycles ~ph:"i" ~name:"ipi" ~pid:0 ~tid:0
+        [ ("from_cpu", Obs_json.Int from_cpu); ("to_cpu", Obs_json.Int to_cpu) ]
+  | Timer_tick { cpu } ->
+      add t ~cycles ~ph:"i" ~name:"timer-tick" ~pid:0 ~tid:0
+        [ ("cpu", Obs_json.Int cpu) ]
+  | Lock_contend { name; cpu; last_cpu } ->
+      add t ~cycles ~ph:"i" ~name:("lock:" ^ name) ~pid:0 ~tid:0
+        [ ("cpu", Obs_json.Int cpu); ("last_cpu", Obs_json.Int last_cpu) ]
 
 let sink t =
   {

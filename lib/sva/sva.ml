@@ -27,9 +27,23 @@ type thread = {
   mirror_slot : int;
 }
 
+(* Per-CPU SVA-OS state, as the paper specifies: each core has its own
+   Interrupt Stack Table save area inside SVA-internal memory and its
+   own notion of which thread is live.  [running] is what lets
+   [swap_integer] refuse to resume a thread that is already executing
+   on another core — a hostile kernel cannot clone a live register
+   state onto two CPUs. *)
+type percpu = {
+  cpu : int;
+  ist_va : int64;
+  mutable running : int option; (* tid *)
+  mutable switches : int;
+}
+
 type t = {
   machine : Machine.t;
   mode : mode;
+  percpu : percpu array;
   uses : (int, frame_use) Hashtbl.t;
   mutable address_spaces : (Pagetable.t * int) list;
   threads : (int, thread) Hashtbl.t;
@@ -114,10 +128,23 @@ let boot ?(vg_key_bits = 256) ~mode machine =
     Vg_compiler.Trans_cache.create
       ~key:(Vg_crypto.Hmac.mac ~key:storage_key (Bytes.of_string "vg-transcache"))
   in
+  (* Per-CPU Interrupt Stack Table save areas live at the top of the
+     SVA-internal range (the per-thread mirrors grow from the bottom). *)
+  let percpu =
+    Array.init (Machine.cpus machine) (fun cpu ->
+        {
+          cpu;
+          ist_va =
+            Int64.add Layout.sva_start (Int64.of_int (0x000f_0000 + (cpu * 0x1000)));
+          running = None;
+          switches = 0;
+        })
+  in
   let t =
     {
       machine;
       mode;
+      percpu;
       uses;
       address_spaces = [];
       threads = Hashtbl.create 64;
@@ -162,6 +189,23 @@ let mmu_check_cost = 60
    — they must never pass silently, so every checked-MMU result flows
    through here. *)
 let emit_mmu t ~op ~va (res : (unit, mmu_error) result) =
+  (* On a multi-CPU machine a denied MMU update is, in the common case,
+     a remap racing another core's live use of the mapping — call it
+     out explicitly so the attack suite (and an operator's event log)
+     sees the defence engage, not just a refused page-table write. *)
+  (match res with
+  | Error e when Machine.cpus t.machine > 1 ->
+      Machine.emit t.machine
+        (Obs.Event.Security
+           {
+             subsystem = "sva.mmu";
+             detail =
+               Format.asprintf "cpu%d: racing MMU %s of %s denied: %a"
+                 (Machine.cpu t.machine)
+                 (Obs.Event.mmu_op_to_string op)
+                 (U64.to_hex va) pp_mmu_error e;
+           })
+  | Ok () | Error _ -> ());
   if Machine.tracing t.machine then
     Machine.emit t.machine
       (Obs.Event.Mmu
@@ -202,14 +246,27 @@ let map_page_op t pt ~op ~va ~frame ~perm =
     (match map_checks t pt ~va ~frame ~perm with
     | Error _ as e -> e
     | Ok () ->
-        Pagetable.map pt ~vpage:(Int64.shift_right_logical va 12)
-          { Pagetable.frame; perm };
+        let vpage = Int64.shift_right_logical va 12 in
+        let replaces = Pagetable.lookup pt ~vpage <> None in
+        Pagetable.map pt ~vpage { Pagetable.frame; perm };
+        (* The VM performs the cross-core invalidation itself: a kernel
+           that changes an existing translation cannot leave the stale
+           one live on another core.  A brand-new mapping needs none —
+           no TLB can hold an entry for a never-mapped address.  The
+           hostile native build has no such obligation at all —
+           skipping the shootdown is exactly the race the attack suite
+           exploits. *)
+        if replaces && t.mode = Virtual_ghost then
+          Machine.tlb_shootdown t.machine;
         Ok ())
 
 let map_page t pt ~va ~frame ~perm =
   map_page_op t pt ~op:Obs.Event.Map ~va ~frame ~perm
 
-let unmap_page t pt ~va =
+(* Unmap minus the cross-core invalidation, which the callers below
+   issue either per page (single unmap) or once per batch (address
+   space teardown, as real kernels batch exit/munmap flushes). *)
+let unmap_page_no_shootdown t pt ~va =
   let vpage = Int64.shift_right_logical va 12 in
   emit_mmu t ~op:Obs.Event.Unmap ~va
     (match t.mode with
@@ -226,6 +283,24 @@ let unmap_page t pt ~va =
           Pagetable.unmap pt ~vpage;
           Ok ()
         end)
+
+let unmap_page t pt ~va =
+  match unmap_page_no_shootdown t pt ~va with
+  | Ok () when t.mode = Virtual_ghost ->
+      Machine.tlb_shootdown t.machine;
+      Ok ()
+  | r -> r
+
+let unmap_pages t pt ~vas =
+  let any =
+    List.fold_left
+      (fun any va ->
+        match unmap_page_no_shootdown t pt ~va with
+        | Ok () -> true
+        | Error _ -> any)
+      false vas
+  in
+  if any && t.mode = Virtual_ghost then Machine.tlb_shootdown t.machine
 
 let protect_page t pt ~va ~perm =
   let vpage = Int64.shift_right_logical va 12 in
@@ -399,6 +474,57 @@ let return_from_trap t ~tid =
   if Machine.tracing t.machine then
     Machine.emit t.machine (Obs.Event.Trap_exit { tid; pid = thread.pid });
   Machine.set_privilege t.machine thread.ic.Icontext.privilege
+
+(* ------------------------------------------------------------------ *)
+(* SVA-mediated context switching (sva.swap.integer)                   *)
+
+(* The only way the kernel can switch threads.  The outgoing thread's
+   integer state is already inside SVA memory (its mirror / this CPU's
+   IST in a Virtual Ghost build); the CPU's registers are zeroed on the
+   way in and the incoming thread's state is loaded by the VM — the
+   kernel names threads by opaque tid and never sees saved register
+   state.  The VM refuses to resume a thread that is live on another
+   CPU: duplicating a register state across cores would let a hostile
+   scheduler fork a victim's execution. *)
+let swap_integer t ~tid =
+  let cpu = Machine.cpu t.machine in
+  let pc = t.percpu.(cpu) in
+  match Hashtbl.find_opt t.threads tid with
+  | None -> Error (Printf.sprintf "sva.swap.integer: no thread %d" tid)
+  | Some _ ->
+      let live_elsewhere =
+        Array.exists (fun o -> o.cpu <> cpu && o.running = Some tid) t.percpu
+      in
+      if live_elsewhere then begin
+        let msg =
+          Printf.sprintf "sva.swap.integer: thread %d is already running on another CPU"
+            tid
+        in
+        Machine.emit t.machine
+          (Obs.Event.Security { subsystem = "sva.swap"; detail = msg });
+        Error msg
+      end
+      else begin
+        (* Cross-CPU run-state check; free on a uniprocessor build,
+           where there is no other core to race. *)
+        if Machine.cpus t.machine > 1 then
+          Machine.charge ~tag:Obs.Tag.Context_switch t.machine Cost.sva_swap_smp;
+        if pc.running <> Some tid then pc.switches <- pc.switches + 1;
+        pc.running <- Some tid;
+        Ok ()
+      end
+
+(* The scheduler parks the core in its per-CPU idle context: the
+   outgoing thread's integer state is saved into SVA memory, so the
+   core no longer holds live register state for any kernel thread (and
+   the thread becomes resumable from any core). *)
+let swap_idle t =
+  let pc = t.percpu.(Machine.cpu t.machine) in
+  pc.running <- None
+
+let running_on t ~cpu = t.percpu.(cpu).running
+let cpu_switches t ~cpu = t.percpu.(cpu).switches
+let cpu_ist t ~cpu = t.percpu.(cpu).ist_va
 
 (* ------------------------------------------------------------------ *)
 (* Program launch (execve)                                             *)

@@ -89,6 +89,12 @@ val map_page :
 
 val unmap_page : t -> Pagetable.t -> va:int64 -> (unit, mmu_error) result
 
+val unmap_pages : t -> Pagetable.t -> vas:int64 list -> unit
+(** Batched unmap for address-space teardown: the same per-page checks
+    as {!unmap_page}, but one cross-core TLB shootdown for the whole
+    batch (failures are skipped), as real kernels batch exit/munmap
+    invalidations. *)
+
 val protect_page :
   t -> Pagetable.t -> va:int64 -> perm:Pagetable.perm -> (unit, mmu_error) result
 
@@ -107,6 +113,34 @@ val enter_trap : t -> tid:int -> unit
 val return_from_trap : t -> tid:int -> unit
 (** Resume the thread from its (possibly tampered, in native mode)
     saved context; charges return cost and restores user privilege. *)
+
+(** {1 SVA-mediated context switching} *)
+
+val swap_integer : t -> tid:int -> (unit, string) result
+(** [sva.swap.integer]: the {e only} way the kernel switches threads.
+    The outgoing thread's integer state stays inside SVA memory, the
+    CPU's registers are zeroed on the way in, and the incoming thread's
+    state is loaded by the VM — the kernel names threads by opaque tid
+    and never observes saved register state.  Refuses (with a
+    [Security] event) to resume a thread that is currently live on
+    another CPU.  On multi-CPU machines the cross-CPU run-state check
+    charges {!Cost.sva_swap_smp}; on one CPU it is free. *)
+
+val swap_idle : t -> unit
+(** Park the current core in its per-CPU idle context: the outgoing
+    thread's state is saved into SVA memory and the thread becomes
+    resumable from any core.  Called by the scheduler when a fiber is
+    preempted or finishes. *)
+
+val running_on : t -> cpu:int -> int option
+(** Which thread the VM believes is live on core [cpu]. *)
+
+val cpu_switches : t -> cpu:int -> int
+(** How many distinct thread switches core [cpu] has performed. *)
+
+val cpu_ist : t -> cpu:int -> int64
+(** The SVA-internal address of core [cpu]'s Interrupt Stack Table
+    save area (per-CPU, as the paper specifies). *)
 
 (** {1 Threads and interrupt contexts} *)
 

@@ -133,6 +133,41 @@ let launch kernel ?image ~ghosting body =
           match Syscalls.wait kernel init with Ok _ | Error _ -> ())
         (fun () -> body ctx))
 
+(* Like [launch], but as a scheduler fiber: the process is created now
+   (so callers can set it up — e.g. inherit a listening socket) and the
+   body runs when the scheduler dispatches the fiber, preemptible at
+   every syscall.  Exit and reaping happen when the body finishes. *)
+let spawn_fiber kernel sched ?cpu ?image ~ghosting ~name body =
+  let init = Kernel.init_process kernel in
+  match Kernel.create_process kernel ~parent:init with
+  | Error e -> raise (App_crash ("spawn_fiber: " ^ Errno.to_string e))
+  | Ok proc ->
+      Sched.spawn sched ?cpu ~name proc (fun () ->
+          (match image with
+          | Some image -> (
+              match Syscalls.execve kernel proc image with
+              | Ok () -> ()
+              | Error e -> raise (App_crash ("execve: " ^ Errno.to_string e)))
+          | None -> ());
+          let normal_pc =
+            (Sva.thread_icontext kernel.Kernel.sva ~tid:proc.Proc.tid).Icontext.pc
+          in
+          let ctx = make kernel proc ~ghosting ~normal_pc in
+          Fun.protect
+            ~finally:(fun () ->
+              (* Preemption is disabled across teardown: once [exit_]
+                 frees the SVA thread, the fiber must not be requeued
+                 (there is nothing left to switch to). *)
+              let saved = kernel.Kernel.preempt in
+              kernel.Kernel.preempt <- (fun () -> ());
+              Fun.protect
+                ~finally:(fun () -> kernel.Kernel.preempt <- saved)
+                (fun () ->
+                  if not (Proc.is_zombie proc) then Syscalls.exit_ kernel proc 0;
+                  ignore (Kernel.reap_zombie kernel ~parent:init.Proc.pid)))
+            (fun () -> body ctx));
+      proc
+
 let in_child parent child_proc body =
   let ctx =
     {

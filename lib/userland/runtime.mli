@@ -41,6 +41,21 @@ val launch :
     image into it, run the program body, then exit and reap the
     process.  @raise App_crash / Failure on launch errors. *)
 
+val spawn_fiber :
+  Kernel.t ->
+  Sched.t ->
+  ?cpu:int ->
+  ?image:Appimage.t ->
+  ghosting:bool ->
+  name:string ->
+  (ctx -> unit) ->
+  Proc.t
+(** Like {!launch}, but as a {!Sched} fiber: the process is created
+    immediately (so the caller can prepare it — e.g. inherit a
+    listening socket via [Proc.add_fd]) and the body runs when the
+    scheduler dispatches the fiber, preemptible at every syscall.
+    Exit and reaping happen when the body returns. *)
+
 val in_child : ctx -> Proc.t -> (ctx -> 'a) -> 'a
 (** Build a context for a forked child and run its body (cooperative
     model: the child runs to completion at the point of use). *)

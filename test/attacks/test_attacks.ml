@@ -8,12 +8,12 @@ let check msg expected actual = Alcotest.(check bool) msg expected actual
 (* Rootkit attack 1: direct read of victim memory                      *)
 
 let test_direct_read_native () =
-  let o = Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Direct_read in
+  let o = Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Direct_read () in
   check "secret printed to system log" true o.Rootkit.secret_leaked_to_console;
   check "victim survived" true o.Rootkit.victim_survived
 
 let test_direct_read_vg () =
-  let o = Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Direct_read in
+  let o = Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Direct_read () in
   check "secret NOT in system log" false o.Rootkit.secret_leaked_to_console;
   (* The paper: "the kernel simply reads unknown data out of its own
      address space" — the module runs on, the victim is unaffected. *)
@@ -23,11 +23,11 @@ let test_direct_read_vg () =
 (* Rootkit attack 2: signal-handler code injection                     *)
 
 let test_signal_inject_native () =
-  let o = Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Signal_inject in
+  let o = Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Signal_inject () in
   check "secret written to exfil file" true o.Rootkit.secret_in_exfil_file
 
 let test_signal_inject_vg () =
-  let o = Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Signal_inject in
+  let o = Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Signal_inject () in
   check "exfil file empty" false o.Rootkit.secret_in_exfil_file;
   check "VM refused the dispatch" true o.Rootkit.vm_refusal_logged;
   check "victim continues unaffected" true o.Rootkit.victim_survived
@@ -90,24 +90,24 @@ let no_security_events msg recorder =
 let test_events_direct_read () =
   let _, native =
     record (fun () ->
-        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Direct_read)
+        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Direct_read ())
   in
   no_security_events "native: silent" native;
   let _, vg =
     record (fun () ->
-        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Direct_read)
+        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Direct_read ())
   in
   check "vg: sandbox fault reported" true (has_security vg "sandbox")
 
 let test_events_signal_inject () =
   let _, native =
     record (fun () ->
-        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Signal_inject)
+        Rootkit.run_experiment ~mode:Sva.Native_build ~attack:Rootkit.Signal_inject ())
   in
   no_security_events "native: silent" native;
   let _, vg =
     record (fun () ->
-        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Signal_inject)
+        Rootkit.run_experiment ~mode:Sva.Virtual_ghost ~attack:Rootkit.Signal_inject ())
   in
   check "vg: dispatch refusal reported" true (has_security vg "sva.ipush")
 
@@ -143,6 +143,22 @@ let test_events_iago_mmap () =
   in
   check "masked app: defused pointer reported" true (has_security masked "iago-mask")
 
+let test_smp_remap_race () =
+  check "native succeeds" true
+    (Other_attacks.smp_remap_race_attack ~mode:Sva.Native_build);
+  check "vg blocked" false
+    (Other_attacks.smp_remap_race_attack ~mode:Sva.Virtual_ghost)
+
+let test_events_smp_remap_race () =
+  let _, native =
+    record (fun () -> Other_attacks.smp_remap_race_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () -> Other_attacks.smp_remap_race_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: cross-core remap denial reported" true (has_security vg "sva.mmu")
+
 let () =
   Alcotest.run "vg_attacks"
     [
@@ -163,6 +179,7 @@ let () =
           Alcotest.test_case "interrupt-context tamper" `Quick test_icontext_tamper;
           Alcotest.test_case "iago mmap" `Quick test_iago_mmap;
           Alcotest.test_case "swap tamper" `Quick test_swap_tamper;
+          Alcotest.test_case "smp remap race" `Quick test_smp_remap_race;
           Alcotest.test_case "file replay" `Slow test_file_replay;
         ] );
       ( "security-events",
@@ -171,6 +188,7 @@ let () =
           Alcotest.test_case "signal inject" `Slow test_events_signal_inject;
           Alcotest.test_case "mmu remap" `Quick test_events_mmu_remap;
           Alcotest.test_case "dma" `Quick test_events_dma;
+          Alcotest.test_case "smp remap race" `Quick test_events_smp_remap_race;
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
         ] );
     ]

@@ -1,0 +1,374 @@
+(* SMP tests: the multi-core machine (per-core clocks, timers, TLB
+   shootdown IPIs), spinlocks, SVA-mediated context switching, the
+   preemptive scheduler (including the preemption-transparency
+   property against a cooperative baseline), the multi-worker httpd
+   pool, and per-kernel module-loader state. *)
+
+let boot ?(mode = Sva.Virtual_ghost) ?(cpus = 1) ?(seed = "smp") () =
+  let machine =
+    Machine.create ~cpus ~phys_frames:16384 ~disk_sectors:32768 ~seed ()
+  in
+  Kernel.boot ~mode machine
+
+let expect_ok msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" msg (Errno.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Machine: cores, timers, shootdowns                                  *)
+
+let test_core_clocks () =
+  let m = Machine.create ~cpus:4 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  Alcotest.(check int) "cpus" 4 (Machine.cpus m);
+  Machine.charge m 100;
+  Machine.switch_core m 2;
+  Machine.charge m 250;
+  Alcotest.(check int) "core0" 100 (Machine.core_cycles m 0);
+  Alcotest.(check int) "core2" 250 (Machine.core_cycles m 2);
+  Alcotest.(check int) "core1 untouched" 0 (Machine.core_cycles m 1);
+  Alcotest.(check int) "wall clock = max" 250 (Machine.max_cycles m);
+  Alcotest.check_raises "bad core" (Invalid_argument "Machine.switch_core")
+    (fun () -> Machine.switch_core m 9)
+
+let test_timer () =
+  let m = Machine.create ~cpus:2 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  Machine.arm_timer m ~period:1000;
+  Alcotest.(check bool) "not pending yet" false (Machine.timer_pending m);
+  Machine.charge m 1500;
+  Alcotest.(check bool) "pending after period" true (Machine.timer_pending m);
+  (* Other core's timer is independent. *)
+  Machine.switch_core m 1;
+  Alcotest.(check bool) "core1 idle, not pending" false (Machine.timer_pending m);
+  Machine.switch_core m 0;
+  Machine.ack_timer m;
+  Alcotest.(check bool) "acked" false (Machine.timer_pending m);
+  Machine.disarm_timer m;
+  Machine.charge m 10_000;
+  Alcotest.(check bool) "disarmed" false (Machine.timer_pending m)
+
+let test_tlb_shootdown_ipis () =
+  let m = Machine.create ~cpus:4 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  let before = Machine.core_cycles m 3 in
+  Machine.tlb_shootdown m;
+  Alcotest.(check int) "remote got one IPI" 1 (Machine.ipis_received m 3);
+  Alcotest.(check int) "sender got none" 0 (Machine.ipis_received m 0);
+  Alcotest.(check bool) "remote paid delivery" true
+    (Machine.core_cycles m 3 > before);
+  (* 1-CPU machines have nobody to shoot down. *)
+  let m1 = Machine.create ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  Machine.tlb_shootdown m1;
+  Alcotest.(check int) "no self IPI" 0 (Machine.ipis_received m1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spinlocks                                                           *)
+
+let test_spinlock_transfer_charges () =
+  let m = Machine.create ~cpus:2 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  let l = Spinlock.create m ~name:"t" in
+  Spinlock.with_lock l (fun () -> ());
+  Spinlock.with_lock l (fun () -> ());
+  Alcotest.(check int) "same-core reacquire free" 0 (Spinlock.transfers l);
+  Alcotest.(check int) "no cycles charged" 0 (Machine.core_cycles m 0);
+  Machine.switch_core m 1;
+  Spinlock.with_lock l (fun () -> ());
+  Alcotest.(check int) "cross-core acquisition pays" 1 (Spinlock.transfers l);
+  Alcotest.(check int) "cache-line transfer cost" Cost.lock_transfer
+    (Machine.core_cycles m 1)
+
+let test_spinlock_ownership () =
+  let m = Machine.create ~cpus:2 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"m" () in
+  let l = Spinlock.create m ~name:"own" in
+  Spinlock.acquire l;
+  Machine.switch_core m 1;
+  (* Releasing from the wrong core is a kernel bug and must raise. *)
+  (try
+     Spinlock.release l;
+     Alcotest.fail "non-owner release must raise"
+   with Spinlock.Error _ -> ());
+  (try
+     Spinlock.acquire l;
+     Alcotest.fail "acquiring a held lock must raise"
+   with Spinlock.Error _ -> ());
+  Machine.switch_core m 0;
+  Spinlock.release l;
+  (try
+     Spinlock.release l;
+     Alcotest.fail "double release must raise"
+   with Spinlock.Error _ -> ())
+
+(* Property: under arbitrary interleavings of acquire/release attempts
+   from random cores, a release only ever succeeds on the owning core,
+   and the lock is free iff the bookkeeping says so. *)
+let prop_spinlock_owner =
+  QCheck2.Test.make ~name:"spinlock never released by a non-owner" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 3) bool))
+    (fun ops ->
+      let m =
+        Machine.create ~cpus:4 ~phys_frames:4096 ~disk_sectors:4096 ~seed:"q" ()
+      in
+      let l = Spinlock.create m ~name:"prop" in
+      List.for_all
+        (fun (core, is_acquire) ->
+          Machine.switch_core m core;
+          if is_acquire then
+            match Spinlock.holder l with
+            | None ->
+                Spinlock.acquire l;
+                Spinlock.holder l = Some core
+            | Some _ -> (
+                (* must refuse: lock already held *)
+                match Spinlock.acquire l with
+                | () -> false
+                | exception Spinlock.Error _ -> true)
+          else
+            match Spinlock.holder l with
+            | Some o when o = core ->
+                Spinlock.release l;
+                Spinlock.holder l = None
+            | _ -> (
+                match Spinlock.release l with
+                | () -> false
+                | exception Spinlock.Error _ -> true))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* SVA-mediated context switching                                      *)
+
+let test_swap_integer_refuses_live_thread () =
+  let k = boot ~cpus:2 () in
+  let init = Kernel.init_process k in
+  (* init's thread is live on cpu0 (installed at boot); a hostile
+     scheduler resuming it on cpu1 as well must be refused. *)
+  Machine.switch_core k.Kernel.machine 1;
+  (match Sva.swap_integer k.Kernel.sva ~tid:init.Proc.tid with
+  | Ok () -> Alcotest.fail "double-resume must be refused"
+  | Error msg ->
+      Alcotest.(check bool) "names the thread" true
+        (String.length msg > 0));
+  Alcotest.(check (option int)) "cpu1 runs nothing"
+    None (Sva.running_on k.Kernel.sva ~cpu:1);
+  (match Sva.swap_integer k.Kernel.sva ~tid:999 with
+  | Ok () -> Alcotest.fail "unknown tid must be refused"
+  | Error _ -> ())
+
+let test_switch_to_tracks_percpu () =
+  let k = boot ~cpus:2 () in
+  let init = Kernel.init_process k in
+  let child = expect_ok "fork" (Kernel.create_process k ~parent:init) in
+  Machine.switch_core k.Kernel.machine 1;
+  Kernel.switch_to k child;
+  Alcotest.(check (option int)) "child live on cpu1" (Some child.Proc.tid)
+    (Sva.running_on k.Kernel.sva ~cpu:1);
+  Alcotest.(check (option int)) "init still live on cpu0" (Some init.Proc.tid)
+    (Sva.running_on k.Kernel.sva ~cpu:0);
+  Alcotest.(check int) "cpu pids diverge" child.Proc.pid (Kernel.current_pid k);
+  Machine.switch_core k.Kernel.machine 0;
+  Alcotest.(check int) "cpu0 unchanged" init.Proc.pid (Kernel.current_pid k)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+let syscall_churn ctx ~tag ~iters =
+  (* A little process that exercises fs syscalls and returns evidence
+     of what it computed; every syscall is a preemption point. *)
+  let k = ctx.Runtime.kernel and proc = ctx.Runtime.proc in
+  let path = "/churn-" ^ tag in
+  let fd = expect_ok "open" (Runtime.sys_open ctx path Syscalls.creat_trunc) in
+  let acc = ref 0 in
+  for i = 1 to iters do
+    let line = Printf.sprintf "%s:%d\n" tag i in
+    acc := !acc + expect_ok "write" (Runtime.write_string ctx ~fd line)
+  done;
+  ignore (Runtime.sys_close ctx fd);
+  let st = expect_ok "stat" (Syscalls.stat k proc path) in
+  (!acc, st.Diskfs.size)
+
+let run_workload ?(cpus = 1) ~preemptive ~timer_period () =
+  let k = boot ~cpus () in
+  let tags = [ "a"; "b"; "c" ] in
+  let results = Hashtbl.create 4 in
+  if preemptive then begin
+    let sched = Sched.create k in
+    List.iter
+      (fun tag ->
+        ignore
+          (Runtime.spawn_fiber k sched ~ghosting:false ~name:tag (fun ctx ->
+               Hashtbl.replace results tag (syscall_churn ctx ~tag ~iters:25))))
+      tags;
+    Sched.run ~timer_period sched
+  end
+  else
+    List.iter
+      (fun tag ->
+        Runtime.launch k ~ghosting:false (fun ctx ->
+            Hashtbl.replace results tag (syscall_churn ctx ~tag ~iters:25)))
+      tags;
+  List.map (fun tag -> (tag, Hashtbl.find results tag)) tags
+
+(* Preemption transparency: chopping processes up at arbitrary timer
+   ticks (and migrating them across cores) must not change any
+   process's own syscall results. *)
+let prop_preemption_transparent =
+  QCheck2.Test.make ~name:"preemption preserves per-process syscall results"
+    ~count:12
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 2_000 200_000))
+    (fun (cpus, timer_period) ->
+      let baseline = run_workload ~preemptive:false ~timer_period:0 () in
+      let preempted = run_workload ~cpus ~preemptive:true ~timer_period () in
+      baseline = preempted)
+
+let test_sched_preempts_and_steals () =
+  let k = boot ~cpus:2 () in
+  let sched = Sched.create k in
+  for i = 0 to 3 do
+    (* Pin everything to cpu0 so cpu1 can only get work by stealing. *)
+    ignore
+      (Runtime.spawn_fiber k sched ~cpu:0 ~ghosting:false
+         ~name:(Printf.sprintf "w%d" i)
+         (fun ctx -> ignore (syscall_churn ctx ~tag:(string_of_int i) ~iters:30)))
+  done;
+  Sched.run ~timer_period:5_000 sched;
+  Alcotest.(check bool) "timer ticks preempted fibers" true
+    (Sched.preemptions sched > 0);
+  Alcotest.(check bool) "idle core stole work" true (Sched.steals sched > 0);
+  Alcotest.(check bool) "both cores ran" true
+    (Machine.core_cycles k.Kernel.machine 1 > 0)
+
+let test_sched_events_observed () =
+  let recorder = Obs_recorder.create () in
+  Obs.with_sink Obs.default (Obs_recorder.sink recorder) (fun () ->
+      let k = boot ~cpus:2 () in
+      let sched = Sched.create k in
+      for i = 0 to 1 do
+        ignore
+          (Runtime.spawn_fiber k sched ~cpu:0 ~ghosting:false
+             ~name:(Printf.sprintf "w%d" i)
+             (fun ctx ->
+               ignore (syscall_churn ctx ~tag:(string_of_int i) ~iters:20)))
+      done;
+      Sched.run ~timer_period:5_000 sched);
+  let kinds =
+    List.map
+      (fun e -> Obs.Event.kind e.Obs_recorder.event)
+      (Obs_recorder.events recorder)
+  in
+  let has k = List.mem k kinds in
+  Alcotest.(check bool) "sched-switch seen" true (has "sched-switch");
+  Alcotest.(check bool) "timer-tick seen" true (has "timer-tick")
+
+(* ------------------------------------------------------------------ *)
+(* httpd pool                                                          *)
+
+let make_fs_file k path size =
+  let ino = expect_ok "create" (Diskfs.create k.Kernel.fs path) in
+  let data = Bytes.init size (fun i -> Char.chr ((i * 131) land 0xff)) in
+  ignore (expect_ok "write" (Diskfs.write k.Kernel.fs ~ino ~off:0 data))
+
+let pool_stats ?(mode = Sva.Virtual_ghost) ~cpus ~requests () =
+  let k = boot ~mode ~cpus () in
+  make_fs_file k "/index.html" 8192;
+  Httpd.Pool.run k ~workers:cpus ~requests ~port:80 ~path:"/index.html"
+
+let test_pool_serves_all () =
+  let s = pool_stats ~cpus:2 ~requests:8 () in
+  Alcotest.(check int) "served" 8 s.Httpd.Pool.served;
+  Alcotest.(check int) "all 200" 8 s.Httpd.Pool.ok;
+  Alcotest.(check bool) "took time" true (s.Httpd.Pool.elapsed_cycles > 0)
+
+let test_pool_deterministic () =
+  let a = pool_stats ~cpus:4 ~requests:12 () in
+  let b = pool_stats ~cpus:4 ~requests:12 () in
+  Alcotest.(check int) "same cycles" a.Httpd.Pool.elapsed_cycles
+    b.Httpd.Pool.elapsed_cycles;
+  Alcotest.(check int) "same preemptions" a.Httpd.Pool.preemptions
+    b.Httpd.Pool.preemptions;
+  Alcotest.(check int) "same steals" a.Httpd.Pool.steals b.Httpd.Pool.steals
+
+let test_pool_scales () =
+  List.iter
+    (fun mode ->
+      let one = pool_stats ~mode ~cpus:1 ~requests:16 () in
+      let four = pool_stats ~mode ~cpus:4 ~requests:16 () in
+      Alcotest.(check int) "1-core all ok" 16 one.Httpd.Pool.ok;
+      Alcotest.(check int) "4-core all ok" 16 four.Httpd.Pool.ok;
+      let speedup =
+        float_of_int one.Httpd.Pool.elapsed_cycles
+        /. float_of_int four.Httpd.Pool.elapsed_cycles
+      in
+      if speedup < 2.5 then
+        Alcotest.failf "4-core speedup %.2fx < 2.5x (1: %d cycles, 4: %d)"
+          speedup one.Httpd.Pool.elapsed_cycles four.Httpd.Pool.elapsed_cycles)
+    [ Sva.Native_build; Sva.Virtual_ghost ]
+
+(* ------------------------------------------------------------------ *)
+(* Module loader: per-kernel registry                                  *)
+
+let module_program () =
+  (* A sys_read override returning a constant — enough to observe
+     registration. *)
+  let b = Builder.create () in
+  Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+  Builder.ret b (Some (Imm 42L));
+  Builder.program b
+
+let test_module_registry_per_kernel () =
+  let k1 = boot ~mode:Sva.Native_build () in
+  let k2 = boot ~mode:Sva.Native_build () in
+  (match Module_loader.load k1 ~name:"m1" (module_program ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  Alcotest.(check (list string)) "k1 sees its module" [ "m1" ]
+    (Module_loader.loaded_modules k1);
+  Alcotest.(check (list string)) "k2 unaffected" []
+    (Module_loader.loaded_modules k2);
+  (* Unloading in one kernel must not disturb the other. *)
+  Module_loader.unload k2 ~name:"m1";
+  Alcotest.(check (list string)) "still loaded in k1" [ "m1" ]
+    (Module_loader.loaded_modules k1);
+  Module_loader.unload k1 ~name:"m1";
+  Alcotest.(check (list string)) "gone from k1" []
+    (Module_loader.loaded_modules k1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "vg_smp"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "per-core clocks" `Quick test_core_clocks;
+          Alcotest.test_case "per-core timers" `Quick test_timer;
+          Alcotest.test_case "tlb shootdown ipis" `Quick test_tlb_shootdown_ipis;
+        ] );
+      ( "spinlock",
+        [
+          Alcotest.test_case "transfer charges" `Quick test_spinlock_transfer_charges;
+          Alcotest.test_case "ownership enforced" `Quick test_spinlock_ownership;
+          QCheck_alcotest.to_alcotest prop_spinlock_owner;
+        ] );
+      ( "swap-integer",
+        [
+          Alcotest.test_case "refuses live thread" `Quick
+            test_swap_integer_refuses_live_thread;
+          Alcotest.test_case "switch_to tracks per-cpu" `Quick
+            test_switch_to_tracks_percpu;
+        ] );
+      ( "sched",
+        [
+          QCheck_alcotest.to_alcotest prop_preemption_transparent;
+          Alcotest.test_case "preempts and steals" `Quick
+            test_sched_preempts_and_steals;
+          Alcotest.test_case "events observed" `Quick test_sched_events_observed;
+        ] );
+      ( "httpd-pool",
+        [
+          Alcotest.test_case "serves all requests" `Quick test_pool_serves_all;
+          Alcotest.test_case "deterministic" `Quick test_pool_deterministic;
+          Alcotest.test_case "scales to 4 cores" `Slow test_pool_scales;
+        ] );
+      ( "module-loader",
+        [
+          Alcotest.test_case "registry is per-kernel" `Quick
+            test_module_registry_per_kernel;
+        ] );
+    ]
