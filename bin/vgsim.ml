@@ -101,6 +101,111 @@ let info_cmd =
   in
   Cmd.v (Cmd.info "info" ~doc:"Print simulator configuration.") Term.(const run $ const ())
 
+(* -- verify --------------------------------------------------------- *)
+
+(* Every virtual-ISA program the simulator ships that can end up as
+   kernel-mode native code: the kernel's own image, the example
+   modules, and the attack modules (which the threat model requires to
+   go through the instrumenting compiler too). *)
+let verify_catalogue () =
+  let const_read () =
+    let b = Vg_ir.Builder.create () in
+    Vg_ir.Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+    Vg_ir.Builder.ret b (Some (Vg_ir.Ir.Imm 42L));
+    Vg_ir.Builder.program b
+  in
+  let rootkit attack =
+    Vg_attacks.Rootkit.module_program ~attack ~victim_pid:2
+      ~target_va:(Int64.add Layout.ghost_start 0x1000L)
+      ~target_len:32 ~scratch_va:Layout.kernel_data_start
+  in
+  [
+    ("kernel", Kernel_image.program ());
+    ("const-read", const_read ());
+    ("iago-mmap", Vg_attacks.Other_attacks.evil_mmap_program ());
+    ("rootkit-direct", rootkit Vg_attacks.Rootkit.Direct_read);
+    ("rootkit-inject", rootkit Vg_attacks.Rootkit.Signal_inject);
+  ]
+
+let verify_cmd =
+  let kernel_arg =
+    Arg.(
+      value & flag
+      & info [ "kernel" ]
+          ~doc:
+            "Verify only the kernel's own boot image, loaded back from the \
+             signed translation cache of a freshly booted vg kernel.")
+  in
+  let module_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "module" ] ~docv:"NAME"
+          ~doc:"Verify only the named catalogue module.")
+  in
+  let report_of name (image : Vg_compiler.Linker.image) =
+    let r = Vg_compiler.Image_verify.report image in
+    Printf.printf "%s (%d slots, %d simulated verify cycles):\n" name
+      (Array.length image.Vg_compiler.Linker.lcode)
+      (Vg_compiler.Image_verify.cost_cycles image);
+    Format.printf "%a" Vg_compiler.Image_verify.pp_report r;
+    r.Vg_compiler.Image_verify.image_ok
+  in
+  let verify_program (name, program) =
+    let compiled =
+      Vg_compiler.Pipeline.compile_kernel_code
+        ~mode:Vg_compiler.Pipeline.Virtual_ghost ~optimize:true program
+    in
+    report_of name compiled.Vg_compiler.Pipeline.linked
+  in
+  (* The boot path: what the VM actually hands the executor, signature-
+     checked and all, rather than a fresh translation. *)
+  let verify_booted_kernel () =
+    let machine =
+      Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
+    in
+    let k = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+    match
+      Vg_compiler.Trans_cache.find
+        (Sva.translation_cache k.Kernel.sva)
+        ~name:Kernel_image.name
+    with
+    | Error e ->
+        Printf.printf "kernel: translation cache refused the image: %s\n"
+          (Vg_compiler.Trans_cache.describe_find_error e);
+        false
+    | Ok image -> report_of "kernel (booted, from signed cache)" image
+  in
+  let run kernel_only module_only =
+    let ok =
+      if kernel_only then verify_booted_kernel ()
+      else
+        match module_only with
+        | Some name -> (
+            match List.assoc_opt name (verify_catalogue ()) with
+            | Some program -> verify_program (name, program)
+            | None ->
+                Printf.printf "unknown module %s (catalogue: %s)\n" name
+                  (String.concat ", " (List.map fst (verify_catalogue ())));
+                Stdlib.exit 2)
+        | None ->
+            List.for_all Fun.id
+              (verify_booted_kernel ()
+               :: List.map verify_program (verify_catalogue ()))
+    in
+    print_endline
+      (if ok then "verify: all functions PROVEN"
+       else "verify: UNPROVEN functions found");
+    if not ok then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically re-prove the sandbox and CFI invariants on translated \
+          native images (per-function report; nonzero exit on any unproven \
+          function).")
+    Term.(const run $ kernel_arg $ module_arg)
+
 (* -- attack --------------------------------------------------------- *)
 
 let attack_cmd =
@@ -276,4 +381,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vgsim" ~doc)
-          [ info_cmd; attack_cmd; lmbench_cmd; postmark_cmd; sealed_cmd; httpd_cmd ]))
+          [
+            info_cmd; verify_cmd; attack_cmd; lmbench_cmd; postmark_cmd;
+            sealed_cmd; httpd_cmd;
+          ]))

@@ -74,9 +74,12 @@ let () =
 
   (* And the signed translation cache. *)
   let cache = Vg_compiler.Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
-  Vg_compiler.Trans_cache.add cache ~name:"copy_word" linked;
+  Vg_compiler.Trans_cache.add cache ~name:"copy_word" ~instrumented:true linked;
   Printf.printf "translation cache: stored and re-verified image: %b\n"
-    (Vg_compiler.Trans_cache.find cache ~name:"copy_word" <> None);
+    (Result.is_ok (Vg_compiler.Trans_cache.find cache ~name:"copy_word"));
   Vg_compiler.Trans_cache.tamper cache ~name:"copy_word";
-  Printf.printf "after flipping one byte on disk, verification: %b (rejected)\n"
-    (Vg_compiler.Trans_cache.find cache ~name:"copy_word" <> None)
+  (match Vg_compiler.Trans_cache.find cache ~name:"copy_word" with
+  | Ok _ -> print_endline "after flipping one byte on disk: ACCEPTED (bug!)"
+  | Error e ->
+      Printf.printf "after flipping one byte on disk: rejected (%s)\n"
+        (Vg_compiler.Trans_cache.describe_find_error e))

@@ -84,21 +84,21 @@ let icontext_tamper_attack ~mode =
   Sva.return_from_trap k.Kernel.sva ~tid:proc.Proc.tid;
   (Sva.thread_icontext k.Kernel.sva ~tid:proc.Proc.tid).Icontext.pc = evil_pc
 
+(* A hostile mmap handler that returns a pointer into the
+   application's own ghost heap (where the runtime's first heap
+   object — the secret — lives). *)
+let evil_mmap_program () =
+  let b = Builder.create () in
+  Builder.func b "sys_mmap" ~params:[ "len" ];
+  Builder.ret b (Some (Ir.Imm (Int64.add Layout.ghost_start 0x1000_0000L)));
+  Builder.program b
+
 let iago_mmap_attack ~mode ~ghosting:masked =
   let k = boot mode in
   Syscalls.register_builtin_externs k;
-  (* A hostile mmap handler that returns a pointer into the
-     application's own ghost heap (where the runtime's first heap
-     object — the secret — lives). *)
-  let evil_mmap =
-    let b = Builder.create () in
-    Builder.func b "sys_mmap" ~params:[ "len" ];
-    Builder.ret b (Some (Imm (Int64.add Layout.ghost_start 0x1000_0000L)));
-    Builder.program b
-  in
-  (match Module_loader.load k ~name:"iago" evil_mmap with
+  (match Module_loader.load k ~name:"iago" (evil_mmap_program ()) with
   | Ok () -> ()
-  | Error msg -> failwith msg);
+  | Error e -> failwith (Module_loader.describe_load_error e));
   let corrupted = ref false in
   Runtime.launch k ~ghosting:true (fun ctx ->
       (* The application keeps a secret at the bottom of its ghost

@@ -18,6 +18,11 @@ val icontext_tamper_attack : mode:Sva.mode -> bool
     Interrupt Context so the victim resumes in attacker-chosen code
     (section 2.2.4). *)
 
+val evil_mmap_program : unit -> Ir.program
+(** The hostile [sys_mmap] module used by {!iago_mmap_attack}: returns
+    a pointer into the caller's own ghost heap.  Exposed so the
+    [vgsim verify] catalogue can verify the attack modules too. *)
+
 val iago_mmap_attack : mode:Sva.mode -> ghosting:bool -> bool
 (** A hostile [mmap] returns a pointer into the application's own ghost
     heap; a non-ghosting (unmasked) application writing through it

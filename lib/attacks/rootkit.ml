@@ -174,7 +174,8 @@ let run_experiment ?(cpus = 1) ~mode ~attack () =
               ~scratch_va:scratch)
        with
       | Ok () -> ()
-      | Error msg -> failwith ("module load: " ^ msg));
+      | Error e ->
+          failwith ("module load: " ^ Module_loader.describe_load_error e));
       (* The victim reads from a file descriptor, triggering the
          replaced handler. *)
       let kk = victim.Runtime.kernel and proc = victim.Runtime.proc in

@@ -1,0 +1,428 @@
+type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control
+
+let invariant_to_string = function
+  | Mask -> "mask"
+  | Cfi_exit -> "cfi-exit"
+  | Cfi_label -> "cfi-label"
+  | Privileged -> "privileged"
+  | Control -> "control"
+
+type violation = {
+  func : string;
+  slot : int;
+  invariant : invariant;
+  message : string;
+}
+
+type func_report = {
+  fr_name : string;
+  fr_mem_ops : int;
+  fr_cfi_exits : int;
+  fr_violations : violation list;
+}
+
+type report = { image_ok : bool; per_func : func_report list }
+
+let shared_label_int = Int32.to_int Cfi_pass.shared_label
+
+let owner_name (image : Linker.image) slot =
+  let fid = image.Linker.owner_of.(slot) in
+  if fid >= 0 then image.Linker.funcs.(fid).Linker.f_name else "<image>"
+
+let vetted_extern name =
+  let has_prefix p =
+    String.length name > String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "extern." || has_prefix "sva."
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants: CFI exits, label placement, privileged ops,
+   and the linker metadata the executor trusts.                        *)
+
+let is_call : Linker.instr -> bool = function
+  | LCall _ | LCallExtern _ | LCallIndirectChecked _ -> true
+  | _ -> false
+
+let structural_violations (image : Linker.image) =
+  let vs = ref [] in
+  let bad slot invariant message =
+    vs := { func = owner_name image slot; slot; invariant; message } :: !vs
+  in
+  let lcode = image.Linker.lcode in
+  let n = Array.length lcode in
+  (* The executor takes direct branches with a blind [pc := target] —
+     no frame switch, no re-check — so a branch leaving its function
+     would run the target function's code against the branching
+     function's registers.  The linker refuses to produce such code,
+     but a cached image never passes through the linker again. *)
+  let branch i t =
+    if t < 0 || t >= n then
+      bad i Control (Printf.sprintf "branch target %d outside the image" t)
+    else if image.Linker.owner_of.(t) <> image.Linker.owner_of.(i) then
+      bad i Control
+        (Printf.sprintf "branch target %d crosses into %s" t (owner_name image t))
+  in
+  Array.iteri
+    (fun i (instr : Linker.instr) ->
+      (match instr with
+      | LRet _ -> bad i Cfi_exit "unchecked return (no CFI label probe)"
+      | LCallIndirect _ -> bad i Cfi_exit "unchecked indirect call (no CFI label probe)"
+      | LRetChecked { label; _ } ->
+          if label <> shared_label_int then
+            bad i Cfi_exit (Printf.sprintf "return probes a foreign CFI label %#x" label)
+      | LCallIndirectChecked { label; _ } ->
+          if label <> shared_label_int then
+            bad i Cfi_exit
+              (Printf.sprintf "indirect call probes a foreign CFI label %#x" label)
+      | LIoRead _ -> bad i Privileged "raw port read outside the sva.* surface"
+      | LIoWrite _ -> bad i Privileged "raw port write outside the sva.* surface"
+      | LCallExtern { name; _ } ->
+          if not (vetted_extern name) then
+            bad i Privileged
+              (Printf.sprintf "call to %s outside the extern.*/sva.* surface" name)
+      | LCfiLabel l ->
+          if l <> Cfi_pass.shared_label then
+            bad i Cfi_label (Printf.sprintf "malformed CFI label %#lx" l)
+          else begin
+            let at_entry = image.Linker.entry_of.(i) >= 0 in
+            let after_call = i > 0 && is_call lcode.(i - 1) in
+            if not (at_entry || after_call) then
+              bad i Cfi_label "stray CFI label (unintended control-transfer target)"
+          end
+      | LJmp t -> branch i t
+      | LJz { target; _ } -> branch i target
+      | _ -> ());
+      (* Everything except an unconditional transfer advances [pc] to
+         the next slot on some path: that slot must exist and belong to
+         the same function, or execution falls into a neighbour's code
+         while still on this function's register frame. *)
+      (match instr with
+      | LJmp _ | LRet _ | LRetChecked _ | LHalt -> ()
+      | _ ->
+          if i + 1 >= n then bad i Control "control can fall off the end of the image"
+          else if image.Linker.owner_of.(i + 1) <> image.Linker.owner_of.(i) then
+            bad i Control "fall-through crosses a function boundary");
+      (* Every call's return site must carry the label the checked
+         return will probe. *)
+      if is_call instr then begin
+        match if i + 1 < n then Some lcode.(i + 1) else None with
+        | Some (LCfiLabel l) when l = Cfi_pass.shared_label -> ()
+        | Some _ | None -> bad i Cfi_label "call not followed by a CFI return-site label"
+      end;
+      (* The executor resolves probes through [label_of] and the
+         [ret_label_of] fast path without looking at the code: that
+         metadata is part of the attack surface of a cached image. *)
+      let expect =
+        match instr with
+        | LCfiLabel l -> Int32.to_int l
+        | _ -> Linker.no_label
+      in
+      if image.Linker.label_of.(i) <> expect then
+        bad i Cfi_label "label metadata (label_of) disagrees with the code";
+      let rl = image.Linker.ret_label_of.(i) in
+      if rl <> Linker.no_label then begin
+        let addr = Native.addr_of_index image.Linker.native i in
+        if expect <> rl || Layout.mask_kernel_target addr <> addr then
+          bad i Cfi_label "pre-resolved return probe (ret_label_of) is unsound"
+      end)
+    lcode;
+  Array.iter
+    (fun (f : Linker.func) ->
+      match lcode.(f.Linker.f_entry) with
+      | LCfiLabel l when l = Cfi_pass.shared_label -> ()
+      | _ ->
+          vs :=
+            {
+              func = f.Linker.f_name;
+              slot = f.Linker.f_entry;
+              invariant = Cfi_label;
+              message = "function entry does not carry a CFI label";
+            }
+            :: !vs)
+    image.Linker.funcs;
+  !vs
+
+(* ------------------------------------------------------------------ *)
+(* Mask dataflow                                                       *)
+
+(* The seven-instruction lowered form of {!Sandbox_pass.mask_sequence}.
+   A match grants the "holds a masked address" fact to [safe].  The
+   [when] guard also rejects register aliasing that would corrupt the
+   computation (the source operand or an intermediate clobbered before
+   its last read) — regalloc on honest pipeline output never produces
+   those, but a forged image could. *)
+type window = { writes : int list; safe : int }
+
+let match_window (lcode : Linker.instr array) i bend : window option =
+  if i + 6 > bend then None
+  else
+    match
+      ( lcode.(i), lcode.(i + 1), lcode.(i + 2), lcode.(i + 3), lcode.(i + 4),
+        lcode.(i + 5), lcode.(i + 6) )
+    with
+    | ( LCmp { dst = hi; op = Ir.Uge; a = a1; b = Imm gs },
+        LBin { dst = orr; op = Ir.Or; a = a2; b = Imm eb },
+        LSelect { dst = esc; cond = Slot hic; if_true = Slot orrt; if_false = a3 },
+        LCmp { dst = asva; op = Ir.Uge; a = Slot esc1; b = Imm ss },
+        LCmp { dst = bsva; op = Ir.Ult; a = Slot esc2; b = Imm se },
+        LBin { dst = insva; op = Ir.And; a = Slot asva1; b = Slot bsva1 },
+        LSelect { dst = safe; cond = Slot insva1; if_true = Imm 0L; if_false = Slot esc3 }
+      )
+      when gs = Layout.ghost_start && eb = Layout.ghost_escape_bit
+           && ss = Layout.sva_start && se = Layout.sva_end && a2 = a1 && a3 = a1
+           && hic = hi && orrt = orr && esc1 = esc && esc2 = esc && esc3 = esc
+           && asva1 = asva && bsva1 = bsva && insva1 = insva
+           && (match a1 with Linker.Slot s -> hi <> s && orr <> s | Imm _ -> true)
+           && orr <> hi && asva <> esc && bsva <> esc && bsva <> asva && insva <> esc
+      ->
+        Some { writes = [ hi; orr; esc; asva; bsva; insva; safe ]; safe }
+    | _ -> None
+
+let written : Linker.instr -> int option = function
+  | LMov { dst; _ }
+  | LBin { dst; _ }
+  | LCmp { dst; _ }
+  | LSelect { dst; _ }
+  | LLoad { dst; _ }
+  | LAtomic { dst; _ }
+  | LIoRead { dst; _ } ->
+      Some dst
+  | LCall { dst; _ }
+  | LCallExtern { dst; _ }
+  | LCallIndirect { dst; _ }
+  | LCallIndirectChecked { dst; _ } ->
+      if dst >= 0 then Some dst else None
+  | LStore _ | LMemcpy _ | LJmp _ | LJz _ | LRet _ | LRetChecked _ | LCfiLabel _
+  | LIoWrite _ | LHalt ->
+      None
+
+(* An immediate address is acceptable unmasked only when masking is the
+   identity on it — exactly what a constant-folded mask would yield. *)
+let safe_imm v = Sandbox_pass.masked_address v = v
+
+(* Analyse one function occupying slots [lo, hi].  [facts] are "slot
+   holds a masked address" bits; the cross-block join is intersection
+   (an address is proven only if masked on {e every} path).  Reports
+   violations and proven-operand counts through the callbacks on the
+   final pass. *)
+let verify_masks (image : Linker.image) ~fid ~lo ~hi ~on_violation ~on_proven =
+  let lcode = image.Linker.lcode in
+  let f = image.Linker.funcs.(fid) in
+  let nregs = f.Linker.f_nregs in
+  let len = hi - lo + 1 in
+  (* Leaders: the function entry, every branch target, and the slot
+     after every control transfer. *)
+  let leader = Array.make len false in
+  leader.(0) <- true;
+  let mark t = if t >= lo && t <= hi then leader.(t - lo) <- true in
+  for i = lo to hi do
+    match lcode.(i) with
+    | LJmp t ->
+        mark t;
+        mark (i + 1)
+    | LJz { target; _ } ->
+        mark target;
+        mark (i + 1)
+    | LRet _ | LRetChecked _ | LHalt -> mark (i + 1)
+    | _ -> ()
+  done;
+  (* Blocks: maximal leader-to-leader runs. *)
+  let starts = ref [] in
+  for i = len - 1 downto 0 do
+    if leader.(i) then starts := (lo + i) :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nblocks = Array.length starts in
+  let block_end b = if b + 1 < nblocks then starts.(b + 1) - 1 else hi in
+  let block_of = Hashtbl.create 16 in
+  Array.iteri (fun b s -> Hashtbl.replace block_of s b) starts;
+  let successors b =
+    let e = block_end b in
+    match lcode.(e) with
+    | LJmp t -> [ t ]
+    | LJz { target; _ } -> if e = hi then [ target ] else [ target; e + 1 ]
+    | LRet _ | LRetChecked _ | LHalt -> []
+    | _ -> if e = hi then [] else [ e + 1 ]
+  in
+  (* Walk a block from fact set [s] (mutated in place).  With [record],
+     check memory operands and report. *)
+  let walk b s ~record =
+    let kill = function
+      | Some d when d < nregs -> s.(d) <- false
+      | _ -> ()
+    in
+    let proven (o : Linker.operand) =
+      match o with Imm v -> safe_imm v | Slot r -> r < nregs && s.(r)
+    in
+    let check i what (o : Linker.operand) =
+      if record then
+        if proven o then on_proven i
+        else
+          on_violation
+            {
+              func = f.Linker.f_name;
+              slot = i;
+              invariant = Mask;
+              message =
+                Printf.sprintf "%s address is not proven masked (%s)" what
+                  (match o with
+                  | Imm v -> Printf.sprintf "immediate %s escapes the mask" (U64.to_hex v)
+                  | Slot r -> Printf.sprintf "register %s" f.Linker.f_names.(r));
+            }
+    in
+    let e = block_end b in
+    let i = ref starts.(b) in
+    while !i <= e do
+      match match_window lcode !i e with
+      | Some w ->
+          List.iter (fun d -> kill (Some d)) w.writes;
+          if w.safe < nregs then s.(w.safe) <- true;
+          i := !i + 7
+      | None ->
+          (match lcode.(!i) with
+          | LLoad { addr; _ } -> check !i "load" addr
+          | LStore { addr; _ } -> check !i "store" addr
+          | LAtomic { addr; _ } -> check !i "atomic" addr
+          | LMemcpy { dst; src; _ } ->
+              check !i "memcpy destination" dst;
+              check !i "memcpy source" src
+          | _ -> ());
+          kill (written lcode.(!i));
+          incr i
+    done
+  in
+  (* Facts may only flow along edges reachable from the function entry.
+     A block no path reaches gets the empty fact set instead of top:
+     dead code is held to the same standard as live code, so an
+     unmasked operation stashed in an unreachable block (or one only
+     "reachable" through a forged cross-function jump, which the
+     structural pass rejects separately) cannot borrow optimistic
+     facts and silently prove. *)
+  let reachable = Array.make nblocks false in
+  let rec reach b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter
+        (fun t ->
+          match Hashtbl.find_opt block_of t with Some sb -> reach sb | None -> ())
+        (successors b)
+    end
+  in
+  reach 0;
+  (* Must-analysis fixpoint: the entry and unreachable blocks start
+     with nothing proven, every reachable block starts at top and only
+     loses facts.  Only reachable blocks propagate (their successors
+     are reachable by construction), so dead edges into live blocks
+     cannot destroy facts either. *)
+  let in_facts =
+    Array.init nblocks (fun b -> Array.make nregs (b <> 0 && reachable.(b)))
+  in
+  let dirty = Array.copy reachable in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nblocks - 1 do
+      if dirty.(b) then begin
+        dirty.(b) <- false;
+        let out = Array.copy in_facts.(b) in
+        walk b out ~record:false;
+        List.iter
+          (fun t ->
+            match Hashtbl.find_opt block_of t with
+            | None -> ()
+            | Some sb ->
+                let tgt = in_facts.(sb) in
+                for r = 0 to nregs - 1 do
+                  if tgt.(r) && not out.(r) then begin
+                    tgt.(r) <- false;
+                    if not dirty.(sb) then begin
+                      dirty.(sb) <- true;
+                      changed := true
+                    end
+                  end
+                done)
+          (successors b)
+      end
+    done
+  done;
+  for b = 0 to nblocks - 1 do
+    walk b (Array.copy in_facts.(b)) ~record:true
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let function_extents (image : Linker.image) =
+  let nf = Array.length image.Linker.funcs in
+  let lo = Array.make nf max_int and hi = Array.make nf (-1) in
+  Array.iteri
+    (fun i fid ->
+      if fid >= 0 then begin
+        if i < lo.(fid) then lo.(fid) <- i;
+        if i > hi.(fid) then hi.(fid) <- i
+      end)
+    image.Linker.owner_of;
+  (lo, hi)
+
+let analyse (image : Linker.image) =
+  let violations = ref (structural_violations image) in
+  let proven = Array.make (Array.length image.Linker.funcs) 0 in
+  let lo, hi = function_extents image in
+  Array.iteri
+    (fun fid _ ->
+      if hi.(fid) >= lo.(fid) then
+        verify_masks image ~fid ~lo:lo.(fid) ~hi:hi.(fid)
+          ~on_violation:(fun v -> violations := v :: !violations)
+          ~on_proven:(fun _ -> proven.(fid) <- proven.(fid) + 1))
+    image.Linker.funcs;
+  let violations =
+    List.sort (fun a b -> compare (a.slot, a.invariant) (b.slot, b.invariant)) !violations
+  in
+  (violations, proven)
+
+let check image =
+  match analyse image with [], _ -> Ok () | vs, _ -> Error vs
+
+let report (image : Linker.image) =
+  let violations, proven = analyse image in
+  let per_func =
+    Array.to_list
+      (Array.mapi
+         (fun fid (f : Linker.func) ->
+           let mine = List.filter (fun v -> v.func = f.Linker.f_name) violations in
+           let exits = ref 0 in
+           Array.iteri
+             (fun i (instr : Linker.instr) ->
+               if image.Linker.owner_of.(i) = fid then
+                 match instr with
+                 | LRetChecked _ | LCallIndirectChecked _ -> incr exits
+                 | _ -> ())
+             image.Linker.lcode;
+           {
+             fr_name = f.Linker.f_name;
+             fr_mem_ops = proven.(fid);
+             fr_cfi_exits = !exits;
+             fr_violations = mine;
+           })
+         image.Linker.funcs)
+  in
+  { image_ok = violations = []; per_func }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s: slot %d: [%s] %s" v.func v.slot
+    (invariant_to_string v.invariant) v.message
+
+let pp_report fmt r =
+  List.iter
+    (fun fr ->
+      Format.fprintf fmt "  %-24s %s  (%d masked operand%s, %d checked exit%s)@."
+        fr.fr_name
+        (if fr.fr_violations = [] then "PROVEN" else "UNPROVEN")
+        fr.fr_mem_ops
+        (if fr.fr_mem_ops = 1 then "" else "s")
+        fr.fr_cfi_exits
+        (if fr.fr_cfi_exits = 1 then "" else "s");
+      List.iter (fun v -> Format.fprintf fmt "    !! %a@." pp_violation v) fr.fr_violations)
+    r.per_func;
+  Format.fprintf fmt "  image: %s@." (if r.image_ok then "PROVEN" else "REJECTED")
+
+let cost_cycles (image : Linker.image) = 2 * Array.length image.Linker.lcode

@@ -21,6 +21,12 @@ val instrument_program : Ir.program -> Ir.program
 
 val instrument_func : Ir.func -> Ir.func
 
+val instrument_instr : Ir.instr -> Ir.instr list
+(** The per-instruction transform: a memory operation becomes the mask
+    sequence(s) plus the rewritten operation; anything else is returned
+    unchanged.  Exposed so tests can build deliberately de-instrumented
+    "evil pass" variants that {!Image_verify} must catch. *)
+
 val masked_address : int64 -> int64
 (** The run-time semantics of the inserted sequence, as one function:
     what address an instrumented kernel access actually touches.  Used

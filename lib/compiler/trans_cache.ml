@@ -1,32 +1,58 @@
 type t = { key : bytes; entries : (string, signed_image) Hashtbl.t }
 and signed_image = { blob : bytes; tag : bytes }
 
+type find_error =
+  | Absent
+  | Bad_signature
+  | Bad_format
+  | Rejected_by_verifier of Image_verify.violation list
+
+let describe_find_error = function
+  | Absent -> "no such cached translation"
+  | Bad_signature -> "signature verification failed"
+  | Bad_format -> "unrecognised translation format"
+  | Rejected_by_verifier vs ->
+      Printf.sprintf "image failed load-time verification: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Image_verify.pp_violation) vs))
+
 (* v1 stored the raw Native.image; v2 stores the linked form, so an
    image loaded back from the cache is immediately executable without
-   relinking.  The version is under the MAC, and a verified blob of the
-   wrong version loads as None rather than as garbage. *)
-let format_version = 2
+   relinking; v3 adds the instrumented flag so an instrumented image
+   cannot dodge re-verification by being relabelled as a plain one.
+   The version and the flag are both under the MAC. *)
+let format_version = 3
 
 let create ~key = { key; entries = Hashtbl.create 8 }
 
-let sign t image =
-  let blob = Marshal.to_bytes (format_version, (image : Linker.image)) [] in
+let sign t ~instrumented image =
+  let blob = Marshal.to_bytes (format_version, instrumented, (image : Linker.image)) [] in
   { blob; tag = Vg_crypto.Hmac.mac ~key:t.key blob }
 
 let verify_and_load t { blob; tag } =
-  if Vg_crypto.Hmac.verify ~key:t.key ~tag blob then begin
-    match (Marshal.from_bytes blob 0 : int * Linker.image) with
-    | v, image when v = format_version -> Some image
-    | _ -> None
-    | exception _ -> None
+  if not (Vg_crypto.Hmac.verify ~key:t.key ~tag blob) then Error Bad_signature
+  else begin
+    (* Marshal is memory-safe only on trusted input: the HMAC above is
+       the integrity boundary for the bytes, and only blobs signed
+       under the VM's key reach this decode. *)
+    match (Marshal.from_bytes blob 0 : int * bool * Linker.image) with
+    | exception _ -> Error Bad_format
+    | v, _, _ when v <> format_version -> Error Bad_format
+    | _, false, image -> Ok image
+    | _, true, image -> (
+        (* The signature authenticates the bytes; the verifier proves
+           the instrumentation invariants still hold in them. *)
+        match Image_verify.check image with
+        | Ok () -> Ok image
+        | Error vs -> Error (Rejected_by_verifier vs))
   end
-  else None
 
-let add t ~name image = Hashtbl.replace t.entries name (sign t image)
+let add t ~name ~instrumented image =
+  Hashtbl.replace t.entries name (sign t ~instrumented image)
 
 let find t ~name =
   match Hashtbl.find_opt t.entries name with
-  | None -> None
+  | None -> Error Absent
   | Some signed -> verify_and_load t signed
 
 let tamper t ~name =

@@ -10,8 +10,25 @@
     (slot-allocated, executor-ready) form produced by {!Linker.link}:
     register allocation and symbol/label resolution happen once at
     translation time and are amortised across every execution of the
-    cached image.  Images are serialised with [Marshal], versioned, and
-    the signature is HMAC-SHA256 over the serialised bytes. *)
+    cached image.  Format version 3 additionally records whether the
+    image claims to be instrumented, and re-proves the instrumentation
+    invariants with {!Image_verify} on {e every} cache hit: the
+    signature says "the VM produced these bytes", the verifier says
+    "these bytes uphold the sandbox and CFI invariants" — so a
+    signed-but-malformed image (one the pipeline mis-instrumented at
+    translation time, whether by bug or by compromise) is refused with
+    {!Rejected_by_verifier} instead of executing.  Images are
+    serialised with [Marshal], versioned, and the signature is
+    HMAC-SHA256 over the serialised bytes.
+
+    Trust boundary: [Marshal] is memory-safe only on trusted input, so
+    the HMAC — checked {e before} any decoding — is the integrity
+    boundary for the bytes themselves.  The verifier hardens the system
+    against images that were honestly serialised but wrongly
+    instrumented; it is {e not} a defence against arbitrary
+    attacker-crafted bytes signed under a stolen MAC key, which could
+    corrupt the VM inside [Marshal.from_bytes] before verification
+    runs. *)
 
 type t
 
@@ -21,21 +38,34 @@ val create : key:bytes -> t
 
 type signed_image = { blob : bytes; tag : bytes }
 
+type find_error =
+  | Absent  (** no entry under that name *)
+  | Bad_signature  (** blob or tag modified, or signed under another key *)
+  | Bad_format  (** verified blob of a different {!format_version} *)
+  | Rejected_by_verifier of Image_verify.violation list
+      (** the signature verified but the image does not uphold the
+          instrumentation invariants *)
+
+val describe_find_error : find_error -> string
+
 val format_version : int
-(** Serialisation format of the signed blobs (2: linked images). *)
+(** Serialisation format of the signed blobs (3: linked images plus the
+    instrumented flag). *)
 
-val sign : t -> Linker.image -> signed_image
-val verify_and_load : t -> signed_image -> Linker.image option
-(** [None] when the blob was modified, signed under a different key, or
-    carries a different {!format_version}. *)
+val sign : t -> instrumented:bool -> Linker.image -> signed_image
 
-val add : t -> name:string -> Linker.image -> unit
+val verify_and_load : t -> signed_image -> (Linker.image, find_error) result
+(** Check the HMAC, the format version, and — for instrumented images —
+    the {!Image_verify} invariants. *)
+
+val add : t -> name:string -> instrumented:bool -> Linker.image -> unit
 (** Sign and retain an image under a name (e.g. "kernel",
-    "module.rootkit"). *)
+    "module.rootkit").  [instrumented] records whether the image must
+    re-prove the sandbox/CFI invariants on every load. *)
 
-val find : t -> name:string -> Linker.image option
-(** Re-verify the stored signature and return the image; [None] if it
-    is absent or fails verification. *)
+val find : t -> name:string -> (Linker.image, find_error) result
+(** Re-verify the stored signature (and, for instrumented images, the
+    instrumentation invariants) and return the image. *)
 
 val tamper : t -> name:string -> unit
 (** Testing hook simulating a hostile OS flipping a byte of a cached

@@ -5,6 +5,7 @@ type t =
   | EINTR
   | EBADF
   | ECHILD
+  | ENOEXEC
   | EAGAIN
   | ENOMEM
   | EACCES
@@ -28,6 +29,7 @@ let to_string = function
   | EINTR -> "EINTR"
   | EBADF -> "EBADF"
   | ECHILD -> "ECHILD"
+  | ENOEXEC -> "ENOEXEC"
   | EAGAIN -> "EAGAIN"
   | ENOMEM -> "ENOMEM"
   | EACCES -> "EACCES"
@@ -49,6 +51,7 @@ let to_int = function
   | ENOENT -> 2
   | ESRCH -> 3
   | EINTR -> 4
+  | ENOEXEC -> 8
   | EBADF -> 9
   | ECHILD -> 10
   | EAGAIN -> 11

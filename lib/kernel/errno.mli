@@ -8,6 +8,7 @@ type t =
   | EINTR
   | EBADF
   | ECHILD
+  | ENOEXEC
   | EAGAIN
   | ENOMEM
   | EACCES

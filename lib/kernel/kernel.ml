@@ -23,8 +23,38 @@ and syscall_override = { image : Vg_compiler.Linker.image; func : string }
 
 let mode t = Sva.mode t.sva
 
+(* Translate the kernel's own image, sign it into the cache, and load
+   it back through the verifying path: under Virtual Ghost the boot
+   refuses to proceed on an image whose sandbox/CFI instrumentation
+   does not prove out, and the verification pass itself is charged to
+   the [Verify] cycle tag. *)
+let verify_kernel_image machine sva =
+  let pmode =
+    match Sva.mode sva with
+    | Sva.Native_build -> Vg_compiler.Pipeline.Native_build
+    | Sva.Virtual_ghost -> Vg_compiler.Pipeline.Virtual_ghost
+  in
+  let compiled =
+    Vg_compiler.Pipeline.compile_kernel_code ~mode:pmode ~optimize:true
+      (Kernel_image.program ())
+  in
+  let cache = Sva.translation_cache sva in
+  let instrumented = Sva.mode sva = Sva.Virtual_ghost in
+  Vg_compiler.Trans_cache.add cache ~name:Kernel_image.name ~instrumented
+    compiled.Vg_compiler.Pipeline.linked;
+  match Vg_compiler.Trans_cache.find cache ~name:Kernel_image.name with
+  | Ok image ->
+      if instrumented then
+        Machine.charge ~tag:Obs.Tag.Verify machine
+          (Vg_compiler.Image_verify.cost_cycles image)
+  | Error e ->
+      failwith
+        ("Kernel.boot: kernel image failed load-time verification: "
+        ^ Vg_compiler.Trans_cache.describe_find_error e)
+
 let boot ?frame_limit ~mode machine =
   let sva = Sva.boot ~mode machine in
+  verify_kernel_image machine sva;
   let kmem = Kmem.create sva in
   let phys_frames = Phys_mem.frames (Machine.mem machine) in
   (* Low frames notionally hold the kernel image; the top of memory

@@ -1,0 +1,64 @@
+let name = "kernel"
+
+(* A stand-in for the kernel's own translated image: enough shapes that
+   verifying it exercises every invariant class — straight-line and
+   looping memory traffic, memcpy (two masked operands), an atomic,
+   direct calls, and an indirect call through a dispatch table. *)
+let program () =
+  let open Ir in
+  let b = Builder.create () in
+
+  (* checksum: XOR-fold [len] words starting at [base]. *)
+  Builder.func b "checksum" ~params:[ "base"; "len" ];
+  let acc0 = Builder.bin b Xor (Reg "base") (Reg "base") in
+  Builder.store b ~src:acc0 ~addr:(Imm 0x10_0000L) ();
+  Builder.store b ~src:(Reg "base") ~addr:(Imm 0x10_0008L) ();
+  Builder.store b ~src:(Reg "len") ~addr:(Imm 0x10_0010L) ();
+  Builder.br b "loop";
+  Builder.block b "loop";
+  let remaining = Builder.load b (Imm 0x10_0010L) in
+  let done_ = Builder.cmp b Eq remaining (Imm 0L) in
+  Builder.cbr b done_ "out" "body";
+  Builder.block b "body";
+  let p = Builder.load b (Imm 0x10_0008L) in
+  let w = Builder.load b p in
+  let acc = Builder.load b (Imm 0x10_0000L) in
+  let acc = Builder.bin b Xor acc w in
+  Builder.store b ~src:acc ~addr:(Imm 0x10_0000L) ();
+  let p' = Builder.bin b Add p (Imm 8L) in
+  Builder.store b ~src:p' ~addr:(Imm 0x10_0008L) ();
+  let r' = Builder.bin b Sub remaining (Imm 1L) in
+  Builder.store b ~src:r' ~addr:(Imm 0x10_0010L) ();
+  Builder.br b "loop";
+  Builder.block b "out";
+  let result = Builder.load b (Imm 0x10_0000L) in
+  Builder.ret b (Some result);
+
+  (* copy_region: kernel memcpy plus an atomic generation bump. *)
+  Builder.func b "copy_region" ~params:[ "dst"; "src"; "len" ];
+  Builder.memcpy b ~dst:(Reg "dst") ~src:(Reg "src") ~len:(Reg "len");
+  let _gen = Builder.atomic_rmw b Add ~addr:(Imm 0x10_0018L) (Imm 1L) in
+  Builder.ret b None;
+
+  (* dispatch: indirect call through a two-entry handler table. *)
+  Builder.func b "handler_a" ~params:[ "x" ];
+  let v = Builder.bin b Add (Reg "x") (Imm 1L) in
+  Builder.ret b (Some v);
+  Builder.func b "handler_b" ~params:[ "x" ];
+  let v = Builder.bin b Mul (Reg "x") (Imm 3L) in
+  Builder.ret b (Some v);
+  Builder.func b "dispatch" ~params:[ "which"; "arg" ];
+  let odd = Builder.bin b And (Reg "which") (Imm 1L) in
+  let target = Builder.select b odd (Sym "handler_b") (Sym "handler_a") in
+  let r = Builder.call_indirect b target [ Reg "arg" ] in
+  Builder.ret b (Some r);
+
+  (* main: the boot path ties it together with direct calls. *)
+  Builder.func b "main" ~params:[];
+  Builder.call_void b "copy_region"
+    [ Imm 0x20_0000L; Imm 0x10_0000L; Imm 64L ];
+  let sum = Builder.call b "checksum" [ Imm 0x20_0000L; Imm 8L ] in
+  let r = Builder.call b "dispatch" [ sum; sum ] in
+  Builder.ret b (Some r);
+
+  Builder.program b

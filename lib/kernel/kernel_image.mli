@@ -1,0 +1,19 @@
+(** The kernel's own translated image.
+
+    Virtual Ghost's threat model does not trust the compiler's output
+    any more than it trusts a module's: the kernel itself is virtual-ISA
+    code translated by the SVA VM, and the translation it boots from
+    must prove the same sandboxing and CFI invariants.  This module
+    holds a small but representative virtual-ISA program standing in
+    for the kernel image — memory traffic (loads, stores, memcpy, an
+    atomic), direct calls, an indirect call through a function-pointer
+    table, branches and loops — which {!Kernel.boot} compiles, signs
+    into the translation cache under the name ["kernel"], and loads
+    back through the verifying path before the machine is allowed to
+    run. *)
+
+val name : string
+(** Cache name of the kernel's own translation (["kernel"]). *)
+
+val program : unit -> Ir.program
+(** A fresh copy of the representative kernel-image program. *)

@@ -10,6 +10,26 @@ let overrides_of_image (image : Vg_compiler.Linker.image) =
       else None)
     image.Vg_compiler.Linker.native.Vg_compiler.Native.symbols
 
+type load_error =
+  | Compile_rejected of string
+  | Cache_refused of Vg_compiler.Trans_cache.find_error
+
+let describe_load_error = function
+  | Compile_rejected msg -> "compile rejected: " ^ msg
+  | Cache_refused e -> Vg_compiler.Trans_cache.describe_find_error e
+
+let errno_of_load_error (_ : load_error) = Errno.ENOEXEC
+
+let reject (k : Kernel.t) ~name err =
+  Machine.emit k.Kernel.machine
+    (Obs.Event.Security
+       {
+         subsystem = "image-verify";
+         detail =
+           Printf.sprintf "module %s refused: %s" name (describe_load_error err);
+       });
+  Error err
+
 let load (k : Kernel.t) ~name program =
   let mode =
     match Kernel.mode k with
@@ -17,15 +37,20 @@ let load (k : Kernel.t) ~name program =
     | Sva.Virtual_ghost -> Vg_compiler.Pipeline.Virtual_ghost
   in
   match Vg_compiler.Pipeline.compile_kernel_code ~mode program with
-  | exception Vg_compiler.Pipeline.Rejected msg -> Error msg
+  | exception Vg_compiler.Pipeline.Rejected msg ->
+      reject k ~name (Compile_rejected msg)
   | compiled -> (
       (* The VM caches and signs the translation; load back through the
-         verifying path, as the OS would at module insertion. *)
+         verifying path, as the OS would at module insertion.  Under
+         Virtual Ghost the image is instrumented, so the cache re-proves
+         the sandbox/CFI invariants before handing it back. *)
       let cache = Sva.translation_cache k.Kernel.sva in
-      Vg_compiler.Trans_cache.add cache ~name compiled.Vg_compiler.Pipeline.linked;
+      let instrumented = Kernel.mode k = Sva.Virtual_ghost in
+      Vg_compiler.Trans_cache.add cache ~name ~instrumented
+        compiled.Vg_compiler.Pipeline.linked;
       match Vg_compiler.Trans_cache.find cache ~name with
-      | None -> Error "module translation failed signature verification"
-      | Some image ->
+      | Error e -> reject k ~name (Cache_refused e)
+      | Ok image ->
           let overrides = overrides_of_image image in
           List.iter
             (fun (syscall, func) ->

@@ -5,14 +5,31 @@
     by the instrumenting compiler".  Loading therefore: (1) compiles
     the IR through the same pipeline as the kernel (sandboxing + CFI
     under Virtual Ghost, nothing under the native baseline); (2) signs
-    and stores the translation in the VM's cache and re-verifies it
-    before registration (so a module image patched on disk is
-    rejected); (3) registers every function named [sys_<call>] as an
-    override for that system call. *)
+    and stores the translation in the VM's cache and loads it back
+    through the verifying path — the HMAC proves the VM produced the
+    bytes, and {!Vg_compiler.Image_verify} re-proves the sandbox and
+    CFI invariants in them, so a module image patched on disk {e or}
+    mis-translated is rejected with a structured reason; (3) registers
+    every function named [sys_<call>] as an override for that system
+    call. *)
 
-val load :
-  Kernel.t -> name:string -> Ir.program -> (unit, string) result
-(** Compile, cache, verify and register a module. *)
+type load_error =
+  | Compile_rejected of string
+      (** the virtual-ISA program failed IR verification or CFI
+          validation inside the pipeline *)
+  | Cache_refused of Vg_compiler.Trans_cache.find_error
+      (** the signed translation failed signature or image
+          verification when loaded back *)
+
+val describe_load_error : load_error -> string
+
+val errno_of_load_error : load_error -> Errno.t
+(** Both rejection classes surface to the OS as [ENOEXEC]: the image
+    is not something the VM will execute. *)
+
+val load : Kernel.t -> name:string -> Ir.program -> (unit, load_error) result
+(** Compile, cache, verify and register a module.  A rejection emits a
+    [Security] observability event naming the failing invariant. *)
 
 val unload : Kernel.t -> name:string -> unit
 (** Remove this module's syscall overrides. *)

@@ -30,12 +30,13 @@ module Tag = struct
     | Ipi  (** inter-processor interrupts (TLB shootdown) *)
     | Timer  (** per-core timer interrupts *)
     | Lock  (** spinlock cache-line transfers *)
+    | Verify  (** load-time verification of native images *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other; Sched; Ipi; Timer; Lock;
+      Other; Sched; Ipi; Timer; Lock; Verify;
     ]
 
   let count = List.length all
@@ -64,6 +65,7 @@ module Tag = struct
     | Ipi -> 20
     | Timer -> 21
     | Lock -> 22
+    | Verify -> 23
 
   let to_string = function
     | Exec -> "exec"
@@ -89,6 +91,7 @@ module Tag = struct
     | Ipi -> "ipi"
     | Timer -> "timer"
     | Lock -> "lock"
+    | Verify -> "verify"
 end
 
 module Event = struct

@@ -38,6 +38,7 @@ module Tag : sig
     | Ipi
     | Timer
     | Lock
+    | Verify
 
   val all : t list
   val count : int

@@ -735,10 +735,10 @@ let test_checked_return_cycles_unchanged () =
 let test_trans_cache_roundtrip () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
   let image = compile_link ~cfi:true (rec_sum_program ()) in
-  Trans_cache.add cache ~name:"kernel" image;
+  Trans_cache.add cache ~name:"kernel" ~instrumented:false image;
   match Trans_cache.find cache ~name:"kernel" with
-  | None -> Alcotest.fail "image should verify"
-  | Some image' ->
+  | Error e -> Alcotest.failf "image should verify: %s" (Trans_cache.describe_find_error e)
+  | Ok image' ->
       Alcotest.(check int) "same size"
         (Array.length image.Linker.native.Native.code)
         (Array.length image'.Linker.native.Native.code);
@@ -749,17 +749,18 @@ let test_trans_cache_roundtrip () =
 let test_trans_cache_tamper_detected () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
   let image = compile_link ~cfi:true (rec_sum_program ()) in
-  Trans_cache.add cache ~name:"kernel" image;
+  Trans_cache.add cache ~name:"kernel" ~instrumented:false image;
   Trans_cache.tamper cache ~name:"kernel";
-  Alcotest.(check bool) "rejected" true (Trans_cache.find cache ~name:"kernel" = None)
+  Alcotest.(check bool) "rejected" true
+    (Trans_cache.find cache ~name:"kernel" = Error Trans_cache.Bad_signature)
 
 let test_trans_cache_wrong_key () =
   let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
   let image = compile_link ~cfi:true (rec_sum_program ()) in
-  let signed = Trans_cache.sign cache image in
+  let signed = Trans_cache.sign cache ~instrumented:false image in
   let other = Trans_cache.create ~key:(Bytes.of_string "evil-key") in
   Alcotest.(check bool) "foreign signature rejected" true
-    (Trans_cache.verify_and_load other signed = None)
+    (Trans_cache.verify_and_load other signed = Error Trans_cache.Bad_signature)
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)

@@ -6,159 +6,13 @@
    agree on the result and on final memory whenever addresses stay
    outside the protected ranges (where masking is the identity).
 
-   Programs are generated to terminate by construction: control flow
-   within a function only branches forward, and calls only target
-   previously generated functions (no recursion). *)
+   Program generation lives in {!Vg_testgen.Testgen} (shared with the
+   image-verifier property tests): programs terminate by construction —
+   control flow within a function only branches forward, and calls only
+   target previously generated functions (no recursion). *)
 
-type gen_state = {
-  rand : Random.State.t;
-  mutable next_reg : int;
-  mutable funcs : string list; (* callable earlier functions *)
-}
-
-let scratch_base = 0x1000L
-
-(* Values usable at this point: parameters, registers defined earlier
-   in the same block, or immediates. *)
-let pick_value st (avail : Ir.reg list) : Ir.value =
-  match Random.State.int st.rand 3 with
-  | 0 | 1 when avail <> [] ->
-      Ir.Reg (List.nth avail (Random.State.int st.rand (List.length avail)))
-  | _ -> Ir.Imm (Int64.of_int (Random.State.int st.rand 1000 - 500))
-
-let fresh st =
-  st.next_reg <- st.next_reg + 1;
-  Printf.sprintf "%%g%d" st.next_reg
-
-let pick_binop st : Ir.binop =
-  match Random.State.int st.rand 8 with
-  | 0 -> Add
-  | 1 -> Sub
-  | 2 -> Mul
-  | 3 -> And
-  | 4 -> Or
-  | 5 -> Xor
-  | 6 -> Shl
-  | _ -> Lshr
-
-let pick_cmp st : Ir.cmp =
-  match Random.State.int st.rand 6 with
-  | 0 -> Eq
-  | 1 -> Ne
-  | 2 -> Ult
-  | 3 -> Uge
-  | 4 -> Slt
-  | _ -> Sle
-
-let pick_width st : Ir.width =
-  match Random.State.int st.rand 4 with 0 -> W8 | 1 -> W16 | 2 -> W32 | _ -> W64
-
-(* A memory address inside the scratch region, derived from a value so
-   data flow feeds the address: base + (v & 0xff8). *)
-let gen_address st avail (instrs : Ir.instr list ref) : Ir.value =
-  let v = pick_value st avail in
-  let masked = fresh st in
-  instrs := Ir.Bin { dst = masked; op = And; a = v; b = Imm 0xff8L } :: !instrs;
-  let addr = fresh st in
-  instrs := Ir.Bin { dst = addr; op = Add; a = Reg masked; b = Imm scratch_base } :: !instrs;
-  Ir.Reg addr
-
-let gen_instr st avail instrs =
-  match Random.State.int st.rand 10 with
-  | 0 | 1 | 2 | 3 ->
-      let dst = fresh st in
-      instrs :=
-        Ir.Bin { dst; op = pick_binop st; a = pick_value st avail; b = pick_value st avail }
-        :: !instrs;
-      Some dst
-  | 4 ->
-      let dst = fresh st in
-      instrs :=
-        Ir.Cmp { dst; op = pick_cmp st; a = pick_value st avail; b = pick_value st avail }
-        :: !instrs;
-      Some dst
-  | 5 ->
-      let dst = fresh st in
-      instrs :=
-        Ir.Select
-          {
-            dst;
-            cond = pick_value st avail;
-            if_true = pick_value st avail;
-            if_false = pick_value st avail;
-          }
-        :: !instrs;
-      Some dst
-  | 6 ->
-      let addr = gen_address st avail instrs in
-      let dst = fresh st in
-      instrs := Ir.Load { dst; addr; width = pick_width st } :: !instrs;
-      Some dst
-  | 7 ->
-      let addr = gen_address st avail instrs in
-      instrs := Ir.Store { src = pick_value st avail; addr; width = pick_width st } :: !instrs;
-      None
-  | 8 when st.funcs <> [] ->
-      let callee = List.nth st.funcs (Random.State.int st.rand (List.length st.funcs)) in
-      let dst = fresh st in
-      instrs :=
-        Ir.Call
-          { dst = Some dst; callee; args = [ pick_value st avail; pick_value st avail ] }
-        :: !instrs;
-      Some dst
-  | _ ->
-      let addr = gen_address st avail instrs in
-      let dst = fresh st in
-      instrs :=
-        Ir.Atomic_rmw
-          { dst; op = Add; addr; operand = pick_value st avail; width = W64 }
-        :: !instrs;
-      Some dst
-
-let gen_block st ~params ~label ~later_labels : Ir.block =
-  let instrs = ref [] in
-  let avail = ref params in
-  let n = 1 + Random.State.int st.rand 6 in
-  for _ = 1 to n do
-    match gen_instr st !avail instrs with
-    | Some r -> avail := r :: !avail
-    | None -> ()
-  done;
-  let term : Ir.terminator =
-    match later_labels with
-    | [] -> Ret (Some (pick_value st !avail))
-    | l :: rest ->
-        if Random.State.int st.rand 3 = 0 then Ret (Some (pick_value st !avail))
-        else if rest = [] then Br l
-        else begin
-          let t = List.nth later_labels (Random.State.int st.rand (List.length later_labels)) in
-          let f = List.nth later_labels (Random.State.int st.rand (List.length later_labels)) in
-          Cbr { cond = pick_value st !avail; if_true = t; if_false = f }
-        end
-  in
-  { label; instrs = List.rev !instrs; term }
-
-let gen_func st name : Ir.func =
-  let params = [ "a"; "b" ] in
-  let nblocks = 1 + Random.State.int st.rand 3 in
-  let labels = List.init nblocks (fun i -> if i = 0 then "entry" else Printf.sprintf "b%d" i) in
-  let rec build = function
-    | [] -> []
-    | label :: rest -> gen_block st ~params ~label ~later_labels:rest :: build rest
-  in
-  { name; params; blocks = build labels }
-
-let gen_program seed : Ir.program =
-  let st = { rand = Random.State.make [| seed |]; next_reg = 0; funcs = [] } in
-  let nfuncs = 1 + Random.State.int st.rand 3 in
-  let funcs =
-    List.init nfuncs (fun i ->
-        let name = Printf.sprintf "f%d" i in
-        let f = gen_func st name in
-        st.funcs <- name :: st.funcs;
-        f)
-  in
-  { funcs }
+let gen_program = Vg_testgen.Testgen.gen_program
+let scratch_base = Vg_testgen.Testgen.scratch_base
 
 (* ------------------------------------------------------------------ *)
 (* Execution environments over a shared flat scratch memory            *)

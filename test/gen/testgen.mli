@@ -1,0 +1,16 @@
+(** Random well-formed IR programs for property tests.
+
+    Programs terminate by construction: control flow within a function
+    only branches forward, and calls only target previously generated
+    functions (no recursion).  Every memory address is derived from a
+    data value masked into a small scratch region starting at
+    {!scratch_base}, so runs are deterministic over a flat test
+    memory.  Shared by the differential fuzzer and the image-verifier
+    property tests. *)
+
+val scratch_base : int64
+(** Base of the scratch memory region all generated addresses fall in. *)
+
+val gen_program : int -> Ir.program
+(** [gen_program seed] builds a deterministic random program (1–3
+    functions of 1–3 blocks each) that passes [Ir.Verify.check]. *)

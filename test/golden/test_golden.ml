@@ -129,6 +129,28 @@ let test_null_syscall_cycles () =
   Alcotest.(check int) "virtual ghost" 261000
     (null_syscall_cycles Sva.Virtual_ghost)
 
+(* --- boot-time image verification --------------------------------- *)
+(* Under Virtual Ghost, boot re-proves the kernel's own translation and
+   charges the verifier's pass to the Verify tag; the baseline verifies
+   nothing.  Pinned so the verification cost model cannot drift
+   silently (the null-syscall goldens above measure *after* boot and
+   are unaffected by design). *)
+
+let boot_verify_cycles mode =
+  let stats = Obs_stats.create () in
+  Obs.with_sink Obs.default (Obs_stats.sink stats) (fun () ->
+      let machine =
+        Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
+      in
+      ignore (Kernel.boot ~mode machine));
+  Obs_stats.cycles stats Obs.Tag.Verify
+
+let test_boot_verify_cycles () =
+  Alcotest.(check int) "native build verifies nothing" 0
+    (boot_verify_cycles Sva.Native_build);
+  Alcotest.(check int) "virtual ghost kernel image" 288
+    (boot_verify_cycles Sva.Virtual_ghost)
+
 (* --- observability parity ----------------------------------------- *)
 (* The zero-overhead-off guarantee, pinned: simulated cycle counts must
    be byte-identical whether sinks are attached or not.  The machines
@@ -198,6 +220,8 @@ let () =
             test_recsum_cycles;
           Alcotest.test_case "LMBench null syscall" `Quick
             test_null_syscall_cycles;
+          Alcotest.test_case "boot-time image verification" `Quick
+            test_boot_verify_cycles;
         ] );
       ( "observability-parity",
         [

@@ -619,7 +619,7 @@ let test_module_override () =
   Syscalls.register_builtin_externs k;
   (match Module_loader.load k ~name:"const_read" (constant_read_module ()) with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "load: %s" e);
+  | Error e -> Alcotest.failf "load: %s" (Module_loader.describe_load_error e));
   Alcotest.(check (list string)) "override registered" [ "read" ]
     (Module_loader.loaded_overrides k);
   let fd = expect_ok "open" (Syscalls.open_ k p "/f" Syscalls.creat_trunc) in
@@ -641,7 +641,7 @@ let test_module_chains_to_genuine () =
   Builder.ret b (Some bumped);
   (match Module_loader.load k ~name:"bump" (Builder.program b) with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "load: %s" e);
+  | Error e -> Alcotest.failf "load: %s" (Module_loader.describe_load_error e));
   let fd = expect_ok "open" (Syscalls.open_ k p "/g" Syscalls.creat_trunc) in
   user_write k p user_buf (Bytes.of_string "12345");
   ignore (expect_ok "write" (Syscalls.write k p ~fd ~buf:user_buf ~len:5));
@@ -657,7 +657,53 @@ let test_malformed_module_rejected () =
   in
   match Module_loader.load k ~name:"broken" { funcs = [ f ] } with
   | Ok () -> Alcotest.fail "must reject malformed module"
-  | Error _ -> ()
+  | Error (Module_loader.Compile_rejected _) -> ()
+  | Error e -> Alcotest.failf "wrong error class: %s" (Module_loader.describe_load_error e)
+
+(* A module doing raw port I/O is well-formed IR and compiles, but the
+   load-time image verifier must refuse it under Virtual Ghost — with a
+   structured reason, ENOEXEC at the syscall boundary, and a Security
+   event on the observability stream. *)
+let test_privileged_module_rejected () =
+  let evil () =
+    let b = Builder.create () in
+    Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+    Builder.io_write b ~port:(Imm 0x3f8L) (Imm 0x41L);
+    Builder.ret b (Some (Imm 0L));
+    Builder.program b
+  in
+  let recorder = Vg_obs.Obs_recorder.create () in
+  let result =
+    Vg_obs.Obs.with_sink Vg_obs.Obs.default
+      (Vg_obs.Obs_recorder.sink recorder)
+      (fun () ->
+        let k = boot () in
+        Module_loader.load k ~name:"evil_io" (evil ()))
+  in
+  (match result with
+  | Ok () -> Alcotest.fail "privileged module must be rejected"
+  | Error
+      (Module_loader.Cache_refused (Vg_compiler.Trans_cache.Rejected_by_verifier vs)
+       as err) ->
+      Alcotest.(check bool) "verifier names the privileged invariant" true
+        (List.exists
+           (fun (v : Vg_compiler.Image_verify.violation) ->
+             v.invariant = Vg_compiler.Image_verify.Privileged && v.func = "sys_read")
+           vs);
+      Alcotest.(check string) "maps to ENOEXEC" "ENOEXEC"
+        (Errno.to_string (Module_loader.errno_of_load_error err))
+  | Error e -> Alcotest.failf "wrong error class: %s" (Module_loader.describe_load_error e));
+  Alcotest.(check bool) "security event emitted" true
+    (Vg_obs.Obs_recorder.count_matching recorder (function
+       | Vg_obs.Obs.Event.Security { subsystem = "image-verify"; _ } -> true
+       | _ -> false)
+    > 0);
+  (* The baseline build is not instrumented, so nothing is verified and
+     the same module loads — the protection is a Virtual Ghost gain. *)
+  let k = boot ~mode:Sva.Native_build () in
+  match Module_loader.load k ~name:"evil_io" (evil ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline load: %s" (Module_loader.describe_load_error e)
 
 (* ------------------------------------------------------------------ *)
 (* Cost shape                                                          *)
@@ -748,6 +794,8 @@ let () =
           Alcotest.test_case "override" `Quick test_module_override;
           Alcotest.test_case "chains to genuine" `Quick test_module_chains_to_genuine;
           Alcotest.test_case "malformed rejected" `Quick test_malformed_module_rejected;
+          Alcotest.test_case "privileged module rejected" `Quick
+            test_privileged_module_rejected;
         ] );
       ( "cost",
         [ Alcotest.test_case "vg syscall overhead" `Quick test_vg_syscall_overhead_shape ] );

@@ -316,7 +316,7 @@ let test_module_registry_per_kernel () =
   let k2 = boot ~mode:Sva.Native_build () in
   (match Module_loader.load k1 ~name:"m1" (module_program ()) with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "load: %s" e);
+  | Error e -> Alcotest.failf "load: %s" (Module_loader.describe_load_error e));
   Alcotest.(check (list string)) "k1 sees its module" [ "m1" ]
     (Module_loader.loaded_modules k1);
   Alcotest.(check (list string)) "k2 unaffected" []
