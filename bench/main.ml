@@ -924,6 +924,87 @@ let smp () =
   Bench_report.finish r
 
 (* ------------------------------------------------------------------ *)
+(* Syscall ring: trap-protocol amortisation across batch sizes         *)
+
+let ring_batches = [ 1; 8; 32 ]
+
+(* Cycles spent in the trap protocol itself — entry, interrupt-context
+   save + register zeroing (the VG-only part), return-to-user.  This
+   is what one ring_enter amortises across a whole batch. *)
+let trap_protocol_cycles st =
+  Obs_stats.cycles st Obs.Tag.Trap
+  + Obs_stats.cycles st Obs.Tag.Trap_save
+  + Obs_stats.cycles st Obs.Tag.Trap_return
+
+let ring_serve mode ~batch ~requests =
+  let machine =
+    Machine.create ~cpus:1 ~phys_frames:65536 ~disk_sectors:131072
+      ~seed:"bench-ring" ()
+  in
+  let k = Kernel.boot ~mode machine in
+  make_fs_file k "/index.html" (8 * kb);
+  Httpd.Event_loop.run k ~batch ~requests ~port:80 ~path:"/index.html"
+
+let ring () =
+  let r =
+    Bench_report.create ~name:"syscall_ring"
+      ~title:
+        "Syscall ring: trap-protocol cycles per request vs batch size \
+         (event-loop httpd, 8KB document, 1 core)"
+  in
+  let requests = 32 in
+  Bench_report.linef r "%-6s %18s %10s %18s %10s %8s %6s\n" "batch"
+    "native trap cy/req" "reduction" "vg trap cy/req" "reduction" "enters"
+    "sqes";
+  let base = Hashtbl.create 4 in
+  List.iter
+    (fun batch ->
+      let n_stats, st_n =
+        Bench_report.with_stats (fun () ->
+            ring_serve Sva.Native_build ~batch ~requests)
+      in
+      let v_stats, st_v =
+        Bench_report.with_stats (fun () ->
+            ring_serve Sva.Virtual_ghost ~batch ~requests)
+      in
+      let per_req st (stats : Httpd.Event_loop.stats) =
+        float_of_int (trap_protocol_cycles st)
+        /. float_of_int (max 1 stats.Httpd.Event_loop.served)
+      in
+      let n_cy = per_req st_n n_stats and v_cy = per_req st_v v_stats in
+      if batch = 1 then begin
+        Hashtbl.replace base `N n_cy;
+        Hashtbl.replace base `V v_cy
+      end;
+      let n_red = Hashtbl.find base `N /. n_cy in
+      let v_red = Hashtbl.find base `V /. v_cy in
+      Bench_report.linef r "%6d %18.0f %9.2fx %18.0f %9.2fx %8d %6d\n" batch
+        n_cy n_red v_cy v_red
+        v_stats.Httpd.Event_loop.ring_enters v_stats.Httpd.Event_loop.sqes;
+      Bench_report.row r ~label:(Printf.sprintf "batch-%d" batch)
+        [
+          ("batch", Bench_report.int batch);
+          ("requests", Bench_report.int requests);
+          ("native_trap_cycles_per_req", Bench_report.num n_cy);
+          ("native_reduction_x", Bench_report.num n_red);
+          ("native_ok", Bench_report.int n_stats.Httpd.Event_loop.ok);
+          ("vg_trap_cycles_per_req", Bench_report.num v_cy);
+          ("vg_reduction_x", Bench_report.num v_red);
+          ("vg_ok", Bench_report.int v_stats.Httpd.Event_loop.ok);
+          ("vg_ring_enters", Bench_report.int v_stats.Httpd.Event_loop.ring_enters);
+          ("vg_sqes", Bench_report.int v_stats.Httpd.Event_loop.sqes);
+          ("vg_polls", Bench_report.int v_stats.Httpd.Event_loop.polls);
+          ( "vg_ring_dispatch_cycles",
+            Bench_report.int (Obs_stats.cycles st_v Obs.Tag.Ring) );
+        ])
+    ring_batches;
+  Bench_report.note r
+    "(acceptance: vg trap-protocol cycles per request at batch 32 at most \
+     half the batch-1 figure; path syscalls — open, stat — stay direct \
+     traps and bound the amortisation)";
+  Bench_report.finish r
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments =
@@ -936,6 +1017,7 @@ let experiments =
     ("table5", table5);
     ("extra-micro", extra_micro);
     ("smp", smp);
+    ("ring", ring);
     ("security", security);
     ("ablations", ablations);
   ]

@@ -320,7 +320,18 @@ let httpd_cmd =
   let requests_arg =
     Arg.(value & opt int 32 & info [ "requests" ] ~doc:"Client requests to serve.")
   in
-  let run mode cpus requests trace stats =
+  let event_loop_arg =
+    Arg.(value & flag
+         & info [ "event-loop" ]
+             ~doc:"Serve with one event loop per core over the batched \
+                   syscall ring instead of the worker pool.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8
+         & info [ "batch" ] ~doc:"Ring submissions per ring_enter trap \
+                                  (event-loop mode only).")
+  in
+  let run mode cpus requests event_loop batch trace stats =
     with_obs ~trace ~stats (fun () ->
         let machine, kernel = boot ~cpus mode in
         (match Diskfs.create kernel.Kernel.fs "/index.html" with
@@ -328,25 +339,49 @@ let httpd_cmd =
         | Ok ino ->
             let body = Bytes.init 8192 (fun i -> Char.chr ((i * 131) land 0xff)) in
             ignore (Diskfs.write kernel.Kernel.fs ~ino ~off:0 body));
-        let st =
-          Httpd.Pool.run kernel ~workers:cpus ~requests ~port:80
-            ~path:"/index.html"
-        in
-        let seconds = Cost.to_seconds st.Httpd.Pool.elapsed_cycles in
-        Printf.printf
-          "httpd: %d workers on %d cores served %d/%d (ok=%d) in %d cycles \
-           (%.1f req/s simulated; preemptions=%d steals=%d)\n"
-          st.Httpd.Pool.workers (Machine.cpus machine) st.Httpd.Pool.served
-          requests st.Httpd.Pool.ok st.Httpd.Pool.elapsed_cycles
-          (if seconds > 0.0 then float_of_int st.Httpd.Pool.ok /. seconds else 0.0)
-          st.Httpd.Pool.preemptions st.Httpd.Pool.steals)
+        if event_loop then begin
+          let st =
+            Httpd.Event_loop.run kernel ~batch ~requests ~port:80
+              ~path:"/index.html"
+          in
+          let seconds = Cost.to_seconds st.Httpd.Event_loop.elapsed_cycles in
+          Printf.printf
+            "httpd: event loops on %d cores served %d/%d (ok=%d) in %d cycles \
+             (%.1f req/s simulated; batch=%d ring_enters=%d sqes=%d polls=%d \
+             preemptions=%d steals=%d)\n"
+            st.Httpd.Event_loop.cores st.Httpd.Event_loop.served requests
+            st.Httpd.Event_loop.ok st.Httpd.Event_loop.elapsed_cycles
+            (if seconds > 0.0 then
+               float_of_int st.Httpd.Event_loop.ok /. seconds
+             else 0.0)
+            st.Httpd.Event_loop.batch st.Httpd.Event_loop.ring_enters
+            st.Httpd.Event_loop.sqes st.Httpd.Event_loop.polls
+            st.Httpd.Event_loop.preemptions st.Httpd.Event_loop.steals
+        end
+        else begin
+          let st =
+            Httpd.Pool.run kernel ~workers:cpus ~requests ~port:80
+              ~path:"/index.html"
+          in
+          let seconds = Cost.to_seconds st.Httpd.Pool.elapsed_cycles in
+          Printf.printf
+            "httpd: %d workers on %d cores served %d/%d (ok=%d) in %d cycles \
+             (%.1f req/s simulated; preemptions=%d steals=%d)\n"
+            st.Httpd.Pool.workers (Machine.cpus machine) st.Httpd.Pool.served
+            requests st.Httpd.Pool.ok st.Httpd.Pool.elapsed_cycles
+            (if seconds > 0.0 then float_of_int st.Httpd.Pool.ok /. seconds
+             else 0.0)
+            st.Httpd.Pool.preemptions st.Httpd.Pool.steals
+        end)
   in
   Cmd.v
     (Cmd.info "httpd"
        ~doc:
-         "Serve an 8KB document with one httpd worker per core under the \
-          preemptive scheduler.")
-    Term.(const run $ mode_arg $ cpus_arg $ requests_arg $ trace_arg $ stats_arg)
+         "Serve an 8KB document under the preemptive scheduler: a worker \
+          pool per core, or (with --event-loop) a per-core event loop \
+          batching syscalls through the submission ring.")
+    Term.(const run $ mode_arg $ cpus_arg $ requests_arg $ event_loop_arg
+          $ batch_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 

@@ -42,6 +42,41 @@ module Pool : sig
       is served. *)
 end
 
+(** Event-driven server: one single-threaded event loop per core over
+    the batched syscall ring ({!Uring}) plus the [poll] readiness
+    syscall — the paper's trap-protocol cost amortised across whole
+    batches instead of paid per syscall.  Path-argument syscalls
+    (open, stat) stay direct traps. *)
+module Event_loop : sig
+  type stats = {
+    cores : int;
+    batch : int;  (** SQEs flushed per [ring_enter] *)
+    served : int;  (** connections handled *)
+    ok : int;  (** clients that got a [200] response *)
+    elapsed_cycles : int;
+        (** wall-clock of the serving window: max per-core cycle delta *)
+    ring_enters : int;  (** ring_enter traps across all cores *)
+    sqes : int;  (** submission entries across all cores *)
+    polls : int;  (** poll syscalls across all cores *)
+    preemptions : int;
+    steals : int;
+  }
+
+  val run :
+    ?ghosting:bool ->
+    ?batch:int ->
+    Kernel.t ->
+    requests:int ->
+    port:int ->
+    path:string ->
+    stats
+  (** Listen, run one event-loop fiber per core (each with its own
+      submission ring of at least [batch] slots), pre-connect
+      [requests] clients, then drive the scheduler until the backlog
+      and every accepted connection are drained.  [batch] defaults
+      to 8. *)
+end
+
 (** Client half, run on the remote machine by the benchmark harness. *)
 module Client : sig
   val get :

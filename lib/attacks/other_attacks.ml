@@ -123,6 +123,43 @@ let iago_mmap_attack ~mode ~ghosting:masked =
   Module_loader.unload k ~name:"iago";
   !corrupted
 
+(* A hostile (or merely compromised) ring consumer submits a [write]
+   whose buffer register aims at the application's ghost secret — the
+   batched equivalent of handing the kernel a ghost pointer in a
+   direct syscall.  Under Virtual Ghost the kernel's instrumented
+   copyin masks the access: the exfil file fills with zeros, not the
+   secret, and the sandbox announces itself on the event stream. *)
+let ring_ghost_buffer_attack ~mode =
+  let k = boot mode in
+  let leaked = ref false in
+  Runtime.launch k ~ghosting:true (fun ctx ->
+      let secret_va = Runtime.galloc ctx 32 in
+      Runtime.poke ctx secret_va (Bytes.of_string secret);
+      match Runtime.sys_open ctx "/exfil" Syscalls.creat_trunc with
+      | Error _ -> ()
+      | Ok fd ->
+          let ring = Uring.create ctx ~depth:4 in
+          ignore
+            (Uring.submit ring ~sysno:Syscall_abi.sys_write
+               ~args:
+                 [|
+                   Int64.of_int fd; secret_va; Int64.of_int (String.length secret);
+                 |]
+               ~user_data:1L);
+          (match Uring.enter ring ~to_submit:1 with Ok _ | Error _ -> ());
+          ignore (Uring.reap ring);
+          ignore (Runtime.sys_close ctx fd);
+          leaked :=
+            (match Diskfs.lookup k.Kernel.fs "/exfil" with
+            | Error _ -> false
+            | Ok ino -> (
+                match
+                  Diskfs.read k.Kernel.fs ~ino ~off:0 ~len:(String.length secret)
+                with
+                | Ok b -> Bytes.to_string b = secret
+                | Error _ -> false)));
+  !leaked
+
 let read_raw_file k path =
   match Diskfs.lookup k.Kernel.fs path with
   | Error _ -> None

@@ -29,6 +29,13 @@ val iago_mmap_attack : mode:Sva.mode -> ghosting:bool -> bool
     corrupts its own secret (section 2.2.5).  [ghosting] selects
     whether the application was compiled with the masking pass. *)
 
+val ring_ghost_buffer_attack : mode:Sva.mode -> bool
+(** A syscall-ring submission carries a [write] whose buffer register
+    points at the application's ghost secret (the batched variant of
+    the direct-read vector).  Success means the secret reached the
+    exfiltration file; under Virtual Ghost the instrumented copyin
+    masks the access and the file holds zeros. *)
+
 val file_replay_attack : mode:Sva.mode -> bool
 (** The OS keeps an old version of an application's encrypted
     configuration file and substitutes it later (paper section 10's

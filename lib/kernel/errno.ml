@@ -70,6 +70,17 @@ let to_int = function
   | ENOTEMPTY -> 66
   | ECONNREFUSED -> 61
 
+let all =
+  [
+    EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; ENOEXEC; EAGAIN; ENOMEM;
+    EACCES; EFAULT; EEXIST; ENOTDIR; EISDIR; EINVAL; ENFILE; EMFILE; ENOSPC;
+    EPIPE; ENOSYS; ENOTEMPTY; ECONNREFUSED;
+  ]
+
+(* [to_int] is injective over [all], so numbered ABI results round-trip:
+   an errno encoded as a negative return value decodes back to itself. *)
+let of_int n = List.find_opt (fun e -> to_int e = n) all
+let of_string s = List.find_opt (fun e -> to_string e = s) all
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 type 'a result = ('a, t) Stdlib.result

@@ -25,9 +25,20 @@ type t =
   | ENOTEMPTY
   | ECONNREFUSED
 
+val all : t list
+(** Every errno, in declaration order (drives the numbered-ABI
+    round-trip property tests). *)
+
 val to_string : t -> string
 val to_int : t -> int
-(** Conventional positive errno numbers. *)
+(** Conventional positive errno numbers (injective over {!all}). *)
+
+val of_int : int -> t option
+(** Inverse of {!to_int}: [of_int (to_int e) = Some e] for every [e].
+    The decode half of the numbered ABI's result convention. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (and of what {!pp} prints). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the symbolic name ([EPERM], ...); usable as [%a] so callers

@@ -9,13 +9,15 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
   current : int array; (* per-CPU: pid whose address space is installed *)
-  overrides : (string, syscall_override) Hashtbl.t;
+  overrides : (int, syscall_override) Hashtbl.t;
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
   frame_refs : (int, int) Hashtbl.t; (* COW sharing; absent = 1 *)
-  modules : (string, string list) Hashtbl.t; (* module name -> overridden syscalls *)
+  modules : (string, int list) Hashtbl.t; (* module name -> overridden syscall numbers *)
   proc_lock : Spinlock.t;
   frame_lock : Spinlock.t;
   mutable preempt : unit -> unit;
+  mutable block : unit -> bool;
+  child_wq : Waitq.t;
   mutable syscall_count : int;
 }
 
@@ -92,6 +94,8 @@ let boot ?frame_limit ~mode machine =
       proc_lock = Spinlock.create machine ~name:"proc";
       frame_lock = Spinlock.create machine ~name:"frame";
       preempt = (fun () -> ());
+      block = (fun () -> false);
+      child_wq = Waitq.create ~name:"child-exit";
       syscall_count = 0;
     }
   in

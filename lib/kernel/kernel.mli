@@ -25,20 +25,28 @@ type t = {
   mutable next_pid : int;
   current : int array;
       (** per-CPU: pid whose address space is installed on that core *)
-  overrides : (string, syscall_override) Hashtbl.t;
-      (** loadable-module replacements for named system calls *)
+  overrides : (int, syscall_override) Hashtbl.t;
+      (** loadable-module replacements, keyed by syscall number *)
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
       (** kernel helper API exposed to module native code *)
   frame_refs : (int, int) Hashtbl.t;
       (** copy-on-write frame sharing counts (absent = 1) *)
-  modules : (string, string list) Hashtbl.t;
-      (** loaded module name -> syscalls it overrides (per kernel) *)
+  modules : (string, int list) Hashtbl.t;
+      (** loaded module name -> syscall numbers it overrides *)
   proc_lock : Spinlock.t;  (** guards the process table / pid counter *)
   frame_lock : Spinlock.t;  (** guards the physical frame allocator *)
   mutable preempt : unit -> unit;
       (** called at the syscall-trap epilogue; the {!Sched} scheduler
           installs a hook that yields the running fiber when the
           core's timer has fired.  Default: nothing (cooperative). *)
+  mutable block : unit -> bool;
+      (** called by blocking syscalls when the wanted condition is not
+          yet true: yield the caller and return [true] to retry after a
+          wakeup, or return [false] to give up — the syscall then
+          reports [EAGAIN].  Default: [fun () -> false], so directly
+          driven processes keep the historical non-blocking contract;
+          {!Sched.run} installs a fiber-yielding hook. *)
+  child_wq : Waitq.t;  (** woken on every process exit (wait sleeps here) *)
   mutable syscall_count : int;
 }
 

@@ -1,12 +1,25 @@
 let override_prefix = "sys_"
 
-let overrides_of_image (image : Vg_compiler.Linker.image) =
+(* A symbol [sys_<name>] overrides the syscall <name> — resolved to
+   its number in the {!Syscall_abi} table, the same numbering ring
+   submissions use.  A name outside the table is reported and skipped
+   rather than registered under a string nothing will ever look up. *)
+let overrides_of_image (k : Kernel.t) (image : Vg_compiler.Linker.image) =
   List.filter_map
     (fun (s : Vg_compiler.Native.symbol) ->
       let n = s.Vg_compiler.Native.name in
       if String.length n > String.length override_prefix
          && String.sub n 0 (String.length override_prefix) = override_prefix
-      then Some (String.sub n 4 (String.length n - 4), n)
+      then begin
+        let call = String.sub n 4 (String.length n - 4) in
+        match Syscall_abi.number_of_name call with
+        | Some sysno -> Some (sysno, n)
+        | None ->
+            Console.write
+              (Machine.console k.Kernel.machine)
+              (Printf.sprintf "kernel: module symbol %s names no syscall; ignored" n);
+            None
+      end
       else None)
     image.Vg_compiler.Linker.native.Vg_compiler.Native.symbols
 
@@ -51,10 +64,10 @@ let load (k : Kernel.t) ~name program =
       match Vg_compiler.Trans_cache.find cache ~name with
       | Error e -> reject k ~name (Cache_refused e)
       | Ok image ->
-          let overrides = overrides_of_image image in
+          let overrides = overrides_of_image k image in
           List.iter
-            (fun (syscall, func) ->
-              Hashtbl.replace k.Kernel.overrides syscall { Kernel.image; func })
+            (fun (sysno, func) ->
+              Hashtbl.replace k.Kernel.overrides sysno { Kernel.image; func })
             overrides;
           Hashtbl.replace k.Kernel.modules name (List.map fst overrides);
           Machine.emit k.Kernel.machine
@@ -68,12 +81,15 @@ let load (k : Kernel.t) ~name program =
 let unload (k : Kernel.t) ~name =
   match Hashtbl.find_opt k.Kernel.modules name with
   | None -> ()
-  | Some syscalls ->
-      List.iter (Hashtbl.remove k.Kernel.overrides) syscalls;
+  | Some sysnos ->
+      List.iter (Hashtbl.remove k.Kernel.overrides) sysnos;
       Hashtbl.remove k.Kernel.modules name
 
 let loaded_modules (k : Kernel.t) =
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) k.Kernel.modules [])
 
 let loaded_overrides (k : Kernel.t) =
-  Hashtbl.fold (fun name _ acc -> name :: acc) k.Kernel.overrides []
+  Hashtbl.fold
+    (fun sysno _ acc ->
+      match Syscall_abi.name_of_number sysno with Some n -> n :: acc | None -> acc)
+    k.Kernel.overrides []

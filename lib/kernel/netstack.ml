@@ -22,11 +22,12 @@ let parse b =
         Bytes.sub b 9 (Bytes.length b - 9) )
 
 type conn_state = { inbox : Pipe_dev.t; mutable peer_closed : bool; port : int }
+type listener = { backlog : int Queue.t; wq : Waitq.t }
 
 type t = {
   nic : Nic.t;
   kmem : Kmem.t;
-  listeners : (int, int Queue.t) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
   conns : (int, conn_state) Hashtbl.t;
 }
 
@@ -35,7 +36,8 @@ let create ~kmem nic = { nic; kmem; listeners = Hashtbl.create 8; conns = Hashtb
 let listen t ~port =
   if Hashtbl.mem t.listeners port then Error Errno.EEXIST
   else begin
-    Hashtbl.replace t.listeners port (Queue.create ());
+    Hashtbl.replace t.listeners port
+      { backlog = Queue.create (); wq = Waitq.create ~name:(Printf.sprintf "listen:%d" port) };
     Ok ()
   end
 
@@ -54,20 +56,25 @@ let poll t =
             if ty = ty_syn then begin
               match Hashtbl.find_opt t.listeners port with
               | None -> () (* connection refused: silently dropped *)
-              | Some q ->
+              | Some l ->
                   let state =
                     { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port }
                   in
                   Pipe_dev.add_reader state.inbox;
                   Pipe_dev.add_writer state.inbox;
                   Hashtbl.replace t.conns conn state;
-                  Queue.push conn q
+                  Queue.push conn l.backlog;
+                  Waitq.wake l.wq
             end
             else begin
               match Hashtbl.find_opt t.conns conn with
               | None -> ()
               | Some state ->
-                  if ty = ty_fin then state.peer_closed <- true
+                  if ty = ty_fin then begin
+                    state.peer_closed <- true;
+                    (* Sleepers must observe the EOF edge. *)
+                    Waitq.wake (Pipe_dev.read_wq state.inbox)
+                  end
                   else ignore (Pipe_dev.write state.inbox payload)
             end)
   done
@@ -77,7 +84,36 @@ let accept t ~port =
   Kmem.work t.kmem 15;
   match Hashtbl.find_opt t.listeners port with
   | None -> None
-  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
+  | Some l -> if Queue.is_empty l.backlog then None else Some (Queue.pop l.backlog)
+
+(* Non-consuming readiness queries (the poll syscall's view).  They
+   drain the NIC first — the driver's interrupt handler runs whenever
+   the kernel looks at the network — but never pop a backlog entry or
+   inbox byte. *)
+
+let pending_accept t ~port =
+  poll t;
+  Kmem.work t.kmem 5;
+  match Hashtbl.find_opt t.listeners port with
+  | None -> false
+  | Some l -> not (Queue.is_empty l.backlog)
+
+let conn_readable t ~conn =
+  poll t;
+  Kmem.work t.kmem 5;
+  match Hashtbl.find_opt t.conns conn with
+  | None -> true (* a dead descriptor is "ready": reads report the error *)
+  | Some state -> Pipe_dev.bytes_available state.inbox > 0 || state.peer_closed
+
+let listen_wq t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> None
+  | Some l -> Some l.wq
+
+let conn_wq t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> None
+  | Some state -> Some (Pipe_dev.read_wq state.inbox)
 
 let send t ~conn data =
   Kmem.work t.kmem 25;
@@ -116,6 +152,8 @@ let close t ~conn =
   | None -> ()
   | Some state ->
       Nic.transmit t.nic (frame ~ty:ty_fin ~conn ~port:state.port Bytes.empty);
+      (* Local sleepers on this connection observe the close. *)
+      Waitq.wake (Pipe_dev.read_wq state.inbox);
       Hashtbl.remove t.conns conn
 
 module Remote = struct

@@ -21,6 +21,21 @@ val poll : t -> unit
 val accept : t -> port:int -> int option
 (** Pop a pending connection id, polling first. *)
 
+(** {1 Readiness (the poll syscall's view)} *)
+
+val pending_accept : t -> port:int -> bool
+(** A connection is waiting in the backlog (drains the NIC first;
+    consumes nothing). *)
+
+val conn_readable : t -> conn:int -> bool
+(** Bytes are buffered or the peer has closed (EOF is readable). *)
+
+val listen_wq : t -> port:int -> Waitq.t option
+(** Woken on every SYN demuxed into this port's backlog. *)
+
+val conn_wq : t -> conn:int -> Waitq.t option
+(** Woken when data or FIN arrives on the connection. *)
+
 val send : t -> conn:int -> bytes -> int Errno.result
 (** Transmit data on a connection. *)
 

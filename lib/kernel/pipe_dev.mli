@@ -22,3 +22,18 @@ val write : t -> bytes -> int Errno.result
     with no reader, [EAGAIN] when completely full. *)
 
 val bytes_available : t -> int
+val room_available : t -> int
+
+val readable : t -> bool
+(** Bytes are buffered, or EOF (no writers) — a read returns at once. *)
+
+val writable : t -> bool
+(** Space remains, or EPIPE (no readers) — a write returns at once. *)
+
+(** {1 Readiness} *)
+
+val read_wq : t -> Waitq.t
+(** Woken when bytes arrive or the last writer leaves (EOF edge). *)
+
+val write_wq : t -> Waitq.t
+(** Woken when space frees up or the last reader leaves (EPIPE edge). *)

@@ -23,6 +23,7 @@ type t = {
   signal_handlers : (int, int64) Hashtbl.t;
   code_map : (int64, int64 -> unit) Hashtbl.t;
   mutable image : Appimage.t option;
+  blocking : (int, unit) Hashtbl.t;
 }
 
 let make ~pid ~parent ~pt ~tid =
@@ -41,6 +42,7 @@ let make ~pid ~parent ~pt ~tid =
     signal_handlers = Hashtbl.create 8;
     code_map = Hashtbl.create 8;
     image = None;
+    blocking = Hashtbl.create 4;
   }
 
 let add_fd t kind =
@@ -50,5 +52,13 @@ let add_fd t kind =
   fd
 
 let find_fd t fd = Hashtbl.find_opt t.fds fd
-let remove_fd t fd = Hashtbl.remove t.fds fd
+
+let remove_fd t fd =
+  Hashtbl.remove t.fds fd;
+  Hashtbl.remove t.blocking fd
+
+let set_blocking t fd on =
+  if on then Hashtbl.replace t.blocking fd () else Hashtbl.remove t.blocking fd
+
+let is_blocking t fd = Hashtbl.mem t.blocking fd
 let is_zombie t = match t.state with Zombie _ -> true | Running -> false

@@ -34,6 +34,7 @@ type t = {
   signal_handlers : (int, int64) Hashtbl.t;  (** signum -> handler pc *)
   code_map : (int64, int64 -> unit) Hashtbl.t;
   mutable image : Appimage.t option;
+  blocking : (int, unit) Hashtbl.t;  (** fds opted into blocking I/O *)
 }
 
 val make : pid:int -> parent:int -> pt:Pagetable.t -> tid:int -> t
@@ -43,5 +44,13 @@ val add_fd : t -> fd_kind -> int
 
 val find_fd : t -> int -> fd_kind option
 val remove_fd : t -> int -> unit
+
+val set_blocking : t -> int -> bool -> unit
+(** Opt a descriptor into (or out of) blocking I/O.  Descriptors are
+    born non-blocking — the historical contract of this kernel's
+    cooperative scheduler — so event-loop code works unchanged and
+    blocking is a per-fd opt-in. *)
+
+val is_blocking : t -> int -> bool
 
 val is_zombie : t -> bool

@@ -173,11 +173,23 @@ let run ?(timer_period = default_timer_period) t =
         t.preemptions <- t.preemptions + 1;
         Effect.perform Yield
       end);
+  (* Blocking syscalls park here: yield the fiber back to the run
+     queue and tell the caller to retry once it is resumed.  Without a
+     scheduler the default hook leaves EAGAIN semantics in place. *)
+  let saved_block = k.Kernel.block in
+  k.Kernel.block <-
+    (fun () ->
+      if t.active then begin
+        Effect.perform Yield;
+        true
+      end
+      else false);
   Machine.arm_timer m ~period:timer_period;
   Fun.protect
     ~finally:(fun () ->
       Machine.disarm_timer m;
       k.Kernel.preempt <- saved_preempt;
+      k.Kernel.block <- saved_block;
       t.active <- false)
     (fun () ->
       while pending t > 0 do

@@ -1,0 +1,142 @@
+(* The numbered system-call ABI.
+
+   Every kernel entry point has a number, a fixed register arity and a
+   result codec.  The typed [Syscalls.*] wrappers, loadable-module
+   overrides and the batched submission ring all address handlers
+   through this one table, so there is exactly one encode/decode
+   convention for results crossing the user/kernel boundary:
+
+   - [Int_result]: non-negative payload, or [-Errno.to_int e] on
+     error (the classic Unix convention).  [Errno.to_int] is injective
+     (see [Errno.all]), so the round-trip is lossless.
+   - [Addr_result]: addresses are full 64-bit values, so only the
+     Linux [MAP_FAILED] window [-4096, -1] decodes as an errno;
+     anything else — including ghost-region pointers high in the
+     canonical hole — passes through verbatim. *)
+
+let sys_read = 0
+let sys_write = 1
+let sys_open = 2
+let sys_close = 3
+let sys_lseek = 4
+let sys_unlink = 5
+let sys_mkdir = 6
+let sys_stat = 7
+let sys_rename = 8
+let sys_fstat = 9
+let sys_dup2 = 10
+let sys_readdir = 11
+let sys_fsync = 12
+let sys_getpid = 13
+let sys_fork = 14
+let sys_execve = 15
+let sys_exit = 16
+let sys_wait = 17
+let sys_mmap = 18
+let sys_munmap = 19
+let sys_allocgm = 20
+let sys_freegm = 21
+let sys_signal = 22
+let sys_kill = 23
+let sys_sigreturn = 24
+let sys_pipe = 25
+let sys_listen = 26
+let sys_accept = 27
+let sys_connect = 28
+let sys_send = 29
+let sys_recv = 30
+let sys_select = 31
+let sys_poll = 32
+let sys_set_blocking = 33
+let sys_ring_enter = 34
+
+type result_codec = Int_result | Addr_result
+
+type desc = { name : string; arity : int; codec : result_codec }
+
+let table =
+  [|
+    { name = "read"; arity = 3; codec = Int_result };
+    { name = "write"; arity = 3; codec = Int_result };
+    { name = "open"; arity = 2; codec = Int_result };
+    { name = "close"; arity = 1; codec = Int_result };
+    { name = "lseek"; arity = 2; codec = Int_result };
+    { name = "unlink"; arity = 1; codec = Int_result };
+    { name = "mkdir"; arity = 1; codec = Int_result };
+    { name = "stat"; arity = 1; codec = Int_result };
+    { name = "rename"; arity = 2; codec = Int_result };
+    { name = "fstat"; arity = 1; codec = Int_result };
+    { name = "dup2"; arity = 2; codec = Int_result };
+    { name = "readdir"; arity = 1; codec = Int_result };
+    { name = "fsync"; arity = 0; codec = Int_result };
+    { name = "getpid"; arity = 0; codec = Int_result };
+    { name = "fork"; arity = 0; codec = Int_result };
+    { name = "execve"; arity = 1; codec = Int_result };
+    { name = "exit"; arity = 1; codec = Int_result };
+    { name = "wait"; arity = 1; codec = Int_result };
+    { name = "mmap"; arity = 1; codec = Addr_result };
+    { name = "munmap"; arity = 2; codec = Int_result };
+    { name = "allocgm"; arity = 2; codec = Int_result };
+    { name = "freegm"; arity = 2; codec = Int_result };
+    { name = "signal"; arity = 2; codec = Int_result };
+    { name = "kill"; arity = 2; codec = Int_result };
+    { name = "sigreturn"; arity = 0; codec = Int_result };
+    { name = "pipe"; arity = 0; codec = Int_result };
+    { name = "listen"; arity = 1; codec = Int_result };
+    { name = "accept"; arity = 1; codec = Int_result };
+    { name = "connect"; arity = 1; codec = Int_result };
+    { name = "send"; arity = 3; codec = Int_result };
+    { name = "recv"; arity = 3; codec = Int_result };
+    { name = "select"; arity = 1; codec = Int_result };
+    { name = "poll"; arity = 1; codec = Int_result };
+    { name = "set_blocking"; arity = 2; codec = Int_result };
+    { name = "ring_enter"; arity = 3; codec = Int_result };
+  |]
+
+let max_sysno = Array.length table - 1
+let is_valid sysno = sysno >= 0 && sysno <= max_sysno
+let describe sysno = if is_valid sysno then Some table.(sysno) else None
+let name_of_number sysno = Option.map (fun d -> d.name) (describe sysno)
+
+let number_of_name =
+  let by_name = Hashtbl.create 64 in
+  Array.iteri (fun i d -> Hashtbl.replace by_name d.name i) table;
+  fun name -> Hashtbl.find_opt by_name name
+
+(* Result encoding.  Encode/decode happen at the OCaml level — the
+   simulated machine's cost of moving a register is already inside the
+   trap protocol — so these charge nothing. *)
+
+let encode_int = function
+  | Ok n -> Int64.of_int n
+  | Error e -> Int64.of_int (-Errno.to_int e)
+
+let decode_int v =
+  if Int64.compare v 0L >= 0 then Ok (Int64.to_int v)
+  else begin
+    match Errno.of_int (Int64.to_int (Int64.neg v)) with
+    | Some e -> Error e
+    | None -> Error Errno.EINVAL (* unknown negative: malformed handler *)
+  end
+
+let encode_addr = function
+  | Ok va -> va
+  | Error e -> Int64.of_int (-Errno.to_int e)
+
+let decode_addr v =
+  if Int64.compare v (-4096L) >= 0 && Int64.compare v 0L < 0 then begin
+    match Errno.of_int (Int64.to_int (Int64.neg v)) with
+    | Some e -> Error e
+    | None -> Error Errno.EINVAL
+  end
+  else Ok v
+
+let encode codec r =
+  match codec with
+  | Int_result -> encode_int (Result.map Int64.to_int r)
+  | Addr_result -> encode_addr r
+
+let decode codec v =
+  match codec with
+  | Int_result -> Result.map Int64.of_int (decode_int v)
+  | Addr_result -> decode_addr v

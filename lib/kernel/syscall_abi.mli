@@ -1,0 +1,80 @@
+(** The numbered system-call ABI.
+
+    One table maps syscall numbers to names, register arities and
+    result codecs.  Typed {!Syscalls} wrappers, loadable-module
+    overrides ({!Module_loader}) and the batched submission ring
+    ({!Syscall_ring}) all address kernel entry points through this
+    numbering, and every result crossing the boundary goes through the
+    single encode/decode convention defined here — there is no other
+    path for a handler's value to reach user registers. *)
+
+(** {1 Syscall numbers} *)
+
+val sys_read : int
+val sys_write : int
+val sys_open : int
+val sys_close : int
+val sys_lseek : int
+val sys_unlink : int
+val sys_mkdir : int
+val sys_stat : int
+val sys_rename : int
+val sys_fstat : int
+val sys_dup2 : int
+val sys_readdir : int
+val sys_fsync : int
+val sys_getpid : int
+val sys_fork : int
+val sys_execve : int
+val sys_exit : int
+val sys_wait : int
+val sys_mmap : int
+val sys_munmap : int
+val sys_allocgm : int
+val sys_freegm : int
+val sys_signal : int
+val sys_kill : int
+val sys_sigreturn : int
+val sys_pipe : int
+val sys_listen : int
+val sys_accept : int
+val sys_connect : int
+val sys_send : int
+val sys_recv : int
+val sys_select : int
+val sys_poll : int
+val sys_set_blocking : int
+val sys_ring_enter : int
+
+(** {1 Descriptors} *)
+
+type result_codec =
+  | Int_result
+      (** non-negative payload or [-Errno.to_int e]; lossless because
+          [Errno.to_int] is injective *)
+  | Addr_result
+      (** full 64-bit addresses; only the Linux [MAP_FAILED] window
+          [-4096, -1] decodes as an errno, so ghost-region pointers
+          high in the canonical hole pass through verbatim *)
+
+type desc = { name : string; arity : int; codec : result_codec }
+
+val max_sysno : int
+val is_valid : int -> bool
+val describe : int -> desc option
+val name_of_number : int -> string option
+val number_of_name : string -> int option
+
+(** {1 Result codecs}
+
+    Encode/decode are OCaml-level: the simulated cost of moving a
+    result register is already part of the trap protocol, so these
+    charge no cycles. *)
+
+val encode_int : int Errno.result -> int64
+val decode_int : int64 -> int Errno.result
+val encode_addr : int64 Errno.result -> int64
+val decode_addr : int64 -> int64 Errno.result
+
+val encode : result_codec -> int64 Errno.result -> int64
+val decode : result_codec -> int64 -> int64 Errno.result

@@ -1,0 +1,62 @@
+(* Shared layout of the batched syscall ring.
+
+   The ring lives in *traditional* user memory — the kernel must read
+   submissions and write completions, which is exactly what ghost
+   memory forbids — as one contiguous region:
+
+     header   32 bytes   sq_head sq_tail cq_head cq_tail (8 each)
+     sq       depth * 48 submission entries
+     cq       depth * 16 completion entries
+
+   A submission entry (SQE) names a kernel entry point by number in
+   the {!Syscall_abi} table plus four argument registers and an opaque
+   user cookie; a completion entry (CQE) carries the cookie back with
+   the ABI-encoded result.  Head/tail are free-running counters; the
+   slot for counter [c] is [c mod depth].
+
+   This module is pure layout and (de)serialisation: the kernel side
+   reads/writes the region through its instrumented accessors
+   ({!Kmem}), the user side through the runtime's poke/peek, and both
+   agree on the bytes via these functions. *)
+
+type sqe = { sysno : int; args : int64 array; user_data : int64 }
+type cqe = { user_data : int64; result : int64 }
+
+let header_bytes = 32
+let sqe_bytes = 48
+let cqe_bytes = 16
+
+let region_bytes ~depth = header_bytes + (depth * (sqe_bytes + cqe_bytes))
+
+(* Header field offsets from ring base. *)
+let sq_head_off = 0
+let sq_tail_off = 8
+let cq_head_off = 16
+let cq_tail_off = 24
+
+let sqe_off ~depth:_ ~slot = header_bytes + (slot * sqe_bytes)
+let cqe_off ~depth ~slot = header_bytes + (depth * sqe_bytes) + (slot * cqe_bytes)
+
+let slot_of ~depth counter = counter mod depth
+
+let write_sqe buf ~off (e : sqe) =
+  Bytes.set_int64_le buf off (Int64.of_int e.sysno);
+  for i = 0 to 3 do
+    let a = if i < Array.length e.args then e.args.(i) else 0L in
+    Bytes.set_int64_le buf (off + 8 + (i * 8)) a
+  done;
+  Bytes.set_int64_le buf (off + 40) e.user_data
+
+let read_sqe buf ~off =
+  {
+    sysno = Int64.to_int (Bytes.get_int64_le buf off);
+    args = Array.init 4 (fun i -> Bytes.get_int64_le buf (off + 8 + (i * 8)));
+    user_data = Bytes.get_int64_le buf (off + 40);
+  }
+
+let write_cqe buf ~off (e : cqe) =
+  Bytes.set_int64_le buf off e.user_data;
+  Bytes.set_int64_le buf (off + 8) e.result
+
+let read_cqe buf ~off =
+  { user_data = Bytes.get_int64_le buf off; result = Bytes.get_int64_le buf (off + 8) }

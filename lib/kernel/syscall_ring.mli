@@ -1,0 +1,44 @@
+(** Shared layout of the batched syscall ring (see {!Syscalls.ring_enter}).
+
+    The ring is one contiguous region of {e traditional} user memory:
+    a 32-byte header of free-running head/tail counters, [depth]
+    48-byte submission entries, then [depth] 16-byte completion
+    entries.  Submissions name kernel entry points by {!Syscall_abi}
+    number; completions carry the submission's cookie back with the
+    ABI-encoded result.  This module is pure layout and byte
+    (de)serialisation, shared by the kernel dispatcher and the
+    userland {!Uring} library. *)
+
+type sqe = { sysno : int; args : int64 array; user_data : int64 }
+(** Submission: syscall number, up to four argument registers, opaque
+    user cookie echoed in the completion. *)
+
+type cqe = { user_data : int64; result : int64 }
+(** Completion: the submission's cookie and the ABI-encoded result. *)
+
+val header_bytes : int
+val sqe_bytes : int
+val cqe_bytes : int
+
+val region_bytes : depth:int -> int
+(** Total footprint of a ring of [depth] entries. *)
+
+(** {1 Offsets from ring base} *)
+
+val sq_head_off : int
+val sq_tail_off : int
+val cq_head_off : int
+val cq_tail_off : int
+
+val sqe_off : depth:int -> slot:int -> int
+val cqe_off : depth:int -> slot:int -> int
+
+val slot_of : depth:int -> int -> int
+(** Ring slot of a free-running counter value. *)
+
+(** {1 Byte (de)serialisation} *)
+
+val write_sqe : bytes -> off:int -> sqe -> unit
+val read_sqe : bytes -> off:int -> sqe
+val write_cqe : bytes -> off:int -> cqe -> unit
+val read_cqe : bytes -> off:int -> cqe

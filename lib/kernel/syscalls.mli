@@ -11,9 +11,13 @@
     application's data (which is why the ghosting libc wrappers copy
     through traditional memory).
 
-    A loadable module may override a named call ({!Module_loader});
-    the dispatcher then executes the module's compiled native code
-    instead of the built-in handler. *)
+    Dispatch is unified over the numbered ABI ({!Syscall_abi}): every
+    register-argument call runs through one numbered dispatch shared by
+    the typed wrappers here, the batched submission ring
+    ({!ring_enter}) and loadable-module overrides ({!Module_loader},
+    keyed by number) — so an overridden call behaves identically
+    whether it arrives by trap or by ring, and every result crosses
+    the boundary through the single {!Syscall_abi} codec. *)
 
 type open_flags = { create : bool; truncate : bool; append : bool }
 
@@ -55,9 +59,14 @@ val execve : Kernel.t -> Proc.t -> Appimage.t -> unit Errno.result
     Interrupt Context through the VM (signature check, key recovery). *)
 
 val exit_ : Kernel.t -> Proc.t -> int -> unit
-val wait : Kernel.t -> Proc.t -> (int * int) Errno.result
-(** Reap a zombie child: [Ok (pid, status)]; [EAGAIN] while children
-    run; [ECHILD] with none. *)
+
+val wait : ?block:bool -> Kernel.t -> Proc.t -> (int * int) Errno.result
+(** Reap a zombie child: [Ok (pid, status)]; [ECHILD] with none.
+    Default [block:false] keeps the historical contract — [EAGAIN]
+    while children run (LMBench drives the reap loop itself).  With
+    [block:true] the caller sleeps on the kernel's child waitqueue
+    until a child exits (requires the {!Sched} block hook; without a
+    scheduler it still returns [EAGAIN]). *)
 
 (** {1 Memory} *)
 
@@ -96,9 +105,44 @@ val connect : Kernel.t -> Proc.t -> port:int -> int Errno.result
 val send : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
 val recv : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
 val select : Kernel.t -> Proc.t -> int list -> int list Errno.result
-(** Subset of the given descriptors that are ready for reading. *)
+(** Subset of the given descriptors that are ready, in one
+    non-consuming level-triggered scan (never blocks). *)
+
+val poll : Kernel.t -> Proc.t -> int list -> int list Errno.result
+(** Level-triggered readiness over a descriptor set, backed by kernel
+    waitqueues.  An empty set returns [Ok []] at once.  When nothing
+    is ready and the {!Sched} block hook is installed, the caller
+    sleeps on every descriptor's waitqueue and re-scans on wakeup;
+    without a scheduler it degrades to one scan.  Readiness is
+    non-consuming: a listener with a pending connection stays ready
+    until accepted. *)
+
+val set_blocking : Kernel.t -> Proc.t -> fd:int -> bool -> unit Errno.result
+(** Opt a descriptor into (or out of) blocking reads/accepts: when
+    blocking, [read]/[recv]/[accept] sleep on the descriptor's
+    waitqueue instead of returning [EAGAIN].  Descriptors are born
+    non-blocking. *)
+
+(** {1 The submission ring} *)
+
+val ring_enter :
+  Kernel.t -> Proc.t -> ring:int64 -> depth:int -> to_submit:int -> int Errno.result
+(** One trap, many dispatches: consume up to [to_submit] submission
+    entries from the ring at traditional-memory address [ring] (layout
+    {!Syscall_ring}, [depth] slots), run each through the numbered
+    dispatch, and write ABI-encoded completions.  Returns the number
+    of entries consumed.  [EFAULT] if [ring] is not a traditional user
+    address; entry {e buffers} pointing into ghost memory are defused
+    by the instrumented accessors exactly as in a direct call. *)
 
 (** {1 Module machinery} *)
+
+val dispatch_numbered : Kernel.t -> Proc.t -> sysno:int -> int64 array -> int64
+(** The shared numbered dispatch: run syscall [sysno] with register
+    arguments (module override first, builtin otherwise) and return
+    the ABI-encoded result register.  Callers are expected to be
+    inside a trap ({!ring_enter}) or a typed wrapper; this performs no
+    trap protocol of its own. *)
 
 val genuine_read : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
 (** The built-in read handler, bypassing any module override — exposed

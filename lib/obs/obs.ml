@@ -31,12 +31,13 @@ module Tag = struct
     | Timer  (** per-core timer interrupts *)
     | Lock  (** spinlock cache-line transfers *)
     | Verify  (** load-time verification of native images *)
+    | Ring  (** batched syscall-ring dispatch (per-entry work) *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other; Sched; Ipi; Timer; Lock; Verify;
+      Other; Sched; Ipi; Timer; Lock; Verify; Ring;
     ]
 
   let count = List.length all
@@ -66,6 +67,7 @@ module Tag = struct
     | Timer -> 21
     | Lock -> 22
     | Verify -> 23
+    | Ring -> 24
 
   let to_string = function
     | Exec -> "exec"
@@ -92,6 +94,7 @@ module Tag = struct
     | Timer -> "timer"
     | Lock -> "lock"
     | Verify -> "verify"
+    | Ring -> "ring"
 end
 
 module Event = struct

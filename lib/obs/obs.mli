@@ -39,6 +39,7 @@ module Tag : sig
     | Timer
     | Lock
     | Verify
+    | Ring
 
   val all : t list
   val count : int

@@ -159,6 +159,26 @@ let test_events_smp_remap_race () =
   in
   check "vg: cross-core remap denial reported" true (has_security vg "sva.mmu")
 
+(* A ghost buffer pointer smuggled through a syscall-ring submission:
+   the batched path must defuse it exactly like a direct call would. *)
+let test_ring_ghost_buffer () =
+  check "native leaks through the ring" true
+    (Other_attacks.ring_ghost_buffer_attack ~mode:Sva.Native_build);
+  check "vg defuses the ring entry" false
+    (Other_attacks.ring_ghost_buffer_attack ~mode:Sva.Virtual_ghost)
+
+let test_events_ring_ghost_buffer () =
+  let leaked_native, native =
+    record (fun () -> Other_attacks.ring_ghost_buffer_attack ~mode:Sva.Native_build)
+  in
+  check "native: secret leaked" true leaked_native;
+  no_security_events "native: silent" native;
+  let leaked_vg, vg =
+    record (fun () -> Other_attacks.ring_ghost_buffer_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: no leak" false leaked_vg;
+  check "vg: sandbox fault reported" true (has_security vg "sandbox")
+
 let () =
   Alcotest.run "vg_attacks"
     [
@@ -180,6 +200,7 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_iago_mmap;
           Alcotest.test_case "swap tamper" `Quick test_swap_tamper;
           Alcotest.test_case "smp remap race" `Quick test_smp_remap_race;
+          Alcotest.test_case "ring ghost buffer" `Quick test_ring_ghost_buffer;
           Alcotest.test_case "file replay" `Slow test_file_replay;
         ] );
       ( "security-events",
@@ -190,5 +211,7 @@ let () =
           Alcotest.test_case "dma" `Quick test_events_dma;
           Alcotest.test_case "smp remap race" `Quick test_events_smp_remap_race;
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
+          Alcotest.test_case "ring ghost buffer" `Quick
+            test_events_ring_ghost_buffer;
         ] );
     ]

@@ -706,6 +706,169 @@ let test_privileged_module_rejected () =
   | Error e -> Alcotest.failf "baseline load: %s" (Module_loader.describe_load_error e)
 
 (* ------------------------------------------------------------------ *)
+(* Poll readiness                                                      *)
+
+let test_poll_empty_set () =
+  let k = boot () in
+  let p = init k in
+  Alcotest.(check (list int)) "empty set returns at once" []
+    (expect_ok "poll" (Syscalls.poll k p []))
+
+let test_poll_closed_fd_ready () =
+  let k = boot () in
+  let p = init k in
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  ignore (expect_ok "close" (Syscalls.close k p r));
+  (* A dead descriptor must report ready (the caller's next operation
+     gets its EBADF) instead of wedging the poller forever. *)
+  Alcotest.(check (list int)) "closed fd ready" [ r ]
+    (expect_ok "poll" (Syscalls.poll k p [ r ]));
+  (* EOF counts as readable on a live descriptor too. *)
+  let r2, _w2 = expect_ok "pipe" (Syscalls.pipe k p) in
+  ignore (expect_ok "close w" (Syscalls.close k p w));
+  ignore r2
+
+let test_poll_level_triggered_rearm () =
+  let k = boot () in
+  let p = init k in
+  let r, w = expect_ok "pipe" (Syscalls.pipe k p) in
+  user_write k p user_buf (Bytes.of_string "!");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd:w ~buf:user_buf ~len:1));
+  (* Level-triggered and non-consuming: ready stays ready until the
+     data is actually read... *)
+  Alcotest.(check (list int)) "ready" [ r ]
+    (expect_ok "poll" (Syscalls.poll k p [ r ]));
+  Alcotest.(check (list int)) "still ready (non-consuming)" [ r ]
+    (expect_ok "poll" (Syscalls.poll k p [ r ]));
+  ignore (expect_ok "read" (Syscalls.read k p ~fd:r ~buf:user_buf ~len:1));
+  (* ... and re-arms: drained means not ready (no block hook installed,
+     so poll degrades to one scan). *)
+  Alcotest.(check (list int)) "drained re-arms" []
+    (expect_ok "poll" (Syscalls.poll k p [ r ]));
+  user_write k p user_buf (Bytes.of_string "!");
+  ignore (expect_ok "write" (Syscalls.write k p ~fd:w ~buf:user_buf ~len:1));
+  Alcotest.(check (list int)) "ready again" [ r ]
+    (expect_ok "poll" (Syscalls.poll k p [ r ]))
+
+(* ------------------------------------------------------------------ *)
+(* The numbered ABI and the submission ring                            *)
+
+let prop_errno_abi_roundtrip =
+  QCheck2.Test.make ~name:"errno round-trips the numbered ABI" ~count:300
+    QCheck2.Gen.(pair (oneofl Errno.all) (int_bound 1_000_000))
+    (fun (e, n) ->
+      Errno.of_int (Errno.to_int e) = Some e
+      && Errno.of_string (Errno.to_string e) = Some e
+      && Format.asprintf "%a" Errno.pp e = Errno.to_string e
+      && Syscall_abi.decode_int (Syscall_abi.encode_int (Error e)) = Error e
+      && Syscall_abi.decode_int (Syscall_abi.encode_int (Ok n)) = Ok n
+      && Syscall_abi.decode_addr (Syscall_abi.encode_addr (Error e)) = Error e)
+
+let test_abi_table_consistent () =
+  for sysno = 0 to Syscall_abi.max_sysno do
+    match Syscall_abi.name_of_number sysno with
+    | None -> Alcotest.failf "sysno %d has no name" sysno
+    | Some name ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "number_of_name %s" name)
+          (Some sysno)
+          (Syscall_abi.number_of_name name)
+  done;
+  Alcotest.(check bool) "unknown name" true
+    (Syscall_abi.number_of_name "no_such_call" = None);
+  Alcotest.(check bool) "invalid sysno" false (Syscall_abi.is_valid (-1))
+
+let ring_base = 0x0000_0000_0070_0000L
+
+(* Stage a ring in user memory the way the wrapper library would:
+   zeroed header with sq_tail announcing the entries. *)
+let stage_ring k p ~depth entries =
+  let region = Bytes.make (Syscall_ring.region_bytes ~depth) '\000' in
+  Bytes.set_int64_le region Syscall_ring.sq_tail_off
+    (Int64.of_int (List.length entries));
+  List.iteri
+    (fun slot e ->
+      Syscall_ring.write_sqe region ~off:(Syscall_ring.sqe_off ~depth ~slot) e)
+    entries;
+  user_write k p ring_base region
+
+let read_cqe_slot k p ~depth slot =
+  let off = Syscall_ring.cqe_off ~depth ~slot in
+  Syscall_ring.read_cqe
+    (user_read k p (Int64.add ring_base (Int64.of_int off)) Syscall_ring.cqe_bytes)
+    ~off:0
+
+let ring_counter k p off =
+  Int64.to_int
+    (Bytes.get_int64_le (user_read k p (Int64.add ring_base (Int64.of_int off)) 8) 0)
+
+let test_ring_enter_batch () =
+  let k = boot () in
+  let p = init k in
+  let depth = 4 in
+  stage_ring k p ~depth
+    [
+      { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||]; user_data = 7L };
+      { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||]; user_data = 8L };
+      { Syscall_ring.sysno = 999; args = [||]; user_data = 9L };
+    ];
+  Alcotest.(check int) "consumed" 3
+    (expect_ok "ring_enter"
+       (Syscalls.ring_enter k p ~ring:ring_base ~depth ~to_submit:3));
+  Alcotest.(check int) "sq_head published" 3 (ring_counter k p Syscall_ring.sq_head_off);
+  Alcotest.(check int) "cq_tail published" 3 (ring_counter k p Syscall_ring.cq_tail_off);
+  let c0 = read_cqe_slot k p ~depth 0 and c1 = read_cqe_slot k p ~depth 1 in
+  let c2 = read_cqe_slot k p ~depth 2 in
+  Alcotest.(check bool) "cookies in order" true
+    (c0.Syscall_ring.user_data = 7L && c1.Syscall_ring.user_data = 8L
+    && c2.Syscall_ring.user_data = 9L);
+  Alcotest.(check int) "getpid result" p.Proc.pid
+    (expect_ok "cqe0" (Syscall_abi.decode_int c0.Syscall_ring.result));
+  expect_err Errno.ENOSYS "unknown sysno refused"
+    (Syscall_abi.decode_int c2.Syscall_ring.result)
+
+let test_ring_enter_validation () =
+  let k = boot () in
+  let p = init k in
+  expect_err Errno.EINVAL "depth 0"
+    (Syscalls.ring_enter k p ~ring:ring_base ~depth:0 ~to_submit:1);
+  expect_err Errno.EINVAL "negative to_submit"
+    (Syscalls.ring_enter k p ~ring:ring_base ~depth:4 ~to_submit:(-1));
+  (* The ring region itself must be traditional user memory: the
+     kernel reads submissions and writes completions there, which is
+     exactly what ghost memory forbids. *)
+  expect_err Errno.EFAULT "ghost ring refused"
+    (Syscalls.ring_enter k p ~ring:Layout.ghost_start ~depth:4 ~to_submit:1);
+  expect_err Errno.EFAULT "kernel ring refused"
+    (Syscalls.ring_enter k p ~ring:0L ~depth:4 ~to_submit:1)
+
+let test_ring_amortises_trap_protocol () =
+  (* One ring_enter with a batch of getpids must cost less than the
+     same getpids as individual traps — the whole point of the ring. *)
+  let batched, direct =
+    let k = boot () in
+    let p = init k in
+    let n = 8 in
+    let entries =
+      List.init n (fun i ->
+          { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||];
+            user_data = Int64.of_int i })
+    in
+    stage_ring k p ~depth:n entries;
+    let m = k.Kernel.machine in
+    let t0 = Machine.cycles m in
+    ignore (expect_ok "ring" (Syscalls.ring_enter k p ~ring:ring_base ~depth:n ~to_submit:n));
+    let t1 = Machine.cycles m in
+    for _ = 1 to n do
+      ignore (Syscalls.getpid k p)
+    done;
+    let t2 = Machine.cycles m in
+    (t1 - t0, t2 - t1)
+  in
+  if batched >= direct then
+    Alcotest.failf "batch of 8 cost %d cycles, direct calls %d" batched direct
+
+(* ------------------------------------------------------------------ *)
 (* Cost shape                                                          *)
 
 let test_vg_syscall_overhead_shape () =
@@ -796,6 +959,22 @@ let () =
           Alcotest.test_case "malformed rejected" `Quick test_malformed_module_rejected;
           Alcotest.test_case "privileged module rejected" `Quick
             test_privileged_module_rejected;
+        ] );
+      ( "poll",
+        [
+          Alcotest.test_case "empty set" `Quick test_poll_empty_set;
+          Alcotest.test_case "closed fd ready" `Quick test_poll_closed_fd_ready;
+          Alcotest.test_case "level-triggered re-arm" `Quick
+            test_poll_level_triggered_rearm;
+        ] );
+      ( "ring-abi",
+        [
+          QCheck_alcotest.to_alcotest prop_errno_abi_roundtrip;
+          Alcotest.test_case "abi table consistent" `Quick test_abi_table_consistent;
+          Alcotest.test_case "ring_enter batch" `Quick test_ring_enter_batch;
+          Alcotest.test_case "ring_enter validation" `Quick test_ring_enter_validation;
+          Alcotest.test_case "ring amortises trap protocol" `Quick
+            test_ring_amortises_trap_protocol;
         ] );
       ( "cost",
         [ Alcotest.test_case "vg syscall overhead" `Quick test_vg_syscall_overhead_shape ] );

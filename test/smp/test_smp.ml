@@ -301,6 +301,171 @@ let test_pool_scales () =
     [ Sva.Native_build; Sva.Virtual_ghost ]
 
 (* ------------------------------------------------------------------ *)
+(* Event-loop httpd over the syscall ring                              *)
+
+let event_loop_stats ?(mode = Sva.Virtual_ghost) ~cpus ~batch ~requests () =
+  let k = boot ~mode ~cpus () in
+  make_fs_file k "/index.html" 8192;
+  Httpd.Event_loop.run k ~batch ~requests ~port:80 ~path:"/index.html"
+
+let test_event_loop_serves_all () =
+  let s = event_loop_stats ~cpus:2 ~batch:4 ~requests:8 () in
+  Alcotest.(check int) "served" 8 s.Httpd.Event_loop.served;
+  Alcotest.(check int) "all 200" 8 s.Httpd.Event_loop.ok;
+  Alcotest.(check bool) "rode the ring" true (s.Httpd.Event_loop.ring_enters > 0);
+  Alcotest.(check bool) "batched" true
+    (s.Httpd.Event_loop.sqes > s.Httpd.Event_loop.ring_enters);
+  Alcotest.(check bool) "polled" true (s.Httpd.Event_loop.polls > 0)
+
+let test_event_loop_deterministic () =
+  let a = event_loop_stats ~cpus:2 ~batch:8 ~requests:12 () in
+  let b = event_loop_stats ~cpus:2 ~batch:8 ~requests:12 () in
+  Alcotest.(check int) "same cycles" a.Httpd.Event_loop.elapsed_cycles
+    b.Httpd.Event_loop.elapsed_cycles;
+  Alcotest.(check int) "same enters" a.Httpd.Event_loop.ring_enters
+    b.Httpd.Event_loop.ring_enters;
+  Alcotest.(check int) "same sqes" a.Httpd.Event_loop.sqes b.Httpd.Event_loop.sqes
+
+let test_event_loop_batching_cuts_traps () =
+  (* Bigger batches, fewer ring_enter traps — with identical service. *)
+  let one = event_loop_stats ~cpus:1 ~batch:1 ~requests:16 () in
+  let big = event_loop_stats ~cpus:1 ~batch:32 ~requests:16 () in
+  Alcotest.(check int) "batch-1 all ok" 16 one.Httpd.Event_loop.ok;
+  Alcotest.(check int) "batch-32 all ok" 16 big.Httpd.Event_loop.ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "enters shrank (%d -> %d)" one.Httpd.Event_loop.ring_enters
+       big.Httpd.Event_loop.ring_enters)
+    true
+    (big.Httpd.Event_loop.ring_enters * 4 < one.Httpd.Event_loop.ring_enters)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking syscalls across cores                                      *)
+
+(* A poller sleeping in [poll] on one core must be woken by a write
+   submitted through the syscall ring on another core. *)
+let test_poll_wakes_across_cores () =
+  let k = boot ~cpus:2 () in
+  let sched = Sched.create k in
+  let pipe = Pipe_dev.create ~capacity:64 () in
+  Pipe_dev.add_reader pipe;
+  Pipe_dev.add_writer pipe;
+  let got = ref None in
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:0 ~ghosting:false ~name:"poller"
+       (fun ctx ->
+         let proc = ctx.Runtime.proc in
+         let fd = Proc.add_fd proc (Proc.Pipe_read pipe) in
+         let ready =
+           expect_ok "poll" (Syscalls.poll ctx.Runtime.kernel proc [ fd ])
+         in
+         if ready = [ fd ] then begin
+           let dst = Runtime.ualloc ctx 16 in
+           let n =
+             expect_ok "read"
+               (Syscalls.read ctx.Runtime.kernel proc ~fd ~buf:dst ~len:16)
+           in
+           got := Some (Bytes.to_string (Runtime.peek ctx dst n))
+         end));
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:1 ~ghosting:false ~name:"writer"
+       (fun ctx ->
+         let proc = ctx.Runtime.proc in
+         let fd = Proc.add_fd proc (Proc.Pipe_write pipe) in
+         let src = Runtime.ualloc ctx 16 in
+         Runtime.poke ctx src (Bytes.of_string "ring!");
+         let ring = Uring.create ctx ~depth:4 in
+         ignore
+           (Uring.submit ring ~sysno:Syscall_abi.sys_write
+              ~args:[| Int64.of_int fd; src; 5L |]
+              ~user_data:1L);
+         ignore (expect_ok "ring_enter" (Uring.enter ring ~to_submit:1));
+         match Uring.reap ring with
+         | [ c ] ->
+             Alcotest.(check int) "ring write result" 5
+               (expect_ok "cqe" (Syscall_abi.decode_int c.Syscall_ring.result))
+         | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l)));
+  Sched.run sched;
+  Alcotest.(check (option string)) "poller woke with the ring's bytes"
+    (Some "ring!") !got
+
+(* wait ~block:true sleeps on the child waitqueue until another core
+   reaps the exit. *)
+let test_wait_blocks_until_child_exit () =
+  let k = boot ~cpus:2 () in
+  let sched = Sched.create k in
+  let child = ref None in
+  let reaped = ref None in
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:0 ~ghosting:false ~name:"parent"
+       (fun ctx ->
+         let proc = ctx.Runtime.proc in
+         let c = expect_ok "fork" (Syscalls.fork ctx.Runtime.kernel proc) in
+         child := Some c;
+         reaped :=
+           Some (expect_ok "wait" (Syscalls.wait ~block:true ctx.Runtime.kernel proc))));
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:1 ~ghosting:false ~name:"killer"
+       (fun ctx ->
+         let rec wait_for_child () =
+           match !child with
+           | Some c -> Syscalls.exit_ ctx.Runtime.kernel c 7
+           | None ->
+               Sched.yield sched;
+               wait_for_child ()
+         in
+         wait_for_child ()));
+  Sched.run sched;
+  match (!reaped, !child) with
+  | Some (pid, status), Some c ->
+      Alcotest.(check int) "reaped the child" c.Proc.pid pid;
+      Alcotest.(check int) "exit status" 7 status
+  | None, _ -> Alcotest.fail "wait never returned"
+  | _, None -> Alcotest.fail "fork never ran"
+
+(* ------------------------------------------------------------------ *)
+(* Ring and module overrides share the numbered dispatch               *)
+
+let const_read_program () =
+  let b = Builder.create () in
+  Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+  Builder.ret b (Some (Imm 42L));
+  Builder.program b
+
+let test_ring_sees_module_override () =
+  let k = boot () in
+  Syscalls.register_builtin_externs k;
+  (match Module_loader.load k ~name:"const_read" (const_read_program ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" (Module_loader.describe_load_error e));
+  Runtime.launch k ~ghosting:false (fun ctx ->
+      let proc = ctx.Runtime.proc in
+      let fd = expect_ok "open" (Runtime.sys_open ctx "/f" Syscalls.creat_trunc) in
+      let dst = Runtime.ualloc ctx 64 in
+      let ring = Uring.create ctx ~depth:4 in
+      ignore
+        (Uring.submit ring ~sysno:Syscall_abi.sys_read
+           ~args:[| Int64.of_int fd; dst; 10L |]
+           ~user_data:1L);
+      ignore (expect_ok "ring_enter" (Uring.enter ring ~to_submit:1));
+      (match Uring.reap ring with
+      | [ c ] ->
+          Alcotest.(check int) "ring read hit the override" 42
+            (expect_ok "cqe" (Syscall_abi.decode_int c.Syscall_ring.result))
+      | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l));
+      Module_loader.unload k ~name:"const_read";
+      ignore
+        (Uring.submit ring ~sysno:Syscall_abi.sys_read
+           ~args:[| Int64.of_int fd; dst; 10L |]
+           ~user_data:2L);
+      ignore (expect_ok "ring_enter" (Uring.enter ring ~to_submit:1));
+      match Uring.reap ring with
+      | [ c ] ->
+          Alcotest.(check int) "genuine read restored" 0
+            (expect_ok "cqe" (Syscall_abi.decode_int c.Syscall_ring.result));
+          ignore proc
+      | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
 (* Module loader: per-kernel registry                                  *)
 
 let module_program () =
@@ -365,6 +530,25 @@ let () =
           Alcotest.test_case "serves all requests" `Quick test_pool_serves_all;
           Alcotest.test_case "deterministic" `Quick test_pool_deterministic;
           Alcotest.test_case "scales to 4 cores" `Slow test_pool_scales;
+        ] );
+      ( "httpd-event-loop",
+        [
+          Alcotest.test_case "serves all requests" `Quick test_event_loop_serves_all;
+          Alcotest.test_case "deterministic" `Quick test_event_loop_deterministic;
+          Alcotest.test_case "batching cuts traps" `Quick
+            test_event_loop_batching_cuts_traps;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "poll wakes across cores" `Quick
+            test_poll_wakes_across_cores;
+          Alcotest.test_case "wait blocks until child exit" `Quick
+            test_wait_blocks_until_child_exit;
+        ] );
+      ( "ring-dispatch",
+        [
+          Alcotest.test_case "module override via ring" `Quick
+            test_ring_sees_module_override;
         ] );
       ( "module-loader",
         [
