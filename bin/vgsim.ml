@@ -22,6 +22,31 @@ let mode_conv =
 let mode_arg =
   Arg.(value & opt mode_conv Sva.Virtual_ghost & info [ "mode" ] ~doc:"Kernel build: native or vg.")
 
+let engine_conv =
+  let parse s =
+    match Vg_compiler.Exec_engine.of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown engine %s (interp|slots|compiled)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Vg_compiler.Exec_engine.to_string e)
+  in
+  Arg.conv (parse, print)
+
+(* The CLI defaults to the fast engine: every engine charges identical
+   simulated cycles, so this only changes host time. *)
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Vg_compiler.Exec_engine.Compiled
+    & info [ "engine" ]
+        ~doc:
+          "Execution engine for translated kernel-mode code: interp (debug \
+           AST walker), slots (slot executor) or compiled (closure-compiled, \
+           default).  Simulated cycles are identical across engines; only \
+           host speed differs.")
+
 let cpus_arg =
   Arg.(
     value & opt int 1
@@ -32,11 +57,11 @@ let cpus_arg =
            preemptive scheduler, cross-core TLB shootdowns and spinlock \
            transfer costs.")
 
-let boot ?(cpus = 1) mode =
+let boot ?(cpus = 1) ?(engine = Vg_compiler.Exec_engine.Compiled) mode =
   let machine =
     Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
   in
-  (machine, Kernel.boot ~mode machine)
+  (machine, Kernel.boot ~engine ~mode machine)
 
 (* -- observability flags (shared by the run commands) ---------------- *)
 
@@ -225,9 +250,9 @@ let attack_cmd =
     Arg.(value & opt attack_conv Vg_attacks.Rootkit.Direct_read
          & info [ "attack" ] ~doc:"Attack: direct (read victim memory) or inject (signal handler).")
   in
-  let run mode cpus attack trace stats =
+  let run mode cpus engine attack trace stats =
     with_obs ~trace ~stats (fun () ->
-        let o = Vg_attacks.Rootkit.run_experiment ~cpus ~mode ~attack () in
+        let o = Vg_attacks.Rootkit.run_experiment ~cpus ~engine ~mode ~attack () in
         Format.printf "%a@." Vg_attacks.Rootkit.pp_outcome o;
         let stolen =
           o.Vg_attacks.Rootkit.secret_leaked_to_console || o.secret_in_exfil_file
@@ -237,7 +262,8 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a section-7 rootkit experiment.")
-    Term.(const run $ mode_arg $ cpus_arg $ attack_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ attack_arg $ trace_arg
+          $ stats_arg)
 
 (* -- sealed store demo ---------------------------------------------- *)
 
@@ -291,9 +317,9 @@ let lmbench_cmd =
   let iters_arg =
     Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
   in
-  let run mode cpus op iterations trace stats =
+  let run mode cpus engine op iterations trace stats =
     with_obs ~trace ~stats (fun () ->
-        let _, kernel = boot ~cpus mode in
+        let _, kernel = boot ~cpus ~engine mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let f =
               match op with
@@ -312,7 +338,8 @@ let lmbench_cmd =
   in
   Cmd.v
     (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
-    Term.(const run $ mode_arg $ cpus_arg $ op_arg $ iters_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ op_arg $ iters_arg
+          $ trace_arg $ stats_arg)
 
 (* -- httpd worker pool ---------------------------------------------- *)
 
@@ -331,9 +358,9 @@ let httpd_cmd =
          & info [ "batch" ] ~doc:"Ring submissions per ring_enter trap \
                                   (event-loop mode only).")
   in
-  let run mode cpus requests event_loop batch trace stats =
+  let run mode cpus engine requests event_loop batch trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ~cpus mode in
+        let machine, kernel = boot ~cpus ~engine mode in
         (match Diskfs.create kernel.Kernel.fs "/index.html" with
         | Error _ -> failwith "create /index.html"
         | Ok ino ->
@@ -380,8 +407,8 @@ let httpd_cmd =
          "Serve an 8KB document under the preemptive scheduler: a worker \
           pool per core, or (with --event-loop) a per-core event loop \
           batching syscalls through the submission ring.")
-    Term.(const run $ mode_arg $ cpus_arg $ requests_arg $ event_loop_arg
-          $ batch_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ requests_arg
+          $ event_loop_arg $ batch_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 
@@ -392,9 +419,9 @@ let postmark_cmd =
   let files_arg =
     Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
   in
-  let run mode cpus transactions base_files trace stats =
+  let run mode cpus engine transactions base_files trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ~cpus mode in
+        let machine, kernel = boot ~cpus ~engine mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let config = { Postmark.paper_config with transactions; base_files } in
             let start = Machine.cycles machine in
@@ -409,7 +436,8 @@ let postmark_cmd =
   in
   Cmd.v
     (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
-    Term.(const run $ mode_arg $ cpus_arg $ tx_arg $ files_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ tx_arg $ files_arg
+          $ trace_arg $ stats_arg)
 
 let () =
   let doc = "Virtual Ghost (ASPLOS 2014) reproduction simulator" in

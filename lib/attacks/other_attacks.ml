@@ -1,8 +1,8 @@
 let secret = "ghost-page-secret-value!"
 
-let boot mode =
+let boot ?engine mode =
   let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"oatk" () in
-  Kernel.boot ~mode machine
+  Kernel.boot ?engine ~mode machine
 
 (* Plant the secret in a fresh process's ghost page; return everything
    the attacks need. *)
@@ -93,8 +93,8 @@ let evil_mmap_program () =
   Builder.ret b (Some (Ir.Imm (Int64.add Layout.ghost_start 0x1000_0000L)));
   Builder.program b
 
-let iago_mmap_attack ~mode ~ghosting:masked =
-  let k = boot mode in
+let iago_mmap_attack ?engine ~mode ~ghosting:masked () =
+  let k = boot ?engine mode in
   Syscalls.register_builtin_externs k;
   (match Module_loader.load k ~name:"iago" (evil_mmap_program ()) with
   | Ok () -> ()

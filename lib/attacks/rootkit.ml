@@ -145,11 +145,11 @@ let contains_sub haystack needle =
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
   m = 0 || go 0
 
-let run_experiment ?(cpus = 1) ~mode ~attack () =
+let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
   let machine =
     Machine.create ~cpus ~phys_frames:16384 ~disk_sectors:16384 ~seed:"sec-exp" ()
   in
-  let k = Kernel.boot ~mode machine in
+  let k = Kernel.boot ?engine ~mode machine in
   let scratch = prepare_kernel k in
   let ghosting = mode = Sva.Virtual_ghost in
   let image =

@@ -51,12 +51,21 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val run_experiment : ?cpus:int -> mode:Sva.mode -> attack:attack -> unit -> outcome
+val run_experiment :
+  ?cpus:int ->
+  ?engine:Vg_compiler.Exec_engine.t ->
+  mode:Sva.mode ->
+  attack:attack ->
+  unit ->
+  outcome
 (** The full section-7 experiment: boot a machine in [mode] (with
     [cpus] cores — default 1; the attack itself runs on the boot
     core), start the ghosting ssh-agent holding a known secret, load
     the malicious module, trigger the victim's [read], and inspect the
-    aftermath. *)
+    aftermath.  [engine] selects the kernel's execution engine for the
+    module's code (default the slot executor); outcomes and Security
+    events are engine-independent — pinned by the attack parity
+    tests. *)
 
 val secret_string : string
 (** The planted secret the attacks hunt for. *)

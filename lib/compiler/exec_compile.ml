@@ -1,0 +1,966 @@
+(* Closure-compiled execution engine.
+
+   [compile] translates a linked image once, at load time, into an
+   array of OCaml closures — one per code slot — with every operand,
+   call target, arity check and error message pre-resolved at
+   translation time.  Steady-state execution is then a chain of tail
+   calls through the closure array: the per-instruction constructor
+   match and operand decode of {!Executor.run} disappear entirely.
+
+   The contract is byte-identical observable behaviour with the
+   slot-file executor: the same [charge] calls with the same
+   {!Obs.Tag} attribution in the same order, the same exceptions with
+   the same messages, the same fuel accounting, the same
+   [tamper_return] consultation, and the same generation-stamped
+   register-file stack semantics.  Every closure body below is a
+   transliteration of the corresponding {!Executor.run} match arm —
+   down to application shapes, so that OCaml's argument evaluation
+   order (and therefore trap order on undefined registers) is
+   preserved.
+
+   Superinstruction fusion: three hot adjacent pairs are additionally
+   compiled into a single closure that inlines both instruction bodies
+   back to back (each keeping its own fuel tick and [Exec] charge, so
+   cycle streams and out-of-fuel trajectories are unchanged):
+
+   - cmp+branch   — an [LCmp] whose successor is an [LJz] consuming
+     its destination: the branch tests the freshly computed flag
+     without a register-file round trip through the dispatcher;
+   - mask+load / load+mask — an [LBin And/Or] feeding the address of
+     the adjacent [LLoad] (the sandbox masking idiom), or an [LLoad]
+     feeding an adjacent masking [LBin];
+   - push+call    — every static [LCall] pre-resolves callee, arity,
+     parameter slots and frame sizes at translation time, so argument
+     push and control transfer are one closure with no runtime symbol
+     or entry lookups (ill-formed call sites compile to closures that
+     raise the identical [Exec_trap] only if actually executed).
+
+   The closure compiler is *outside* the TCB: it runs only on images
+   that already passed {!Image_verify} (enforced by
+   {!Trans_cache.find_compiled}, the kernel's only route to a compiled
+   artifact), and its behaviour is pinned against the slot executor by
+   the cycle goldens and the three-way differential fuzz rather than
+   trusted. *)
+
+(* The register file is a flat byte buffer of unboxed 64-bit values
+   rather than an [int64 array]: a boxed-int64 array store pays the
+   caml_modify write barrier on every register write, which is pure
+   overhead in the hottest path of the whole engine.  Reads rebox, but
+   the result usually feeds straight into an arithmetic primitive. *)
+type state = {
+  mutable rf : Bytes.t;
+  mutable def : int array;
+  mutable stack : int array;
+  mutable sp : int;
+  mutable base : int;
+  mutable cur : int;
+  mutable gen_ctr : int;
+  mutable gen : int;
+  mutable fuel : int;
+  mutable pc : int;
+  mutable result : int64;
+  mutable running : bool;
+  scratch : int64 array;
+  env : Executor.env;
+  (* hot env callbacks hoisted out of the record hop: one load instead
+     of two on every tick / memory access *)
+  charge : Obs.Tag.t -> int -> unit;
+  mem_load : int64 -> Ir.width -> int64;
+  mem_store : int64 -> Ir.width -> int64 -> unit;
+}
+
+type stats = { slots : int; fused_pairs : int; static_calls : int }
+
+(* Recognised shape of one {!Sandbox_pass.mask_sequence} in linked
+   code: cmp / or / select / cmp / cmp / and / select computing a safe
+   address into [g_s].  Field names follow the pass ([h]igh, [o]red,
+   [e]scaped, [a]bove/[b]elow sva, [i]n-sva, [s]afe). *)
+type guard = {
+  g_a : Linker.operand;  (* the original address operand *)
+  g_c1 : int64;
+  g_h : int;
+  g_c2 : int64;
+  g_o : int;
+  g_e : int;
+  g_c3 : int64;
+  g_av : int;
+  g_c4 : int64;
+  g_bv : int;
+  g_iv : int;
+  g_t : int64;
+  g_s : int;
+}
+
+let guard_dsts g = [ g.g_h; g.g_o; g.g_e; g.g_av; g.g_bv; g.g_iv; g.g_s ]
+
+type t = {
+  image : Linker.image;
+  code : (state -> unit) array;  (* ncode + 1 entries; the last one is
+                                    the fall-off-the-end trap *)
+  stats : stats;
+}
+
+let image t = t.image
+let stats t = t.stats
+
+(* call stack layout, as in {!Executor}:
+   prev_base, prev_func, prev_gen, ret_pc, ret_dst *)
+let stk_stride = 5
+
+let[@inline] tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise (Executor.Exec_trap "out of fuel");
+  st.charge Obs.Tag.Exec 1
+
+(* Pure operations, resolved to monomorphic closures at translation
+   time: {!Eval.eval_binop} / {!Eval.eval_cmp} re-match the operator on
+   every execution, and [eval_cmp] compares through polymorphic
+   equality.  Same arithmetic, same trap messages ({!Executor.run}
+   rewraps [Eval.Trap] into [Exec_trap]; the division closures raise
+   [Exec_trap] directly with the identical text). *)
+let binfn (op : Ir.binop) : int64 -> int64 -> int64 =
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | Udiv ->
+      fun a b ->
+        if Int64.equal b 0L then raise (Executor.Exec_trap "udiv by zero")
+        else Int64.unsigned_div a b
+  | Urem ->
+      fun a b ->
+        if Int64.equal b 0L then raise (Executor.Exec_trap "urem by zero")
+        else Int64.unsigned_rem a b
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> fun a b -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Lshr ->
+      fun a b -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | Ashr -> fun a b -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+
+let cmpfn (op : Ir.cmp) : int64 -> int64 -> int64 =
+  match op with
+  | Eq -> fun a b -> if Int64.equal a b then 1L else 0L
+  | Ne -> fun a b -> if Int64.equal a b then 0L else 1L
+  | Ult -> fun a b -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Ule -> fun a b -> if Int64.unsigned_compare a b <= 0 then 1L else 0L
+  | Ugt -> fun a b -> if Int64.unsigned_compare a b > 0 then 1L else 0L
+  | Uge -> fun a b -> if Int64.unsigned_compare a b >= 0 then 1L else 0L
+  | Slt -> fun a b -> if Int64.compare a b < 0 then 1L else 0L
+  | Sle -> fun a b -> if Int64.compare a b <= 0 then 1L else 0L
+
+let trunc (width : Ir.width) : int64 -> int64 =
+  match width with
+  | W8 -> fun v -> Int64.logand v 0xffL
+  | W16 -> fun v -> Int64.logand v 0xffffL
+  | W32 -> fun v -> Int64.logand v 0xffffffffL
+  | W64 -> fun v -> v
+
+(* Register-file accesses use unchecked primitives: slot indices come
+   from the linker (always < the owning function's [f_nregs]) and
+   [ensure_rf] maintains capacity >= base + nregs at every push, so the
+   bounds hold by construction on any linker-produced image — and the
+   kernel only ever compiles verifier-accepted images. *)
+external rf_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external rf_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] write st slot v =
+  let i = st.base + slot in
+  rf_set st.rf (i lsl 3) v;
+  Array.unsafe_set st.def i st.gen
+
+let ensure_rf st need =
+  if need > Array.length st.def then begin
+    let n' = max (2 * Array.length st.def) need in
+    let rf' = Bytes.make (n' lsl 3) '\000' and def' = Array.make n' 0 in
+    Bytes.blit st.rf 0 rf' 0 (Bytes.length st.rf);
+    Array.blit st.def 0 def' 0 (Array.length st.def);
+    st.rf <- rf';
+    st.def <- def'
+  end
+
+let push_frame st ~caller_nregs ~callee ~callee_nregs ~params ~np ~ret_pc
+    ~ret_dst =
+  let s = st.sp in
+  if (s + 1) * stk_stride > Array.length st.stack then begin
+    let stack' = Array.make (2 * Array.length st.stack) 0 in
+    Array.blit st.stack 0 stack' 0 (Array.length st.stack);
+    st.stack <- stack'
+  end;
+  let stk = st.stack in
+  let o = s * stk_stride in
+  stk.(o) <- st.base;
+  stk.(o + 1) <- st.cur;
+  stk.(o + 2) <- st.gen;
+  stk.(o + 3) <- ret_pc;
+  stk.(o + 4) <- ret_dst;
+  st.sp <- s + 1;
+  let base' = st.base + caller_nregs in
+  ensure_rf st (base' + callee_nregs);
+  st.base <- base';
+  st.cur <- callee;
+  st.gen_ctr <- st.gen_ctr + 1;
+  st.gen <- st.gen_ctr;
+  for j = 0 to np - 1 do
+    let i = base' + Array.unsafe_get params j in
+    rf_set st.rf (i lsl 3) (Array.unsafe_get st.scratch j);
+    Array.unsafe_set st.def i st.gen
+  done
+
+let pop_frame st =
+  let s = st.sp - 1 in
+  st.sp <- s;
+  let stk = st.stack in
+  let o = s * stk_stride in
+  st.base <- stk.(o);
+  st.cur <- stk.(o + 1);
+  st.gen <- stk.(o + 2);
+  (stk.(o + 3), stk.(o + 4))
+
+let eval_args_rt st (rs : (state -> int64) array) =
+  let n = Array.length rs in
+  for j = 0 to n - 1 do
+    Array.unsafe_set st.scratch j ((Array.unsafe_get rs j) st)
+  done;
+  n
+
+let compile (image : Linker.image) : t =
+  let lcode = image.Linker.lcode in
+  let funcs = image.Linker.funcs in
+  let entry_of = image.Linker.entry_of in
+  let ret_label_of = image.Linker.ret_label_of in
+  let label_of = image.Linker.label_of in
+  let native = image.Linker.native in
+  let ncode = Array.length lcode in
+  let code = Array.make (ncode + 1) (fun (_ : state) -> ()) in
+  let fused_pairs = ref 0 in
+  let static_calls = ref 0 in
+  (* operand readers: immediates close over the value, slots over the
+     definedness probe (error messages name the register through the
+     runtime current function, exactly as the slot executor does).
+     [rslot] is the direct-call form used by the shape-specialised
+     closures below; the cold undefined-register path stays out of line
+     so the probe itself inlines. *)
+  let undef_slot st s =
+    raise
+      (Executor.Exec_trap
+         (Printf.sprintf "read of undefined register %s"
+            funcs.(st.cur).Linker.f_names.(s)))
+  in
+  let[@inline] rslot st s =
+    let i = st.base + s in
+    if Array.unsafe_get st.def i = st.gen then rf_get st.rf (i lsl 3)
+    else undef_slot st s
+  in
+  let rd (o : Linker.operand) : state -> int64 =
+    match o with
+    | Imm x -> fun _ -> x
+    | Slot s -> fun st -> rslot st s
+  in
+  let readers = Array.map rd in
+  (* dispatch: every translated target index is < ncode by linker
+     construction, and [next] tops out at the fall-off-the-end trap slot,
+     so the bounds check on the closure array is dead *)
+  let[@inline] goto j st = (Array.unsafe_get code j) st in
+  (* --- sandbox-guard superinstruction --------------------------- *)
+  (* The seven-instruction masking sequence every sandboxed memory
+     access carries is the hottest code in any ghost-compiled image.
+     Recognise it structurally (any constants; the dataflow wiring and
+     operators must match, all destinations distinct so the local
+     value-forwarding below cannot be aliased away from register-file
+     semantics) and compile the whole sequence into one closure: seven
+     fuel ticks and seven register writes exactly as the slot executor
+     performs them — charge-call granularity is observable through
+     {!Obs} sinks and must not change — but with intermediate values
+     forwarded in OCaml locals, no definedness probes on registers
+     written earlier in the same sequence, and no dispatch between the
+     slots.  The only operand that can trap is the initial address
+     read, in first position, exactly as unfused. *)
+  let rec distinct = function
+    | [] -> true
+    | x :: rest -> (not (List.mem (x : int) rest)) && distinct rest
+  in
+  let guard_at i : guard option =
+    if i + 6 >= ncode then None
+    else
+      match
+        ( lcode.(i),
+          lcode.(i + 1),
+          lcode.(i + 2),
+          lcode.(i + 3),
+          lcode.(i + 4),
+          lcode.(i + 5),
+          lcode.(i + 6) )
+      with
+      | ( LCmp { dst = h; op = Uge; a; b = Imm c1 },
+          LBin { dst = o; op = Or; a = a2; b = Imm c2 },
+          LSelect { dst = e; cond = Slot hc; if_true = Slot ot; if_false = f },
+          LCmp { dst = av; op = Uge; a = Slot e1; b = Imm c3 },
+          LCmp { dst = bv; op = Ult; a = Slot e2; b = Imm c4 },
+          LBin { dst = iv; op = And; a = Slot av1; b = Slot bv1 },
+          LSelect { dst = s; cond = Slot iv1; if_true = Imm t; if_false = Slot e3 }
+        )
+        when a2 = a && f = a && hc = h && ot = o && e1 = e && e2 = e && e3 = e
+             && av1 = av && bv1 = bv && iv1 = iv
+             && distinct [ h; o; e; av; bv; iv; s ]
+             && (match a with
+                | Slot sa -> not (List.mem sa [ h; o; e; av; bv; iv; s ])
+                | Imm _ -> true) ->
+          Some
+            {
+              g_a = a;
+              g_c1 = c1;
+              g_h = h;
+              g_c2 = c2;
+              g_o = o;
+              g_e = e;
+              g_c3 = c3;
+              g_av = av;
+              g_c4 = c4;
+              g_bv = bv;
+              g_iv = iv;
+              g_t = t;
+              g_s = s;
+            }
+      | _ -> None
+  in
+  (* Seven ticks, seven writes, values forwarded in locals; returns the
+     safe address for the fused access that follows. *)
+  let run_guard g : state -> int64 =
+    let read_a =
+      match g.g_a with
+      | Linker.Imm v -> fun _ -> v
+      | Slot sa -> fun st -> rslot st sa
+    in
+    fun st ->
+      tick st;
+      let a = read_a st in
+      let h = if Int64.unsigned_compare a g.g_c1 >= 0 then 1L else 0L in
+      write st g.g_h h;
+      tick st;
+      let o = Int64.logor a g.g_c2 in
+      write st g.g_o o;
+      tick st;
+      let e = if Int64.equal h 0L then a else o in
+      write st g.g_e e;
+      tick st;
+      let av = if Int64.unsigned_compare e g.g_c3 >= 0 then 1L else 0L in
+      write st g.g_av av;
+      tick st;
+      let bv = if Int64.unsigned_compare e g.g_c4 < 0 then 1L else 0L in
+      write st g.g_bv bv;
+      tick st;
+      let iv = Int64.logand av bv in
+      write st g.g_iv iv;
+      tick st;
+      let s = if Int64.equal iv 0L then e else g.g_t in
+      write st g.g_s s;
+      s
+  in
+  let checked_target label target =
+    let masked = Layout.mask_kernel_target target in
+    match Native.index_of_addr native masked with
+    | None ->
+        raise
+          (Executor.Cfi_violation
+             (Printf.sprintf "control transfer to %s outside translated code"
+                (Vg_util.U64.to_hex masked)))
+    | Some idx ->
+        if label_of.(idx) = label then idx
+        else
+          raise
+            (Executor.Cfi_violation
+               (Printf.sprintf "target %s does not carry the expected CFI label"
+                  (Vg_util.U64.to_hex masked)))
+  in
+  let do_call_dyn st ~ret_dst ~target ~ret_pc ~nargs =
+    let callee = entry_of.(target) in
+    if callee < 0 then
+      raise
+        (Executor.Exec_trap
+           (Printf.sprintf "call to %s which is not a function entry"
+              (Linker.describe_slot image target)));
+    let f = funcs.(callee) in
+    let np = Array.length f.Linker.f_params in
+    if np <> nargs then
+      raise
+        (Executor.Exec_trap
+           (Printf.sprintf "call %s: arity mismatch (%d vs %d)" f.Linker.f_name
+              np nargs));
+    push_frame st ~caller_nregs:funcs.(st.cur).Linker.f_nregs ~callee
+      ~callee_nregs:f.Linker.f_nregs ~params:f.Linker.f_params ~np ~ret_pc
+      ~ret_dst;
+    st.pc <- target
+  in
+  let do_return st rdv =
+    (match rdv with Some r -> st.result <- r st | None -> st.result <- 0L);
+    if st.sp = 0 then st.running <- false
+    else begin
+      let ret_pc, ret_dst = pop_frame st in
+      match st.env.Executor.tamper_return with
+      | None ->
+          if ret_pc >= ncode then
+            raise
+              (Executor.Exec_trap
+                 (Printf.sprintf "return to %s outside image"
+                    (Vg_util.U64.to_hex (Native.addr_of_index native ret_pc))));
+          if ret_dst >= 0 then write st ret_dst st.result;
+          st.pc <- ret_pc
+      | Some f -> (
+          let ret_addr = f (Native.addr_of_index native ret_pc) in
+          match Native.index_of_addr native ret_addr with
+          | Some idx ->
+              if ret_dst >= 0 then write st ret_dst st.result;
+              st.pc <- idx
+          | None ->
+              raise
+                (Executor.Exec_trap
+                   (Printf.sprintf "return to %s outside image"
+                      (Vg_util.U64.to_hex ret_addr))))
+    end
+  in
+  let do_return_checked st label rdv =
+    (match rdv with Some r -> st.result <- r st | None -> st.result <- 0L);
+    if st.sp = 0 then st.running <- false
+    else begin
+      let ret_pc, ret_dst = pop_frame st in
+      st.charge Obs.Tag.Cfi Cfi_pass.check_extra_cycles;
+      let target =
+        match st.env.Executor.tamper_return with
+        | None ->
+            if ret_pc < ncode && ret_label_of.(ret_pc) = label then ret_pc
+            else checked_target label (Native.addr_of_index native ret_pc)
+        | Some f -> checked_target label (f (Native.addr_of_index native ret_pc))
+      in
+      if ret_dst >= 0 then write st ret_dst st.result;
+      st.pc <- target
+    end
+  in
+  let compile_at i : state -> unit =
+    let next = i + 1 in
+    let successor = if next < ncode then Some lcode.(next) else None in
+    let guard_fused : (state -> unit) option =
+      match guard_at i with
+      | None -> None
+      | Some g when i + 7 < ncode -> (
+          let gb = run_guard g in
+          let after = i + 8 in
+          match lcode.(i + 7) with
+          | LLoad { dst; addr = Slot sa; width } when sa = g.g_s ->
+              fused_pairs := !fused_pairs + 7;
+              Some
+                (match width with
+                | Ir.W64 ->
+                    fun st ->
+                      let s = gb st in
+                      tick st;
+                      write st dst (st.mem_load s Ir.W64);
+                      goto after st
+                | w ->
+                    let tr = trunc w in
+                    fun st ->
+                      let s = gb st in
+                      tick st;
+                      write st dst (tr (st.mem_load s w));
+                      goto after st)
+          | LStore { src; addr = Slot sa; width } when sa = g.g_s ->
+              fused_pairs := !fused_pairs + 7;
+              let rsrc = rd src in
+              Some
+                (match width with
+                | Ir.W64 ->
+                    fun st ->
+                      let s = gb st in
+                      tick st;
+                      st.mem_store s Ir.W64 (rsrc st);
+                      goto after st
+                | w ->
+                    let tr = trunc w in
+                    fun st ->
+                      let s = gb st in
+                      tick st;
+                      st.mem_store s w (tr (rsrc st));
+                      goto after st)
+          | LAtomic { dst; op; addr = Slot sa; operand_; width }
+            when sa = g.g_s ->
+              fused_pairs := !fused_pairs + 7;
+              let rop = rd operand_ in
+              let f = binfn op and tr = trunc width in
+              Some
+                (fun st ->
+                  let sa = gb st in
+                  tick st;
+                  let old = tr (st.mem_load sa width) in
+                  st.mem_store sa width (tr (f old (rop st)));
+                  write st dst old;
+                  goto after st)
+          | LCmp _ -> (
+              (* a memcpy carries two back-to-back guards (dst then
+                 src); the destination's safe slot must not be
+                 clobbered by the source's sequence *)
+              match guard_at (i + 7) with
+              | Some g2
+                when i + 14 < ncode
+                     && not (List.mem g.g_s (guard_dsts g2)) -> (
+                  match lcode.(i + 14) with
+                  | LMemcpy { dst = Slot d; src = Slot s2; len }
+                    when d = g.g_s && s2 = g2.g_s ->
+                      fused_pairs := !fused_pairs + 14;
+                      let gb2 = run_guard g2 in
+                      let after = i + 15 in
+                      Some
+                        (match len with
+                        | Imm len_v ->
+                            let copy_cycles =
+                              Int64.to_int (Vg_util.U64.div len_v 8L)
+                            in
+                            fun st ->
+                              let d = gb st in
+                              let s = gb2 st in
+                              tick st;
+                              st.charge Obs.Tag.Copy copy_cycles;
+                              st.env.Executor.memcpy ~dst:d ~src:s ~len:len_v;
+                              goto after st
+                        | _ ->
+                            let rlen = rd len in
+                            fun st ->
+                              let d = gb st in
+                              let s = gb2 st in
+                              tick st;
+                              let len_v = rlen st in
+                              st.charge Obs.Tag.Copy
+                                (Int64.to_int (Vg_util.U64.div len_v 8L));
+                              st.env.Executor.memcpy ~dst:d ~src:s ~len:len_v;
+                              goto after st)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      | Some _ -> None
+    in
+    match guard_fused with
+    | Some f -> f
+    | None -> (
+    match (lcode.(i), successor) with
+    (* --- superinstruction: cmp+branch ----------------------------- *)
+    | LCmp { dst; op; a; b }, Some (LJz { cond = Slot c; target })
+      when c = dst -> (
+        incr fused_pairs;
+        let cmp = cmpfn op in
+        let fall = i + 2 in
+        let finish st x =
+          write st dst x;
+          tick st;
+          if Int64.equal x 0L then goto target st else goto fall st
+        in
+        match (a, b) with
+        | Slot sa, Slot sb ->
+            fun st ->
+              tick st;
+              finish st (cmp (rslot st sa) (rslot st sb))
+        | Slot sa, Imm vb ->
+            fun st ->
+              tick st;
+              finish st (cmp (rslot st sa) vb)
+        | Imm va, Slot sb ->
+            fun st ->
+              tick st;
+              finish st (cmp va (rslot st sb))
+        | Imm va, Imm vb ->
+            let x = cmp va vb in
+            fun st ->
+              tick st;
+              finish st x)
+    (* --- superinstruction: mask+load ------------------------------ *)
+    | ( LBin { dst = m; op = (Ir.And | Ir.Or) as op; a; b },
+        Some (LLoad { dst = ldst; addr = Slot am; width }) )
+      when am = m -> (
+        incr fused_pairs;
+        let f = binfn op and tr = trunc width in
+        let fall = i + 2 in
+        (* the masked address was written one instruction ago in this
+           very closure: read it back without the definedness probe *)
+        let finish st =
+          tick st;
+          write st ldst
+            (tr (st.mem_load (rf_get st.rf ((st.base + m) lsl 3)) width));
+          goto fall st
+        in
+        match (a, b) with
+        | Slot sa, Slot sb ->
+            fun st ->
+              tick st;
+              write st m (f (rslot st sa) (rslot st sb));
+              finish st
+        | Slot sa, Imm vb ->
+            fun st ->
+              tick st;
+              write st m (f (rslot st sa) vb);
+              finish st
+        | Imm va, Slot sb ->
+            fun st ->
+              tick st;
+              write st m (f va (rslot st sb));
+              finish st
+        | Imm va, Imm vb ->
+            fun st ->
+              tick st;
+              write st m (f va vb);
+              finish st)
+    (* --- superinstruction: load+mask ------------------------------ *)
+    | ( LLoad { dst = l; addr; width },
+        Some (LBin { dst = bdst; op = (Ir.And | Ir.Or) as bop; a = ba; b = bb })
+      )
+      when ba = Linker.Slot l || bb = Linker.Slot l ->
+        incr fused_pairs;
+        let raddr = rd addr
+        and rba = rd ba
+        and rbb = rd bb
+        and f = binfn bop
+        and tr = trunc width in
+        fun st ->
+          tick st;
+          write st l (tr (st.mem_load (raddr st) width));
+          tick st;
+          write st bdst (f (rba st) (rbb st));
+          goto (i + 2) st
+    (* --- single instructions -------------------------------------- *)
+    | LMov { dst; src }, _ -> (
+        match src with
+        | Imm x ->
+            fun st ->
+              tick st;
+              write st dst x;
+              goto next st
+        | Slot s ->
+            fun st ->
+              tick st;
+              write st dst (rslot st s);
+              goto next st)
+    | LBin { dst; op; a; b }, _ -> (
+        let f = binfn op in
+        match (a, b) with
+        | Slot sa, Slot sb ->
+            fun st ->
+              tick st;
+              write st dst (f (rslot st sa) (rslot st sb));
+              goto next st
+        | Slot sa, Imm vb ->
+            fun st ->
+              tick st;
+              write st dst (f (rslot st sa) vb);
+              goto next st
+        | Imm va, Slot sb ->
+            fun st ->
+              tick st;
+              write st dst (f va (rslot st sb));
+              goto next st
+        | Imm va, Imm vb ->
+            fun st ->
+              tick st;
+              write st dst (f va vb);
+              goto next st)
+    | LCmp { dst; op; a; b }, _ -> (
+        let cmp = cmpfn op in
+        match (a, b) with
+        | Slot sa, Slot sb ->
+            fun st ->
+              tick st;
+              write st dst (cmp (rslot st sa) (rslot st sb));
+              goto next st
+        | Slot sa, Imm vb ->
+            fun st ->
+              tick st;
+              write st dst (cmp (rslot st sa) vb);
+              goto next st
+        | Imm va, Slot sb ->
+            fun st ->
+              tick st;
+              write st dst (cmp va (rslot st sb));
+              goto next st
+        | Imm va, Imm vb ->
+            fun st ->
+              tick st;
+              write st dst (cmp va vb);
+              goto next st)
+    | LSelect { dst; cond; if_true; if_false }, _ ->
+        let rcond = rd cond and rt_ = rd if_true and rf_ = rd if_false in
+        fun st ->
+          tick st;
+          write st dst (if Int64.equal (rcond st) 0L then rf_ st else rt_ st);
+          goto next st
+    | LLoad { dst; addr; width }, _ -> (
+        match (addr, width) with
+        | Slot sa, W64 ->
+            fun st ->
+              tick st;
+              write st dst (st.mem_load (rslot st sa) Ir.W64);
+              goto next st
+        | Imm va, W64 ->
+            fun st ->
+              tick st;
+              write st dst (st.mem_load va Ir.W64);
+              goto next st
+        | Slot sa, w ->
+            let tr = trunc w in
+            fun st ->
+              tick st;
+              write st dst (tr (st.mem_load (rslot st sa) w));
+              goto next st
+        | Imm va, w ->
+            let tr = trunc w in
+            fun st ->
+              tick st;
+              write st dst (tr (st.mem_load va w));
+              goto next st)
+    | LStore { src; addr; width }, _ -> (
+        match width with
+        | W64 -> (
+            match (addr, src) with
+            | Slot sa, Slot ss ->
+                fun st ->
+                  tick st;
+                  st.mem_store (rslot st sa) Ir.W64 (rslot st ss);
+                  goto next st
+            | Slot sa, Imm vs ->
+                fun st ->
+                  tick st;
+                  st.mem_store (rslot st sa) Ir.W64 vs;
+                  goto next st
+            | Imm va, Slot ss ->
+                fun st ->
+                  tick st;
+                  st.mem_store va Ir.W64 (rslot st ss);
+                  goto next st
+            | Imm va, Imm vs ->
+                fun st ->
+                  tick st;
+                  st.mem_store va Ir.W64 vs;
+                  goto next st)
+        | w ->
+            let rsrc = rd src and raddr = rd addr in
+            let tr = trunc w in
+            fun st ->
+              tick st;
+              st.mem_store (raddr st) w (tr (rsrc st));
+              goto next st)
+    | LMemcpy { dst; src; len }, _ -> (
+        let rdst = rd dst and rsrc = rd src in
+        match len with
+        | Imm len_v ->
+            (* constant length: the Copy surcharge is a translation-time
+               constant *)
+            let copy_cycles = Int64.to_int (Vg_util.U64.div len_v 8L) in
+            fun st ->
+              tick st;
+              st.charge Obs.Tag.Copy copy_cycles;
+              st.env.Executor.memcpy ~dst:(rdst st) ~src:(rsrc st) ~len:len_v;
+              goto next st
+        | _ ->
+            let rlen = rd len in
+            fun st ->
+              tick st;
+              let len_v = rlen st in
+              st.charge Obs.Tag.Copy (Int64.to_int (Vg_util.U64.div len_v 8L));
+              st.env.Executor.memcpy ~dst:(rdst st) ~src:(rsrc st) ~len:len_v;
+              goto next st)
+    | LAtomic { dst; op; addr; operand_; width }, _ ->
+        let raddr = rd addr and rop = rd operand_ in
+        let f = binfn op and tr = trunc width in
+        fun st ->
+          tick st;
+          let a = raddr st in
+          let old = tr (st.mem_load a width) in
+          st.mem_store a width (tr (f old (rop st)));
+          write st dst old;
+          goto next st
+    | LJmp target, _ ->
+        fun st ->
+          tick st;
+          goto target st
+    | LJz { cond; target }, _ -> (
+        match cond with
+        | Slot s ->
+            fun st ->
+              tick st;
+              if Int64.equal (rslot st s) 0L then goto target st
+              else goto next st
+        | Imm x ->
+            if Int64.equal x 0L then fun st ->
+              tick st;
+              goto target st
+            else fun st ->
+              tick st;
+              goto next st)
+    (* --- superinstruction: push+call ------------------------------ *)
+    | LCall { dst; target; args }, _ -> (
+        let rs = readers args in
+        let nargs = Array.length args in
+        let callee = entry_of.(target) in
+        if callee < 0 then
+          let msg =
+            Printf.sprintf "call to %s which is not a function entry"
+              (Linker.describe_slot image target)
+          in
+          fun st ->
+            tick st;
+            ignore (eval_args_rt st rs);
+            raise (Executor.Exec_trap msg)
+        else
+          let f = funcs.(callee) in
+          let np = Array.length f.Linker.f_params in
+          if np <> nargs then
+            let msg =
+              Printf.sprintf "call %s: arity mismatch (%d vs %d)"
+                f.Linker.f_name np nargs
+            in
+            fun st ->
+              tick st;
+              ignore (eval_args_rt st rs);
+              raise (Executor.Exec_trap msg)
+          else begin
+            incr static_calls;
+            let params = f.Linker.f_params in
+            let callee_nregs = f.Linker.f_nregs in
+            fun st ->
+              tick st;
+              ignore (eval_args_rt st rs);
+              push_frame st ~caller_nregs:funcs.(st.cur).Linker.f_nregs ~callee
+                ~callee_nregs ~params ~np ~ret_pc:next ~ret_dst:dst;
+              goto target st
+          end)
+    | LCallExtern { dst; name; args }, _ ->
+        let rs = readers args in
+        fun st ->
+          tick st;
+          let n = eval_args_rt st rs in
+          (* external code may retain the array; never hand out scratch *)
+          let res = st.env.Executor.extern name (Array.sub st.scratch 0 n) in
+          if dst >= 0 then write st dst res;
+          goto next st
+    | LCallIndirect { dst; target; args }, _ ->
+        let rtarget = rd target and rs = readers args in
+        fun st -> (
+          tick st;
+          let addr = rtarget st in
+          let nargs = eval_args_rt st rs in
+          match Native.index_of_addr native addr with
+          | Some idx ->
+              do_call_dyn st ~ret_dst:dst ~target:idx ~ret_pc:next ~nargs;
+              goto st.pc st
+          | None ->
+              let res =
+                st.env.Executor.call_foreign addr (Array.sub st.scratch 0 nargs)
+              in
+              if dst >= 0 then write st dst res;
+              goto next st)
+    | LCallIndirectChecked { dst; target; args; label }, _ ->
+        let rtarget = rd target and rs = readers args in
+        fun st ->
+          tick st;
+          let addr = rtarget st in
+          let nargs = eval_args_rt st rs in
+          st.charge Obs.Tag.Cfi Cfi_pass.check_extra_cycles;
+          let idx = checked_target label addr in
+          do_call_dyn st ~ret_dst:dst ~target:idx ~ret_pc:next ~nargs;
+          goto st.pc st
+    | LRet value, _ ->
+        let rdv = Option.map rd value in
+        fun st ->
+          tick st;
+          do_return st rdv;
+          if st.running then goto st.pc st
+    | LRetChecked { value; label }, _ ->
+        let rdv = Option.map rd value in
+        fun st ->
+          tick st;
+          do_return_checked st label rdv;
+          if st.running then goto st.pc st
+    | LCfiLabel _, _ ->
+        fun st ->
+          tick st;
+          goto next st
+    | LIoRead { dst; port }, _ ->
+        let rport = rd port in
+        fun st ->
+          tick st;
+          write st dst (st.env.Executor.io_read (rport st));
+          goto next st
+    | LIoWrite { port; src }, _ ->
+        let rport = rd port and rsrc = rd src in
+        fun st ->
+          tick st;
+          st.env.Executor.io_write (rport st) (rsrc st);
+          goto next st
+    | LHalt, _ ->
+        fun st ->
+          tick st;
+          raise (Executor.Exec_trap "halt / unreachable executed"))
+  in
+  for i = 0 to ncode - 1 do
+    code.(i) <- compile_at i
+  done;
+  (* falling off the end of the image is the interpreter's bounds trap *)
+  code.(ncode) <-
+    (fun st ->
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise (Executor.Exec_trap "out of fuel");
+      raise
+        (Executor.Exec_trap (Printf.sprintf "pc %d out of code bounds" ncode)));
+  {
+    image;
+    code;
+    stats =
+      { slots = ncode; fused_pairs = !fused_pairs; static_calls = !static_calls };
+  }
+
+let run ?(fuel = 50_000_000) (env : Executor.env) t entry args =
+  let image = t.image in
+  let fid =
+    match Linker.find_func image entry with
+    | Some id -> id
+    | None -> raise Not_found
+  in
+  let funcs = image.Linker.funcs in
+  let f0 = funcs.(fid) in
+  if Array.length f0.Linker.f_params <> Array.length args then
+    raise
+      (Executor.Exec_trap
+         (Printf.sprintf "call %s: arity mismatch (%d vs %d)" f0.Linker.f_name
+            (Array.length f0.Linker.f_params) (Array.length args)));
+  let nr = max 64 f0.Linker.f_nregs in
+  let st =
+    {
+      rf = Bytes.make (nr lsl 3) '\000';
+      def = Array.make nr 0;
+      stack = Array.make (8 * stk_stride) 0;
+      sp = 0;
+      base = 0;
+      cur = fid;
+      gen_ctr = 1;
+      gen = 1;
+      fuel;
+      pc = f0.Linker.f_entry;
+      result = 0L;
+      running = true;
+      scratch = Array.make image.Linker.max_args 0L;
+      env;
+      charge = env.Executor.charge;
+      mem_load = env.Executor.load;
+      mem_store = env.Executor.store;
+    }
+  in
+  (* bind the entry frame straight from the caller's array (it may be
+     wider than any in-image call site, so [scratch] cannot hold it) *)
+  Array.iteri (fun j p -> write st p args.(j)) f0.Linker.f_params;
+  let ncode = Array.length image.Linker.lcode in
+  while st.running do
+    let p = st.pc in
+    if p >= 0 && p < ncode then t.code.(p) st
+    else begin
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise (Executor.Exec_trap "out of fuel");
+      raise (Executor.Exec_trap (Printf.sprintf "pc %d out of code bounds" p))
+    end
+  done;
+  st.result

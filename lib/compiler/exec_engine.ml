@@ -1,0 +1,14 @@
+type t = Interp | Slots | Compiled
+
+let all = [ Interp; Slots; Compiled ]
+
+let to_string = function
+  | Interp -> "interp"
+  | Slots -> "slots"
+  | Compiled -> "compiled"
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "slots" -> Some Slots
+  | "compiled" -> Some Compiled
+  | _ -> None

@@ -1,4 +1,18 @@
-type t = { key : bytes; entries : (string, signed_image) Hashtbl.t }
+type t = {
+  key : bytes;
+  entries : (string, signed_image) Hashtbl.t;
+  (* process-local memos, both keyed by the HMAC tag of the signed
+     blob.  The tag authenticates the exact bytes, so anything proven
+     about one decode of those bytes holds for every decode: repeated
+     loads of the same signed translation must not re-pay the
+     verifier's (or the closure compiler's) host time.  Simulated
+     Verify cycle charges are unaffected — they are charged by the
+     kernel per load, not here. *)
+  verified : (string, unit) Hashtbl.t;
+  mutable verifier_runs : int;
+  compiled : (string, Exec_compile.t) Hashtbl.t;
+}
+
 and signed_image = { blob : bytes; tag : bytes }
 
 type find_error =
@@ -19,11 +33,23 @@ let describe_find_error = function
 (* v1 stored the raw Native.image; v2 stores the linked form, so an
    image loaded back from the cache is immediately executable without
    relinking; v3 adds the instrumented flag so an instrumented image
-   cannot dodge re-verification by being relabelled as a plain one.
-   The version and the flag are both under the MAC. *)
-let format_version = 3
+   cannot dodge re-verification by being relabelled as a plain one;
+   v4 caches compiled-readiness alongside the signed blob (the memos
+   above — the wire format itself is unchanged from v3, but the
+   version bump keeps v3 blobs from aliasing v4 semantics).  The
+   version and the flag are both under the MAC. *)
+let format_version = 4
 
-let create ~key = { key; entries = Hashtbl.create 8 }
+let create ~key =
+  {
+    key;
+    entries = Hashtbl.create 8;
+    verified = Hashtbl.create 8;
+    verifier_runs = 0;
+    compiled = Hashtbl.create 8;
+  }
+
+let verifier_runs t = t.verifier_runs
 
 let sign t ~instrumented image =
   let blob = Marshal.to_bytes (format_version, instrumented, (image : Linker.image)) [] in
@@ -39,12 +65,22 @@ let verify_and_load t { blob; tag } =
     | exception _ -> Error Bad_format
     | v, _, _ when v <> format_version -> Error Bad_format
     | _, false, image -> Ok image
-    | _, true, image -> (
+    | _, true, image ->
         (* The signature authenticates the bytes; the verifier proves
-           the instrumentation invariants still hold in them. *)
-        match Image_verify.check image with
-        | Ok () -> Ok image
-        | Error vs -> Error (Rejected_by_verifier vs))
+           the instrumentation invariants still hold in them — once per
+           signed blob per process, memoized by the tag (the HMAC check
+           above already ran, so a tampered blob can never reach a memo
+           planted by an intact one). *)
+        let id = Bytes.to_string tag in
+        if Hashtbl.mem t.verified id then Ok image
+        else begin
+          t.verifier_runs <- t.verifier_runs + 1;
+          match Image_verify.check image with
+          | Ok () ->
+              Hashtbl.replace t.verified id ();
+              Ok image
+          | Error vs -> Error (Rejected_by_verifier vs)
+        end
   end
 
 let add t ~name ~instrumented image =
@@ -54,6 +90,25 @@ let find t ~name =
   match Hashtbl.find_opt t.entries name with
   | None -> Error Absent
   | Some signed -> verify_and_load t signed
+
+let find_compiled t ~name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> Error Absent
+  | Some signed -> (
+      (* verification first: this is the only route to a compiled
+         artifact, so closure compilation is only ever legal on images
+         the verifier accepted (the closure compiler stays outside the
+         TCB). *)
+      match verify_and_load t signed with
+      | Error e -> Error e
+      | Ok image -> (
+          let id = Bytes.to_string signed.tag in
+          match Hashtbl.find_opt t.compiled id with
+          | Some artifact -> Ok artifact
+          | None ->
+              let artifact = Exec_compile.compile image in
+              Hashtbl.replace t.compiled id artifact;
+              Ok artifact))
 
 let tamper t ~name =
   match Hashtbl.find_opt t.entries name with

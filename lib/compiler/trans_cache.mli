@@ -49,8 +49,8 @@ type find_error =
 val describe_find_error : find_error -> string
 
 val format_version : int
-(** Serialisation format of the signed blobs (3: linked images plus the
-    instrumented flag). *)
+(** Serialisation format of the signed blobs (4: linked images plus the
+    instrumented flag, with compiled-readiness cached alongside). *)
 
 val sign : t -> instrumented:bool -> Linker.image -> signed_image
 
@@ -65,7 +65,23 @@ val add : t -> name:string -> instrumented:bool -> Linker.image -> unit
 
 val find : t -> name:string -> (Linker.image, find_error) result
 (** Re-verify the stored signature (and, for instrumented images, the
-    instrumentation invariants) and return the image. *)
+    instrumentation invariants) and return the image.  The signature is
+    re-checked on every call; the verifier pass is memoized per process
+    by the blob's HMAC tag, so repeated loads of the same signed
+    translation pay its host time once (simulated Verify cycles are
+    charged by the kernel per load and are unaffected). *)
+
+val find_compiled : t -> name:string -> (Exec_compile.t, find_error) result
+(** Like {!find}, but additionally translate the image into its
+    closure-compiled form ({!Exec_compile.compile}), memoized by the
+    blob's HMAC tag.  This is the only route to a compiled artifact:
+    closure compilation only ever runs on an image the verifier has
+    accepted, which is what keeps the closure compiler outside the
+    TCB. *)
+
+val verifier_runs : t -> int
+(** How many times this cache has actually run {!Image_verify.check}
+    (memo misses), for tests pinning the memoization. *)
 
 val tamper : t -> name:string -> unit
 (** Testing hook simulating a hostile OS flipping a byte of a cached

@@ -19,9 +19,15 @@ type t = {
   mutable block : unit -> bool;
   child_wq : Waitq.t;
   mutable syscall_count : int;
+  engine : Vg_compiler.Exec_engine.t;
 }
 
-and syscall_override = { image : Vg_compiler.Linker.image; func : string }
+and syscall_override = {
+  image : Vg_compiler.Linker.image;
+  func : string;
+  program : Ir.program;
+  compiled : Vg_compiler.Exec_compile.t option;
+}
 
 let mode t = Sva.mode t.sva
 
@@ -54,7 +60,7 @@ let verify_kernel_image machine sva =
         ("Kernel.boot: kernel image failed load-time verification: "
         ^ Vg_compiler.Trans_cache.describe_find_error e)
 
-let boot ?frame_limit ~mode machine =
+let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots) ~mode machine =
   let sva = Sva.boot ~mode machine in
   verify_kernel_image machine sva;
   let kmem = Kmem.create sva in
@@ -97,6 +103,7 @@ let boot ?frame_limit ~mode machine =
       block = (fun () -> false);
       child_wq = Waitq.create ~name:"child-exit";
       syscall_count = 0;
+      engine;
     }
   in
   (* init (pid 1) *)

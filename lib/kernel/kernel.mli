@@ -48,16 +48,40 @@ type t = {
           {!Sched.run} installs a fiber-yielding hook. *)
   child_wq : Waitq.t;  (** woken on every process exit (wait sleeps here) *)
   mutable syscall_count : int;
+  engine : Vg_compiler.Exec_engine.t;
+      (** which execution engine runs module override code — a host-time
+          choice; simulated cycles are engine-independent wherever the
+          engine can model them (see {!Vg_compiler.Exec_engine}) *)
 }
 
-and syscall_override = { image : Vg_compiler.Linker.image; func : string }
+and syscall_override = {
+  image : Vg_compiler.Linker.image;
+  func : string;
+  program : Ir.program;
+      (** the instrumented IR the image was lowered from, for the
+          [Interp] debug engine *)
+  compiled : Vg_compiler.Exec_compile.t option;
+      (** the closure-compiled artifact, present iff the kernel booted
+          with the [Compiled] engine; only ever obtained through
+          {!Vg_compiler.Trans_cache.find_compiled}, i.e. after the image
+          verifier accepted the image *)
+}
 
-val boot : ?frame_limit:int -> mode:Sva.mode -> Machine.t -> t
+val boot :
+  ?frame_limit:int ->
+  ?engine:Vg_compiler.Exec_engine.t ->
+  mode:Sva.mode ->
+  Machine.t ->
+  t
 (** Initialise SVA, the frame allocator, buffer cache, a fresh file
     system (or remount an existing one), the network stack, and the
     init process (pid 1).  [frame_limit] caps the kernel's frame
     allocator — a memory-constrained machine that forces ghost
-    swapping. *)
+    swapping.  [engine] (default [Slots]) selects the execution engine
+    for module override code; all engines charge identical simulated
+    cycles on the code they can run, so goldens are engine-independent
+    (the [Interp] debug engine cannot model CFI — see
+    {!Vg_compiler.Exec_engine}). *)
 
 val mode : t -> Sva.mode
 val init_process : t -> Proc.t

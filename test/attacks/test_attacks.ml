@@ -51,10 +51,10 @@ let test_icontext_tamper () =
 let test_iago_mmap () =
   (* Unmasked application on either kernel: corruptible. *)
   check "unmasked app corrupted" true
-    (Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false);
+    (Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false ());
   (* Ghosting application (compiled with the masking pass): immune. *)
   check "masked app immune" false
-    (Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true)
+    (Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true ())
 
 let test_file_replay () =
   check "baseline accepts stale config" true
@@ -134,12 +134,12 @@ let test_events_dma () =
 let test_events_iago_mmap () =
   let _, unmasked =
     record (fun () ->
-        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false)
+        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:false ())
   in
   check "unmasked app: no mask event" false (has_security unmasked "iago-mask");
   let _, masked =
     record (fun () ->
-        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true)
+        Other_attacks.iago_mmap_attack ~mode:Sva.Virtual_ghost ~ghosting:true ())
   in
   check "masked app: defused pointer reported" true (has_security masked "iago-mask")
 
@@ -179,6 +179,45 @@ let test_events_ring_ghost_buffer () =
   check "vg: no leak" false leaked_vg;
   check "vg: sandbox fault reported" true (has_security vg "sandbox")
 
+(* ------------------------------------------------------------------ *)
+(* Execution-engine parity: the closure-compiled engine must be
+   indistinguishable from the slot executor on the full kernel attack
+   experiments — same outcomes, and the same event stream down to the
+   cycle timestamps (byte-identical simulated time). *)
+
+let test_engine_parity_rootkit () =
+  List.iter
+    (fun (attack, mode) ->
+      let run engine =
+        record (fun () -> Rootkit.run_experiment ~engine ~mode ~attack ())
+      in
+      let o_slots, r_slots = run Vg_compiler.Exec_engine.Slots in
+      let o_comp, r_comp = run Vg_compiler.Exec_engine.Compiled in
+      check "same outcome" true (o_slots = o_comp);
+      check "same event stream (cycles included)" true
+        (Obs_recorder.events r_slots = Obs_recorder.events r_comp))
+    [
+      (Rootkit.Direct_read, Sva.Native_build);
+      (Rootkit.Direct_read, Sva.Virtual_ghost);
+      (Rootkit.Signal_inject, Sva.Native_build);
+      (Rootkit.Signal_inject, Sva.Virtual_ghost);
+    ]
+
+let test_engine_parity_iago () =
+  List.iter
+    (fun ghosting ->
+      let run engine =
+        record (fun () ->
+            Other_attacks.iago_mmap_attack ~engine ~mode:Sva.Virtual_ghost
+              ~ghosting ())
+      in
+      let c_slots, r_slots = run Vg_compiler.Exec_engine.Slots in
+      let c_comp, r_comp = run Vg_compiler.Exec_engine.Compiled in
+      check "same corruption verdict" true (c_slots = c_comp);
+      check "same event stream (cycles included)" true
+        (Obs_recorder.events r_slots = Obs_recorder.events r_comp))
+    [ false; true ]
+
 let () =
   Alcotest.run "vg_attacks"
     [
@@ -213,5 +252,12 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
           Alcotest.test_case "ring ghost buffer" `Quick
             test_events_ring_ghost_buffer;
+        ] );
+      ( "engine-parity",
+        [
+          Alcotest.test_case "rootkit, slots vs compiled" `Slow
+            test_engine_parity_rootkit;
+          Alcotest.test_case "iago mmap, slots vs compiled" `Quick
+            test_engine_parity_iago;
         ] );
     ]

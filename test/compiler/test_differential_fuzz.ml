@@ -1,10 +1,14 @@
 (* Differential fuzzing of the compilation pipeline.
 
    Random well-formed IR programs are run through (a) the reference
-   interpreter, (b) the code generator + native executor, and (c) the
-   full Virtual Ghost pipeline (sandboxing + CFI) — all three must
+   interpreter, (b) the code generator + native executor, (c) the
+   full Virtual Ghost pipeline (sandboxing + CFI), and (d) the
+   closure-compiled engine over both pipeline outputs — all must
    agree on the result and on final memory whenever addresses stay
-   outside the protected ranges (where masking is the identity).
+   outside the protected ranges (where masking is the identity), and
+   the compiled engine must be byte-identical to the slot executor on
+   cycles, per-tag charge totals, and exception trajectories
+   (including CFI violations, traps and out-of-fuel).
 
    Program generation lives in {!Vg_testgen.Testgen} (shared with the
    image-verifier property tests): programs terminate by construction —
@@ -84,6 +88,27 @@ let run_native ~vg program args =
   | v -> Value (v, w.mem, !cycles)
   | exception Executor.Exec_trap _ -> Trapped
 
+let run_compiled ~vg program args =
+  let w = make_world () in
+  let cycles = ref 0 in
+  let env =
+    {
+      Executor.null_env with
+      load = w_load w;
+      store = w_store w;
+      charge = (fun _ n -> cycles := !cycles + n);
+    }
+  in
+  let image =
+    if vg then
+      Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program)
+    else Codegen.compile ~cfi:false program
+  in
+  let artifact = Exec_compile.compile (Linker.link image) in
+  match Exec_compile.run ~fuel:400_000 env artifact "f0" args with
+  | v -> Value (v, w.mem, !cycles)
+  | exception Executor.Exec_trap _ -> Trapped
+
 (* Results agree: same trap behaviour, same value, same final memory.
    Cycle counts are compared separately ({!agree_cycles}) because the
    instrumented pipeline legitimately charges more. *)
@@ -103,8 +128,8 @@ let agree_cycles a b =
   | _ -> false
 
 let prop_three_way_agreement =
-  QCheck2.Test.make ~name:"interp = native = virtual-ghost on random programs"
-    ~count:400
+  QCheck2.Test.make
+    ~name:"interp = slot executor = compiled on random programs" ~count:400
     QCheck2.Gen.(pair (int_bound 1_000_000) (pair (int_bound 4000) (int_bound 4000)))
     (fun (seed, (a, b)) ->
       let program = gen_program seed in
@@ -114,9 +139,87 @@ let prop_three_way_agreement =
           let args = [| Int64.of_int a; Int64.of_int b |] in
           let reference = run_interp program args in
           let native = run_native ~vg:false program args in
+          let compiled = run_compiled ~vg:false program args in
+          let native_vg = run_native ~vg:true program args in
+          let compiled_vg = run_compiled ~vg:true program args in
           agree reference native
           && agree_cycles reference native
-          && agree reference (run_native ~vg:true program args))
+          (* the compiled engine is byte-identical to the slot executor,
+             instrumented or not — including the cycle totals the
+             instrumented pipeline legitimately inflates *)
+          && agree reference compiled
+          && agree_cycles native compiled
+          && agree reference native_vg
+          && agree native_vg compiled_vg
+          && agree_cycles native_vg compiled_vg)
+
+(* Slot executor vs compiled engine on full trajectories: same
+   exception constructor and message, same per-tag charge totals at the
+   moment of the exception, same memory — under return-address
+   tampering, tight fuel limits, and full instrumentation.  This is
+   what lets the closure compiler live outside the TCB. *)
+type trajectory = TVal of int64 | TTrap of string | TCfi of string
+
+let prop_compiled_trajectory_parity =
+  QCheck2.Test.make
+    ~name:"compiled = slot executor on trap/CFI/fuel trajectories" ~count:300
+    QCheck2.Gen.(
+      pair (int_bound 1_000_000)
+        (pair
+           (pair (int_bound 4000) (int_bound 4000))
+           (pair (pair (int_bound 4) bool) (int_bound 4000))))
+    (fun (seed, ((a, b), ((tamper_sel, vg), fuel_raw))) ->
+      let program = gen_program seed in
+      let image =
+        if vg then
+          Linker.link
+            (Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program))
+        else Linker.link (Codegen.compile ~cfi:false program)
+      in
+      let artifact = Exec_compile.compile image in
+      let args = [| Int64.of_int a; Int64.of_int b |] in
+      (* small fuel: many runs die mid-flight, pinning the out-of-fuel
+         point and the charges accumulated up to it *)
+      let fuel = 20 + fuel_raw in
+      let tamper =
+        match tamper_sel with
+        | 0 | 1 -> None
+        | 2 -> Some (fun addr -> Int64.add addr 16L) (* next slot *)
+        | 3 -> Some (fun addr -> Int64.add addr 8L) (* misaligned *)
+        | _ -> Some (fun _ -> 0xdead_beef_0000L) (* far outside *)
+      in
+      let run_one use_compiled =
+        let w = make_world () in
+        let by_tag = Array.make Obs.Tag.count 0 in
+        let env =
+          {
+            Executor.null_env with
+            load = w_load w;
+            store = w_store w;
+            charge =
+              (fun tag n ->
+                let i = Obs.Tag.index tag in
+                by_tag.(i) <- by_tag.(i) + n);
+            tamper_return = tamper;
+          }
+        in
+        let outcome =
+          if use_compiled then
+            match Exec_compile.run ~fuel env artifact "f0" args with
+            | v -> TVal v
+            | exception Executor.Exec_trap m -> TTrap m
+            | exception Executor.Cfi_violation m -> TCfi m
+          else
+            match Executor.run ~fuel env image "f0" args with
+            | v -> TVal v
+            | exception Executor.Exec_trap m -> TTrap m
+            | exception Executor.Cfi_violation m -> TCfi m
+        in
+        (outcome, by_tag, w.mem)
+      in
+      let o_slots, c_slots, m_slots = run_one false in
+      let o_comp, c_comp, m_comp = run_one true in
+      o_slots = o_comp && c_slots = c_comp && Bytes.equal m_slots m_comp)
 
 let prop_optimizer_preserves_semantics =
   QCheck2.Test.make ~name:"optimizer preserves semantics (both pass orders)"
@@ -206,6 +309,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_three_way_agreement;
+            prop_compiled_trajectory_parity;
             prop_optimizer_preserves_semantics;
             prop_optimizer_never_unmasks;
             prop_instrumentation_preserves_size_relation;

@@ -1,0 +1,383 @@
+(* Tests for the closure-compiled execution engine: exact parity with
+   the slot executor on the CFI attack scenarios (ROP via tampered
+   returns, corrupted function pointers, kernel-space masking), the v4
+   translation cache (verify-before-compile, HMAC-keyed memoization of
+   both the verifier and the closure compiler), and the fusion
+   statistics of the translator itself. *)
+
+(* ------------------------------------------------------------------ *)
+(* Memory environment with per-tag cycle accounting.                   *)
+
+type world = {
+  mem : Bytes.t;
+  base : int64;
+  by_tag : int array;
+  mutable stores : (int64 * int64) list;
+}
+
+let make_world ?(base = 0x1000L) () =
+  {
+    mem = Bytes.make 65536 '\000';
+    base;
+    by_tag = Array.make Obs.Tag.count 0;
+    stores = [];
+  }
+
+let world_off w addr =
+  let off = Int64.to_int (Int64.sub addr w.base) in
+  if off < 0 || off >= Bytes.length w.mem - 8 then
+    failwith (Printf.sprintf "world access out of range: %Lx" addr);
+  off
+
+let world_load w addr (width : Ir.width) =
+  let i = world_off w addr in
+  match width with
+  | W8 -> Int64.of_int (Char.code (Bytes.get w.mem i))
+  | W16 -> Int64.of_int (Bytes.get_uint16_le w.mem i)
+  | W32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le w.mem i)) 0xffffffffL
+  | W64 -> Bytes.get_int64_le w.mem i
+
+let world_store w addr (width : Ir.width) v =
+  w.stores <- (addr, v) :: w.stores;
+  let i = world_off w addr in
+  match width with
+  | W8 -> Bytes.set w.mem i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+  | W16 -> Bytes.set_uint16_le w.mem i (Int64.to_int (Int64.logand v 0xffffL))
+  | W32 -> Bytes.set_int32_le w.mem i (Int64.to_int32 v)
+  | W64 -> Bytes.set_int64_le w.mem i v
+
+let exec_env w : Executor.env =
+  {
+    Executor.null_env with
+    load = world_load w;
+    store = world_store w;
+    memcpy =
+      (fun ~dst ~src ~len ->
+        Bytes.blit w.mem (world_off w src) w.mem (world_off w dst) (Int64.to_int len));
+    io_read = (fun port -> Int64.add port 7L);
+    io_write = (fun _ _ -> ());
+    charge =
+      (fun tag n ->
+        let i = Obs.Tag.index tag in
+        w.by_tag.(i) <- w.by_tag.(i) + n);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures (same programs the slot-executor suite pins).              *)
+
+let rec_sum_program () =
+  let b = Builder.create () in
+  Builder.func b "sum" ~params:[ "n" ];
+  let is_zero = Builder.cmp b Eq (Reg "n") (Imm 0L) in
+  Builder.cbr b is_zero "base" "rec";
+  Builder.block b "base";
+  Builder.ret b (Some (Imm 0L));
+  Builder.block b "rec";
+  let n1 = Builder.bin b Sub (Reg "n") (Imm 1L) in
+  let sub = Builder.call b "sum" [ n1 ] in
+  let total = Builder.bin b Add (Reg "n") sub in
+  Builder.ret b (Some total);
+  Builder.program b
+
+let collatz_program () =
+  let b = Builder.create () in
+  Builder.func b "collatz" ~params:[ "n" ];
+  Builder.store b ~src:(Imm 0L) ~addr:(Imm 0x2000L) ();
+  Builder.store b ~src:(Reg "n") ~addr:(Imm 0x2008L) ();
+  Builder.br b "loop";
+  Builder.block b "loop";
+  let n = Builder.load b (Imm 0x2008L) in
+  let at_one = Builder.cmp b Ule n (Imm 1L) in
+  Builder.cbr b at_one "done" "step";
+  Builder.block b "step";
+  let odd = Builder.bin b And n (Imm 1L) in
+  let half = Builder.bin b Lshr n (Imm 1L) in
+  let tripled = Builder.bin b Mul n (Imm 3L) in
+  let plus1 = Builder.bin b Add tripled (Imm 1L) in
+  let next = Builder.select b odd plus1 half in
+  Builder.store b ~src:next ~addr:(Imm 0x2008L) ();
+  let count = Builder.load b (Imm 0x2000L) in
+  let count' = Builder.bin b Add count (Imm 1L) in
+  Builder.store b ~src:count' ~addr:(Imm 0x2000L) ();
+  Builder.br b "loop";
+  Builder.block b "done";
+  let count = Builder.load b (Imm 0x2000L) in
+  Builder.ret b (Some count);
+  Builder.program b
+
+let compile_link ~cfi program = Linker.link (Codegen.compile ~cfi program)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome capture: value / trap / CFI violation, message included.    *)
+
+type outcome = Value of int64 | Trap of string | Cfi of string
+
+let show_outcome = function
+  | Value v -> Printf.sprintf "value %Ld" v
+  | Trap m -> "trap: " ^ m
+  | Cfi m -> "cfi: " ^ m
+
+let capture f =
+  match f () with
+  | v -> Value v
+  | exception Executor.Exec_trap m -> Trap m
+  | exception Executor.Cfi_violation m -> Cfi m
+
+(* Run the same image through both engines (fresh worlds, optionally
+   tweaked envs) and demand byte-identical observable behaviour:
+   outcome, per-tag cycle counts, store trace and final memory. *)
+let check_parity ?fuel ?(tweak = fun _image env -> env) name image entry args =
+  let w1 = make_world () in
+  let env1 = tweak image (exec_env w1) in
+  let o1 = capture (fun () -> Executor.run ?fuel env1 image entry args) in
+  let w2 = make_world () in
+  let env2 = tweak image (exec_env w2) in
+  let t = Exec_compile.compile image in
+  let o2 = capture (fun () -> Exec_compile.run ?fuel env2 t entry args) in
+  Alcotest.(check string) (name ^ ": outcome") (show_outcome o1) (show_outcome o2);
+  Alcotest.(check (array int)) (name ^ ": cycles by tag") w1.by_tag w2.by_tag;
+  Alcotest.(check bool) (name ^ ": store trace") true (w1.stores = w2.stores);
+  Alcotest.(check bool) (name ^ ": memory") true (Bytes.equal w1.mem w2.mem);
+  o1
+
+(* ------------------------------------------------------------------ *)
+(* Fixture parity, all build modes                                     *)
+
+let test_fixture_parity () =
+  List.iter
+    (fun (label, program, entry, args) ->
+      let native = compile_link ~cfi:false program in
+      (match check_parity (label ^ "/native") native entry args with
+      | Value _ -> ()
+      | o -> Alcotest.failf "%s/native did not terminate: %s" label (show_outcome o));
+      let vg =
+        compile_link ~cfi:true (Sandbox_pass.instrument_program program)
+      in
+      (match check_parity (label ^ "/vg") vg entry args with
+      | Value _ -> ()
+      | o -> Alcotest.failf "%s/vg did not terminate: %s" label (show_outcome o)))
+    [
+      ("collatz", collatz_program (), "collatz", [| 97L |]);
+      ("recsum", rec_sum_program (), "sum", [| 40L |]);
+    ]
+
+let test_fuel_exhaustion_parity () =
+  (* Starve both engines identically: same trap, same partial cycle
+     bill, same partial memory effects. *)
+  let image = compile_link ~cfi:false (collatz_program ()) in
+  match check_parity ~fuel:100 "fuel" image "collatz" [| 97L |] with
+  | Trap _ -> ()
+  | o -> Alcotest.failf "expected fuel trap, got %s" (show_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* Attack parity: tampered returns (ROP)                               *)
+
+let test_rop_tamper_parity () =
+  let program = rec_sum_program () in
+  let tweak (image : Linker.image) env =
+    (* Redirect every return into the middle of `sum` (slot 3 — an
+       arbitrary non-label slot), as in the slot-executor ROP test. *)
+    let gadget = Native.addr_of_index image.Linker.native 3 in
+    { env with Executor.tamper_return = Some (fun _ -> gadget) }
+  in
+  let vg = compile_link ~cfi:true (Sandbox_pass.instrument_program program) in
+  (match check_parity ~fuel:10_000 ~tweak "rop/vg" vg "sum" [| 5L |] with
+  | Cfi _ -> ()
+  | o -> Alcotest.failf "expected CFI violation under vg, got %s" (show_outcome o));
+  let native = compile_link ~cfi:false program in
+  (* Without CFI the corrupted return is followed: the run ends somewhere
+     random (trap or stray value) but never with a CFI violation. *)
+  match check_parity ~fuel:10_000 ~tweak "rop/native" native "sum" [| 5L |] with
+  | Trap _ | Value _ -> ()
+  | Cfi _ as o -> Alcotest.failf "unexpected CFI violation under native: %s" (show_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* Attack parity: corrupted function pointer                           *)
+
+let victim_fptr_program () =
+  let b = Builder.create () in
+  Builder.func b "victim" ~params:[];
+  let fp = Builder.load b (Imm 0x3000L) in
+  let r = Builder.call_indirect b fp [] in
+  Builder.ret b (Some r);
+  Builder.program b
+
+let test_corrupted_fptr_parity () =
+  let program = victim_fptr_program () in
+  (* CFI build: both engines refuse the call with the same violation. *)
+  let poison image name =
+    let w1 = make_world () in
+    world_store w1 0x3000L W64 0x400000L;
+    let o1 = capture (fun () -> Executor.run (exec_env w1) image "victim" [||]) in
+    let w2 = make_world () in
+    world_store w2 0x3000L W64 0x400000L;
+    let t = Exec_compile.compile image in
+    let o2 = capture (fun () -> Exec_compile.run (exec_env w2) t "victim" [||]) in
+    Alcotest.(check string) (name ^ ": outcome") (show_outcome o1) (show_outcome o2);
+    Alcotest.(check (array int)) (name ^ ": cycles by tag") w1.by_tag w2.by_tag;
+    o1
+  in
+  (match poison (compile_link ~cfi:true program) "fptr/cfi" with
+  | Cfi _ -> ()
+  | o -> Alcotest.failf "expected CFI violation, got %s" (show_outcome o));
+  (* Native build: the hijack goes through — on both engines, to the
+     same attacker-chosen target. *)
+  let image_native = compile_link ~cfi:false program in
+  let hijack run =
+    let w = make_world () in
+    world_store w 0x3000L W64 0x400000L;
+    let hijacked = ref 0L in
+    let env =
+      {
+        (exec_env w) with
+        Executor.call_foreign =
+          (fun addr _ ->
+            hijacked := addr;
+            0L);
+      }
+    in
+    ignore (run env);
+    !hijacked
+  in
+  Alcotest.(check int64) "slot executor hijacked" 0x400000L
+    (hijack (fun env -> Executor.run env image_native "victim" [||]));
+  let t = Exec_compile.compile image_native in
+  Alcotest.(check int64) "compiled engine hijacked" 0x400000L
+    (hijack (fun env -> Exec_compile.run env t "victim" [||]))
+
+let test_kernel_masking_parity () =
+  (* The indirect-call check masks the target into kernel space before
+     lookup on both engines: a user-space target can never reach
+     call_foreign. *)
+  let b = Builder.create () in
+  Builder.func b "victim" ~params:[];
+  let r = Builder.call_indirect b (Imm 0x40L) [] in
+  Builder.ret b (Some r);
+  let image = compile_link ~cfi:true (Builder.program b) in
+  let run_engine run =
+    let w = make_world () in
+    let foreign_called = ref false in
+    let env =
+      {
+        (exec_env w) with
+        Executor.call_foreign =
+          (fun _ _ ->
+            foreign_called := true;
+            0L);
+      }
+    in
+    let o = capture (fun () -> run env) in
+    (o, !foreign_called, w.by_tag)
+  in
+  let o1, f1, c1 = run_engine (fun env -> Executor.run env image "victim" [||]) in
+  let t = Exec_compile.compile image in
+  let o2, f2, c2 = run_engine (fun env -> Exec_compile.run env t "victim" [||]) in
+  Alcotest.(check bool) "slot executor stays in kernel" false f1;
+  Alcotest.(check bool) "compiled engine stays in kernel" false f2;
+  Alcotest.(check string) "same outcome" (show_outcome o1) (show_outcome o2);
+  Alcotest.(check (array int)) "same cycles" c1 c2
+
+(* ------------------------------------------------------------------ *)
+(* Translation cache v4                                                *)
+
+let instrumented_image () =
+  compile_link ~cfi:true (Sandbox_pass.instrument_program (collatz_program ()))
+
+let test_cache_find_compiled () =
+  let tc = Trans_cache.create ~key:(Bytes.of_string "vm-secret-mac-key") in
+  Trans_cache.add tc ~name:"m" ~instrumented:true (instrumented_image ());
+  match Trans_cache.find_compiled tc ~name:"m" with
+  | Error e -> Alcotest.failf "find_compiled: %s" (Trans_cache.describe_find_error e)
+  | Ok artifact ->
+      (* The artifact really is the verified image, and it runs. *)
+      let w = make_world () in
+      let compiled_result = Exec_compile.run (exec_env w) artifact "collatz" [| 97L |] in
+      let w2 = make_world () in
+      let slot_result =
+        match Trans_cache.find tc ~name:"m" with
+        | Ok image -> Executor.run (exec_env w2) image "collatz" [| 97L |]
+        | Error e -> Alcotest.failf "find: %s" (Trans_cache.describe_find_error e)
+      in
+      Alcotest.(check int64) "same result" slot_result compiled_result;
+      Alcotest.(check (array int)) "same cycles" w2.by_tag w.by_tag
+
+let test_cache_refuses_tampered () =
+  let tc = Trans_cache.create ~key:(Bytes.of_string "vm-secret-mac-key") in
+  Trans_cache.add tc ~name:"m" ~instrumented:true (instrumented_image ());
+  Trans_cache.tamper tc ~name:"m";
+  (match Trans_cache.find_compiled tc ~name:"m" with
+  | Error Trans_cache.Bad_signature -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Trans_cache.describe_find_error e)
+  | Ok _ -> Alcotest.fail "tampered image was compiled");
+  match Trans_cache.find_compiled tc ~name:"ghost" with
+  | Error Trans_cache.Absent -> ()
+  | _ -> Alcotest.fail "absent name must report Absent"
+
+let test_cache_memoization () =
+  let tc = Trans_cache.create ~key:(Bytes.of_string "vm-secret-mac-key") in
+  Trans_cache.add tc ~name:"m" ~instrumented:true (instrumented_image ());
+  Alcotest.(check int) "no verifier run before first load" 0 (Trans_cache.verifier_runs tc);
+  let a1 =
+    match Trans_cache.find_compiled tc ~name:"m" with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "find_compiled: %s" (Trans_cache.describe_find_error e)
+  in
+  Alcotest.(check int) "one verifier run after first load" 1 (Trans_cache.verifier_runs tc);
+  ignore (Trans_cache.find tc ~name:"m");
+  let a2 =
+    match Trans_cache.find_compiled tc ~name:"m" with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "find_compiled: %s" (Trans_cache.describe_find_error e)
+  in
+  (* Repeated loads of the same signed blob re-check the HMAC but pay
+     neither the verifier nor the closure compiler again. *)
+  Alcotest.(check int) "still one verifier run" 1 (Trans_cache.verifier_runs tc);
+  Alcotest.(check bool) "compiled artifact memoized" true (a1 == a2);
+  (* Re-adding the same image produces the same blob and tag, so the
+     memo still applies; a different image under the same name is a
+     different tag and re-verifies. *)
+  Trans_cache.add tc ~name:"other" ~instrumented:true
+    (compile_link ~cfi:true (Sandbox_pass.instrument_program (rec_sum_program ())));
+  ignore (Trans_cache.find_compiled tc ~name:"other");
+  Alcotest.(check int) "distinct image re-verifies" 2 (Trans_cache.verifier_runs tc)
+
+(* ------------------------------------------------------------------ *)
+(* Translator statistics                                               *)
+
+let test_fusion_stats () =
+  let collatz = Exec_compile.compile (compile_link ~cfi:false (collatz_program ())) in
+  let s = Exec_compile.stats collatz in
+  Alcotest.(check bool) "has slots" true (s.Exec_compile.slots > 0);
+  (* collatz has cmp+branch and load+mask adjacencies to fuse. *)
+  Alcotest.(check bool) "fuses pairs" true (s.Exec_compile.fused_pairs > 0);
+  let recsum = Exec_compile.compile (compile_link ~cfi:false (rec_sum_program ())) in
+  let s2 = Exec_compile.stats recsum in
+  (* the recursive call is statically pre-resolved *)
+  Alcotest.(check bool) "static calls" true (s2.Exec_compile.static_calls > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "exec_compile"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "fixtures, per-tag cycles" `Quick test_fixture_parity;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion_parity;
+          Alcotest.test_case "ROP via tampered returns" `Quick test_rop_tamper_parity;
+          Alcotest.test_case "corrupted function pointer" `Quick
+            test_corrupted_fptr_parity;
+          Alcotest.test_case "kernel-space masking" `Quick test_kernel_masking_parity;
+        ] );
+      ( "trans-cache-v4",
+        [
+          Alcotest.test_case "find_compiled verifies then compiles" `Quick
+            test_cache_find_compiled;
+          Alcotest.test_case "tampered blobs are refused" `Quick
+            test_cache_refuses_tampered;
+          Alcotest.test_case "verifier and compiler memoized by tag" `Quick
+            test_cache_memoization;
+        ] );
+      ( "translator",
+        [ Alcotest.test_case "fusion statistics" `Quick test_fusion_stats ] );
+    ]

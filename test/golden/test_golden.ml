@@ -57,7 +57,7 @@ let rec_sum_program () =
 (* Runs the fixture and returns per-tag cycle totals: the grand total is
    the golden, and summing a tagged breakdown proves charge tagging is a
    pure relabelling (nothing double- or under-counted). *)
-let run_tagged_cycles ~cfi ~sandbox program entry arg =
+let run_tagged_cycles ?(compiled = false) ~cfi ~sandbox program entry arg =
   let program =
     if sandbox then Vg_compiler.Sandbox_pass.instrument_program program
     else program
@@ -80,25 +80,30 @@ let run_tagged_cycles ~cfi ~sandbox program entry arg =
           by_tag.(i) <- by_tag.(i) + n);
     }
   in
-  ignore (Vg_compiler.Executor.run env image entry [| arg |]);
+  (if compiled then
+     ignore
+       (Vg_compiler.Exec_compile.run env
+          (Vg_compiler.Exec_compile.compile image)
+          entry [| arg |])
+   else ignore (Vg_compiler.Executor.run env image entry [| arg |]));
   by_tag
 
-let run_cycles ~cfi ~sandbox program entry arg =
-  Array.fold_left ( + ) 0 (run_tagged_cycles ~cfi ~sandbox program entry arg)
+let run_cycles ?compiled ~cfi ~sandbox program entry arg =
+  Array.fold_left ( + ) 0 (run_tagged_cycles ?compiled ~cfi ~sandbox program entry arg)
 
-let check_modes name program entry arg ~plain ~cfi ~sandbox ~full =
+let check_modes ?compiled name program entry arg ~plain ~cfi ~sandbox ~full =
   Alcotest.(check int)
     (name ^ ": plain") plain
-    (run_cycles ~cfi:false ~sandbox:false program entry arg);
+    (run_cycles ?compiled ~cfi:false ~sandbox:false program entry arg);
   Alcotest.(check int)
     (name ^ ": cfi") cfi
-    (run_cycles ~cfi:true ~sandbox:false program entry arg);
+    (run_cycles ?compiled ~cfi:true ~sandbox:false program entry arg);
   Alcotest.(check int)
     (name ^ ": sandbox") sandbox
-    (run_cycles ~cfi:false ~sandbox:true program entry arg);
+    (run_cycles ?compiled ~cfi:false ~sandbox:true program entry arg);
   Alcotest.(check int)
     (name ^ ": full") full
-    (run_cycles ~cfi:true ~sandbox:true program entry arg)
+    (run_cycles ?compiled ~cfi:true ~sandbox:true program entry arg)
 
 let test_collatz_cycles () =
   check_modes "collatz(97)" (collatz_program ()) "collatz" 97L ~plain:1543
@@ -108,13 +113,21 @@ let test_recsum_cycles () =
   check_modes "recsum(40)" (rec_sum_program ()) "sum" 40L ~plain:244 ~cfi:445
     ~sandbox:244 ~full:445
 
+(* The closure-compiled engine must reproduce the exact same pinned
+   numbers — its whole contract is byte-identical simulated cycles. *)
+let test_compiled_engine_cycles () =
+  check_modes ~compiled:true "collatz(97)/compiled" (collatz_program ())
+    "collatz" 97L ~plain:1543 ~cfi:1544 ~sandbox:4875 ~full:4876;
+  check_modes ~compiled:true "recsum(40)/compiled" (rec_sum_program ()) "sum"
+    40L ~plain:244 ~cfi:445 ~sandbox:244 ~full:445
+
 (* --- whole-kernel golden: LMBench null syscall -------------------- *)
 
-let null_syscall_cycles mode =
+let null_syscall_cycles ?engine mode =
   let machine =
     Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
   in
-  let k = Kernel.boot ~mode machine in
+  let k = Kernel.boot ?engine ~mode machine in
   Runtime.launch k ~ghosting:false (fun ctx ->
       let proc = ctx.Runtime.proc in
       let start = Machine.cycles machine in
@@ -127,7 +140,13 @@ let test_null_syscall_cycles () =
   Alcotest.(check int) "native build" 71600
     (null_syscall_cycles Sva.Native_build);
   Alcotest.(check int) "virtual ghost" 261000
-    (null_syscall_cycles Sva.Virtual_ghost)
+    (null_syscall_cycles Sva.Virtual_ghost);
+  (* Same whole-kernel goldens under the compiled execution engine. *)
+  let compiled = Vg_compiler.Exec_engine.Compiled in
+  Alcotest.(check int) "native build (compiled engine)" 71600
+    (null_syscall_cycles ~engine:compiled Sva.Native_build);
+  Alcotest.(check int) "virtual ghost (compiled engine)" 261000
+    (null_syscall_cycles ~engine:compiled Sva.Virtual_ghost)
 
 (* --- boot-time image verification --------------------------------- *)
 (* Under Virtual Ghost, boot re-proves the kernel's own translation and
@@ -136,20 +155,25 @@ let test_null_syscall_cycles () =
    silently (the null-syscall goldens above measure *after* boot and
    are unaffected by design). *)
 
-let boot_verify_cycles mode =
+let boot_verify_cycles ?engine mode =
   let stats = Obs_stats.create () in
   Obs.with_sink Obs.default (Obs_stats.sink stats) (fun () ->
       let machine =
         Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
       in
-      ignore (Kernel.boot ~mode machine));
+      ignore (Kernel.boot ?engine ~mode machine));
   Obs_stats.cycles stats Obs.Tag.Verify
 
 let test_boot_verify_cycles () =
   Alcotest.(check int) "native build verifies nothing" 0
     (boot_verify_cycles Sva.Native_build);
   Alcotest.(check int) "virtual ghost kernel image" 288
-    (boot_verify_cycles Sva.Virtual_ghost)
+    (boot_verify_cycles Sva.Virtual_ghost);
+  (* The compiled engine's extra work is host-time only: the simulated
+     Verify bill is unchanged. *)
+  Alcotest.(check int) "virtual ghost (compiled engine)" 288
+    (boot_verify_cycles ~engine:Vg_compiler.Exec_engine.Compiled
+       Sva.Virtual_ghost)
 
 (* --- observability parity ----------------------------------------- *)
 (* The zero-overhead-off guarantee, pinned: simulated cycle counts must
@@ -218,6 +242,8 @@ let () =
           Alcotest.test_case "collatz, four modes" `Quick test_collatz_cycles;
           Alcotest.test_case "recursive sum, four modes" `Quick
             test_recsum_cycles;
+          Alcotest.test_case "compiled engine, same goldens" `Quick
+            test_compiled_engine_cycles;
           Alcotest.test_case "LMBench null syscall" `Quick
             test_null_syscall_cycles;
           Alcotest.test_case "boot-time image verification" `Quick

@@ -3,9 +3,9 @@
    the central enforcement property, signals, sockets, select, and
    loadable-module overrides. *)
 
-let boot ?(mode = Sva.Virtual_ghost) () =
+let boot ?engine ?(mode = Sva.Virtual_ghost) () =
   let machine = Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"ktest" () in
-  Kernel.boot ~mode machine
+  Kernel.boot ?engine ~mode machine
 
 let init k = Kernel.init_process k
 
@@ -705,6 +705,60 @@ let test_privileged_module_rejected () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "baseline load: %s" (Module_loader.describe_load_error e)
 
+(* The same override must work — and return the same hijacked result —
+   under every execution engine.  Closure compilation happens at load
+   time, behind the verifier, and changes nothing observable. *)
+let test_module_override_engines () =
+  List.iter
+    (fun engine ->
+      let k = boot ~engine () in
+      let p = init k in
+      Syscalls.register_builtin_externs k;
+      (match Module_loader.load k ~name:"const_read" (constant_read_module ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "load: %s" (Module_loader.describe_load_error e));
+      let fd = expect_ok "open" (Syscalls.open_ k p "/f" Syscalls.creat_trunc) in
+      Alcotest.(check int)
+        ("hijacked result under "
+        ^ Vg_compiler.Exec_engine.to_string engine)
+        42
+        (expect_ok "read" (Syscalls.read k p ~fd ~buf:user_buf ~len:10));
+      Module_loader.unload k ~name:"const_read")
+    Vg_compiler.Exec_engine.all
+
+(* The compiled engine obtains artifacts only through the verifying
+   cache: an image the verifier refuses is never closure-compiled and
+   the load fails exactly as under the slot executor. *)
+let test_compiled_engine_refuses_unverified () =
+  let evil =
+    let b = Builder.create () in
+    Builder.func b "sys_read" ~params:[ "fd"; "buf"; "len" ];
+    Builder.io_write b ~port:(Imm 0x3f8L) (Imm 0x41L);
+    Builder.ret b (Some (Imm 0L));
+    Builder.program b
+  in
+  let recorder = Vg_obs.Obs_recorder.create () in
+  let result =
+    Vg_obs.Obs.with_sink Vg_obs.Obs.default
+      (Vg_obs.Obs_recorder.sink recorder)
+      (fun () ->
+        let k = boot ~engine:Vg_compiler.Exec_engine.Compiled () in
+        Module_loader.load k ~name:"evil_io" evil)
+  in
+  (match result with
+  | Ok () -> Alcotest.fail "compiled engine executed an unverifiable image"
+  | Error
+      (Module_loader.Cache_refused (Vg_compiler.Trans_cache.Rejected_by_verifier _)
+       as err) ->
+      Alcotest.(check string) "maps to ENOEXEC" "ENOEXEC"
+        (Errno.to_string (Module_loader.errno_of_load_error err))
+  | Error e -> Alcotest.failf "wrong error class: %s" (Module_loader.describe_load_error e));
+  Alcotest.(check bool) "security event emitted" true
+    (Vg_obs.Obs_recorder.count_matching recorder (function
+       | Vg_obs.Obs.Event.Security { subsystem = "image-verify"; _ } -> true
+       | _ -> false)
+    > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Poll readiness                                                      *)
 
@@ -955,6 +1009,10 @@ let () =
       ( "modules",
         [
           Alcotest.test_case "override" `Quick test_module_override;
+          Alcotest.test_case "override under all engines" `Quick
+            test_module_override_engines;
+          Alcotest.test_case "compiled engine refuses unverified" `Quick
+            test_compiled_engine_refuses_unverified;
           Alcotest.test_case "chains to genuine" `Quick test_module_chains_to_genuine;
           Alcotest.test_case "malformed rejected" `Quick test_malformed_module_rejected;
           Alcotest.test_case "privileged module rejected" `Quick
