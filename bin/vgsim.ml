@@ -439,6 +439,97 @@ let postmark_cmd =
     Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ tx_arg $ files_arg
           $ trace_arg $ stats_arg)
 
+(* -- policy --------------------------------------------------------- *)
+
+let policy_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP"
+          ~doc:
+            "What to profile.  $(b,httpd), $(b,postmark) or $(b,ssh) record \
+             a syscall-flow profile by running the app's workload once under \
+             a Record-mode policy; a catalogue module name ($(b,kernel), \
+             $(b,const-read), $(b,iago-mmap), $(b,rootkit-direct), \
+             $(b,rootkit-inject)) extracts one statically from the linked \
+             image at translation time.")
+  in
+  let print_policy ~how name pol =
+    let wire = Syscall_policy.to_profile pol in
+    Printf.printf "%s: syscall-flow profile (%s, %d bytes signed into the image)\n"
+      name how (Bytes.length wire);
+    Format.printf "%a@." Syscall_policy.pp pol
+  in
+  let record workload =
+    let recorder = Syscall_policy.record () in
+    workload recorder;
+    recorder
+  in
+  let run app cpus engine =
+    let recorded_app k = function
+      | "httpd" ->
+          Some
+            (record (fun sfip ->
+                 (match Diskfs.create k.Kernel.fs "/index.html" with
+                 | Error _ -> failwith "create /index.html"
+                 | Ok ino ->
+                     ignore
+                       (Diskfs.write k.Kernel.fs ~ino ~off:0 (Bytes.make 8192 'x')));
+                 ignore
+                   (Httpd.Event_loop.run k ~batch:8 ~sfip ~requests:8 ~port:80
+                      ~path:"/index.html")))
+      | "postmark" ->
+          Some
+            (record (fun sfip ->
+                 Runtime.launch k ~sfip ~ghosting:false (fun ctx ->
+                     let config =
+                       { Postmark.paper_config with transactions = 200; base_files = 20 }
+                     in
+                     match Postmark.run ctx config with
+                     | Ok _ -> ()
+                     | Error e -> failwith ("postmark: " ^ Errno.to_string e))))
+      | "ssh" ->
+          Some
+            (record (fun sfip ->
+                 let ssh_img, keygen_img, _ =
+                   Ssh_suite.install_images k ~app_key:(Bytes.make 16 'p')
+                 in
+                 Runtime.launch k ~image:keygen_img ~sfip ~ghosting:true
+                   (fun ctx -> ignore (Ssh_suite.keygen ctx ~path:"/id"));
+                 Runtime.launch k ~image:ssh_img ~sfip ~ghosting:true (fun ctx ->
+                     ignore (Ssh_suite.load_private_key ctx ~path:"/id"))))
+      | _ -> None
+    in
+    let _, k = boot ~cpus ~engine Sva.Virtual_ghost in
+    match recorded_app k app with
+    | Some pol -> print_policy ~how:"recorded from the workload" app pol
+    | None -> (
+        match List.assoc_opt app (verify_catalogue ()) with
+        | Some program ->
+            let compiled =
+              Vg_compiler.Pipeline.compile_kernel_code
+                ~mode:Vg_compiler.Pipeline.Virtual_ghost program
+            in
+            let graph =
+              Syscall_policy.extract compiled.Vg_compiler.Pipeline.linked
+            in
+            print_policy ~how:"extracted at link time" app
+              (Syscall_policy.enforce graph)
+        | None ->
+            Printf.printf "unknown app %s (apps: httpd, postmark, ssh; catalogue: %s)\n"
+              app
+              (String.concat ", " (List.map fst (verify_catalogue ())));
+            Stdlib.exit 2)
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:
+         "Print an application's syscall-flow-integrity profile — the \
+          transition graph the kernel enforces at dispatch — recorded from \
+          a workload run or extracted statically from a linked image.")
+    Term.(const run $ app_arg $ cpus_arg $ engine_arg)
+
 let () =
   let doc = "Virtual Ghost (ASPLOS 2014) reproduction simulator" in
   exit
@@ -446,5 +537,5 @@ let () =
        (Cmd.group (Cmd.info "vgsim" ~doc)
           [
             info_cmd; verify_cmd; attack_cmd; lmbench_cmd; postmark_cmd;
-            sealed_cmd; httpd_cmd;
+            sealed_cmd; httpd_cmd; policy_cmd;
           ]))

@@ -99,7 +99,7 @@ module Pool = struct
           if !served >= requests then continue := false else Sched.yield sched
     done
 
-  let run ?(ghosting = false) kernel ~workers ~requests ~port ~path =
+  let run ?(ghosting = false) ?sfip kernel ~workers ~requests ~port ~path =
     if workers < 1 then invalid_arg "Httpd.Pool.run: workers < 1";
     let m = kernel.Kernel.machine in
     (match Netstack.listen kernel.Kernel.net ~port with
@@ -110,7 +110,7 @@ module Pool = struct
     let cpus = Machine.cpus m in
     for i = 0 to workers - 1 do
       ignore
-        (Runtime.spawn_fiber kernel sched ~cpu:(i mod cpus) ~ghosting
+        (Runtime.spawn_fiber kernel sched ~cpu:(i mod cpus) ?sfip ~ghosting
            ~name:(Printf.sprintf "httpd-%d" i)
            (worker_body sched ~port ~requests ~served))
     done;
@@ -358,7 +358,7 @@ module Event_loop = struct
     sqes := !sqes + Uring.submitted ring;
     polled := !polled + !polls
 
-  let run ?(ghosting = false) ?(batch = 8) kernel ~requests ~port ~path =
+  let run ?(ghosting = false) ?(batch = 8) ?sfip kernel ~requests ~port ~path =
     if batch < 1 || batch > 4096 then invalid_arg "Httpd.Event_loop.run: bad batch";
     let m = kernel.Kernel.machine in
     (match Netstack.listen kernel.Kernel.net ~port with
@@ -370,7 +370,7 @@ module Event_loop = struct
     let cpus = Machine.cpus m in
     for i = 0 to cpus - 1 do
       ignore
-        (Runtime.spawn_fiber kernel sched ~cpu:i ~ghosting
+        (Runtime.spawn_fiber kernel sched ~cpu:i ?sfip ~ghosting
            ~name:(Printf.sprintf "httpd-ev-%d" i)
            (loop_body ~port ~batch ~served ~totals:(enters, sqes, polls)))
     done;

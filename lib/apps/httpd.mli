@@ -30,6 +30,7 @@ module Pool : sig
 
   val run :
     ?ghosting:bool ->
+    ?sfip:Syscall_policy.t ->
     Kernel.t ->
     workers:int ->
     requests:int ->
@@ -39,7 +40,8 @@ module Pool : sig
   (** Listen, spawn [workers] fibers pinned round-robin across cores,
       pre-connect [requests] clients (handshakes fall outside the
       measured window), then drive the scheduler until every request
-      is served. *)
+      is served.  [?sfip] attaches a syscall-flow policy to every
+      worker (own cursor, shared graph — see {!Runtime.launch}). *)
 end
 
 (** Event-driven server: one single-threaded event loop per core over
@@ -65,6 +67,7 @@ module Event_loop : sig
   val run :
     ?ghosting:bool ->
     ?batch:int ->
+    ?sfip:Syscall_policy.t ->
     Kernel.t ->
     requests:int ->
     port:int ->
@@ -74,7 +77,9 @@ module Event_loop : sig
       submission ring of at least [batch] slots), pre-connect
       [requests] clients, then drive the scheduler until the backlog
       and every accepted connection are drained.  [batch] defaults
-      to 8. *)
+      to 8.  [?sfip] attaches a syscall-flow policy to every loop
+      (own cursor, shared graph): ring batches are vetted whole before
+      any entry runs. *)
 end
 
 (** Client half, run on the remote machine by the benchmark harness. *)

@@ -6,7 +6,7 @@ let install_images k ~app_key =
   let image name =
     Appimage.install ~vg_key ~rng ~name
       ~payload:(Bytes.of_string ("text segment of " ^ name))
-      ~entry:0x400000L ~app_key
+      ~entry:0x400000L ~app_key ()
   in
   (image "ssh", image "ssh-keygen", image "ssh-agent")
 

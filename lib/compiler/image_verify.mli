@@ -52,11 +52,11 @@
     property tests show the real pipeline's output (all optimisation
     levels) always proves clean — no false positives. *)
 
-type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control
+type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy
 
 val invariant_to_string : invariant -> string
 (** Stable kebab-case names: ["mask"], ["cfi-exit"], ["cfi-label"],
-    ["privileged"], ["control"]. *)
+    ["privileged"], ["control"], ["policy"]. *)
 
 type violation = {
   func : string;  (** owning function, or ["<image>"] *)
@@ -90,3 +90,14 @@ val cost_cycles : Linker.image -> int
 (** Simulated cycle cost of verifying this image (charged once at boot
     for the kernel's own image): two cycles per code slot — one to
     fetch/decode, one for the dataflow bookkeeping. *)
+
+val check_policy :
+  resolve:(string -> int option) ->
+  n:int ->
+  expected:Sfip.graph ->
+  Linker.image ->
+  (unit, violation list) result
+(** The sixth invariant class ({!Policy}): re-extract the syscall-flow
+    graph from the image with {!Sfip.extract} and require it to equal
+    the graph the signed blob carried.  Proves a profiled image cannot
+    ship a graph more permissive (or just different) than its code. *)

@@ -11,6 +11,10 @@ type t = {
   verified : (string, unit) Hashtbl.t;
   mutable verifier_runs : int;
   compiled : (string, Exec_compile.t) Hashtbl.t;
+  (* bound once at kernel boot: the syscall-table size and the extern
+     name -> sysno mapping the policy re-extraction check needs.  The
+     compiler layer cannot see [Syscall_abi]; the kernel injects it. *)
+  mutable resolver : (int * (string -> int option)) option;
 }
 
 and signed_image = { blob : bytes; tag : bytes }
@@ -34,11 +38,11 @@ let describe_find_error = function
    image loaded back from the cache is immediately executable without
    relinking; v3 adds the instrumented flag so an instrumented image
    cannot dodge re-verification by being relabelled as a plain one;
-   v4 caches compiled-readiness alongside the signed blob (the memos
-   above — the wire format itself is unchanged from v3, but the
-   version bump keeps v3 blobs from aliasing v4 semantics).  The
-   version and the flag are both under the MAC. *)
-let format_version = 4
+   v4 caches compiled-readiness alongside the signed blob; v5 adds an
+   optional syscall-flow graph ({!Sfip.graph}) to the blob, re-proven
+   against the code by {!Image_verify.check_policy} on every load.
+   The version, the flag and the graph are all under the MAC. *)
+let format_version = 5
 
 let create ~key =
   {
@@ -47,49 +51,91 @@ let create ~key =
     verified = Hashtbl.create 8;
     verifier_runs = 0;
     compiled = Hashtbl.create 8;
+    resolver = None;
   }
 
 let verifier_runs t = t.verifier_runs
+let set_syscall_resolver t ~n resolve = t.resolver <- Some (n, resolve)
 
-let sign t ~instrumented image =
-  let blob = Marshal.to_bytes (format_version, instrumented, (image : Linker.image)) [] in
+let sign t ~instrumented ?sfip image =
+  let blob =
+    Marshal.to_bytes
+      (format_version, instrumented, (sfip : Sfip.graph option), (image : Linker.image))
+      []
+  in
   { blob; tag = Vg_crypto.Hmac.mac ~key:t.key blob }
 
-let verify_and_load t { blob; tag } =
+let verify_and_load_with_policy t { blob; tag } =
   if not (Vg_crypto.Hmac.verify ~key:t.key ~tag blob) then Error Bad_signature
   else begin
     (* Marshal is memory-safe only on trusted input: the HMAC above is
        the integrity boundary for the bytes, and only blobs signed
        under the VM's key reach this decode. *)
-    match (Marshal.from_bytes blob 0 : int * bool * Linker.image) with
+    match
+      (Marshal.from_bytes blob 0 : int * bool * Sfip.graph option * Linker.image)
+    with
     | exception _ -> Error Bad_format
-    | v, _, _ when v <> format_version -> Error Bad_format
-    | _, false, image -> Ok image
-    | _, true, image ->
+    | v, _, _, _ when v <> format_version -> Error Bad_format
+    | _, instrumented, sfip, image -> (
         (* The signature authenticates the bytes; the verifier proves
-           the instrumentation invariants still hold in them — once per
-           signed blob per process, memoized by the tag (the HMAC check
-           above already ran, so a tampered blob can never reach a memo
+           the instrumentation (and, when a graph is carried, the
+           policy) invariants still hold in them — once per signed blob
+           per process, memoized by the tag (the HMAC check above
+           already ran, so a tampered blob can never reach a memo
            planted by an intact one). *)
         let id = Bytes.to_string tag in
-        if Hashtbl.mem t.verified id then Ok image
-        else begin
-          t.verifier_runs <- t.verifier_runs + 1;
-          match Image_verify.check image with
-          | Ok () ->
-              Hashtbl.replace t.verified id ();
-              Ok image
-          | Error vs -> Error (Rejected_by_verifier vs)
-        end
+        if Hashtbl.mem t.verified id then Ok (image, sfip)
+        else
+          let instrumentation () =
+            if not instrumented then Ok ()
+            else begin
+              t.verifier_runs <- t.verifier_runs + 1;
+              Image_verify.check image
+            end
+          in
+          let policy () =
+            match sfip with
+            | None -> Ok ()
+            | Some expected -> (
+                match t.resolver with
+                | None ->
+                    (* fail closed: a policy we cannot re-prove is a
+                       policy we refuse to load. *)
+                    Error
+                      [
+                        {
+                          Image_verify.func = "<image>";
+                          slot = 0;
+                          invariant = Image_verify.Policy;
+                          message =
+                            "policy-carrying image but no syscall resolver \
+                             bound to this cache";
+                        };
+                      ]
+                | Some (n, resolve) ->
+                    Image_verify.check_policy ~resolve ~n ~expected image)
+          in
+          match (instrumentation (), policy ()) with
+          | Error vs, Error vs' -> Error (Rejected_by_verifier (vs @ vs'))
+          | Error vs, Ok () | Ok (), Error vs -> Error (Rejected_by_verifier vs)
+          | Ok (), Ok () ->
+              if instrumented || sfip <> None then Hashtbl.replace t.verified id ();
+              Ok (image, sfip))
   end
 
-let add t ~name ~instrumented image =
-  Hashtbl.replace t.entries name (sign t ~instrumented image)
+let verify_and_load t signed =
+  Result.map fst (verify_and_load_with_policy t signed)
 
-let find t ~name =
+let add t ~name ~instrumented ?sfip image =
+  Hashtbl.replace t.entries name (sign t ~instrumented ?sfip image)
+
+let find_with_policy t ~name =
   match Hashtbl.find_opt t.entries name with
   | None -> Error Absent
-  | Some signed -> verify_and_load t signed
+  | Some signed -> verify_and_load_with_policy t signed
+
+let find t ~name = Result.map fst (find_with_policy t ~name)
+let policy t ~name = Result.map snd (find_with_policy t ~name)
 
 let find_compiled t ~name =
   match Hashtbl.find_opt t.entries name with

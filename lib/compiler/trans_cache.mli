@@ -49,19 +49,29 @@ type find_error =
 val describe_find_error : find_error -> string
 
 val format_version : int
-(** Serialisation format of the signed blobs (4: linked images plus the
-    instrumented flag, with compiled-readiness cached alongside). *)
+(** Serialisation format of the signed blobs (5: linked images plus the
+    instrumented flag and an optional syscall-flow graph, with
+    compiled-readiness cached alongside). *)
 
-val sign : t -> instrumented:bool -> Linker.image -> signed_image
+val set_syscall_resolver : t -> n:int -> (string -> int option) -> unit
+(** Bind the syscall table this cache re-proves policies against: [n]
+    is the table size, the function maps extern names (["extern.read"],
+    ["sva.foo"]) to syscall numbers.  The kernel calls this once at
+    boot; until it is bound, any policy-carrying blob is refused
+    (fail closed). *)
+
+val sign : t -> instrumented:bool -> ?sfip:Sfip.graph -> Linker.image -> signed_image
 
 val verify_and_load : t -> signed_image -> (Linker.image, find_error) result
-(** Check the HMAC, the format version, and — for instrumented images —
-    the {!Image_verify} invariants. *)
+(** Check the HMAC, the format version, for instrumented images the
+    {!Image_verify} invariants, and for policy-carrying images the
+    {!Image_verify.check_policy} re-extraction. *)
 
-val add : t -> name:string -> instrumented:bool -> Linker.image -> unit
+val add : t -> name:string -> instrumented:bool -> ?sfip:Sfip.graph -> Linker.image -> unit
 (** Sign and retain an image under a name (e.g. "kernel",
     "module.rootkit").  [instrumented] records whether the image must
-    re-prove the sandbox/CFI invariants on every load. *)
+    re-prove the sandbox/CFI invariants on every load; [sfip] embeds a
+    syscall-flow graph, re-proven against the code on every load. *)
 
 val find : t -> name:string -> (Linker.image, find_error) result
 (** Re-verify the stored signature (and, for instrumented images, the
@@ -70,6 +80,14 @@ val find : t -> name:string -> (Linker.image, find_error) result
     by the blob's HMAC tag, so repeated loads of the same signed
     translation pay its host time once (simulated Verify cycles are
     charged by the kernel per load and are unaffected). *)
+
+val find_with_policy :
+  t -> name:string -> (Linker.image * Sfip.graph option, find_error) result
+(** Like {!find}, also yielding the syscall-flow graph the signed blob
+    carried (already re-proven against the code by the load path). *)
+
+val policy : t -> name:string -> (Sfip.graph option, find_error) result
+(** Just the (re-proven) carried graph of a cached translation. *)
 
 val find_compiled : t -> name:string -> (Exec_compile.t, find_error) result
 (** Like {!find}, but additionally translate the image into its

@@ -21,6 +21,7 @@ type t =
   | ENOSYS
   | ENOTEMPTY
   | ECONNREFUSED
+  | ESFIP
 
 let to_string = function
   | EPERM -> "EPERM"
@@ -45,6 +46,7 @@ let to_string = function
   | ENOSYS -> "ENOSYS"
   | ENOTEMPTY -> "ENOTEMPTY"
   | ECONNREFUSED -> "ECONNREFUSED"
+  | ESFIP -> "ESFIP"
 
 let to_int = function
   | EPERM -> 1
@@ -69,12 +71,16 @@ let to_int = function
   | ENOSYS -> 78
   | ENOTEMPTY -> 66
   | ECONNREFUSED -> 61
+  (* EPERM-class but distinct: a syscall-flow-integrity kill must not be
+     confused with argument defusal (EPERM) or a bad pointer (EFAULT).
+     97 is unclaimed by every other constructor here. *)
+  | ESFIP -> 97
 
 let all =
   [
     EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; ENOEXEC; EAGAIN; ENOMEM;
     EACCES; EFAULT; EEXIST; ENOTDIR; EISDIR; EINVAL; ENFILE; EMFILE; ENOSPC;
-    EPIPE; ENOSYS; ENOTEMPTY; ECONNREFUSED;
+    EPIPE; ENOSYS; ENOTEMPTY; ECONNREFUSED; ESFIP;
   ]
 
 (* [to_int] is injective over [all], so numbered ABI results round-trip:

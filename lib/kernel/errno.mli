@@ -24,6 +24,11 @@ type t =
   | ENOSYS
   | ENOTEMPTY
   | ECONNREFUSED
+  | ESFIP
+      (** syscall-flow-integrity kill: the process issued a syscall (or a
+          ring batch) outside its signed transition profile.  EPERM-class,
+          but deliberately distinct from both [EPERM] (argument defusal)
+          and [EFAULT] (bad pointer). *)
 
 val all : t list
 (** Every errno, in declaration order (drives the numbered-ABI

@@ -9,10 +9,10 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   mutable next_pid : int;
   current : int array; (* per-CPU: pid whose address space is installed *)
-  overrides : (int, syscall_override) Hashtbl.t;
+  overrides : (Syscall_abi.Sysno.t, syscall_override) Hashtbl.t;
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
   frame_refs : (int, int) Hashtbl.t; (* COW sharing; absent = 1 *)
-  modules : (string, int list) Hashtbl.t; (* module name -> overridden syscall numbers *)
+  modules : (string, Syscall_abi.Sysno.t list) Hashtbl.t; (* module name -> overridden syscalls *)
   proc_lock : Spinlock.t;
   frame_lock : Spinlock.t;
   mutable preempt : unit -> unit;
@@ -62,6 +62,12 @@ let verify_kernel_image machine sva =
 
 let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots) ~mode machine =
   let sva = Sva.boot ~mode machine in
+  (* Bind the syscall table into the translation cache so any signed
+     blob carrying a syscall-flow graph can be re-proven against its
+     code at load time ([Trans_cache] itself lives below [Syscall_abi]
+     and cannot name it). *)
+  Vg_compiler.Trans_cache.set_syscall_resolver (Sva.translation_cache sva)
+    ~n:Syscall_abi.Sysno.count Syscall_policy.resolve_extern;
   verify_kernel_image machine sva;
   let kmem = Kmem.create sva in
   let phys_frames = Phys_mem.frames (Machine.mem machine) in

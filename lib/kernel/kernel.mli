@@ -25,14 +25,15 @@ type t = {
   mutable next_pid : int;
   current : int array;
       (** per-CPU: pid whose address space is installed on that core *)
-  overrides : (int, syscall_override) Hashtbl.t;
-      (** loadable-module replacements, keyed by syscall number *)
+  overrides : (Syscall_abi.Sysno.t, syscall_override) Hashtbl.t;
+      (** loadable-module replacements, keyed by validated syscall
+          number *)
   module_externs : (string, t -> Proc.t -> int64 array -> int64) Hashtbl.t;
       (** kernel helper API exposed to module native code *)
   frame_refs : (int, int) Hashtbl.t;
       (** copy-on-write frame sharing counts (absent = 1) *)
-  modules : (string, int list) Hashtbl.t;
-      (** loaded module name -> syscall numbers it overrides *)
+  modules : (string, Syscall_abi.Sysno.t list) Hashtbl.t;
+      (** loaded module name -> syscalls it overrides *)
   proc_lock : Spinlock.t;  (** guards the process table / pid counter *)
   frame_lock : Spinlock.t;  (** guards the physical frame allocator *)
   mutable preempt : unit -> unit;

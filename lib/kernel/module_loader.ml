@@ -12,7 +12,7 @@ let overrides_of_image (k : Kernel.t) (image : Vg_compiler.Linker.image) =
          && String.sub n 0 (String.length override_prefix) = override_prefix
       then begin
         let call = String.sub n 4 (String.length n - 4) in
-        match Syscall_abi.number_of_name call with
+        match Syscall_abi.Sysno.of_name call with
         | Some sysno -> Some (sysno, n)
         | None ->
             Console.write
@@ -109,6 +109,5 @@ let loaded_modules (k : Kernel.t) =
 
 let loaded_overrides (k : Kernel.t) =
   Hashtbl.fold
-    (fun sysno _ acc ->
-      match Syscall_abi.name_of_number sysno with Some n -> n :: acc | None -> acc)
+    (fun sysno _ acc -> Syscall_abi.Sysno.to_name sysno :: acc)
     k.Kernel.overrides []

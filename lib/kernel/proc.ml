@@ -24,6 +24,7 @@ type t = {
   code_map : (int64, int64 -> unit) Hashtbl.t;
   mutable image : Appimage.t option;
   blocking : (int, unit) Hashtbl.t;
+  mutable policy : Syscall_policy.t option;
 }
 
 let make ~pid ~parent ~pt ~tid =
@@ -43,6 +44,7 @@ let make ~pid ~parent ~pt ~tid =
     code_map = Hashtbl.create 8;
     image = None;
     blocking = Hashtbl.create 4;
+    policy = None;
   }
 
 let add_fd t kind =

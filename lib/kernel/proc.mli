@@ -35,6 +35,10 @@ type t = {
   code_map : (int64, int64 -> unit) Hashtbl.t;
   mutable image : Appimage.t option;
   blocking : (int, unit) Hashtbl.t;  (** fds opted into blocking I/O *)
+  mutable policy : Syscall_policy.t option;
+      (** syscall-flow-integrity state; [None] = unprofiled (no checks,
+          no cycle charges).  Installed by [execve] from the signed
+          image's profile, or by the userland runtime's [?sfip]. *)
 }
 
 val make : pid:int -> parent:int -> pt:Pagetable.t -> tid:int -> t

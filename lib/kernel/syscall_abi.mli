@@ -1,50 +1,44 @@
 (** The numbered system-call ABI.
 
-    One table maps syscall numbers to names, register arities and
-    result codecs.  Typed {!Syscalls} wrappers, loadable-module
-    overrides ({!Module_loader}) and the batched submission ring
-    ({!Syscall_ring}) all address kernel entry points through this
-    numbering, and every result crossing the boundary goes through the
-    single encode/decode convention defined here — there is no other
-    path for a handler's value to reach user registers. *)
+    One generated table maps syscall numbers to names, register
+    arities and result codecs.  Typed {!Syscalls} wrappers,
+    loadable-module overrides ({!Module_loader}) and the batched
+    submission ring ({!Syscall_ring}) all address kernel entry points
+    through this numbering, and every result crossing the boundary
+    goes through the single encode/decode convention defined here —
+    there is no other path for a handler's value to reach user
+    registers.
 
-(** {1 Syscall numbers} *)
+    {!Sysno.t} is a private int: the only ways to obtain one are the
+    [sys_*] values, {!Sysno.of_int} (bounds-checked — this is where
+    the ring's raw wire numbers are laundered) and {!Sysno.of_name}.
+    Holding a [Sysno.t] therefore proves validity, which is why
+    {!describe}, {!Sysno.to_name}, {!arity} and {!codec} are total. *)
 
-val sys_read : int
-val sys_write : int
-val sys_open : int
-val sys_close : int
-val sys_lseek : int
-val sys_unlink : int
-val sys_mkdir : int
-val sys_stat : int
-val sys_rename : int
-val sys_fstat : int
-val sys_dup2 : int
-val sys_readdir : int
-val sys_fsync : int
-val sys_getpid : int
-val sys_fork : int
-val sys_execve : int
-val sys_exit : int
-val sys_wait : int
-val sys_mmap : int
-val sys_munmap : int
-val sys_allocgm : int
-val sys_freegm : int
-val sys_signal : int
-val sys_kill : int
-val sys_sigreturn : int
-val sys_pipe : int
-val sys_listen : int
-val sys_accept : int
-val sys_connect : int
-val sys_send : int
-val sys_recv : int
-val sys_select : int
-val sys_poll : int
-val sys_set_blocking : int
-val sys_ring_enter : int
+(** {1 Validated syscall numbers} *)
+
+module Sysno : sig
+  type t = private int
+
+  val count : int
+  (** Size of the table; numbers are [0 .. count-1]. *)
+
+  val of_int : int -> t option
+  (** The only entry point for untrusted raw numbers (ring SQEs). *)
+
+  val to_int : t -> int
+  val of_name : string -> t option
+
+  val to_name : t -> string
+  (** Total: every [t] has a name.  Inverse of {!of_name}. *)
+
+  val all : t list
+  (** Every syscall, in numbering order. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+end
 
 (** {1 Descriptors} *)
 
@@ -59,11 +53,69 @@ type result_codec =
 
 type desc = { name : string; arity : int; codec : result_codec }
 
-val max_sysno : int
-val is_valid : int -> bool
-val describe : int -> desc option
-val name_of_number : int -> string option
-val number_of_name : string -> int option
+val describe : Sysno.t -> desc
+val arity : Sysno.t -> int
+val codec : Sysno.t -> result_codec
+
+(** {1 Syscall numbers} *)
+
+val sys_read : Sysno.t
+val sys_write : Sysno.t
+val sys_open : Sysno.t
+val sys_close : Sysno.t
+val sys_lseek : Sysno.t
+val sys_unlink : Sysno.t
+val sys_mkdir : Sysno.t
+val sys_stat : Sysno.t
+val sys_rename : Sysno.t
+val sys_fstat : Sysno.t
+val sys_dup2 : Sysno.t
+val sys_readdir : Sysno.t
+val sys_fsync : Sysno.t
+val sys_getpid : Sysno.t
+val sys_fork : Sysno.t
+val sys_execve : Sysno.t
+val sys_exit : Sysno.t
+val sys_wait : Sysno.t
+val sys_mmap : Sysno.t
+val sys_munmap : Sysno.t
+val sys_allocgm : Sysno.t
+val sys_freegm : Sysno.t
+val sys_signal : Sysno.t
+val sys_kill : Sysno.t
+val sys_sigreturn : Sysno.t
+val sys_pipe : Sysno.t
+val sys_listen : Sysno.t
+val sys_accept : Sysno.t
+val sys_connect : Sysno.t
+val sys_send : Sysno.t
+val sys_recv : Sysno.t
+val sys_select : Sysno.t
+val sys_poll : Sysno.t
+val sys_set_blocking : Sysno.t
+val sys_ring_enter : Sysno.t
+
+(** {1 Entries}
+
+    The first-class shape of one kernel entry point: its number, wire
+    metadata, and a handler.  {!Dispatch} keeps a registry of
+    [handler Entry.t] and is the one place where decode → policy-check
+    → handler → encode happens; the ['h] parameter keeps this module
+    free of kernel types. *)
+
+module Entry : sig
+  type 'h t = private {
+    sysno : Sysno.t;
+    name : string;
+    arity : int;
+    codec : result_codec;
+    handler : 'h;
+  }
+
+  val make : Sysno.t -> 'h -> 'h t
+  (** Name, arity and codec are filled in from the table — an entry
+      cannot disagree with the ABI descriptor for its number. *)
+end
 
 (** {1 Result codecs}
 

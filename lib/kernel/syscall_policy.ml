@@ -1,0 +1,115 @@
+(* Per-process syscall-flow-integrity state.
+
+   A policy object pairs an {!Vg_compiler.Sfip} transition graph with a
+   cursor: the last syscall this process issued (or "none yet").  The
+   dispatcher consults it on every numbered entry; the ring path scans
+   a whole batch against it before executing anything.  [Record] mode
+   never refuses — it grows the graph instead, which is how profiles
+   are extracted for OCaml-closure apps (IR apps get theirs statically
+   from [Sfip.extract]). *)
+
+module Sfip = Vg_compiler.Sfip
+
+type mode = Record | Enforce
+
+type t = {
+  graph : Sfip.graph;
+  mode : mode;
+  mutable last : int;  (* sysno of the previous syscall; -1 = entry state *)
+  mutable killed : bool;
+}
+
+let n = Syscall_abi.Sysno.count
+let create mode graph = { graph; mode; last = -1; killed = false }
+let record () = create Record (Sfip.create ~n)
+let enforce graph = create Enforce graph
+let graph t = t.graph
+let mode t = t.mode
+let killed t = t.killed
+let kill t = t.killed <- true
+let last t = if t.last < 0 then None else Syscall_abi.Sysno.of_int t.last
+
+(* Would [sysno] be in-policy as the next syscall?  Pure: no cursor
+   motion, no graph growth. *)
+let permits t sysno =
+  let s = Syscall_abi.Sysno.to_int sysno in
+  match t.mode with
+  | Record -> true
+  | Enforce ->
+      if t.last < 0 then Sfip.entry_allowed t.graph s
+      else Sfip.allowed t.graph ~from:t.last ~to_:s
+
+(* Commit [sysno] as issued: record-mode grows the graph, both modes
+   advance the cursor. *)
+let note t sysno =
+  let s = Syscall_abi.Sysno.to_int sysno in
+  (match t.mode with
+  | Record ->
+      if t.last < 0 then Sfip.allow_entry t.graph s
+      else Sfip.allow t.graph ~from:t.last ~to_:s
+  | Enforce -> ());
+  t.last <- s
+
+(* Whole-batch verdict, from the current cursor, committing nothing:
+   returns the index of the first out-of-policy entry.  Used by
+   [ring_enter] to check a batch before executing any of it; the
+   batch-split/single-submit agreement property in the tests is a
+   property of this function plus [note]. *)
+let scan t sysnos =
+  match t.mode with
+  | Record -> Ok ()
+  | Enforce ->
+      let last = ref t.last in
+      let verdict = ref (Ok ()) in
+      (try
+         Array.iteri
+           (fun i s ->
+             let s = Syscall_abi.Sysno.to_int s in
+             let ok =
+               if !last < 0 then Sfip.entry_allowed t.graph s
+               else Sfip.allowed t.graph ~from:!last ~to_:s
+             in
+             if not ok then begin
+               verdict := Error i;
+               raise Exit
+             end;
+             last := s)
+           sysnos
+       with Exit -> ());
+      !verdict
+
+(* Simulated cost of one transition check: a couple of loads and a bit
+   test against the in-SVA bitmatrix.  Charged (under [Obs.Tag.Sfip])
+   only when a policy is attached, so sfip-off cycle counts are
+   untouched. *)
+let check_cycles = 6
+
+let of_profile bytes =
+  if Bytes.length bytes = 0 then None
+  else Option.map enforce (Sfip.of_bytes bytes)
+
+let to_profile t = Sfip.to_bytes t.graph
+
+let resolve_extern name =
+  let strip p =
+    let lp = String.length p in
+    if String.length name > lp && String.sub name 0 lp = p then
+      Some (String.sub name lp (String.length name - lp))
+    else None
+  in
+  let base =
+    match strip "extern." with Some b -> Some b | None -> strip "sva."
+  in
+  Option.bind base (fun b ->
+      Option.map Syscall_abi.Sysno.to_int (Syscall_abi.Sysno.of_name b))
+
+let extract ?entries image =
+  Sfip.extract ~resolve:resolve_extern ~n ?entries image
+
+let pp fmt t =
+  Sfip.pp
+    ~name:(fun s ->
+      match Syscall_abi.Sysno.of_int s with
+      | Some s -> Syscall_abi.Sysno.to_name s
+      | None -> string_of_int s)
+    fmt t.graph

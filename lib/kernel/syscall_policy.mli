@@ -1,0 +1,67 @@
+(** Per-process syscall-flow-integrity (SFIP) state.
+
+    Pairs an {!Vg_compiler.Sfip} transition graph with the process's
+    cursor (its last-issued sysno).  {!Dispatch} consults {!permits} /
+    {!note} on every numbered syscall; the ring path uses {!scan} to
+    vet a whole batch — intra-batch transitions included — before
+    executing any entry.  [Record]-mode policies never refuse: they
+    grow the graph, which is how profiles are extracted by running a
+    workload (OCaml-closure apps); IR apps and modules get theirs
+    statically via {!extract}. *)
+
+type mode = Record | Enforce
+
+type t
+
+val create : mode -> Vg_compiler.Sfip.graph -> t
+(** Fresh cursor (entry state) over [graph].  Graphs may be shared:
+    worker processes recording into one accumulator each hold their own
+    cursor. *)
+
+val record : unit -> t
+(** [create Record] over an empty graph sized to the ABI. *)
+
+val enforce : Vg_compiler.Sfip.graph -> t
+
+val graph : t -> Vg_compiler.Sfip.graph
+val mode : t -> mode
+val last : t -> Syscall_abi.Sysno.t option
+(** [None] in the entry state. *)
+
+val killed : t -> bool
+val kill : t -> unit
+
+val permits : t -> Syscall_abi.Sysno.t -> bool
+(** Would this sysno be in-policy next?  Pure — no cursor motion. *)
+
+val note : t -> Syscall_abi.Sysno.t -> unit
+(** Commit a sysno as issued: [Record] grows the graph, both modes
+    advance the cursor. *)
+
+val scan : t -> Syscall_abi.Sysno.t array -> (unit, int) result
+(** Whole-batch verdict from the current cursor, committing nothing;
+    [Error k] is the index of the first out-of-policy entry.  Agrees
+    with submitting the entries one at a time (qcheck-pinned). *)
+
+val check_cycles : int
+(** Simulated cycles per transition check, charged under
+    [Obs.Tag.Sfip] only when a policy is attached. *)
+
+val of_profile : bytes -> t option
+(** Decode a signed app image's profile section into an [Enforce]
+    policy.  Empty bytes (an unprofiled image) is [None]. *)
+
+val to_profile : t -> bytes
+(** Serialize the graph for embedding in an app image
+    ({!Vg_sva.Appimage.install}'s [?profile]). *)
+
+val resolve_extern : string -> int option
+(** ["extern.read"] / ["sva.read"] -> [Some 0]: the resolver the kernel
+    binds into the trans-cache ({!Vg_compiler.Trans_cache.set_syscall_resolver})
+    and uses for static extraction. *)
+
+val extract : ?entries:string list -> Vg_compiler.Linker.image -> Vg_compiler.Sfip.graph
+(** Static extraction from a linked image over this kernel's ABI. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump the graph with syscall names ([vgsim policy]). *)

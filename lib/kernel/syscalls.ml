@@ -192,126 +192,6 @@ let fsync_body k =
   Ok ()
 
 (* ------------------------------------------------------------------ *)
-(* Module override machinery                                           *)
-
-let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64 =
-  let machine = k.Kernel.machine in
-  (* Under Virtual Ghost, module code is sandbox-instrumented: an access
-     the sandbox forced out of range faults here and is absorbed.  That
-     absorbed fault is the defence engaging, so report it. *)
-  let sandbox_fault what addr =
-    if Sva.mode k.Kernel.sva = Sva.Virtual_ghost && Machine.tracing machine then
-      Machine.emit machine
-        (Obs.Event.Security
-           {
-             subsystem = "sandbox";
-             detail =
-               Printf.sprintf "module %s at %s denied" what (U64.to_hex addr);
-           })
-  in
-  let env =
-    {
-      Vg_compiler.Executor.null_env with
-      load =
-        (fun addr width ->
-          try Machine.read_virt machine addr ~len:(Ir.bytes_of_width width)
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-            sandbox_fault "load" addr;
-            0L);
-      store =
-        (fun addr width v ->
-          try Machine.write_virt machine addr ~len:(Ir.bytes_of_width width) v
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-            sandbox_fault "store" addr);
-      memcpy =
-        (fun ~dst ~src ~len ->
-          try Machine.memcpy_virt machine ~dst ~src ~len:(Int64.to_int len)
-          with Machine.Page_fault _ | Phys_mem.Bad_physical_address _ ->
-            sandbox_fault "memcpy" src);
-      io_read = (fun port -> Sva.io_read k.Kernel.sva ~port);
-      io_write =
-        (fun port v ->
-          match Sva.io_write k.Kernel.sva ~port v with Ok () -> () | Error _ -> ());
-      extern =
-        (fun name args ->
-          match Hashtbl.find_opt k.Kernel.module_externs name with
-          | Some f -> f k proc args
-          | None ->
-              Console.write (Machine.console machine)
-                ("module: call to unknown kernel symbol " ^ name);
-              0L);
-      charge = (fun tag n -> Machine.charge ~tag machine n);
-    }
-  in
-  (* Engine dispatch.  A compiled artifact exists iff the kernel booted
-     with the Compiled engine (and only via the verifying
-     [Trans_cache.find_compiled] path); the Interp debug engine re-runs
-     the instrumented IR on the reference interpreter over the same
-     callbacks (it cannot model CFI — see {!Vg_compiler.Exec_engine});
-     everything else is the slot-file executor. *)
-  match ov.Kernel.compiled with
-  | Some artifact ->
-      Vg_compiler.Exec_compile.run env artifact ov.Kernel.func args
-  | None -> (
-      match k.Kernel.engine with
-      | Vg_compiler.Exec_engine.Interp ->
-          let native = ov.Kernel.image.Vg_compiler.Linker.native in
-          let ienv =
-            {
-              Interp.load = env.Vg_compiler.Executor.load;
-              store = env.Vg_compiler.Executor.store;
-              memcpy = env.Vg_compiler.Executor.memcpy;
-              io_read = env.Vg_compiler.Executor.io_read;
-              io_write = env.Vg_compiler.Executor.io_write;
-              extern = env.Vg_compiler.Executor.extern;
-              resolve_sym =
-                (fun sym ->
-                  match Vg_compiler.Native.addr_of_symbol native sym with
-                  | Some a -> a
-                  | None -> 0L);
-              func_of_addr =
-                (fun addr ->
-                  List.find_map
-                    (fun (s : Vg_compiler.Native.symbol) ->
-                      if
-                        Vg_compiler.Native.addr_of_index native
-                          s.Vg_compiler.Native.entry
-                        = addr
-                      then Some s.Vg_compiler.Native.name
-                      else None)
-                    native.Vg_compiler.Native.symbols);
-              charge = (fun n -> Machine.charge ~tag:Obs.Tag.Exec machine n);
-            }
-          in
-          Interp.run ienv ov.Kernel.program ov.Kernel.func args
-      | Vg_compiler.Exec_engine.Slots | Vg_compiler.Exec_engine.Compiled ->
-          Vg_compiler.Executor.run env ov.Kernel.image ov.Kernel.func args)
-
-(* Run the override registered for [sysno] if one exists, otherwise the
-   builtin.  Both sides speak the encoded-register convention: whatever
-   int64 the module computes goes through the same {!Syscall_abi}
-   decode as a builtin result — no raw value escapes by another path. *)
-let with_override k proc ~sysno args builtin =
-  match Hashtbl.find_opt k.Kernel.overrides sysno with
-  | None -> builtin ()
-  | Some ov -> (
-      (* Ring entries always carry four registers; the module function
-         takes the call's real arity. *)
-      let args =
-        match Syscall_abi.describe sysno with
-        | Some d when Array.length args > d.Syscall_abi.arity ->
-            Array.sub args 0 d.Syscall_abi.arity
-        | Some _ | None -> args
-      in
-      try run_override k proc ov args
-      with Vg_compiler.Executor.Cfi_violation msg ->
-        Machine.emit k.Kernel.machine (Obs.Event.Cfi_violation { detail = msg });
-        Console.write
-          (Machine.console k.Kernel.machine)
-          ("vg: kernel thread terminated: " ^ msg);
-        Syscall_abi.encode_int (Error Errno.EFAULT))
-
-(* ------------------------------------------------------------------ *)
 (* Process bodies                                                      *)
 
 let getpid_body (proc : Proc.t) = Ok proc.Proc.pid
@@ -558,73 +438,23 @@ let poll_body k proc fds =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* The numbered dispatch                                               *)
-
-(* Execute syscall [sysno] with register arguments, honouring any
-   module override, and return the ABI-encoded result register.  This
-   is the single dispatch the typed wrappers, the submission ring and
-   loadable modules share.  Syscalls whose arguments cannot be carried
-   in registers in this simulation (paths, struct results, process
-   handles) are not reachable here and report [ENOSYS]. *)
-let dispatch_numbered k proc ~sysno (args : int64 array) : int64 =
-  let module A = Syscall_abi in
-  let arg n = if n < Array.length args then args.(n) else 0L in
-  let iarg n = Int64.to_int (arg n) in
-  let enc = A.encode_int in
-  let enc_unit r = enc (Result.map (fun () -> 0) r) in
-  with_override k proc ~sysno args (fun () ->
-      if sysno = A.sys_read then
-        enc (read_body k proc ~fd:(iarg 0) ~buf:(arg 1) ~len:(iarg 2))
-      else if sysno = A.sys_write then
-        enc (write_body k proc ~fd:(iarg 0) ~buf:(arg 1) ~len:(iarg 2))
-      else if sysno = A.sys_close then enc_unit (close_body k proc (iarg 0))
-      else if sysno = A.sys_lseek then enc (lseek_body k proc ~fd:(iarg 0) ~pos:(iarg 1))
-      else if sysno = A.sys_dup2 then enc_unit (dup2_body k proc ~src:(iarg 0) ~dst:(iarg 1))
-      else if sysno = A.sys_fsync then enc_unit (fsync_body k)
-      else if sysno = A.sys_getpid then enc (getpid_body proc)
-      else if sysno = A.sys_wait then
-        enc (Result.map fst (wait_body ~block:(iarg 0 <> 0) k proc))
-      else if sysno = A.sys_mmap then A.encode_addr (genuine_mmap k proc ~len:(iarg 0))
-      else if sysno = A.sys_munmap then
-        enc_unit (munmap_body k proc ~addr:(arg 0) ~len:(iarg 1))
-      else if sysno = A.sys_allocgm then
-        enc_unit (allocgm_body k proc ~va:(arg 0) ~pages:(iarg 1))
-      else if sysno = A.sys_freegm then
-        enc_unit (freegm_body k proc ~va:(arg 0) ~pages:(iarg 1))
-      else if sysno = A.sys_signal then
-        enc_unit (signal_body k proc ~signum:(iarg 0) ~handler:(arg 1))
-      else if sysno = A.sys_kill then
-        enc_unit
-          (Result.map
-             (fun target ->
-               (* In-ring delivery happens right after the handler: the
-                  completion lands in the ring, not in the interrupt
-                  context, so there is nothing to defer around. *)
-               deliver_signal k target (iarg 1))
-             (kill_find_target k ~pid:(iarg 0)))
-      else if sysno = A.sys_sigreturn then enc_unit (sigreturn_body k proc)
-      else if sysno = A.sys_listen then enc (listen_body k proc ~port:(iarg 0))
-      else if sysno = A.sys_accept then enc (accept_body k proc ~fd:(iarg 0))
-      else if sysno = A.sys_connect then enc (connect_body k proc ~port:(iarg 0))
-      else if sysno = A.sys_send then
-        enc (send_body k proc ~fd:(iarg 0) ~buf:(arg 1) ~len:(iarg 2))
-      else if sysno = A.sys_recv then
-        enc (recv_body k proc ~fd:(iarg 0) ~buf:(arg 1) ~len:(iarg 2))
-      else if sysno = A.sys_set_blocking then
-        enc_unit (set_blocking_body k proc ~fd:(iarg 0) (iarg 1 <> 0))
-      else enc (Error Errno.ENOSYS))
-
-(* ------------------------------------------------------------------ *)
 (* The submission ring                                                 *)
 
 (* One trap, many dispatches.  The ring lives in traditional user
    memory ([Syscall_ring] fixes the layout); the kernel pays the trap
    protocol once for [ring_enter], then runs up to [to_submit] queued
-   entries through [dispatch_numbered], writing each ABI-encoded
-   result to the completion ring.  Entry buffers pointing into ghost
-   memory meet exactly the same fate as in a direct call: the
-   instrumented accessors mask the address, the masked access faults,
-   and the data never moves. *)
+   entries through {!Dispatch.run}, writing each ABI-encoded result to
+   the completion ring.  Entry buffers pointing into ghost memory meet
+   exactly the same fate as in a direct call: the instrumented
+   accessors mask the address, the masked access faults, and the data
+   never moves.
+
+   A process with a syscall-flow policy gets the whole batch vetted
+   before any entry executes ({!Dispatch.precheck}): the submitted
+   sequence — intra-batch transitions included — must be in-policy, or
+   the process is killed, zero entries are consumed and no completion
+   is written.  The per-entry policy charge is paid once in the
+   precheck, so the executing entries commit for free. *)
 let ring_enter_body k proc ~ring ~depth ~to_submit =
   if depth <= 0 || depth > 4096 || to_submit < 0 then Error Errno.EINVAL
   else if not (Layout.in_user ring) then Error Errno.EFAULT
@@ -642,117 +472,169 @@ let ring_enter_body k proc ~ring ~depth ~to_submit =
         Bytes.set_int64_le b 0 (Int64.of_int v);
         copyout k proc ~dst:(Int64.add ring (Int64.of_int at)) b
       in
-      for i = 0 to n - 1 do
+      let read_sqe i =
         let sq_slot = R.slot_of ~depth (sq_head + i) in
         let raw =
           copyin k proc
             ~src:(Int64.add ring (Int64.of_int (R.sqe_off ~depth ~slot:sq_slot)))
             ~len:R.sqe_bytes
         in
-        let sqe = R.read_sqe raw ~off:0 in
-        (* Per-entry dispatch: the short in-kernel path that replaces a
-           full trap.  Charged to its own tag so the benchmark can show
-           where the batched path spends its cycles. *)
+        R.read_sqe raw ~off:0
+      in
+      (* Per-entry dispatch: the short in-kernel path that replaces a
+         full trap.  Charged to its own tag so the benchmark can show
+         where the batched path spends its cycles. *)
+      let charge_entry (sqe : R.sqe) =
         k.Kernel.syscall_count <- k.Kernel.syscall_count + 1;
         Kmem.fn_entry k.Kernel.kmem;
         Machine.charge ~tag:Obs.Tag.Ring k.Kernel.machine 30;
-        (if Machine.tracing k.Kernel.machine then
-           let name =
-             match Syscall_abi.name_of_number sqe.R.sysno with
-             | Some s -> "ring:" ^ s
-             | None -> "ring:?"
-           in
-           Machine.emit k.Kernel.machine
-             (Obs.Event.Syscall { name; pid = proc.Proc.pid }));
-        let result =
-          if Syscall_abi.is_valid sqe.R.sysno then
-            dispatch_numbered k proc ~sysno:sqe.R.sysno sqe.R.args
-          else Syscall_abi.encode_int (Error Errno.ENOSYS)
-        in
+        if Machine.tracing k.Kernel.machine then
+          let name =
+            match Syscall_abi.Sysno.of_int sqe.R.sysno with
+            | Some s -> "ring:" ^ Syscall_abi.Sysno.to_name s
+            | None -> "ring:?"
+          in
+          Machine.emit k.Kernel.machine
+            (Obs.Event.Syscall { name; pid = proc.Proc.pid })
+      in
+      let complete i (sqe : R.sqe) result =
         let cbuf = Bytes.create R.cqe_bytes in
         R.write_cqe cbuf ~off:0 { R.user_data = sqe.R.user_data; result };
         let cq_slot = R.slot_of ~depth (cq_tail + i) in
         copyout k proc
           ~dst:(Int64.add ring (Int64.of_int (R.cqe_off ~depth ~slot:cq_slot)))
           cbuf
-      done;
-      (* Publish the kernel-owned counters (the user owns sq_tail and
-         cq_head; only our two fields are written back). *)
-      field R.sq_head_off (sq_head + n);
-      field R.cq_tail_off (cq_tail + n);
-      Ok n
+      in
+      let publish () =
+        (* Publish the kernel-owned counters (the user owns sq_tail and
+           cq_head; only our two fields are written back). *)
+        field R.sq_head_off (sq_head + n);
+        field R.cq_tail_off (cq_tail + n);
+        Ok n
+      in
+      match proc.Proc.policy with
+      | None ->
+          (* Unprofiled: the historical per-entry loop, charge for
+             charge — sfip-off cycles stay byte-identical. *)
+          for i = 0 to n - 1 do
+            let sqe = read_sqe i in
+            charge_entry sqe;
+            complete i sqe
+              (Dispatch.run k proc ~origin:Dispatch.Ring ~sysno:sqe.R.sysno
+                 sqe.R.args)
+          done;
+          publish ()
+      | Some _ -> (
+          let sqes = Array.init n read_sqe in
+          (* The batch's policy-relevant projection: entries the
+             dispatch will actually judge.  Invalid numbers and nested
+             ring_enter fall straight to [ENOSYS] without moving the
+             cursor, so the scan skips them the same way. *)
+          let relevant =
+            Array.of_list
+              (List.filter_map
+                 (fun (sqe : R.sqe) ->
+                   match Syscall_abi.Sysno.of_int sqe.R.sysno with
+                   | Some s
+                     when not (Syscall_abi.Sysno.equal s Syscall_abi.sys_ring_enter)
+                     ->
+                       Some s
+                   | Some _ | None -> None)
+                 (Array.to_list sqes))
+          in
+          match Dispatch.precheck k proc relevant with
+          | Error e -> Error e
+          | Ok () ->
+              Array.iteri
+                (fun i sqe ->
+                  charge_entry sqe;
+                  complete i sqe
+                    (Dispatch.run k proc ~origin:Dispatch.Ring ~prechecked:true
+                       ~sysno:sqe.R.sysno sqe.R.args))
+                sqes;
+              publish ())
     end
   end
 
 (* ------------------------------------------------------------------ *)
-(* Typed wrappers: one trap around the numbered dispatch               *)
+(* Typed wrappers: one trap around the unified dispatch                *)
 
-let via k proc ~name ~sysno args =
+let via k proc ~sysno args =
+  let name = Syscall_abi.Sysno.to_name sysno in
   trap k proc ~name ~encode:ret_int (fun () ->
-      Syscall_abi.decode_int (dispatch_numbered k proc ~sysno args))
+      Syscall_abi.decode_int
+        (Dispatch.run k proc ~origin:Dispatch.Trap
+           ~sysno:(Syscall_abi.Sysno.to_int sysno) args))
 
-let via_unit k proc ~name ~sysno args =
+let via_unit k proc ~sysno args =
+  let name = Syscall_abi.Sysno.to_name sysno in
   trap k proc ~name ~encode:ret_unit (fun () ->
       Result.map
         (fun (_ : int) -> ())
-        (Syscall_abi.decode_int (dispatch_numbered k proc ~sysno args)))
+        (Syscall_abi.decode_int
+           (Dispatch.run k proc ~origin:Dispatch.Trap
+              ~sysno:(Syscall_abi.Sysno.to_int sysno) args)))
 
 let i64 = Int64.of_int
 
 let read k proc ~fd ~buf ~len =
-  via k proc ~name:"read" ~sysno:Syscall_abi.sys_read [| i64 fd; buf; i64 len |]
+  via k proc ~sysno:Syscall_abi.sys_read [| i64 fd; buf; i64 len |]
 
 let write k proc ~fd ~buf ~len =
-  via k proc ~name:"write" ~sysno:Syscall_abi.sys_write [| i64 fd; buf; i64 len |]
+  via k proc ~sysno:Syscall_abi.sys_write [| i64 fd; buf; i64 len |]
 
-let close k proc fd = via_unit k proc ~name:"close" ~sysno:Syscall_abi.sys_close [| i64 fd |]
+let close k proc fd = via_unit k proc ~sysno:Syscall_abi.sys_close [| i64 fd |]
 
 let lseek k proc ~fd ~pos =
-  via k proc ~name:"lseek" ~sysno:Syscall_abi.sys_lseek [| i64 fd; i64 pos |]
+  via k proc ~sysno:Syscall_abi.sys_lseek [| i64 fd; i64 pos |]
 
 let dup2 k proc ~src ~dst =
-  via_unit k proc ~name:"dup2" ~sysno:Syscall_abi.sys_dup2 [| i64 src; i64 dst |]
+  via_unit k proc ~sysno:Syscall_abi.sys_dup2 [| i64 src; i64 dst |]
 
-let fsync k proc = via_unit k proc ~name:"fsync" ~sysno:Syscall_abi.sys_fsync [||]
+let fsync k proc = via_unit k proc ~sysno:Syscall_abi.sys_fsync [||]
 
 let getpid k proc =
   trap k proc ~name:"getpid"
     ~encode:(fun n -> Int64.of_int n)
     (fun () ->
-      match Syscall_abi.decode_int (dispatch_numbered k proc ~sysno:Syscall_abi.sys_getpid [||]) with
+      match
+        Syscall_abi.decode_int
+          (Dispatch.run k proc ~origin:Dispatch.Trap
+             ~sysno:(Syscall_abi.Sysno.to_int Syscall_abi.sys_getpid) [||])
+      with
       | Ok pid -> pid
       | Error e -> -Errno.to_int e)
 
 let munmap k proc ~addr ~len =
-  via_unit k proc ~name:"munmap" ~sysno:Syscall_abi.sys_munmap [| addr; i64 len |]
+  via_unit k proc ~sysno:Syscall_abi.sys_munmap [| addr; i64 len |]
 
 let allocgm k proc ~va ~pages =
-  via_unit k proc ~name:"allocgm" ~sysno:Syscall_abi.sys_allocgm [| va; i64 pages |]
+  via_unit k proc ~sysno:Syscall_abi.sys_allocgm [| va; i64 pages |]
 
 let freegm k proc ~va ~pages =
-  via_unit k proc ~name:"freegm" ~sysno:Syscall_abi.sys_freegm [| va; i64 pages |]
+  via_unit k proc ~sysno:Syscall_abi.sys_freegm [| va; i64 pages |]
 
 let signal k proc ~signum ~handler =
-  via_unit k proc ~name:"signal" ~sysno:Syscall_abi.sys_signal [| i64 signum; handler |]
+  via_unit k proc ~sysno:Syscall_abi.sys_signal [| i64 signum; handler |]
 
-let sigreturn k proc = via_unit k proc ~name:"sigreturn" ~sysno:Syscall_abi.sys_sigreturn [||]
+let sigreturn k proc = via_unit k proc ~sysno:Syscall_abi.sys_sigreturn [||]
 
 let listen k proc ~port =
-  via k proc ~name:"listen" ~sysno:Syscall_abi.sys_listen [| i64 port |]
+  via k proc ~sysno:Syscall_abi.sys_listen [| i64 port |]
 
-let accept k proc ~fd = via k proc ~name:"accept" ~sysno:Syscall_abi.sys_accept [| i64 fd |]
+let accept k proc ~fd = via k proc ~sysno:Syscall_abi.sys_accept [| i64 fd |]
 
 let connect k proc ~port =
-  via k proc ~name:"connect" ~sysno:Syscall_abi.sys_connect [| i64 port |]
+  via k proc ~sysno:Syscall_abi.sys_connect [| i64 port |]
 
 let send k proc ~fd ~buf ~len =
-  via k proc ~name:"send" ~sysno:Syscall_abi.sys_send [| i64 fd; buf; i64 len |]
+  via k proc ~sysno:Syscall_abi.sys_send [| i64 fd; buf; i64 len |]
 
 let recv k proc ~fd ~buf ~len =
-  via k proc ~name:"recv" ~sysno:Syscall_abi.sys_recv [| i64 fd; buf; i64 len |]
+  via k proc ~sysno:Syscall_abi.sys_recv [| i64 fd; buf; i64 len |]
 
 let set_blocking k proc ~fd on =
-  via_unit k proc ~name:"set_blocking" ~sysno:Syscall_abi.sys_set_blocking
+  via_unit k proc ~sysno:Syscall_abi.sys_set_blocking
     [| i64 fd; (if on then 1L else 0L) |]
 
 let mmap k proc ~len =
@@ -760,18 +642,28 @@ let mmap k proc ~len =
     ~encode:(fun r -> Syscall_abi.encode_addr r)
     (fun () ->
       Syscall_abi.decode_addr
-        (dispatch_numbered k proc ~sysno:Syscall_abi.sys_mmap [| i64 len |]))
+        (Dispatch.run k proc ~origin:Dispatch.Trap
+           ~sysno:(Syscall_abi.Sysno.to_int Syscall_abi.sys_mmap) [| i64 len |]))
 
 let ring_enter k proc ~ring ~depth ~to_submit =
-  trap k proc ~name:"ring_enter" ~encode:ret_int (fun () ->
-      ring_enter_body k proc ~ring ~depth ~to_submit)
+  via k proc ~sysno:Syscall_abi.sys_ring_enter
+    [| ring; i64 depth; i64 to_submit |]
 
 (* ------------------------------------------------------------------ *)
 (* Path- and struct-carrying syscalls (typed only: their arguments do
    not fit syscall registers in this simulation)                       *)
 
+(* These never reach [Dispatch.run], so the syscall-flow gate is
+   applied here, inside the trap, at the same point the numbered path
+   would check it.  Unprofiled processes pay nothing. *)
+let guarded k proc sysno body =
+  match Dispatch.guard k proc ~origin:Dispatch.Trap sysno with
+  | Error e -> Error e
+  | Ok () -> body ()
+
 let open_ k proc path flags =
   trap k proc ~name:"open" ~encode:ret_int (fun () ->
+      guarded k proc Syscall_abi.sys_open @@ fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k path;
       let resolved = Diskfs.lookup k.Kernel.fs path in
@@ -797,17 +689,20 @@ let open_ k proc path flags =
 
 let unlink k proc path =
   trap k proc ~name:"unlink" ~encode:ret_unit (fun () ->
+      guarded k proc Syscall_abi.sys_unlink @@ fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k path;
       Diskfs.unlink k.Kernel.fs path)
 
 let mkdir k proc path =
   trap k proc ~name:"mkdir" ~encode:ret_unit (fun () ->
+      guarded k proc Syscall_abi.sys_mkdir @@ fun () ->
       path_charge k path;
       match Diskfs.mkdir k.Kernel.fs path with Ok _ -> Ok () | Error e -> Error e)
 
 let stat k proc path =
   trap k proc ~name:"stat" ~encode:ret_any (fun () ->
+      guarded k proc Syscall_abi.sys_stat @@ fun () ->
       path_charge k path;
       match Diskfs.lookup k.Kernel.fs path with
       | Error e -> Error e
@@ -815,6 +710,7 @@ let stat k proc path =
 
 let rename k proc ~src ~dst =
   trap k proc ~name:"rename" ~encode:ret_unit (fun () ->
+      guarded k proc Syscall_abi.sys_rename @@ fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       path_charge k src;
       path_charge k dst;
@@ -822,6 +718,7 @@ let rename k proc ~src ~dst =
 
 let fstat k proc ~fd =
   trap k proc ~name:"fstat" ~encode:ret_any (fun () ->
+      guarded k proc Syscall_abi.sys_fstat @@ fun () ->
       Kmem.work k.Kernel.kmem 15;
       match Proc.find_fd proc fd with
       | Some (Proc.File f) -> Diskfs.stat k.Kernel.fs ~ino:f.ino
@@ -830,6 +727,7 @@ let fstat k proc ~fd =
 
 let readdir k proc path =
   trap k proc ~name:"readdir" ~encode:ret_any (fun () ->
+      guarded k proc Syscall_abi.sys_readdir @@ fun () ->
       path_charge k path;
       match Diskfs.lookup k.Kernel.fs path with
       | Error e -> Error e
@@ -843,6 +741,7 @@ exception Fork_out_of_memory
 let fork k proc =
   trap k proc ~name:"fork" ~encode:(function Ok (c : Proc.t) -> Int64.of_int c.Proc.pid | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
+      guarded k proc Syscall_abi.sys_fork @@ fun () ->
       match Kernel.create_process k ~parent:proc with
       | Error e -> Error e
       | Ok child -> (
@@ -887,6 +786,15 @@ let fork k proc =
               proc.Proc.code_map;
             child.Proc.image <- proc.Proc.image;
             child.Proc.mmap_cursor <- proc.Proc.mmap_cursor;
+            (* The child shares the parent's flow graph but holds its
+               own cursor, starting in the entry state — exactly what a
+               recorded profile observed for forked workers. *)
+            child.Proc.policy <-
+              Option.map
+                (fun pol ->
+                  Syscall_policy.create (Syscall_policy.mode pol)
+                    (Syscall_policy.graph pol))
+                proc.Proc.policy;
             Kmem.work k.Kernel.kmem 400;
             Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 300;
             Ok child
@@ -896,6 +804,7 @@ let text_base = 0x0000_0000_0040_0000L
 
 let execve k proc image =
   trap k proc ~name:"execve" ~encode:ret_unit (fun () ->
+      guarded k proc Syscall_abi.sys_execve @@ fun () ->
       Kmem.fn_entry k.Kernel.kmem;
       Kmem.work k.Kernel.kmem 600;
       Machine.charge ~tag:Obs.Tag.Kernel_work k.Kernel.machine 600;
@@ -917,6 +826,12 @@ let execve k proc image =
           Hashtbl.reset proc.Proc.signal_handlers;
           Hashtbl.reset proc.Proc.code_map;
           proc.Proc.image <- Some image;
+          (* The fresh program gets the policy its signed image
+             carries: the profile bytes were covered by the signature
+             the VM just verified, so the OS could not have swapped in
+             a permissive graph.  Unprofiled images clear any policy
+             (a new program, a new contract). *)
+          proc.Proc.policy <- Syscall_policy.of_profile image.Appimage.profile;
           Ok ())
 
 let exit_ k proc status =
@@ -959,7 +874,7 @@ let exit_ k proc status =
 
 let wait ?(block = false) k proc =
   trap k proc ~name:"wait" ~encode:(function Ok (pid, _) -> Int64.of_int pid | Error e -> Int64.of_int (-Errno.to_int e))
-    (fun () -> wait_body ~block k proc)
+    (fun () -> guarded k proc Syscall_abi.sys_wait @@ fun () -> wait_body ~block k proc)
 
 (* ------------------------------------------------------------------ *)
 (* Signals (typed kill defers delivery to the return path)             *)
@@ -975,6 +890,7 @@ let kill k proc ~pid ~signum =
       | Some target -> deliver_signal k target signum
       | None -> ())
     (fun () ->
+      guarded k proc Syscall_abi.sys_kill @@ fun () ->
       match kill_find_target k ~pid with
       | Error _ as e -> e
       | Ok target ->
@@ -987,6 +903,7 @@ let kill k proc ~pid ~signum =
 let pipe k proc =
   trap k proc ~name:"pipe" ~encode:(function Ok (r, _) -> Int64.of_int r | Error e -> Int64.of_int (-Errno.to_int e))
     (fun () ->
+      guarded k proc Syscall_abi.sys_pipe @@ fun () ->
       Kmem.work k.Kernel.kmem 50;
       let p = Pipe_dev.create () in
       Pipe_dev.add_reader p;
@@ -998,12 +915,12 @@ let pipe k proc =
 let select k proc fds =
   trap k proc ~name:"select" ~encode:(fun r ->
       match r with Ok ready -> Int64.of_int (List.length ready) | Error e -> Int64.of_int (-Errno.to_int e))
-    (fun () -> Ok (poll_scan k proc fds))
+    (fun () -> guarded k proc Syscall_abi.sys_select @@ fun () -> Ok (poll_scan k proc fds))
 
 let poll k proc fds =
   trap k proc ~name:"poll" ~encode:(fun r ->
       match r with Ok ready -> Int64.of_int (List.length ready) | Error e -> Int64.of_int (-Errno.to_int e))
-    (fun () -> poll_body k proc fds)
+    (fun () -> guarded k proc Syscall_abi.sys_poll @@ fun () -> poll_body k proc fds)
 
 (* ------------------------------------------------------------------ *)
 (* Built-in kernel API for modules                                     *)
@@ -1068,3 +985,143 @@ let register_builtin_externs (k : Kernel.t) =
           match ino_result with
           | Error _ -> -1L
           | Ok ino -> Int64.of_int (Proc.add_fd target (Proc.File { ino; offset = 0 }))))
+
+(* ------------------------------------------------------------------ *)
+(* SFIP kill teardown                                                  *)
+
+(* An out-of-policy process dies like [exit_ 137], with one deliberate
+   difference: the SVA thread and address-space registration stay
+   alive.  The kill happens mid-trap — the caller's epilogue still has
+   to write the [ESFIP] result into the saved context and return from
+   the trap — and any later syscall the doomed closure attempts must
+   refuse cleanly ([killed] short-circuits in the gate) instead of
+   faulting on a freed thread. *)
+let policy_kill k (proc : Proc.t) =
+  if not (Proc.is_zombie proc) then begin
+    Kmem.work k.Kernel.kmem 300;
+    Hashtbl.iter
+      (fun _ kind ->
+        match kind with
+        | Proc.Pipe_read p -> Pipe_dev.drop_reader p
+        | Proc.Pipe_write p -> Pipe_dev.drop_writer p
+        | Proc.Sock_conn conn -> Netstack.close k.Kernel.net ~conn
+        | Proc.File _ | Proc.Sock_listen _ | Proc.Console_out -> ())
+      proc.Proc.fds;
+    Hashtbl.reset proc.Proc.fds;
+    List.iter
+      (fun (va, pages) ->
+        match
+          Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va
+            ~count:pages
+        with
+        | Ok frames -> List.iter (Frame_alloc.free k.Kernel.frames) frames
+        | Error _ -> ())
+      proc.Proc.ghost_regions;
+    proc.Proc.ghost_regions <- [];
+    Kernel.free_user_pages k proc;
+    proc.Proc.state <- Proc.Zombie 137;
+    Waitq.wake k.Kernel.child_wq
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry registration                                                  *)
+
+(* Every numbered entry point, as a first-class [Syscall_abi.Entry].
+   Handlers mirror the bodies above; [None] handlers are the
+   typed-only syscalls (paths, struct results, process handles) that
+   cannot be addressed by number in this simulation — registering them
+   anyway keeps the table total, so [Dispatch.entries] and the ABI
+   bijection tests cover all of them. *)
+let () =
+  Dispatch.on_kill := policy_kill;
+  let module A = Syscall_abi in
+  let reg sysno h = Dispatch.register (A.Entry.make sysno h) in
+  let arg (args : int64 array) n = if n < Array.length args then args.(n) else 0L in
+  let iarg args n = Int64.to_int (arg args n) in
+  let int_of r = Result.map Int64.of_int r in
+  let unit_of r = Result.map (fun () -> 0L) r in
+  reg A.sys_read
+    (Some
+       (fun k proc a ->
+         int_of (read_body k proc ~fd:(iarg a 0) ~buf:(arg a 1) ~len:(iarg a 2))));
+  reg A.sys_write
+    (Some
+       (fun k proc a ->
+         int_of (write_body k proc ~fd:(iarg a 0) ~buf:(arg a 1) ~len:(iarg a 2))));
+  reg A.sys_open None;
+  reg A.sys_close (Some (fun k proc a -> unit_of (close_body k proc (iarg a 0))));
+  reg A.sys_lseek
+    (Some (fun k proc a -> int_of (lseek_body k proc ~fd:(iarg a 0) ~pos:(iarg a 1))));
+  reg A.sys_unlink None;
+  reg A.sys_mkdir None;
+  reg A.sys_stat None;
+  reg A.sys_rename None;
+  reg A.sys_fstat None;
+  reg A.sys_dup2
+    (Some
+       (fun k proc a -> unit_of (dup2_body k proc ~src:(iarg a 0) ~dst:(iarg a 1))));
+  reg A.sys_readdir None;
+  reg A.sys_fsync (Some (fun k _proc _a -> unit_of (fsync_body k)));
+  reg A.sys_getpid (Some (fun _k proc _a -> int_of (getpid_body proc)));
+  reg A.sys_fork None;
+  reg A.sys_execve None;
+  reg A.sys_exit None;
+  reg A.sys_wait
+    (Some
+       (fun k proc a ->
+         int_of (Result.map fst (wait_body ~block:(iarg a 0 <> 0) k proc))));
+  reg A.sys_mmap (Some (fun k proc a -> genuine_mmap k proc ~len:(iarg a 0)));
+  reg A.sys_munmap
+    (Some
+       (fun k proc a ->
+         unit_of (munmap_body k proc ~addr:(arg a 0) ~len:(iarg a 1))));
+  reg A.sys_allocgm
+    (Some
+       (fun k proc a ->
+         unit_of (allocgm_body k proc ~va:(arg a 0) ~pages:(iarg a 1))));
+  reg A.sys_freegm
+    (Some
+       (fun k proc a ->
+         unit_of (freegm_body k proc ~va:(arg a 0) ~pages:(iarg a 1))));
+  reg A.sys_signal
+    (Some
+       (fun k proc a ->
+         unit_of (signal_body k proc ~signum:(iarg a 0) ~handler:(arg a 1))));
+  reg A.sys_kill
+    (Some
+       (fun k _proc a ->
+         unit_of
+           (Result.map
+              (fun target ->
+                (* In-ring delivery happens right after the handler:
+                   the completion lands in the ring, not in the
+                   interrupt context, so there is nothing to defer
+                   around. *)
+                deliver_signal k target (iarg a 1))
+              (kill_find_target k ~pid:(iarg a 0)))));
+  reg A.sys_sigreturn (Some (fun k proc _a -> unit_of (sigreturn_body k proc)));
+  reg A.sys_pipe None;
+  reg A.sys_listen (Some (fun k proc a -> int_of (listen_body k proc ~port:(iarg a 0))));
+  reg A.sys_accept (Some (fun k proc a -> int_of (accept_body k proc ~fd:(iarg a 0))));
+  reg A.sys_connect
+    (Some (fun k proc a -> int_of (connect_body k proc ~port:(iarg a 0))));
+  reg A.sys_send
+    (Some
+       (fun k proc a ->
+         int_of (send_body k proc ~fd:(iarg a 0) ~buf:(arg a 1) ~len:(iarg a 2))));
+  reg A.sys_recv
+    (Some
+       (fun k proc a ->
+         int_of (recv_body k proc ~fd:(iarg a 0) ~buf:(arg a 1) ~len:(iarg a 2))));
+  reg A.sys_select None;
+  reg A.sys_poll None;
+  reg A.sys_set_blocking
+    (Some
+       (fun k proc a ->
+         unit_of (set_blocking_body k proc ~fd:(iarg a 0) (iarg a 1 <> 0))));
+  reg A.sys_ring_enter
+    (Some
+       (fun k proc a ->
+         int_of
+           (ring_enter_body k proc ~ring:(arg a 0) ~depth:(iarg a 1)
+              ~to_submit:(iarg a 2))))

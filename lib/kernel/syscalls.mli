@@ -12,12 +12,21 @@
     through traditional memory).
 
     Dispatch is unified over the numbered ABI ({!Syscall_abi}): every
-    register-argument call runs through one numbered dispatch shared by
+    register-argument call runs through {!Dispatch.run} — shared by
     the typed wrappers here, the batched submission ring
     ({!ring_enter}) and loadable-module overrides ({!Module_loader},
-    keyed by number) — so an overridden call behaves identically
-    whether it arrives by trap or by ring, and every result crosses
-    the boundary through the single {!Syscall_abi} codec. *)
+    keyed by {!Syscall_abi.Sysno.t}) — so an overridden call behaves
+    identically whether it arrives by trap or by ring, and every
+    result crosses the boundary through the single {!Syscall_abi}
+    codec.  This module registers the builtin {!Syscall_abi.Entry}
+    records into {!Dispatch} at initialisation.
+
+    Syscall-flow integrity: processes carrying a {!Syscall_policy} get
+    every call — numbered or typed-only, trap or ring — checked
+    against their transition graph; out-of-policy sequences kill the
+    process with one [Security{sfip}] event and [ESFIP].  [exit]
+    remains always-allowed, and unprofiled processes are charged
+    nothing. *)
 
 type open_flags = { create : bool; truncate : bool; append : bool }
 
@@ -136,13 +145,6 @@ val ring_enter :
     by the instrumented accessors exactly as in a direct call. *)
 
 (** {1 Module machinery} *)
-
-val dispatch_numbered : Kernel.t -> Proc.t -> sysno:int -> int64 array -> int64
-(** The shared numbered dispatch: run syscall [sysno] with register
-    arguments (module override first, builtin otherwise) and return
-    the ABI-encoded result register.  Callers are expected to be
-    inside a trap ({!ring_enter}) or a typed wrapper; this performs no
-    trap protocol of its own. *)
 
 val genuine_read : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
 (** The built-in read handler, bypassing any module override — exposed

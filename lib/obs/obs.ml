@@ -32,12 +32,13 @@ module Tag = struct
     | Lock  (** spinlock cache-line transfers *)
     | Verify  (** load-time verification of native images *)
     | Ring  (** batched syscall-ring dispatch (per-entry work) *)
+    | Sfip  (** syscall-flow-integrity transition checks *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other; Sched; Ipi; Timer; Lock; Verify; Ring;
+      Other; Sched; Ipi; Timer; Lock; Verify; Ring; Sfip;
     ]
 
   let count = List.length all
@@ -68,6 +69,7 @@ module Tag = struct
     | Lock -> 22
     | Verify -> 23
     | Ring -> 24
+    | Sfip -> 25
 
   let to_string = function
     | Exec -> "exec"
@@ -95,6 +97,7 @@ module Tag = struct
     | Lock -> "lock"
     | Verify -> "verify"
     | Ring -> "ring"
+    | Sfip -> "sfip"
 end
 
 module Event = struct

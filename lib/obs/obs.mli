@@ -40,6 +40,7 @@ module Tag : sig
     | Lock
     | Verify
     | Ring
+    | Sfip
 
   val all : t list
   val count : int

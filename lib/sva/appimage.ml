@@ -2,6 +2,7 @@ type t = {
   name : string;
   payload : bytes;
   entry : int64;
+  profile : bytes;
   key_section : bytes;
   signature : bytes;
 }
@@ -12,12 +13,19 @@ let signed_region t =
   Buffer.add_char buf '\000';
   Buffer.add_int64_le buf t.entry;
   Buffer.add_bytes buf t.payload;
+  (* The profile is length-prefixed so an empty profile cannot be
+     confused with key-section bytes (and vice versa). *)
+  Buffer.add_int64_le buf (Int64.of_int (Bytes.length t.profile));
+  Buffer.add_bytes buf t.profile;
   Buffer.add_bytes buf t.key_section;
   Buffer.to_bytes buf
 
-let install ~vg_key ~rng ~name ~payload ~entry ~app_key =
+let install ~vg_key ~rng ~name ~payload ~entry ?(profile = Bytes.empty) ~app_key
+    () =
   let key_section = Vg_crypto.Rsa.encrypt vg_key.Vg_crypto.Rsa.pub rng app_key in
-  let unsigned = { name; payload; entry; key_section; signature = Bytes.empty } in
+  let unsigned =
+    { name; payload; entry; profile; key_section; signature = Bytes.empty }
+  in
   { unsigned with signature = Vg_crypto.Rsa.sign vg_key (signed_region unsigned) }
 
 let validate ~vg_pub t =
@@ -34,3 +42,4 @@ let flip_byte b i =
 
 let tamper_payload t = { t with payload = flip_byte t.payload (Bytes.length t.payload / 2) }
 let tamper_key_section t = { t with key_section = flip_byte t.key_section 4 }
+let tamper_profile t = { t with profile = flip_byte t.profile (Bytes.length t.profile / 2) }

@@ -18,8 +18,14 @@ type t = {
   name : string;
   payload : bytes;  (** the program text (opaque to SVA) *)
   entry : int64;  (** initial program counter *)
+  profile : bytes;
+      (** serialized syscall-flow graph ({!Vg_compiler.Sfip.to_bytes});
+          empty = unprofiled, no enforcement.  Signed with the rest of
+          the image, so the OS cannot swap a permissive profile under
+          the application's code. *)
   key_section : bytes;  (** application key, RSA-encrypted to the VM *)
-  signature : bytes;  (** VM signature over name, payload, entry, keys *)
+  signature : bytes;
+      (** VM signature over name, payload, entry, profile, keys *)
 }
 
 val install :
@@ -28,11 +34,14 @@ val install :
   name:string ->
   payload:bytes ->
   entry:int64 ->
+  ?profile:bytes ->
   app_key:bytes ->
+  unit ->
   t
 (** Trusted-installer path: encrypt the application key to the VM and
     sign the image.  ([vg_key] is used both for the key wrap — via its
-    public half — and the signature.) *)
+    public half — and the signature.)  [profile] (default empty)
+    embeds a syscall-flow policy the kernel installs at [execve]. *)
 
 val signed_region : t -> bytes
 (** The byte string the signature covers. *)
@@ -45,4 +54,6 @@ val decrypt_app_key : vg_key:Vg_crypto.Rsa.private_ -> t -> bytes option
 
 val tamper_payload : t -> t
 val tamper_key_section : t -> t
-(** Attack helpers: a hostile OS modifying the stored binary. *)
+val tamper_profile : t -> t
+(** Attack helpers: a hostile OS modifying the stored binary (payload,
+    wrapped key, or embedded syscall-flow profile). *)

@@ -112,7 +112,18 @@ let make kernel proc ~ghosting ~normal_pc =
   | Ok va -> { ctx with bounce = va }
   | Error e -> raise (App_crash ("runtime init: " ^ Errno.to_string e))
 
-let launch kernel ?image ~ghosting body =
+(* The [?sfip] policy argument is a template: each process gets its
+   own cursor over the (possibly shared) graph, so a worker pool
+   recording into one accumulator composes, and Record/Enforce runs
+   observe identical sequences (both start counting right here, after
+   execve and before the runtime's own init mmap). *)
+let attach_sfip proc = function
+  | None -> ()
+  | Some pol ->
+      proc.Proc.policy <-
+        Some (Syscall_policy.create (Syscall_policy.mode pol) (Syscall_policy.graph pol))
+
+let launch kernel ?image ?sfip ~ghosting body =
   let init = Kernel.init_process kernel in
   match Kernel.create_process kernel ~parent:init with
   | Error e -> raise (App_crash ("launch: " ^ Errno.to_string e))
@@ -123,6 +134,7 @@ let launch kernel ?image ~ghosting body =
           | Ok () -> ()
           | Error e -> raise (App_crash ("execve: " ^ Errno.to_string e)))
       | None -> ());
+      attach_sfip proc sfip;
       let normal_pc =
         (Sva.thread_icontext kernel.Kernel.sva ~tid:proc.Proc.tid).Icontext.pc
       in
@@ -137,7 +149,7 @@ let launch kernel ?image ~ghosting body =
    (so callers can set it up — e.g. inherit a listening socket) and the
    body runs when the scheduler dispatches the fiber, preemptible at
    every syscall.  Exit and reaping happen when the body finishes. *)
-let spawn_fiber kernel sched ?cpu ?image ~ghosting ~name body =
+let spawn_fiber kernel sched ?cpu ?image ?sfip ~ghosting ~name body =
   let init = Kernel.init_process kernel in
   match Kernel.create_process kernel ~parent:init with
   | Error e -> raise (App_crash ("spawn_fiber: " ^ Errno.to_string e))
@@ -149,6 +161,7 @@ let spawn_fiber kernel sched ?cpu ?image ~ghosting ~name body =
               | Ok () -> ()
               | Error e -> raise (App_crash ("execve: " ^ Errno.to_string e)))
           | None -> ());
+          attach_sfip proc sfip;
           let normal_pc =
             (Sva.thread_icontext kernel.Kernel.sva ~tid:proc.Proc.tid).Icontext.pc
           in

@@ -36,16 +36,28 @@ exception App_crash of string
     code. *)
 
 val launch :
-  Kernel.t -> ?image:Appimage.t -> ghosting:bool -> (ctx -> 'a) -> 'a
+  Kernel.t ->
+  ?image:Appimage.t ->
+  ?sfip:Syscall_policy.t ->
+  ghosting:bool ->
+  (ctx -> 'a) ->
+  'a
 (** Create a process (child of init), optionally [execve] a signed
     image into it, run the program body, then exit and reap the
-    process.  @raise App_crash / Failure on launch errors. *)
+    process.  [?sfip] attaches a syscall-flow policy: the process gets
+    a fresh cursor over the given policy's graph (which may be shared
+    — e.g. one [Record] accumulator across a pool), installed after
+    [execve] so Record and Enforce runs observe identical sequences.
+    An [?image] carrying its own embedded profile needs no [?sfip];
+    passing one overrides the image's.
+    @raise App_crash / Failure on launch errors. *)
 
 val spawn_fiber :
   Kernel.t ->
   Sched.t ->
   ?cpu:int ->
   ?image:Appimage.t ->
+  ?sfip:Syscall_policy.t ->
   ghosting:bool ->
   name:string ->
   (ctx -> unit) ->

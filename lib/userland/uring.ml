@@ -49,7 +49,8 @@ let submit t ~sysno ~args ~user_data =
   else begin
     let slot = Syscall_ring.slot_of ~depth:t.depth t.sq_tail in
     let buf = Bytes.create Syscall_ring.sqe_bytes in
-    Syscall_ring.write_sqe buf ~off:0 { Syscall_ring.sysno; args; user_data };
+    Syscall_ring.write_sqe buf ~off:0
+      { Syscall_ring.sysno = Syscall_abi.Sysno.to_int sysno; args; user_data };
     Runtime.poke t.ctx (off t (Syscall_ring.sqe_off ~depth:t.depth ~slot)) buf;
     t.sq_tail <- t.sq_tail + 1;
     write_counter t Syscall_ring.sq_tail_off t.sq_tail;

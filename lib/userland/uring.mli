@@ -16,10 +16,14 @@ val create : Runtime.ctx -> depth:int -> t
 val depth : t -> int
 val base : t -> int64
 
-val submit : t -> sysno:int -> args:int64 array -> user_data:int64 -> bool
+val submit :
+  t -> sysno:Syscall_abi.Sysno.t -> args:int64 array -> user_data:int64 -> bool
 (** Queue one submission (up to four register arguments); [false] when
     the submission ring is full (entries submitted but not yet
-    consumed by {!enter} fill slots). *)
+    consumed by {!enter} fill slots).  Taking a validated
+    {!Syscall_abi.Sysno.t} means well-typed userland cannot queue a
+    number the kernel would refuse — attack code that wants to probe
+    raw numbers writes SQE bytes directly instead. *)
 
 val enter : t -> to_submit:int -> int Errno.result
 (** One [ring_enter] trap: the kernel consumes up to [to_submit]

@@ -339,7 +339,7 @@ let test_sealed_cross_app_isolation () =
     Appimage.install
       ~vg_key:(Sva.vg_private_key_for_installer k.Kernel.sva)
       ~rng ~name:"other" ~payload:(Bytes.of_string "other text") ~entry:0x400000L
-      ~app_key:other_key
+      ~app_key:other_key ()
   in
   Runtime.launch k ~image:image_b ~ghosting:true (fun ctx ->
       match Sealed_store.load ctx ~path:"/state" with
@@ -717,6 +717,99 @@ let test_lmbench_vg_slower () =
     (Printf.sprintf "vg (%.3f us) slower than native (%.3f us)" vg native)
     true (vg > native)
 
+(* ------------------------------------------------------------------ *)
+(* Syscall-flow profiles                                                *)
+
+(* Each application, run once in Record mode to extract its own
+   profile, must replay in full under Enforce on a fresh kernel: all
+   work done, zero [Security{sfip}] kills.  This is the "unmodified
+   applications keep working" half of the SFIP acceptance — the attack
+   suite holds the other half. *)
+
+let with_sfip_events f =
+  let recorder = Vg_obs.Obs_recorder.create () in
+  let result =
+    Vg_obs.Obs.with_sink Vg_obs.Obs.default
+      (Vg_obs.Obs_recorder.sink recorder)
+      f
+  in
+  ( result,
+    Vg_obs.Obs_recorder.count_matching recorder (function
+      | Vg_obs.Obs.Event.Security { subsystem = "sfip"; _ } -> true
+      | _ -> false) )
+
+let enforced_from recorder =
+  Syscall_policy.enforce (Syscall_policy.graph recorder)
+
+let test_sfip_httpd_pool_profiled () =
+  let body = Bytes.init 2048 (fun i -> Char.chr (i mod 251)) in
+  let serve k sfip =
+    Httpd.Pool.run k ?sfip ~workers:2 ~requests:8 ~port:80 ~path:"/index.html"
+  in
+  let k1 = boot () in
+  make_file k1 "/index.html" body;
+  let recorder = Syscall_policy.record () in
+  ignore (serve k1 (Some recorder));
+  let k2 = boot () in
+  make_file k2 "/index.html" body;
+  let stats, kills = with_sfip_events (fun () -> serve k2 (Some (enforced_from recorder))) in
+  Alcotest.(check int) "all requests 200" 8 stats.Httpd.Pool.ok;
+  Alcotest.(check int) "no sfip kills" 0 kills
+
+let test_sfip_httpd_event_loop_profiled () =
+  let body = Bytes.init 2048 (fun i -> Char.chr (i mod 251)) in
+  let serve k sfip =
+    Httpd.Event_loop.run k ?sfip ~batch:4 ~requests:8 ~port:80 ~path:"/index.html"
+  in
+  let k1 = boot () in
+  make_file k1 "/index.html" body;
+  let recorder = Syscall_policy.record () in
+  ignore (serve k1 (Some recorder));
+  let k2 = boot () in
+  make_file k2 "/index.html" body;
+  let stats, kills = with_sfip_events (fun () -> serve k2 (Some (enforced_from recorder))) in
+  Alcotest.(check int) "all requests 200" 8 stats.Httpd.Event_loop.ok;
+  Alcotest.(check int) "no sfip kills" 0 kills
+
+let test_sfip_postmark_profiled () =
+  let config =
+    { Postmark.paper_config with base_files = 10; transactions = 100; seed = 7 }
+  in
+  let run k sfip =
+    let out = ref None in
+    Runtime.launch k ?sfip ~ghosting:false (fun ctx ->
+        out := Some (expect_ok "postmark" (Postmark.run ctx config)));
+    Option.get !out
+  in
+  let k1 = boot () in
+  let recorder = Syscall_policy.record () in
+  ignore (run k1 (Some recorder));
+  let k2 = boot () in
+  let stats, kills = with_sfip_events (fun () -> run k2 (Some (enforced_from recorder))) in
+  Alcotest.(check bool) "full run" true (stats.Postmark.created >= 10);
+  Alcotest.(check int) "no sfip kills" 0 kills
+
+let test_sfip_ssh_profiled () =
+  let phases k sfip_keygen sfip_ssh =
+    let ssh, keygen_img, _ = Ssh_suite.install_images k ~app_key in
+    Runtime.launch k ~image:keygen_img ?sfip:sfip_keygen ~ghosting:true (fun ctx ->
+        ignore (expect_ok "keygen" (Ssh_suite.keygen ctx ~path:"/id")));
+    Runtime.launch k ~image:ssh ?sfip:sfip_ssh ~ghosting:true (fun ctx ->
+        match Ssh_suite.load_private_key ctx ~path:"/id" with
+        | Ok (_, len) -> Alcotest.(check int) "64-byte key" 64 len
+        | Error msg -> Alcotest.failf "load: %s" msg)
+  in
+  let k1 = boot () in
+  let rec_keygen = Syscall_policy.record () in
+  let rec_ssh = Syscall_policy.record () in
+  phases k1 (Some rec_keygen) (Some rec_ssh);
+  let k2 = boot () in
+  let (), kills =
+    with_sfip_events (fun () ->
+        phases k2 (Some (enforced_from rec_keygen)) (Some (enforced_from rec_ssh)))
+  in
+  Alcotest.(check int) "no sfip kills" 0 kills
+
 let () =
   Alcotest.run "vg_apps"
     [
@@ -783,5 +876,14 @@ let () =
         [
           Alcotest.test_case "sanity" `Quick test_lmbench_sanity;
           Alcotest.test_case "vg slower" `Quick test_lmbench_vg_slower;
+        ] );
+      ( "sfip-profiles",
+        [
+          Alcotest.test_case "httpd pool replays clean" `Slow
+            test_sfip_httpd_pool_profiled;
+          Alcotest.test_case "httpd event loop replays clean" `Slow
+            test_sfip_httpd_event_loop_profiled;
+          Alcotest.test_case "postmark replays clean" `Slow test_sfip_postmark_profiled;
+          Alcotest.test_case "ssh suite replays clean" `Slow test_sfip_ssh_profiled;
         ] );
     ]

@@ -180,6 +180,53 @@ let test_events_ring_ghost_buffer () =
   check "vg: sandbox fault reported" true (has_security vg "sandbox")
 
 (* ------------------------------------------------------------------ *)
+(* Syscall-flow integrity: out-of-policy sequences fail closed under
+   Virtual Ghost (process killed, one Security{sfip} event), while the
+   baseline — with no signed profiles — executes them. *)
+
+let count_sfip recorder =
+  Obs_recorder.count_matching recorder (function
+    | Obs.Event.Security { subsystem = "sfip"; _ } -> true
+    | _ -> false)
+
+let test_sfip_sequence () =
+  check "native exfiltrates" true
+    (Other_attacks.sfip_sequence_attack ~mode:Sva.Native_build);
+  check "vg kills the sequence" false
+    (Other_attacks.sfip_sequence_attack ~mode:Sva.Virtual_ghost)
+
+let test_sfip_ring_sequence () =
+  check "native connects through the ring" true
+    (Other_attacks.sfip_ring_sequence_attack ~mode:Sva.Native_build);
+  check "vg refuses the whole batch" false
+    (Other_attacks.sfip_ring_sequence_attack ~mode:Sva.Virtual_ghost)
+
+let test_sfip_profile_swap () =
+  check "baseline loads the forged profile" true
+    (Other_attacks.sfip_profile_swap_attack ~mode:Sva.Native_build);
+  check "vg refuses the tampered image" false
+    (Other_attacks.sfip_profile_swap_attack ~mode:Sva.Virtual_ghost)
+
+let test_events_sfip () =
+  let _, native =
+    record (fun () -> Other_attacks.sfip_sequence_attack ~mode:Sva.Native_build)
+  in
+  check "native: silent" true (count_sfip native = 0);
+  let _, vg =
+    record (fun () -> Other_attacks.sfip_sequence_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: exactly one sfip kill reported" true (count_sfip vg = 1)
+
+let test_events_sfip_ring () =
+  let _, vg =
+    record (fun () ->
+        Other_attacks.sfip_ring_sequence_attack ~mode:Sva.Virtual_ghost)
+  in
+  (* One violation, one event — the benign entries sharing the batch
+     must not multiply the report. *)
+  check "vg: exactly one sfip kill for the batch" true (count_sfip vg = 1)
+
+(* ------------------------------------------------------------------ *)
 (* Execution-engine parity: the closure-compiled engine must be
    indistinguishable from the slot executor on the full kernel attack
    experiments — same outcomes, and the same event stream down to the
@@ -252,6 +299,15 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
           Alcotest.test_case "ring ghost buffer" `Quick
             test_events_ring_ghost_buffer;
+        ] );
+      ( "sfip",
+        [
+          Alcotest.test_case "out-of-policy sequence" `Quick test_sfip_sequence;
+          Alcotest.test_case "intra-batch sequence" `Quick
+            test_sfip_ring_sequence;
+          Alcotest.test_case "profile swap" `Quick test_sfip_profile_swap;
+          Alcotest.test_case "sequence events" `Quick test_events_sfip;
+          Alcotest.test_case "ring events" `Quick test_events_sfip_ring;
         ] );
       ( "engine-parity",
         [

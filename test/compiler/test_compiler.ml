@@ -763,6 +763,106 @@ let test_trans_cache_wrong_key () =
     (Trans_cache.verify_and_load other signed = Error Trans_cache.Bad_signature)
 
 (* ------------------------------------------------------------------ *)
+(* Syscall-flow graphs                                                 *)
+
+let sfip_resolve = function
+  | "extern.open" -> Some 1
+  | "extern.read" -> Some 2
+  | "extern.close" -> Some 3
+  | "extern.write" -> Some 4
+  | _ -> None
+
+(* main: open, call helper (which writes), close.  The direct call
+   splices helper's (first, last) summary into main's chain. *)
+let sfip_demo_program () =
+  let b = Builder.create () in
+  Builder.func b "helper" ~params:[];
+  let _ = Builder.call b "extern.write" [ Imm 1L ] in
+  Builder.ret b (Some (Imm 0L));
+  Builder.func b "main" ~params:[];
+  let _ = Builder.call b "extern.open" [ Imm 7L ] in
+  let _ = Builder.call b "helper" [] in
+  let _ = Builder.call b "extern.close" [ Imm 7L ] in
+  Builder.ret b (Some (Imm 0L));
+  Builder.program b
+
+let test_sfip_extract_direct_calls () =
+  let image = compile_link ~cfi:false (sfip_demo_program ()) in
+  let g = Sfip.extract ~resolve:sfip_resolve ~n:8 ~entries:[ "main" ] image in
+  Alcotest.(check int) "one entry" 1 (Sfip.entry_count g);
+  Alcotest.(check bool) "entry is open" true (Sfip.entry_allowed g 1);
+  Alcotest.(check bool) "open -> write (into helper)" true
+    (Sfip.allowed g ~from:1 ~to_:4);
+  Alcotest.(check bool) "write -> close (out of helper)" true
+    (Sfip.allowed g ~from:4 ~to_:3);
+  Alcotest.(check bool) "helper cannot be skipped" false
+    (Sfip.allowed g ~from:1 ~to_:3);
+  Alcotest.(check int) "exactly two transitions" 2 (Sfip.transition_count g)
+
+let test_sfip_wire_roundtrip () =
+  let image = compile_link ~cfi:false (sfip_demo_program ()) in
+  let g = Sfip.extract ~resolve:sfip_resolve ~n:8 image in
+  let wire = Sfip.to_bytes g in
+  (match Sfip.of_bytes wire with
+  | None -> Alcotest.fail "wire form should decode"
+  | Some g' -> Alcotest.(check bool) "roundtrip equal" true (Sfip.equal g g'));
+  (* Strict decode: every single-byte corruption is refused or decodes
+     to a graph that is not the original (never a silent mutation into
+     an accepted different policy at the header level). *)
+  Alcotest.(check bool) "truncation refused" true
+    (Sfip.of_bytes (Bytes.sub wire 0 (Bytes.length wire - 1)) = None);
+  let header_corrupt = Bytes.copy wire in
+  Bytes.set header_corrupt 0 '\xff';
+  Alcotest.(check bool) "bad magic refused" true (Sfip.of_bytes header_corrupt = None)
+
+let test_trans_cache_policy_carried () =
+  let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
+  Trans_cache.set_syscall_resolver cache ~n:8 sfip_resolve;
+  let image = compile_link ~cfi:false (sfip_demo_program ()) in
+  let g = Sfip.extract ~resolve:sfip_resolve ~n:8 image in
+  Trans_cache.add cache ~name:"app" ~instrumented:false ~sfip:g image;
+  (match Trans_cache.find_with_policy cache ~name:"app" with
+  | Error e -> Alcotest.failf "should load: %s" (Trans_cache.describe_find_error e)
+  | Ok (_, None) -> Alcotest.fail "graph lost by the cache"
+  | Ok (_, Some g') -> Alcotest.(check bool) "carried graph equal" true (Sfip.equal g g'));
+  match Trans_cache.policy cache ~name:"app" with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "policy accessor should yield the graph"
+
+(* A signed blob whose graph does not match its code is refused by the
+   verifier's Policy invariant — the OS cannot pair honest code with a
+   permissive profile even if it controls the cache file. *)
+let test_trans_cache_policy_mismatch () =
+  let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
+  Trans_cache.set_syscall_resolver cache ~n:8 sfip_resolve;
+  let image = compile_link ~cfi:false (sfip_demo_program ()) in
+  let permissive = Sfip.create ~n:8 in
+  for i = 0 to 7 do
+    Sfip.allow_entry permissive i;
+    for j = 0 to 7 do
+      Sfip.allow permissive ~from:i ~to_:j
+    done
+  done;
+  let signed = Trans_cache.sign cache ~instrumented:false ~sfip:permissive image in
+  match Trans_cache.verify_and_load cache signed with
+  | Error (Trans_cache.Rejected_by_verifier vs) ->
+      Alcotest.(check bool) "a Policy violation" true
+        (List.exists (fun v -> v.Image_verify.invariant = Image_verify.Policy) vs)
+  | Error e -> Alcotest.failf "wrong refusal: %s" (Trans_cache.describe_find_error e)
+  | Ok _ -> Alcotest.fail "mismatched policy must not load"
+
+let test_trans_cache_policy_needs_resolver () =
+  let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
+  let image = compile_link ~cfi:false (sfip_demo_program ()) in
+  let g = Sfip.extract ~resolve:sfip_resolve ~n:8 image in
+  Trans_cache.add cache ~name:"app" ~instrumented:false ~sfip:g image;
+  match Trans_cache.find cache ~name:"app" with
+  | Error (Trans_cache.Rejected_by_verifier vs) ->
+      Alcotest.(check bool) "fails closed on Policy" true
+        (List.exists (fun v -> v.Image_verify.invariant = Image_verify.Policy) vs)
+  | _ -> Alcotest.fail "policy blob without a resolver must be refused"
+
+(* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)
 
 let test_pipeline_vg_mode () =
@@ -870,6 +970,19 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_trans_cache_roundtrip;
           Alcotest.test_case "tamper detected" `Quick test_trans_cache_tamper_detected;
           Alcotest.test_case "wrong key" `Quick test_trans_cache_wrong_key;
+        ] );
+      ( "sfip",
+        [
+          Alcotest.test_case "extraction with direct-call summaries" `Quick
+            test_sfip_extract_direct_calls;
+          Alcotest.test_case "wire roundtrip, strict decode" `Quick
+            test_sfip_wire_roundtrip;
+          Alcotest.test_case "trans-cache carries the graph" `Quick
+            test_trans_cache_policy_carried;
+          Alcotest.test_case "code/policy mismatch refused" `Quick
+            test_trans_cache_policy_mismatch;
+          Alcotest.test_case "no resolver fails closed" `Quick
+            test_trans_cache_policy_needs_resolver;
         ] );
       ( "pipeline",
         [

@@ -337,6 +337,7 @@ let make_image k ~name =
     ~payload:(Bytes.of_string ("program text of " ^ name))
     ~entry:0x400000L
     ~app_key:(Bytes.of_string "0123456789abcdef")
+    ()
 
 let test_exec () =
   let k = boot () in
@@ -819,18 +820,47 @@ let prop_errno_abi_roundtrip =
       && Syscall_abi.decode_addr (Syscall_abi.encode_addr (Error e)) = Error e)
 
 let test_abi_table_consistent () =
-  for sysno = 0 to Syscall_abi.max_sysno do
-    match Syscall_abi.name_of_number sysno with
-    | None -> Alcotest.failf "sysno %d has no name" sysno
-    | Some name ->
-        Alcotest.(check (option int))
-          (Printf.sprintf "number_of_name %s" name)
-          (Some sysno)
-          (Syscall_abi.number_of_name name)
-  done;
+  List.iter
+    (fun s ->
+      let name = Syscall_abi.Sysno.to_name s in
+      Alcotest.(check bool)
+        (Printf.sprintf "of_name %s" name)
+        true
+        (Syscall_abi.Sysno.of_name name = Some s))
+    Syscall_abi.Sysno.all;
+  Alcotest.(check int) "table size" Syscall_abi.Sysno.count
+    (List.length Syscall_abi.Sysno.all);
   Alcotest.(check bool) "unknown name" true
-    (Syscall_abi.number_of_name "no_such_call" = None);
-  Alcotest.(check bool) "invalid sysno" false (Syscall_abi.is_valid (-1))
+    (Syscall_abi.Sysno.of_name "no_such_call" = None);
+  Alcotest.(check bool) "invalid sysno" true (Syscall_abi.Sysno.of_int (-1) = None);
+  Alcotest.(check bool) "past-end sysno" true
+    (Syscall_abi.Sysno.of_int Syscall_abi.Sysno.count = None)
+
+(* The registered [Dispatch] entries are generated from the same table
+   ([Entry.make] copies the descriptor), so name<->number bijection and
+   the wire metadata can never drift apart. *)
+let prop_abi_entry_agreement =
+  QCheck2.Test.make ~name:"sysno bijection and Entry/arity agreement" ~count:200
+    QCheck2.Gen.(int_range 0 (Syscall_abi.Sysno.count - 1))
+    (fun n ->
+      match Syscall_abi.Sysno.of_int n with
+      | None -> false
+      | Some s -> (
+          let d = Syscall_abi.describe s in
+          Syscall_abi.Sysno.of_name (Syscall_abi.Sysno.to_name s) = Some s
+          && Syscall_abi.Sysno.to_int s = n
+          && d.Syscall_abi.name = Syscall_abi.Sysno.to_name s
+          && d.Syscall_abi.arity >= 0
+          && d.Syscall_abi.arity <= 4
+          && d.Syscall_abi.codec = Syscall_abi.codec s
+          &&
+          match Dispatch.entry s with
+          | None -> false
+          | Some e ->
+              e.Syscall_abi.Entry.name = d.Syscall_abi.name
+              && e.Syscall_abi.Entry.arity = d.Syscall_abi.arity
+              && e.Syscall_abi.Entry.codec = d.Syscall_abi.codec
+              && Syscall_abi.Sysno.equal e.Syscall_abi.Entry.sysno s))
 
 let ring_base = 0x0000_0000_0070_0000L
 
@@ -862,8 +892,8 @@ let test_ring_enter_batch () =
   let depth = 4 in
   stage_ring k p ~depth
     [
-      { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||]; user_data = 7L };
-      { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||]; user_data = 8L };
+      { Syscall_ring.sysno = Syscall_abi.Sysno.to_int Syscall_abi.sys_getpid; args = [||]; user_data = 7L };
+      { Syscall_ring.sysno = Syscall_abi.Sysno.to_int Syscall_abi.sys_getpid; args = [||]; user_data = 8L };
       { Syscall_ring.sysno = 999; args = [||]; user_data = 9L };
     ];
   Alcotest.(check int) "consumed" 3
@@ -905,7 +935,7 @@ let test_ring_amortises_trap_protocol () =
     let n = 8 in
     let entries =
       List.init n (fun i ->
-          { Syscall_ring.sysno = Syscall_abi.sys_getpid; args = [||];
+          { Syscall_ring.sysno = Syscall_abi.Sysno.to_int Syscall_abi.sys_getpid; args = [||];
             user_data = Int64.of_int i })
     in
     stage_ring k p ~depth:n entries;
@@ -921,6 +951,289 @@ let test_ring_amortises_trap_protocol () =
   in
   if batched >= direct then
     Alcotest.failf "batch of 8 cost %d cycles, direct calls %d" batched direct
+
+(* ------------------------------------------------------------------ *)
+(* Syscall-flow integrity                                              *)
+
+let sysno_int = Syscall_abi.Sysno.to_int
+
+let sfip_graph ~entries ~allows =
+  let g = Vg_compiler.Sfip.create ~n:Syscall_abi.Sysno.count in
+  List.iter (fun s -> Vg_compiler.Sfip.allow_entry g (sysno_int s)) entries;
+  List.iter
+    (fun (a, b) -> Vg_compiler.Sfip.allow g ~from:(sysno_int a) ~to_:(sysno_int b))
+    allows;
+  g
+
+let count_sfip_kills recorder =
+  Vg_obs.Obs_recorder.count_matching recorder (function
+    | Vg_obs.Obs.Event.Security { subsystem = "sfip"; _ } -> true
+    | _ -> false)
+
+let with_sfip_events f =
+  let recorder = Vg_obs.Obs_recorder.create () in
+  let result =
+    Vg_obs.Obs.with_sink Vg_obs.Obs.default
+      (Vg_obs.Obs_recorder.sink recorder)
+      f
+  in
+  (result, count_sfip_kills recorder)
+
+let child k = expect_ok "create child" (Kernel.create_process k ~parent:(init k))
+
+let test_esfip_distinct () =
+  Alcotest.(check int) "ESFIP is 97" 97 (Errno.to_int Errno.ESFIP);
+  Alcotest.(check bool) "distinct from EPERM" true
+    (Errno.to_int Errno.ESFIP <> Errno.to_int Errno.EPERM);
+  Alcotest.(check bool) "of_int inverts" true (Errno.of_int 97 = Some Errno.ESFIP);
+  Alcotest.(check string) "spelled ESFIP" "ESFIP" (Errno.to_string Errno.ESFIP)
+
+(* A direct out-of-policy trap kills the process: one Security{sfip}
+   event, ESFIP to the caller, exit status 137, and every later
+   syscall refused without a second report. *)
+let test_sfip_direct_violation () =
+  let k = boot () in
+  let p = child k in
+  p.Proc.policy <-
+    Some
+      (Syscall_policy.enforce
+         (sfip_graph ~entries:[ Syscall_abi.sys_getpid ]
+            ~allows:
+              [
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_open);
+                (Syscall_abi.sys_open, Syscall_abi.sys_getpid);
+              ]));
+  let (), kills =
+    with_sfip_events (fun () ->
+        ignore (Syscalls.getpid k p);
+        let fd = expect_ok "in-policy open" (Syscalls.open_ k p "/s" Syscalls.creat_trunc) in
+        ignore fd;
+        ignore (Syscalls.getpid k p);
+        expect_err Errno.ESFIP "out-of-policy unlink" (Syscalls.unlink k p "/s"))
+  in
+  Alcotest.(check int) "exactly one sfip event" 1 kills;
+  Alcotest.(check bool) "process killed" true (Proc.is_zombie p);
+  (* Killed means killed: later calls are refused cheaply and silently. *)
+  let (), more =
+    with_sfip_events (fun () ->
+        expect_err Errno.ESFIP "post-kill close" (Syscalls.close k p 3);
+        expect_err Errno.ESFIP "post-kill open" (Syscalls.open_ k p "/t" Syscalls.rdonly))
+  in
+  Alcotest.(check int) "no further events" 0 more;
+  let pid, status = expect_ok "reap" (Syscalls.wait k (init k)) in
+  Alcotest.(check int) "reaped the killed pid" p.Proc.pid pid;
+  Alcotest.(check int) "status 137" 137 status
+
+(* An out-of-policy entry anywhere in a ring batch refuses the whole
+   batch before anything runs: ESFIP from ring_enter, no completions,
+   no header movement, one event. *)
+let test_sfip_ring_precheck () =
+  let k = boot () in
+  let p = child k in
+  p.Proc.policy <-
+    Some
+      (Syscall_policy.enforce
+         (sfip_graph ~entries:[ Syscall_abi.sys_ring_enter ]
+            ~allows:
+              [
+                (Syscall_abi.sys_ring_enter, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_ring_enter);
+              ]));
+  let depth = 4 in
+  let getpid u =
+    { Syscall_ring.sysno = sysno_int Syscall_abi.sys_getpid; args = [||]; user_data = u }
+  in
+  stage_ring k p ~depth
+    [
+      getpid 1L;
+      getpid 2L;
+      { Syscall_ring.sysno = sysno_int Syscall_abi.sys_unlink; args = [||]; user_data = 3L };
+      getpid 4L;
+    ];
+  let (), kills =
+    with_sfip_events (fun () ->
+        expect_err Errno.ESFIP "batch refused"
+          (Syscalls.ring_enter k p ~ring:ring_base ~depth ~to_submit:4))
+  in
+  Alcotest.(check int) "one sfip event for the batch" 1 kills;
+  Alcotest.(check int) "nothing consumed" 0 (ring_counter k p Syscall_ring.sq_head_off);
+  Alcotest.(check int) "nothing completed" 0 (ring_counter k p Syscall_ring.cq_tail_off);
+  Alcotest.(check bool) "process killed" true (Proc.is_zombie p)
+
+(* The same batch with the violation removed runs to completion under
+   the same graph — the precheck is exact, not conservative. *)
+let test_sfip_ring_clean_batch () =
+  let k = boot () in
+  let p = child k in
+  p.Proc.policy <-
+    Some
+      (Syscall_policy.enforce
+         (sfip_graph ~entries:[ Syscall_abi.sys_ring_enter ]
+            ~allows:
+              [
+                (Syscall_abi.sys_ring_enter, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_getpid);
+              ]));
+  let depth = 4 in
+  let entries =
+    List.init 3 (fun i ->
+        { Syscall_ring.sysno = sysno_int Syscall_abi.sys_getpid; args = [||];
+          user_data = Int64.of_int i })
+  in
+  stage_ring k p ~depth entries;
+  let consumed, kills =
+    with_sfip_events (fun () ->
+        expect_ok "clean batch"
+          (Syscalls.ring_enter k p ~ring:ring_base ~depth ~to_submit:3))
+  in
+  Alcotest.(check int) "all consumed" 3 consumed;
+  Alcotest.(check int) "no events" 0 kills;
+  Alcotest.(check int) "completions published" 3
+    (ring_counter k p Syscall_ring.cq_tail_off);
+  Alcotest.(check int) "getpid answered" p.Proc.pid
+    (expect_ok "cqe" (Syscall_abi.decode_int (read_cqe_slot k p ~depth 0).Syscall_ring.result));
+  Alcotest.(check bool) "process alive" true (not (Proc.is_zombie p))
+
+(* Batch-split invariance: scanning a whole batch gives the same
+   verdict as scanning a prefix, committing it, and scanning the rest
+   — and both agree with one-at-a-time permits/note submission.  This
+   is why a workload's verdict cannot depend on how its syscalls are
+   grouped into ring batches. *)
+let prop_sfip_scan_split_agreement =
+  let sysno_gen = QCheck2.Gen.int_range 0 (Syscall_abi.Sysno.count - 1) in
+  QCheck2.Test.make ~name:"sfip batch verdict is split-invariant" ~count:500
+    QCheck2.Gen.(
+      quad
+        (list_size (int_bound 20) (pair sysno_gen sysno_gen))
+        (list_size (int_bound 5) sysno_gen)
+        (list_size (int_bound 12) sysno_gen)
+        (int_bound 12))
+    (fun (transitions, entries, seq, split) ->
+      let g = Vg_compiler.Sfip.create ~n:Syscall_abi.Sysno.count in
+      List.iter (Vg_compiler.Sfip.allow_entry g) entries;
+      List.iter (fun (a, b) -> Vg_compiler.Sfip.allow g ~from:a ~to_:b) transitions;
+      let arr = Array.of_list (List.filter_map Syscall_abi.Sysno.of_int seq) in
+      let whole = Syscall_policy.scan (Syscall_policy.enforce g) arr in
+      let sequential =
+        let pol = Syscall_policy.enforce g in
+        let rec go i =
+          if i >= Array.length arr then Ok ()
+          else if Syscall_policy.permits pol arr.(i) then begin
+            Syscall_policy.note pol arr.(i);
+            go (i + 1)
+          end
+          else Error i
+        in
+        go 0
+      in
+      let split = min split (Array.length arr) in
+      let a = Array.sub arr 0 split in
+      let b = Array.sub arr split (Array.length arr - split) in
+      let split_verdict =
+        let pol = Syscall_policy.enforce g in
+        match Syscall_policy.scan pol a with
+        | Error _ as e -> e
+        | Ok () -> (
+            Array.iter (Syscall_policy.note pol) a;
+            match Syscall_policy.scan pol b with
+            | Ok () -> Ok ()
+            | Error i -> Error (split + i))
+      in
+      whole = sequential && whole = split_verdict)
+
+(* Record mode never refuses; its profile serializes into an image
+   section, decodes back, and the recorded workload replays cleanly
+   under enforcement while one step outside it is refused. *)
+let test_sfip_record_roundtrip () =
+  let k = boot () in
+  let p = child k in
+  let recorder = Syscall_policy.record () in
+  p.Proc.policy <- Some recorder;
+  ignore (Syscalls.getpid k p);
+  let fd = expect_ok "open" (Syscalls.open_ k p "/rec" Syscalls.creat_trunc) in
+  ignore (expect_ok "close" (Syscalls.close k p fd));
+  ignore (Syscalls.getpid k p);
+  Alcotest.(check bool) "record never kills" true (not (Proc.is_zombie p));
+  let wire = Syscall_policy.to_profile recorder in
+  let enforced =
+    match Syscall_policy.of_profile wire with
+    | Some pol -> pol
+    | None -> Alcotest.fail "profile did not decode"
+  in
+  Alcotest.(check bool) "graph survives the wire" true
+    (Vg_compiler.Sfip.equal (Syscall_policy.graph recorder)
+       (Syscall_policy.graph enforced));
+  Alcotest.(check bool) "enforce mode after decode" true
+    (Syscall_policy.mode enforced = Syscall_policy.Enforce);
+  Alcotest.(check bool) "empty profile means unprofiled" true
+    (Syscall_policy.of_profile Bytes.empty = None);
+  let p2 = child k in
+  p2.Proc.policy <- Some enforced;
+  ignore (Syscalls.getpid k p2);
+  let fd2 = expect_ok "replay open" (Syscalls.open_ k p2 "/rec2" Syscalls.creat_trunc) in
+  ignore (expect_ok "replay close" (Syscalls.close k p2 fd2));
+  ignore (Syscalls.getpid k p2);
+  Alcotest.(check bool) "replay survives" true (not (Proc.is_zombie p2));
+  expect_err Errno.ESFIP "one step outside" (Syscalls.unlink k p2 "/rec2")
+
+(* Profiles travel inside the signed image: execve installs them, fork
+   hands the child a fresh cursor over the shared graph, and a
+   tampered profile breaks the signature. *)
+let test_sfip_execve_and_fork () =
+  let k = boot () in
+  let p = child k in
+  let profile =
+    Syscall_policy.to_profile
+      (Syscall_policy.enforce
+         (sfip_graph ~entries:[ Syscall_abi.sys_getpid ]
+            ~allows:
+              [
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_fork);
+                (Syscall_abi.sys_fork, Syscall_abi.sys_getpid);
+                (Syscall_abi.sys_getpid, Syscall_abi.sys_execve);
+              ]))
+  in
+  let rng = Vg_crypto.Drbg.create ~seed:(Bytes.of_string "sfip-img") in
+  let image =
+    Appimage.install
+      ~vg_key:(Sva.vg_private_key_for_installer k.Kernel.sva)
+      ~rng ~name:"profiled"
+      ~payload:(Bytes.of_string "program text of profiled")
+      ~entry:0x400000L ~profile
+      ~app_key:(Bytes.of_string "0123456789abcdef")
+      ()
+  in
+  ignore (expect_ok "execve" (Syscalls.execve k p image));
+  (match p.Proc.policy with
+  | None -> Alcotest.fail "execve did not install the image profile"
+  | Some pol ->
+      Alcotest.(check bool) "enforce mode" true
+        (Syscall_policy.mode pol = Syscall_policy.Enforce);
+      Alcotest.(check bool) "fresh cursor" true (Syscall_policy.last pol = None));
+  ignore (Syscalls.getpid k p);
+  let c = expect_ok "fork" (Syscalls.fork k p) in
+  (match (p.Proc.policy, c.Proc.policy) with
+  | Some pp, Some cp ->
+      Alcotest.(check bool) "parent cursor advanced" true
+        (Syscall_policy.last pp <> None);
+      Alcotest.(check bool) "child cursor fresh" true (Syscall_policy.last cp = None);
+      Alcotest.(check bool) "graph shared with the child" true
+        (Syscall_policy.graph cp == Syscall_policy.graph pp)
+  | _ -> Alcotest.fail "fork must inherit the policy");
+  (* Swapping the profile breaks the image signature. *)
+  let p3 = child k in
+  expect_err Errno.EACCES "tampered profile refused"
+    (Syscalls.execve k p3 (Appimage.tamper_profile image));
+  (* An unprofiled image clears any stale policy.  The execve itself
+     is still judged under the old contract, so walk there in-policy:
+     fork -> getpid -> execve. *)
+  ignore (Syscalls.getpid k p);
+  let plain = make_image k ~name:"plain" in
+  ignore (expect_ok "re-exec plain" (Syscalls.execve k p plain));
+  Alcotest.(check bool) "no profile, no policy" true (p.Proc.policy = None)
 
 (* ------------------------------------------------------------------ *)
 (* Cost shape                                                          *)
@@ -1029,10 +1342,23 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_errno_abi_roundtrip;
           Alcotest.test_case "abi table consistent" `Quick test_abi_table_consistent;
+          QCheck_alcotest.to_alcotest prop_abi_entry_agreement;
           Alcotest.test_case "ring_enter batch" `Quick test_ring_enter_batch;
           Alcotest.test_case "ring_enter validation" `Quick test_ring_enter_validation;
           Alcotest.test_case "ring amortises trap protocol" `Quick
             test_ring_amortises_trap_protocol;
+        ] );
+      ( "sfip",
+        [
+          Alcotest.test_case "ESFIP distinct from EPERM" `Quick test_esfip_distinct;
+          Alcotest.test_case "direct violation kills" `Quick test_sfip_direct_violation;
+          Alcotest.test_case "ring batch prechecked" `Quick test_sfip_ring_precheck;
+          Alcotest.test_case "clean ring batch runs" `Quick test_sfip_ring_clean_batch;
+          QCheck_alcotest.to_alcotest prop_sfip_scan_split_agreement;
+          Alcotest.test_case "record/profile roundtrip" `Quick
+            test_sfip_record_roundtrip;
+          Alcotest.test_case "execve installs, fork clones" `Slow
+            test_sfip_execve_and_fork;
         ] );
       ( "cost",
         [ Alcotest.test_case "vg syscall overhead" `Quick test_vg_syscall_overhead_shape ] );

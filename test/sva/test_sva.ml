@@ -296,7 +296,7 @@ let make_image sva ~name ~app_key =
     ~vg_key:(Sva.vg_private_key_for_installer sva)
     ~rng ~name
     ~payload:(Bytes.of_string ("code of " ^ name))
-    ~entry:0x400100L ~app_key
+    ~entry:0x400100L ~app_key ()
 
 let test_exec_valid_image () =
   let _, sva = boot () in
@@ -415,6 +415,7 @@ let exec_app sva ~pid ~name =
       ~vg_key:(Sva.vg_private_key_for_installer sva)
       ~rng ~name ~payload:(Bytes.of_string name) ~entry:0x400000L
       ~app_key:(Bytes.of_string (name ^ String.make (16 - min 16 (String.length name)) '#'))
+      ()
   in
   match Sva.reinit_icontext sva ~tid ~pt ~image ~stack:0x7ffe0000L with
   | Ok _ -> (pt, tid)
