@@ -57,11 +57,23 @@ let cpus_arg =
            preemptive scheduler, cross-core TLB shootdowns and spinlock \
            transfer costs.")
 
-let boot ?(cpus = 1) ?(engine = Vg_compiler.Exec_engine.Compiled) mode =
+let mem_frames_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-frames" ] ~docv:"N"
+        ~doc:
+          "Cap the kernel's frame allocator at $(docv) frames to simulate a \
+           memory-constrained machine.  Ghost working sets beyond the cap \
+           swap through the sealed ghost-swap path (encrypted, integrity- \
+           and freshness-checked by the VM); see the ghost_swap benchmark.")
+
+let boot ?frame_limit ?(cpus = 1) ?(engine = Vg_compiler.Exec_engine.Compiled)
+    mode =
   let machine =
     Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
   in
-  (machine, Kernel.boot ~engine ~mode machine)
+  (machine, Kernel.boot ?frame_limit ~engine ~mode machine)
 
 (* -- observability flags (shared by the run commands) ---------------- *)
 
@@ -317,9 +329,9 @@ let lmbench_cmd =
   let iters_arg =
     Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
   in
-  let run mode cpus engine op iterations trace stats =
+  let run mode cpus engine mem_frames op iterations trace stats =
     with_obs ~trace ~stats (fun () ->
-        let _, kernel = boot ~cpus ~engine mode in
+        let _, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let f =
               match op with
@@ -338,8 +350,8 @@ let lmbench_cmd =
   in
   Cmd.v
     (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
-    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ op_arg $ iters_arg
-          $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
+          $ op_arg $ iters_arg $ trace_arg $ stats_arg)
 
 (* -- httpd worker pool ---------------------------------------------- *)
 
@@ -358,9 +370,9 @@ let httpd_cmd =
          & info [ "batch" ] ~doc:"Ring submissions per ring_enter trap \
                                   (event-loop mode only).")
   in
-  let run mode cpus engine requests event_loop batch trace stats =
+  let run mode cpus engine mem_frames requests event_loop batch trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ~cpus ~engine mode in
+        let machine, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
         (match Diskfs.create kernel.Kernel.fs "/index.html" with
         | Error _ -> failwith "create /index.html"
         | Ok ino ->
@@ -407,8 +419,8 @@ let httpd_cmd =
          "Serve an 8KB document under the preemptive scheduler: a worker \
           pool per core, or (with --event-loop) a per-core event loop \
           batching syscalls through the submission ring.")
-    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ requests_arg
-          $ event_loop_arg $ batch_arg $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
+          $ requests_arg $ event_loop_arg $ batch_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 
@@ -419,9 +431,9 @@ let postmark_cmd =
   let files_arg =
     Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
   in
-  let run mode cpus engine transactions base_files trace stats =
+  let run mode cpus engine mem_frames transactions base_files trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ~cpus ~engine mode in
+        let machine, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let config = { Postmark.paper_config with transactions; base_files } in
             let start = Machine.cycles machine in
@@ -436,8 +448,8 @@ let postmark_cmd =
   in
   Cmd.v
     (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
-    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ tx_arg $ files_arg
-          $ trace_arg $ stats_arg)
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
+          $ tx_arg $ files_arg $ trace_arg $ stats_arg)
 
 (* -- policy --------------------------------------------------------- *)
 

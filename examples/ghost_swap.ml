@@ -24,13 +24,13 @@ let () =
       Printf.printf "free frames after allocating 80 ghost pages: %d\n"
         (Frame_alloc.free_count kernel.Kernel.frames);
       Printf.printf "resident ghost pages: %d\n"
-        (Swapd.resident_ghost_pages kernel ctx.Runtime.proc);
+        (Vg_kernel.Ghost_swap.resident_ghost_pages ctx.Runtime.proc);
       (* Force more evictions by hand. *)
       for _ = 1 to 30 do
-        match Swapd.swap_out_one kernel with Ok () -> () | Error _ -> ()
+        match Vg_kernel.Ghost_swap.swap_out_one kernel with Ok () -> () | Error _ -> ()
       done;
       Printf.printf "after 30 forced evictions, resident: %d\n"
-        (Swapd.resident_ghost_pages kernel ctx.Runtime.proc);
+        (Vg_kernel.Ghost_swap.resident_ghost_pages ctx.Runtime.proc);
       (* The blobs sit in /swap, sealed. *)
       (match Diskfs.lookup kernel.Kernel.fs "/swap" with
       | Ok ino ->

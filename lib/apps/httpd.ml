@@ -11,7 +11,7 @@ let handle_connection ctx conn_fd =
   let rec read_request tries =
     if tries = 0 then None
     else begin
-      match Syscalls.recv k proc ~fd:conn_fd ~buf ~len:1024 with
+      match Runtime.sys_recv ctx ~fd:conn_fd ~buf ~len:1024 with
       | Ok 0 -> None
       | Ok n -> Some (Bytes.to_string (Runtime.peek ctx buf n))
       | Error Errno.EAGAIN -> read_request (tries - 1)

@@ -252,6 +252,112 @@ let swap_tamper_attack ~mode =
           | Error _ -> false))
 
 (* ------------------------------------------------------------------ *)
+(* Hostile-eviction vectors: the kernel owns ghost-swap policy and
+   blob storage ([Ghost_swap]), which is exactly the attack surface —
+   it can replay, substitute and thrash at will.  Only the VM's
+   sealing (integrity + freshness) stands between that and the
+   application's ghost data.  These arms drive the real kernel swap
+   paths, not the SVA primitives directly. *)
+
+let swap_blob_path (proc : Proc.t) va =
+  Printf.sprintf "/swap/p%d-%Lx" proc.Proc.pid (Int64.shift_right_logical va 12)
+
+let read_ghost k (proc : Proc.t) va len =
+  Kernel.switch_to k proc;
+  Machine.set_privilege k.Kernel.machine Machine.User;
+  let b = Machine.read_bytes_virt k.Kernel.machine va ~len in
+  Machine.set_privilege k.Kernel.machine Machine.Kernel;
+  b
+
+let write_ghost k (proc : Proc.t) va data =
+  Kernel.switch_to k proc;
+  Machine.set_privilege k.Kernel.machine Machine.User;
+  Machine.write_bytes_virt k.Kernel.machine va data;
+  Machine.set_privilege k.Kernel.machine Machine.Kernel
+
+let swap_replay_attack ~mode =
+  let k = boot mode in
+  let proc, va, _frame = plant k in
+  let path = swap_blob_path proc va in
+  let fail msg = failwith ("swap_replay_attack: " ^ msg) in
+  (* Epoch 1: the page (holding the secret) goes out; the OS keeps a
+     copy of the stored blob before faulting the page back in. *)
+  (match Ghost_swap.swap_out_page k proc ~va with Ok () -> () | Error m -> fail m);
+  let v1 =
+    match read_raw_file k path with Some b -> b | None -> fail "no stored blob"
+  in
+  (match Ghost_swap.swap_in_page k proc va with
+  | Ok () -> ()
+  | Error _ -> fail "legitimate swap-in refused");
+  (* The application rotates its secret; the new page goes out. *)
+  write_ghost k proc va (Bytes.of_string "rotated-ghost-secret-v2!");
+  (match Ghost_swap.swap_out_page k proc ~va with Ok () -> () | Error m -> fail m);
+  (* Replay: the OS substitutes the stale — but authentically sealed —
+     epoch-1 blob and lets the fault bring it in. *)
+  write_raw_file k path v1;
+  match Ghost_swap.swap_in_page k proc va with
+  | Error _ -> false (* the VM spotted the stale version *)
+  | Ok () -> Bytes.to_string (read_ghost k proc va (String.length secret)) = secret
+
+let swap_substitution_attack ~mode =
+  let k = boot mode in
+  let victim, va, _frame = plant k in
+  let fail msg = failwith ("swap_substitution_attack: " ^ msg) in
+  (* A colluding process with its own ghost page at the same address —
+     ghost partitions are per-process, so the shape is identical. *)
+  let mule =
+    match Kernel.create_process k ~parent:(Kernel.init_process k) with
+    | Ok p -> p
+    | Error _ -> fail "create_process"
+  in
+  (match Syscalls.allocgm k mule ~va ~pages:1 with
+  | Ok () -> ()
+  | Error _ -> fail "allocgm");
+  write_ghost k mule va (Bytes.make (String.length secret) '.');
+  (* Both pages go out; the OS then serves the victim's blob in place
+     of the mule's and faults the mule's page back in. *)
+  (match Ghost_swap.swap_out_page k victim ~va with Ok () -> () | Error m -> fail m);
+  (match Ghost_swap.swap_out_page k mule ~va with Ok () -> () | Error m -> fail m);
+  (match read_raw_file k (swap_blob_path victim va) with
+  | Some blob -> write_raw_file k (swap_blob_path mule va) blob
+  | None -> fail "no stored blob");
+  match Ghost_swap.swap_in_page k mule va with
+  | Error _ -> false (* the VM spotted the foreign header *)
+  | Ok () -> Bytes.to_string (read_ghost k mule va (String.length secret)) = secret
+
+let swap_thrash_attack ~mode =
+  let k = boot mode in
+  let proc, va, _frame = plant k in
+  let fail msg = failwith ("swap_thrash_attack: " ^ msg) in
+  (* Thrash-bomb: victimise the same hot page over and over (the
+     threat model permits this denial of service — the OS owns
+     policy), collecting every blob that crosses the boundary and
+     using the collection as an oracle. *)
+  let rounds = 8 in
+  let blobs = ref [] in
+  for _ = 1 to rounds do
+    (match Ghost_swap.swap_out_page k proc ~va with Ok () -> () | Error m -> fail m);
+    (match read_raw_file k (swap_blob_path proc va) with
+    | Some b -> blobs := Bytes.to_string b :: !blobs
+    | None -> fail "no stored blob");
+    match Ghost_swap.swap_in_page k proc va with
+    | Ok () -> ()
+    | Error _ -> fail "legitimate swap-in refused"
+  done;
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let leaked_plaintext = List.exists (fun b -> contains_sub b secret) !blobs in
+  (* A deterministic seal would leak too: identical blobs tell the OS
+     the page did not change between evictions (an equality oracle).
+     Virtual Ghost versions every seal, so all blobs must differ. *)
+  let module SS = Set.Make (String) in
+  let equality_oracle = SS.cardinal (SS.of_list !blobs) < rounds in
+  leaked_plaintext || equality_oracle
+
+(* ------------------------------------------------------------------ *)
 (* Syscall-flow integrity (SFIP) vectors: a hijacked process tries to
    drive the kernel through a syscall sequence its profile never
    contains.  On the baseline there is no signed profile (signatures

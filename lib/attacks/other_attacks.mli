@@ -55,6 +55,31 @@ val swap_tamper_attack : mode:Sva.mode -> bool
     Under the baseline there is no sealed swapping at all, so the OS
     trivially reads and modifies the page — reported as success. *)
 
+val swap_replay_attack : mode:Sva.mode -> bool
+(** The OS keeps a stale — but authentically sealed — copy of a
+    swapped-out ghost page and serves it after the application has
+    rotated the page's contents (paper section 3.3 / section 10's
+    replay concern, applied to swap).  Drives the real kernel swap
+    paths ({!Vg_kernel.Ghost_swap}).  Success means the application
+    silently got its old secret back; Virtual Ghost versions every
+    seal and refuses the stale blob with one [Security{swap}] event. *)
+
+val swap_substitution_attack : mode:Sva.mode -> bool
+(** The OS swaps out ghost pages of two processes and serves the
+    victim's blob when the colluding process faults its own page back
+    in.  Success means the colluder read the victim's secret; Virtual
+    Ghost binds pid and address into the sealed header and refuses the
+    foreign blob with one [Security{swap}] event. *)
+
+val swap_thrash_attack : mode:Sva.mode -> bool
+(** Hostile eviction policy: thrash-bomb one hot ghost page (evict,
+    fault, evict, ...) and use the stream of stored blobs as an
+    oracle.  Success means a blob carried the plaintext secret or two
+    evictions of the unchanged page produced identical blobs (an
+    equality oracle).  The thrashing itself is a denial of service the
+    threat model permits — but under Virtual Ghost the data never
+    leaks, never corrupts, and every seal is fresh. *)
+
 val sfip_sequence_attack : mode:Sva.mode -> bool
 (** A hijacked process whose honest workload is open/read/close tries
     to [connect]/[send] its config file to an attacker — a transition

@@ -41,5 +41,23 @@ let free t f =
   Hashtbl.remove t.in_use f;
   t.free_list <- f :: t.free_list
 
+let free_many t fs =
+  (* Validate the whole batch before touching state, so a bad frame in
+     the middle cannot leave a half-freed batch behind. *)
+  List.iter
+    (fun f ->
+      if f < t.first || f > t.last then
+        invalid_arg "Frame_alloc.free_many: foreign frame";
+      if not (Hashtbl.mem t.in_use f) then
+        invalid_arg "Frame_alloc.free_many: double free")
+    fs;
+  let seen = Hashtbl.create (List.length fs) in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f then invalid_arg "Frame_alloc.free_many: duplicate frame";
+      Hashtbl.replace seen f ())
+    fs;
+  List.iter (free t) fs
+
 let total t = t.last - t.first + 1
 let free_count t = total t - Hashtbl.length t.in_use

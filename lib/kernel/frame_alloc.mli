@@ -21,5 +21,11 @@ val free : t -> int -> unit
 (** Return a frame. @raise Invalid_argument if the frame is outside the
     allocator's range or already free (double free). *)
 
+val free_many : t -> int list -> unit
+(** Return a batch of frames — the dual of {!alloc_many}.  The whole
+    batch is validated first, so on @raise Invalid_argument (foreign,
+    already-free or duplicated frame) no frame of the batch has been
+    freed. *)
+
 val free_count : t -> int
 val total : t -> int

@@ -15,6 +15,7 @@ type t = {
   modules : (string, Syscall_abi.Sysno.t list) Hashtbl.t; (* module name -> overridden syscalls *)
   proc_lock : Spinlock.t;
   frame_lock : Spinlock.t;
+  swap : Swap_state.t; (* ghost-swap pressure engine (driven by Ghost_swap) *)
   mutable preempt : unit -> unit;
   mutable block : unit -> bool;
   child_wq : Waitq.t;
@@ -105,6 +106,9 @@ let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots) ~mode machine =
       modules = Hashtbl.create 4;
       proc_lock = Spinlock.create machine ~name:"proc";
       frame_lock = Spinlock.create machine ~name:"frame";
+      swap =
+        Swap_state.create machine ~cpus:(Machine.cpus machine)
+          ~total_frames:(Frame_alloc.total frames);
       preempt = (fun () -> ());
       block = (fun () -> false);
       child_wq = Waitq.create ~name:"child-exit";
@@ -329,5 +333,3 @@ let free_user_pages t (proc : Proc.t) =
   Hashtbl.reset proc.Proc.cow;
   Machine.flush_tlb t.machine
 
-let grant_ghost_frames t n =
-  Spinlock.with_lock t.frame_lock (fun () -> Frame_alloc.alloc_many t.frames n)

@@ -36,6 +36,8 @@ type t = {
       (** loaded module name -> syscalls it overrides *)
   proc_lock : Spinlock.t;  (** guards the process table / pid counter *)
   frame_lock : Spinlock.t;  (** guards the physical frame allocator *)
+  swap : Swap_state.t;
+      (** ghost-swap pressure engine state (driven by {!Ghost_swap}) *)
   mutable preempt : unit -> unit;
       (** called at the syscall-trap epilogue; the {!Sched} scheduler
           installs a hook that yields the running fiber when the
@@ -138,5 +140,3 @@ val user_ro : Pagetable.perm
 val free_user_pages : t -> Proc.t -> unit
 (** Tear down all traditional user pages of a process. *)
 
-val grant_ghost_frames : t -> int -> int list option
-(** Frames the kernel hands to the VM for [allocgm]. *)

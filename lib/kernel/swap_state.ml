@@ -1,0 +1,63 @@
+(* Mutable state of the ghost-swap pressure engine.
+
+   This record lives inside [Kernel.t] but holds nothing that needs the
+   kernel type itself — only frame numbers, (pid, vpage) page
+   identities and counters — so it sits below [Kernel] in the module
+   graph while the engine proper ([Ghost_swap]) sits above it.
+
+   Everything in here is populated exclusively by swap activity: when
+   swapping never triggers, the pools stay empty and the clock queue
+   holds only untouched registration entries, so non-swapping runs are
+   cycle-identical to a kernel without the engine. *)
+
+type page = int * int64 (* (pid, vpage) *)
+
+type t = {
+  lock : Spinlock.t;
+  (* Watermark hysteresis: reclaim engages only when availability drops
+     below [low] and then runs until it reaches [high], so the engine
+     cannot ping-pong at a single boundary. *)
+  mutable low : int;
+  mutable high : int;
+  (* Per-core frame caches over the global allocator, filled by
+     swap-out and drained by ghost allocation / swap-in. *)
+  pools : int list array;
+  mutable pooled : int;
+  pool_target : int;
+  (* Second-chance clock over resident ghost pages: registration order
+     with a referenced bit; entries are validated lazily against the
+     page tables, so freegm/exit need no hook here. *)
+  clock : page Queue.t;
+  on_clock : (page, unit) Hashtbl.t;
+  referenced : (page, unit) Hashtbl.t;
+  (* Pages with a swap-in in flight: a second faulting core waits
+     instead of double-restoring, and the eviction scan skips them. *)
+  inflight : (page, unit) Hashtbl.t;
+  mutable swap_outs : int;
+  mutable swap_ins : int;
+  mutable refusals : int;
+  mutable reclaims : int;
+  mutable daemon_wakeups : int;
+  mutable daemon_stop : bool;
+}
+
+let create machine ~cpus ~total_frames =
+  let low = max 4 (total_frames / 32) in
+  {
+    lock = Spinlock.create machine ~name:"ghost-swap";
+    low;
+    high = max (2 * low) (total_frames / 16);
+    pools = Array.make cpus [];
+    pooled = 0;
+    pool_target = 8;
+    clock = Queue.create ();
+    on_clock = Hashtbl.create 256;
+    referenced = Hashtbl.create 256;
+    inflight = Hashtbl.create 8;
+    swap_outs = 0;
+    swap_ins = 0;
+    refusals = 0;
+    reclaims = 0;
+    daemon_wakeups = 0;
+    daemon_stop = false;
+  }

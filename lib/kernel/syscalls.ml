@@ -257,14 +257,14 @@ let allocgm_body k (proc : Proc.t) ~va ~pages =
   Kmem.work k.Kernel.kmem 40;
   (* Memory pressure: evict ghost pages (through the VM) until the
      request fits. *)
-  if Frame_alloc.free_count k.Kernel.frames < pages then
-    Swapd.ensure_frames k ~wanted:pages;
-  match Kernel.grant_ghost_frames k pages with
+  if Ghost_swap.available k < pages then Ghost_swap.ensure_frames k ~wanted:pages;
+  match Ghost_swap.take_frames k pages with
   | None -> Error Errno.ENOMEM
   | Some frames -> (
       match Sva.allocgm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~frames with
       | Ok () ->
           proc.Proc.ghost_regions <- (va, pages) :: proc.Proc.ghost_regions;
+          Ghost_swap.note_resident k proc ~va ~pages;
           Ok ()
       | Error msg ->
           List.iter (Frame_alloc.free k.Kernel.frames) frames;
@@ -276,6 +276,9 @@ let freegm_body k (proc : Proc.t) ~va ~pages =
   match Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~count:pages with
   | Ok frames ->
       List.iter (Frame_alloc.free k.Kernel.frames) frames;
+      (* Pages of the range that were swapped out can never be restored
+         now; drop their stored blobs. *)
+      Ghost_swap.release_range k proc ~va ~pages;
       proc.Proc.ghost_regions <-
         List.filter (fun (base, _) -> base <> va) proc.Proc.ghost_regions;
       Ok ()
@@ -856,13 +859,16 @@ let exit_ k proc status =
           | Proc.File _ | Proc.Sock_listen _ | Proc.Console_out -> ())
         proc.Proc.fds;
       Hashtbl.reset proc.Proc.fds;
-      (* Release ghost memory through the VM. *)
+      (* Release ghost memory through the VM (swapped-out pages of the
+         regions are invalidated rather than returned), then drop any
+         blobs the process left in the swap store. *)
       List.iter
         (fun (va, pages) ->
           match Sva.freegm k.Kernel.sva ~pid:proc.Proc.pid ~pt:proc.Proc.pt ~va ~count:pages with
           | Ok frames -> List.iter (Frame_alloc.free k.Kernel.frames) frames
           | Error _ -> ())
         proc.Proc.ghost_regions;
+      Ghost_swap.release_blobs k proc;
       proc.Proc.ghost_regions <- [];
       Kernel.free_user_pages k proc;
       Sva.release_address_space k.Kernel.sva proc.Proc.pt;
@@ -1017,6 +1023,7 @@ let policy_kill k (proc : Proc.t) =
         | Ok frames -> List.iter (Frame_alloc.free k.Kernel.frames) frames
         | Error _ -> ())
       proc.Proc.ghost_regions;
+    Ghost_swap.release_blobs k proc;
     proc.Proc.ghost_regions <- [];
     Kernel.free_user_pages k proc;
     proc.Proc.state <- Proc.Zombie 137;

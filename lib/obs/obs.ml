@@ -33,12 +33,13 @@ module Tag = struct
     | Verify  (** load-time verification of native images *)
     | Ring  (** batched syscall-ring dispatch (per-entry work) *)
     | Sfip  (** syscall-flow-integrity transition checks *)
+    | Swap  (** ghost-swap pressure engine (eviction scans, blob I/O) *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other; Sched; Ipi; Timer; Lock; Verify; Ring; Sfip;
+      Other; Sched; Ipi; Timer; Lock; Verify; Ring; Sfip; Swap;
     ]
 
   let count = List.length all
@@ -70,6 +71,7 @@ module Tag = struct
     | Verify -> 23
     | Ring -> 24
     | Sfip -> 25
+    | Swap -> 26
 
   let to_string = function
     | Exec -> "exec"
@@ -98,6 +100,7 @@ module Tag = struct
     | Verify -> "verify"
     | Ring -> "ring"
     | Sfip -> "sfip"
+    | Swap -> "swap"
 end
 
 module Event = struct

@@ -41,6 +41,7 @@ module Tag : sig
     | Verify
     | Ring
     | Sfip
+    | Swap
 
   val all : t list
   val count : int

@@ -58,7 +58,11 @@ type t = {
   app_keys : (int, bytes) Hashtbl.t;
   exec_cache : (string, bytes) Hashtbl.t; (* image digest -> app key *)
   swap_key : bytes;
-  swap_nonces : (int * int64, bytes) Hashtbl.t;
+  (* Per-page freshness table, in VG-protected memory: (pid, va) of
+     every swapped-out ghost page -> the version sealed into the only
+     blob the VM will accept back.  A stale-but-valid blob is replay,
+     not restore. *)
+  swap_versions : (int * int64, int) Hashtbl.t;
   mutable swap_epoch : int;
   mutable traps : int;
   mutable mmu_checks : int;
@@ -159,7 +163,7 @@ let boot ?(vg_key_bits = 256) ~mode machine =
       app_keys = Hashtbl.create 16;
       exec_cache = Hashtbl.create 16;
       swap_key;
-      swap_nonces = Hashtbl.create 64;
+      swap_versions = Hashtbl.create 64;
       swap_epoch = 0;
       traps = 0;
       mmu_checks = 0;
@@ -737,34 +741,96 @@ let ghost_pte t ~pid ~pt ~va =
 let freegm t ~pid ~pt ~va ~count =
   if Int64.logand va 0xfffL <> 0L then Error "freegm: unaligned address"
   else begin
+    (* A page of the range may be resident (release its frame) or
+       swapped out (invalidate its freshness entry so the stored blob
+       can never be restored); anything else is not this process's
+       ghost memory. *)
+    let page_va i = Int64.add va (Int64.of_int (i * 4096)) in
     let rec collect i acc =
       if i = count then Ok (List.rev acc)
       else begin
-        let page_va = Int64.add va (Int64.of_int (i * 4096)) in
-        match ghost_pte t ~pid ~pt ~va:page_va with
-        | None -> Error "freegm: page is not ghost memory of this process"
-        | Some pte -> collect (i + 1) (pte.Pagetable.frame :: acc)
+        match ghost_pte t ~pid ~pt ~va:(page_va i) with
+        | Some pte -> collect (i + 1) (`Resident pte.Pagetable.frame :: acc)
+        | None ->
+            if Hashtbl.mem t.swap_versions (pid, page_va i) then
+              collect (i + 1) (`Swapped (page_va i) :: acc)
+            else Error "freegm: page is not ghost memory of this process"
       end
     in
     match collect 0 [] with
     | Error _ as e -> e
-    | Ok frames ->
+    | Ok pages ->
         if Machine.tracing t.machine then
           Machine.emit t.machine (Obs.Event.Ghost_free { pid; pages = count });
-        List.iteri
-          (fun i frame ->
-            Pagetable.unmap pt
-              ~vpage:(Int64.add (Int64.shift_right_logical va 12) (Int64.of_int i));
-            Phys_mem.zero_frame (Machine.mem t.machine) frame;
-            Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
-            Hashtbl.remove t.uses frame)
-          frames;
+        let frames =
+          List.concat
+            (List.mapi
+               (fun i page ->
+                 match page with
+                 | `Resident frame ->
+                     Pagetable.unmap pt
+                       ~vpage:
+                         (Int64.add (Int64.shift_right_logical va 12) (Int64.of_int i));
+                     Phys_mem.zero_frame (Machine.mem t.machine) frame;
+                     Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
+                     Hashtbl.remove t.uses frame;
+                     [ frame ]
+                 | `Swapped page_va ->
+                     Hashtbl.remove t.swap_versions (pid, page_va);
+                     [])
+               pages)
+        in
         Machine.flush_tlb t.machine;
         Ok frames
   end
 
 (* ------------------------------------------------------------------ *)
 (* Ghost-page swapping                                                 *)
+
+(* Sealed-blob wire format (Virtual Ghost build):
+
+     nonce (8 bytes, clear) || Ctr.seal(swap_key, nonce, header || page)
+     header = pid (8 LE) || va (8 LE) || version (8 LE)
+
+   The nonce travels in the clear but is authenticated (the MAC covers
+   nonce || ciphertext), so the VM needs to remember only the current
+   *version* per page, not the nonce.  The sealed header binds the blob
+   to its owner and address — a blob from another process or address
+   fails as substitution even though the MAC verifies — and the version
+   check against [swap_versions] rejects stale-but-valid blobs as
+   replay.
+
+   The native baseline "seals" nothing: the blob is the raw page, and
+   swap-in restores whatever the kernel hands back — which is exactly
+   what the swap attack suite exploits. *)
+
+let swap_header_size = 24
+
+let swap_header ~pid ~va ~version =
+  let h = Bytes.create swap_header_size in
+  Bytes.set_int64_le h 0 (Int64.of_int pid);
+  Bytes.set_int64_le h 8 va;
+  Bytes.set_int64_le h 16 (Int64.of_int version);
+  h
+
+let swap_refuse t ~pid ~va detail =
+  Machine.emit t.machine
+    (Obs.Event.Security
+       {
+         subsystem = "swap";
+         detail =
+           Printf.sprintf "swap_in pid=%d va=%s: %s" pid (Vg_util.U64.to_hex va)
+             detail;
+       });
+  Error ("swap_in: " ^ detail)
+
+let map_ghost_page t ~pid ~pt ~va ~frame plain =
+  let phys = Int64.shift_left (Int64.of_int frame) 12 in
+  Phys_mem.write_bytes (Machine.mem t.machine) ~addr:phys plain;
+  Hashtbl.replace t.uses frame (Ghost_frame pid);
+  Pagetable.map pt
+    ~vpage:(Int64.shift_right_logical va 12)
+    { Pagetable.frame; perm = { writable = true; user = true; executable = true } }
 
 let swap_out_ghost t ~pid ~pt ~va =
   match ghost_pte t ~pid ~pt ~va with
@@ -773,51 +839,94 @@ let swap_out_ghost t ~pid ~pt ~va =
       let frame = pte.Pagetable.frame in
       let phys = Int64.shift_left (Int64.of_int frame) 12 in
       let plain = Phys_mem.read_bytes (Machine.mem t.machine) ~addr:phys ~len:4096 in
-      (* Fresh nonce per swap-out: old blobs cannot be replayed. *)
-      t.swap_epoch <- t.swap_epoch + 1;
-      let nonce = Bytes.create 8 in
-      Bytes.set_int64_le nonce 0 (Int64.of_int t.swap_epoch);
-      Hashtbl.replace t.swap_nonces (pid, va) nonce;
-      Machine.charge ~tag:Obs.Tag.Crypto t.machine
-        (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
-      let blob = Vg_crypto.Ctr.seal ~key:t.swap_key ~nonce plain in
+      let blob =
+        match t.mode with
+        | Native_build ->
+            (* Baseline: the kernel stores the page as it is. *)
+            Machine.charge ~tag:Obs.Tag.Copy t.machine (Cost.copy_cycles 4096);
+            plain
+        | Virtual_ghost ->
+            (* Fresh version (and nonce) per swap-out: only the newest
+               sealed image of this page will ever be accepted back. *)
+            t.swap_epoch <- t.swap_epoch + 1;
+            let version = t.swap_epoch in
+            let nonce = Bytes.create 8 in
+            Bytes.set_int64_le nonce 0 (Int64.of_int version);
+            Hashtbl.replace t.swap_versions (pid, va) version;
+            let payload = Bytes.cat (swap_header ~pid ~va ~version) plain in
+            Machine.charge ~tag:Obs.Tag.Crypto t.machine
+              (Bytes.length payload * (Cost.aes_per_byte + Cost.sha_per_byte));
+            Bytes.cat nonce (Vg_crypto.Ctr.seal ~key:t.swap_key ~nonce payload)
+      in
       Pagetable.unmap pt ~vpage:(Int64.shift_right_logical va 12);
       Phys_mem.zero_frame (Machine.mem t.machine) frame;
       Machine.charge ~tag:Obs.Tag.Zero t.machine Cost.zero_page;
       Hashtbl.remove t.uses frame;
+      (* The owner may be live on another core with this translation
+         cached — its frame is about to be recycled, so every core's
+         TLB must drop it, not just the evicting core's. *)
       Machine.flush_tlb t.machine;
+      Machine.tlb_shootdown t.machine;
       if Machine.tracing t.machine then
         Machine.emit t.machine (Obs.Event.Swap_out { pid; va });
       Ok (frame, blob)
 
 let swap_in_ghost t ~pid ~pt ~va ~frame ~blob =
-  match Hashtbl.find_opt t.swap_nonces (pid, va) with
-  | None -> Error "swap_in: no page was swapped out at this address"
-  | Some nonce -> (
-      if frame_use t frame <> Kernel_managed || frame_mapped_somewhere t frame then
-        Error "swap_in: frame is in use or still mapped"
-      else begin
-        Machine.charge ~tag:Obs.Tag.Crypto t.machine
-          (4096 * (Cost.aes_per_byte + Cost.sha_per_byte));
-        match Vg_crypto.Ctr.open_ ~key:t.swap_key ~nonce blob with
-        | None ->
-            Machine.emit t.machine (Obs.Event.Swap_in { pid; va; ok = false });
-            Error "swap_in: page integrity check failed (OS tampered with swap)"
-        | Some plain ->
-            if Machine.tracing t.machine then
-              Machine.emit t.machine (Obs.Event.Swap_in { pid; va; ok = true });
-            Hashtbl.remove t.swap_nonces (pid, va);
-            let phys = Int64.shift_left (Int64.of_int frame) 12 in
-            Phys_mem.write_bytes (Machine.mem t.machine) ~addr:phys plain;
-            Hashtbl.replace t.uses frame (Ghost_frame pid);
-            Pagetable.map pt
-              ~vpage:(Int64.shift_right_logical va 12)
-              {
-                Pagetable.frame;
-                perm = { writable = true; user = true; executable = true };
-              };
-            Ok ()
-      end)
+  match t.mode with
+  | Native_build ->
+      (* The baseline kernel trusts its own swap store: restore
+         whatever bytes it presents, padded or truncated to a page. *)
+      let plain = Bytes.make 4096 '\000' in
+      Bytes.blit blob 0 plain 0 (min 4096 (Bytes.length blob));
+      Machine.charge ~tag:Obs.Tag.Copy t.machine (Cost.copy_cycles 4096);
+      map_ghost_page t ~pid ~pt ~va ~frame plain;
+      Ok ()
+  | Virtual_ghost -> (
+      match Hashtbl.find_opt t.swap_versions (pid, va) with
+      | None -> swap_refuse t ~pid ~va "no ghost page is swapped out here"
+      | Some expected ->
+          if frame_use t frame <> Kernel_managed || frame_mapped_somewhere t frame
+          then swap_refuse t ~pid ~va "frame is in use or still mapped"
+          else if Bytes.length blob < 8 + swap_header_size + Vg_crypto.Ctr.tag_size
+          then swap_refuse t ~pid ~va "sealed blob truncated"
+          else begin
+            let nonce = Bytes.sub blob 0 8 in
+            let sealed = Bytes.sub blob 8 (Bytes.length blob - 8) in
+            Machine.charge ~tag:Obs.Tag.Crypto t.machine
+              (Bytes.length sealed * (Cost.aes_per_byte + Cost.sha_per_byte));
+            match Vg_crypto.Ctr.open_ ~key:t.swap_key ~nonce sealed with
+            | None ->
+                swap_refuse t ~pid ~va
+                  "page integrity check failed (OS corrupted the blob)"
+            | Some payload when Bytes.length payload <> swap_header_size + 4096 ->
+                swap_refuse t ~pid ~va "sealed payload has the wrong shape"
+            | Some payload ->
+                let b_pid = Int64.to_int (Bytes.get_int64_le payload 0) in
+                let b_va = Bytes.get_int64_le payload 8 in
+                let b_version = Int64.to_int (Bytes.get_int64_le payload 16) in
+                if b_pid <> pid || b_va <> va then
+                  swap_refuse t ~pid ~va
+                    (Printf.sprintf
+                       "blob belongs to pid=%d va=%s (cross-page substitution)"
+                       b_pid (Vg_util.U64.to_hex b_va))
+                else if b_version <> expected then
+                  swap_refuse t ~pid ~va
+                    (Printf.sprintf
+                       "stale sealed page: version %d, current is %d (replay)"
+                       b_version expected)
+                else begin
+                  if Machine.tracing t.machine then
+                    Machine.emit t.machine (Obs.Event.Swap_in { pid; va; ok = true });
+                  Hashtbl.remove t.swap_versions (pid, va);
+                  let plain =
+                    Bytes.sub payload swap_header_size 4096
+                  in
+                  map_ghost_page t ~pid ~pt ~va ~frame plain;
+                  Ok ()
+                end
+          end)
+
+let swapped_out_version t ~pid ~va = Hashtbl.find_opt t.swap_versions (pid, va)
 
 (* ------------------------------------------------------------------ *)
 (* Randomness and programmed I/O                                       *)

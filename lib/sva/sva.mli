@@ -206,17 +206,41 @@ val allocgm :
 val freegm :
   t -> pid:int -> pt:Pagetable.t -> va:int64 -> count:int -> (int list, string) result
 (** Unmap [count] pages of ghost memory, zero the frames and return
-    them to the OS. *)
+    them to the OS.  Pages of the range that are currently swapped out
+    are released by invalidating their freshness entry (their stored
+    blobs can never be restored); only the resident frames appear in
+    the returned list. *)
+
+(** {2 Sealed swapping}
+
+    "Unlike programmed I/O, swapping of ghost memory is the
+    responsibility of Virtual Ghost" (paper section 3.3): the OS picks
+    victims and stores bytes, but only the VM touches plaintext.  Under
+    Virtual Ghost a swapped page leaves the VM as
+    [nonce || AES-CTR+HMAC(pid || va || version || page)] under a
+    per-boot key derived from the TPM chain, and the VM keeps a
+    per-page version table in its own protected memory — swap-in
+    verifies integrity {e and} freshness, so corrupted blobs, blobs
+    belonging to another page or process, and stale-but-valid blobs
+    (replay) are all refused, each with one [Security{swap}] event.
+    The native baseline stores raw page bytes and restores whatever
+    the kernel presents. *)
 
 val swap_out_ghost :
   t -> pid:int -> pt:Pagetable.t -> va:int64 -> (int * bytes, string) result
-(** Encrypt-and-MAC one ghost page, unmap and zero it, and hand the
-    (frame, sealed blob) pair to the OS for storage. *)
+(** Seal one ghost page, unmap and zero it, and hand the (frame, blob)
+    pair to the OS for storage. *)
 
 val swap_in_ghost :
   t -> pid:int -> pt:Pagetable.t -> va:int64 -> frame:int -> blob:bytes ->
   (unit, string) result
-(** Verify and restore a swapped page; detects any OS tampering. *)
+(** Verify a stored blob and restore the page into [frame].  Every
+    refusal — unknown page, bad frame, corrupted blob, substitution,
+    replay — emits one [Security{swap}] event under Virtual Ghost. *)
+
+val swapped_out_version : t -> pid:int -> va:int64 -> int option
+(** The version the VM currently expects for a swapped-out page, if
+    any (diagnostics; [None] once the page is resident again). *)
 
 (** {1 Monotonic counters}
 

@@ -31,8 +31,14 @@ let as_user ctx f =
    through the VM's sealed path); ordinary user addresses demand-page
    or resolve copy-on-write. *)
 let service_fault ctx fault_va =
-  if Layout.in_ghost fault_va then Swapd.swap_in ctx.kernel ctx.proc fault_va
-  else Kernel.handle_page_fault ctx.kernel ctx.proc fault_va
+  if Layout.in_ghost fault_va then Ghost_swap.fault_in ctx.kernel ctx.proc fault_va
+  else begin
+    (* Traditional demand paging draws from the global allocator; under
+       ghost memory pressure refill it by evicting sealed ghost pages. *)
+    if Frame_alloc.free_count ctx.kernel.Kernel.frames = 0 then
+      Ghost_swap.ensure_free ctx.kernel ~wanted:1;
+    Kernel.handle_page_fault ctx.kernel ctx.proc fault_va
+  end
 
 let rec poke ctx va data =
   try as_user ctx (fun () -> Machine.write_bytes_virt ctx.kernel.Kernel.machine va data)
@@ -244,6 +250,28 @@ let sys_read ctx ~fd ~dst ~len =
     match !result with Error _ as e when !red = 0 -> e | _ -> Ok !red
   end
   else Syscalls.read ctx.kernel ctx.proc ~fd ~buf:dst ~len
+
+(* Sockets move bytes with the same masked-copyout rules as files: a
+   ghost destination needs the bounce buffer, or the kernel's write is
+   silently dropped. *)
+let sys_recv ctx ~fd ~buf ~len =
+  if ctx.ghosting && is_ghost_ptr buf then begin
+    let chunk = min bounce_bytes len in
+    match Syscalls.recv ctx.kernel ctx.proc ~fd ~buf:ctx.bounce ~len:chunk with
+    | Ok n when n > 0 ->
+        user_memcpy ctx ~dst:buf ~src:ctx.bounce ~len:n;
+        Ok n
+    | r -> r
+  end
+  else Syscalls.recv ctx.kernel ctx.proc ~fd ~buf ~len
+
+let sys_send ctx ~fd ~buf ~len =
+  if ctx.ghosting && is_ghost_ptr buf then begin
+    let chunk = min bounce_bytes len in
+    user_memcpy ctx ~dst:ctx.bounce ~src:buf ~len:chunk;
+    Syscalls.send ctx.kernel ctx.proc ~fd ~buf:ctx.bounce ~len:chunk
+  end
+  else Syscalls.send ctx.kernel ctx.proc ~fd ~buf ~len
 
 let write_string ctx ~fd s =
   let va = galloc ctx (String.length s) in

@@ -113,6 +113,14 @@ val sys_write : ctx -> fd:int -> src:int64 -> len:int -> int Errno.result
 val sys_read : ctx -> fd:int -> dst:int64 -> len:int -> int Errno.result
 (** If [dst] is ghost, receive into the bounce buffer and copy in. *)
 
+val sys_recv : ctx -> fd:int -> buf:int64 -> len:int -> int Errno.result
+(** Socket receive with the same ghost-destination bounce as
+    {!sys_read} — without it the kernel's masked copyout silently
+    drops the bytes for a ghosting process. *)
+
+val sys_send : ctx -> fd:int -> buf:int64 -> len:int -> int Errno.result
+(** Socket send with the same ghost-source bounce as {!sys_write}. *)
+
 val write_string : ctx -> fd:int -> string -> int Errno.result
 (** Convenience: stage a string in the heap and write it. *)
 

@@ -565,15 +565,15 @@ let test_swap_explicit_roundtrip () =
           (Int64.add base (Int64.of_int (i * 4096)))
           (Bytes.make 64 (Char.chr (65 + i)))
       done;
-      let resident_before = Swapd.resident_ghost_pages k ctx.Runtime.proc in
+      let resident_before = Ghost_swap.resident_ghost_pages ctx.Runtime.proc in
       (* Evict four pages through the VM. *)
       for _ = 1 to 4 do
-        match Swapd.swap_out_one k with
+        match Ghost_swap.swap_out_one k with
         | Ok () -> ()
         | Error msg -> Alcotest.failf "swap out: %s" msg
       done;
       Alcotest.(check int) "four fewer resident" (resident_before - 4)
-        (Swapd.resident_ghost_pages k ctx.Runtime.proc);
+        (Ghost_swap.resident_ghost_pages ctx.Runtime.proc);
       (* Blobs live in the file system, encrypted. *)
       (match Diskfs.lookup k.Kernel.fs "/swap" with
       | Ok ino ->
@@ -592,7 +592,7 @@ let test_swap_explicit_roundtrip () =
           got
       done;
       Alcotest.(check int) "all resident again" resident_before
-        (Swapd.resident_ghost_pages k ctx.Runtime.proc))
+        (Ghost_swap.resident_ghost_pages ctx.Runtime.proc))
 
 let test_swap_under_memory_pressure () =
   (* A machine whose kernel allocator is tiny: allocating more ghost
@@ -622,7 +622,7 @@ let test_swap_tampered_blob_kills_access () =
   Runtime.launch k ~ghosting:true (fun ctx ->
       let va = Runtime.galloc ctx 4096 in
       Runtime.poke ctx va (Bytes.of_string "precious ghost bytes");
-      (match Swapd.swap_out_one k with
+      (match Ghost_swap.swap_out_one k with
       | Ok () -> ()
       | Error msg -> Alcotest.failf "swap out: %s" msg);
       (* The hostile OS flips a byte in a stored blob. *)

@@ -180,6 +180,81 @@ let test_events_ring_ghost_buffer () =
   check "vg: sandbox fault reported" true (has_security vg "sandbox")
 
 (* ------------------------------------------------------------------ *)
+(* Hostile eviction: the kernel's own swap machinery turned against
+   the application.  Every forged blob must fail closed with exactly
+   one Security{swap} event under Virtual Ghost, while the baseline
+   swaps plaintext and notices nothing. *)
+
+let count_swap recorder =
+  Obs_recorder.count_matching recorder (function
+    | Obs.Event.Security { subsystem = "swap"; _ } -> true
+    | _ -> false)
+
+let test_swap_replay () =
+  check "native accepts the stale page" true
+    (Other_attacks.swap_replay_attack ~mode:Sva.Native_build);
+  check "vg refuses the stale version" false
+    (Other_attacks.swap_replay_attack ~mode:Sva.Virtual_ghost)
+
+let test_swap_substitution () =
+  check "native hands over the victim's page" true
+    (Other_attacks.swap_substitution_attack ~mode:Sva.Native_build);
+  check "vg refuses the foreign blob" false
+    (Other_attacks.swap_substitution_attack ~mode:Sva.Virtual_ghost)
+
+let test_swap_thrash () =
+  check "native blobs leak the plaintext" true
+    (Other_attacks.swap_thrash_attack ~mode:Sva.Native_build);
+  check "vg blobs leak nothing" false
+    (Other_attacks.swap_thrash_attack ~mode:Sva.Virtual_ghost)
+
+let test_events_swap_tamper () =
+  let _, native =
+    record (fun () -> Other_attacks.swap_tamper_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () -> Other_attacks.swap_tamper_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: exactly one swap refusal reported" true (count_swap vg = 1)
+
+let test_events_swap_replay () =
+  let _, native =
+    record (fun () -> Other_attacks.swap_replay_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () -> Other_attacks.swap_replay_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: exactly one swap refusal reported" true (count_swap vg = 1)
+
+let test_events_swap_substitution () =
+  let _, native =
+    record (fun () ->
+        Other_attacks.swap_substitution_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let _, vg =
+    record (fun () ->
+        Other_attacks.swap_substitution_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: exactly one swap refusal reported" true (count_swap vg = 1)
+
+let test_events_swap_thrash () =
+  (* Thrashing is in-policy denial of service: every blob is genuine,
+     so neither build reports anything — the defense here is that the
+     blobs carry no signal, not that the VM refuses. *)
+  let _, native =
+    record (fun () -> Other_attacks.swap_thrash_attack ~mode:Sva.Native_build)
+  in
+  no_security_events "native: silent" native;
+  let leaked, vg =
+    record (fun () -> Other_attacks.swap_thrash_attack ~mode:Sva.Virtual_ghost)
+  in
+  check "vg: no leak" false leaked;
+  check "vg: silent (nothing was refused)" true (count_swap vg = 0)
+
+(* ------------------------------------------------------------------ *)
 (* Syscall-flow integrity: out-of-policy sequences fail closed under
    Virtual Ghost (process killed, one Security{sfip} event), while the
    baseline — with no signed profiles — executes them. *)
@@ -299,6 +374,18 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
           Alcotest.test_case "ring ghost buffer" `Quick
             test_events_ring_ghost_buffer;
+        ] );
+      ( "hostile-eviction",
+        [
+          Alcotest.test_case "sealed-blob replay" `Quick test_swap_replay;
+          Alcotest.test_case "cross-process substitution" `Quick
+            test_swap_substitution;
+          Alcotest.test_case "thrash-bomb oracle" `Quick test_swap_thrash;
+          Alcotest.test_case "tamper events" `Quick test_events_swap_tamper;
+          Alcotest.test_case "replay events" `Quick test_events_swap_replay;
+          Alcotest.test_case "substitution events" `Quick
+            test_events_swap_substitution;
+          Alcotest.test_case "thrash events" `Quick test_events_swap_thrash;
         ] );
       ( "sfip",
         [

@@ -1256,6 +1256,83 @@ let test_vg_syscall_overhead_shape () =
     true
     (ratio > 2.0 && ratio < 8.0)
 
+(* ------------------------------------------------------------------ *)
+(* The frame allocator's batch dual, and the ghost-swap pressure
+   engine's watermark hysteresis.                                      *)
+
+let prop_frame_alloc_roundtrip =
+  QCheck2.Test.make
+    ~name:"frame allocator: alloc_many/free_many round-trips free_count"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (int_range 1 16))
+    (fun batches ->
+      let t = Frame_alloc.create ~first:100 ~last:400 in
+      let initial = Frame_alloc.free_count t in
+      let held = List.filter_map (Frame_alloc.alloc_many t) batches in
+      List.iter (Frame_alloc.free_many t) held;
+      Frame_alloc.free_count t = initial)
+
+let test_free_many_rejects_bad_batches () =
+  let t = Frame_alloc.create ~first:0 ~last:31 in
+  let fs = Option.get (Frame_alloc.alloc_many t 4) in
+  Frame_alloc.free_many t fs;
+  let count_after = Frame_alloc.free_count t in
+  Alcotest.check_raises "whole batch already free"
+    (Invalid_argument "Frame_alloc.free_many: double free") (fun () ->
+      Frame_alloc.free_many t fs);
+  Alcotest.(check int) "failed batch freed nothing" count_after
+    (Frame_alloc.free_count t);
+  let g = Option.get (Frame_alloc.alloc_many t 2) in
+  Alcotest.check_raises "duplicated frame in one batch"
+    (Invalid_argument "Frame_alloc.free_many: duplicate frame") (fun () ->
+      Frame_alloc.free_many t (g @ g));
+  Alcotest.(check int) "failed batch freed nothing" (count_after - 2)
+    (Frame_alloc.free_count t);
+  (* A single stale frame poisons the whole batch — the valid ones in
+     front of it must stay allocated. *)
+  let h = Option.get (Frame_alloc.alloc_many t 3) in
+  Frame_alloc.free t (List.nth h 2);
+  let before = Frame_alloc.free_count t in
+  Alcotest.check_raises "stale frame mid-batch"
+    (Invalid_argument "Frame_alloc.free_many: double free") (fun () ->
+      Frame_alloc.free_many t h);
+  Alcotest.(check int) "all-or-nothing" before (Frame_alloc.free_count t)
+
+let test_swap_watermark_hysteresis () =
+  let machine =
+    Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"hyst" ()
+  in
+  let k = Kernel.boot ~frame_limit:96 ~mode:Sva.Virtual_ghost machine in
+  let proc = expect_ok "create" (Kernel.create_process k ~parent:(init k)) in
+  let va = Int64.add Layout.ghost_start 0x100000L in
+  (match Syscalls.allocgm k proc ~va ~pages:24 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "allocgm: %s" (Errno.to_string e));
+  let avail0 = Ghost_swap.available k in
+  (* Pin the watermarks just above current availability: the engine is
+     under pressure and must reclaim up to [high] in one episode. *)
+  Ghost_swap.set_watermarks k ~low:(avail0 + 4) ~high:(avail0 + 8);
+  Alcotest.(check int) "reclaims to the high watermark" 8 (Ghost_swap.balance k);
+  Alcotest.(check int) "availability at high" (avail0 + 8)
+    (Ghost_swap.available k);
+  (* At the high watermark: nothing further to do. *)
+  Alcotest.(check int) "no ping-pong at high" 0 (Ghost_swap.balance k);
+  (* Dip below high but not below low: hysteresis keeps the engine
+     quiet instead of chasing the high watermark on every wobble. *)
+  (match Ghost_swap.take_frames k 3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "take_frames");
+  Alcotest.(check int) "between the marks: still quiet" 0 (Ghost_swap.balance k);
+  (* Now cross below low: one reclaim episode refills to high. *)
+  (match Ghost_swap.take_frames k 2 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "take_frames");
+  Alcotest.(check bool) "below low engages" true (Ghost_swap.balance k > 0);
+  Alcotest.(check int) "refilled to high" (avail0 + 8) (Ghost_swap.available k);
+  let st = Ghost_swap.stats k in
+  Alcotest.(check int) "two reclaim episodes" 2 st.Ghost_swap.reclaims;
+  Alcotest.(check bool) "pages went out" true (st.Ghost_swap.swap_outs >= 13)
+
 let () =
   Alcotest.run "vg_kernel"
     [
@@ -1297,6 +1374,14 @@ let () =
             test_ghost_isolation_end_to_end;
           Alcotest.test_case "freegm syscall" `Quick test_freegm_syscall;
           Alcotest.test_case "exit releases ghost" `Quick test_exit_releases_ghost;
+        ] );
+      ( "ghost-swap",
+        [
+          QCheck_alcotest.to_alcotest prop_frame_alloc_roundtrip;
+          Alcotest.test_case "free_many rejects bad batches" `Quick
+            test_free_many_rejects_bad_batches;
+          Alcotest.test_case "watermark hysteresis" `Quick
+            test_swap_watermark_hysteresis;
         ] );
       ( "cow",
         [

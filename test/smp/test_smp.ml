@@ -423,6 +423,82 @@ let test_wait_blocks_until_child_exit () =
   | _, None -> Alcotest.fail "fork never ran"
 
 (* ------------------------------------------------------------------ *)
+(* Ghost swap under SMP: two cores race the same swapped-out page      *)
+
+(* The owner faults its evicted ghost page back in while a second core
+   drives the kernel's prefetch path ([Ghost_swap.swap_in_page]) at
+   the same page.  The in-flight table must serialise them: exactly
+   one restore happens, the loser just finds the page resident.  (The
+   same *process* cannot fault on two cores at once —
+   [sva.swap.integer] refuses a live thread — so the second actor is a
+   kernel-side fiber, as a real kernel's swap prefetcher would be.) *)
+let test_concurrent_swap_in_restores_once () =
+  let k = boot ~cpus:2 () in
+  let sched = Sched.create k in
+  let va = Int64.add Layout.ghost_start 0x300000L in
+  let victim = ref None in
+  let swapped = ref false in
+  let raced = ref false in
+  let prefetcher_done = ref false in
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:0 ~ghosting:true ~name:"owner"
+       (fun ctx ->
+         let proc = ctx.Runtime.proc in
+         victim := Some proc;
+         (match Syscalls.allocgm ctx.Runtime.kernel proc ~va ~pages:1 with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "allocgm: %s" (Errno.to_string e));
+         Runtime.poke ctx va (Bytes.of_string "smp-swap-page");
+         (match Ghost_swap.swap_out_page k proc ~va with
+         | Ok () -> ()
+         | Error m -> Alcotest.failf "swap out: %s" m);
+         swapped := true;
+         (* Touch the page: the fault sleeps on the swap device and
+            yields, which is the prefetcher's window. *)
+         Alcotest.(check string) "owner sees its data intact" "smp-swap-page"
+           (Bytes.to_string (Runtime.peek ctx va 13));
+         (* Stay alive until the prefetcher has observed the outcome —
+            returning here would exit the process and tear the ghost
+            region down under the racing core. *)
+         let rec linger () =
+           if not !prefetcher_done then begin
+             Sched.yield sched;
+             linger ()
+           end
+         in
+         linger ()));
+  ignore
+    (Runtime.spawn_fiber k sched ~cpu:1 ~ghosting:false ~name:"prefetcher"
+       (fun _ctx ->
+         let rec wait_for_eviction () =
+           if not !swapped then begin
+             Sched.yield sched;
+             wait_for_eviction ()
+           end
+         in
+         wait_for_eviction ();
+         (match !victim with
+         | None -> Alcotest.fail "owner never registered"
+         | Some proc ->
+             if Ghost_swap.is_swapped_out k proc va then begin
+               raced := true;
+               match Ghost_swap.swap_in_page k proc va with
+               | Ok () -> ()
+               | Error e -> Alcotest.failf "prefetch: %s" (Errno.to_string e)
+             end);
+         prefetcher_done := true));
+  Sched.run sched;
+  Alcotest.(check bool) "the two cores actually raced" true !raced;
+  let st = Ghost_swap.stats k in
+  Alcotest.(check int) "exactly one restore" 1 st.Ghost_swap.swap_ins;
+  Alcotest.(check int) "no refusals" 0 st.Ghost_swap.refusals;
+  (match !victim with
+  | Some proc ->
+      Alcotest.(check bool) "blob consumed" false
+        (Ghost_swap.is_swapped_out k proc va)
+  | None -> Alcotest.fail "owner never ran")
+
+(* ------------------------------------------------------------------ *)
 (* Ring and module overrides share the numbered dispatch               *)
 
 let const_read_program () =
@@ -537,6 +613,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_event_loop_deterministic;
           Alcotest.test_case "batching cuts traps" `Quick
             test_event_loop_batching_cuts_traps;
+        ] );
+      ( "ghost-swap",
+        [
+          Alcotest.test_case "concurrent swap-in restores once" `Quick
+            test_concurrent_swap_in_restores_once;
         ] );
       ( "blocking",
         [
