@@ -51,12 +51,21 @@ let to_json t : Obs_json.t =
 
 let finish t =
   let path = Printf.sprintf "BENCH_%s.json" t.name in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Obs_json.to_string (to_json t));
-      output_char oc '\n');
+  (* Write-then-rename: an experiment that dies mid-write must never
+     leave a truncated BENCH_*.json behind for the driver to parse as
+     if it were a complete report. *)
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Obs_json.to_string (to_json t));
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
   Printf.printf "wrote %s\n" path
 
 (* Run [f] with a fresh stats sink attached to [Obs.default] (which all

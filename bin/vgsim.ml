@@ -57,6 +57,43 @@ let cpus_arg =
            preemptive scheduler, cross-core TLB shootdowns and spinlock \
            transfer costs.")
 
+let mitigation_conv =
+  let parse s =
+    match Vg_compiler.Mitigation.of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown mitigation %s (off|fence|safe-mask)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Vg_compiler.Mitigation.to_string m)
+  in
+  Arg.conv (parse, print)
+
+let mitigation_arg =
+  Arg.(
+    value
+    & opt mitigation_conv Vg_compiler.Mitigation.Off
+    & info [ "mitigation" ] ~docv:"M"
+        ~doc:
+          "Spectre hardening of the kernel sandbox: off (classic predicated \
+           masking), fence (lfence between every mask and its access) or \
+           safe-mask (branchless masking — the mask becomes a data \
+           dependency, nothing to mispredict).  The kernel and every module \
+           are compiled under it and the translation cache refuses \
+           instrumented images carrying any other setting.")
+
+let spec_depth_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "spec-depth" ] ~docv:"N"
+        ~doc:
+          "Speculative-window budget in macro-ops (default 0).  At 0 the \
+           machine has no transient execution and no cache side channel, \
+           and cycle counts are identical to the pre-speculation cost \
+           model; at 8 and beyond the spectre attack can leak ghost memory \
+           past the unmitigated sandbox.")
+
 let mem_frames_arg =
   Arg.(
     value
@@ -69,11 +106,12 @@ let mem_frames_arg =
            and freshness-checked by the VM); see the ghost_swap benchmark.")
 
 let boot ?frame_limit ?(cpus = 1) ?(engine = Vg_compiler.Exec_engine.Compiled)
-    mode =
+    ?(spec_depth = 0) ?(spec_mitigation = Vg_compiler.Mitigation.Off) mode =
   let machine =
-    Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
+    Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~spec_depth
+      ~seed:"vgsim" ()
   in
-  (machine, Kernel.boot ?frame_limit ~engine ~mode machine)
+  (machine, Kernel.boot ?frame_limit ~engine ~spec_mitigation ~mode machine)
 
 (* -- observability flags (shared by the run commands) ---------------- *)
 
@@ -162,6 +200,7 @@ let verify_catalogue () =
     ("iago-mmap", Vg_attacks.Other_attacks.evil_mmap_program ());
     ("rootkit-direct", rootkit Vg_attacks.Rootkit.Direct_read);
     ("rootkit-inject", rootkit Vg_attacks.Rootkit.Signal_inject);
+    ("spectre", Vg_attacks.Spectre.module_program ~probe_base:0xb00000L);
   ]
 
 let verify_cmd =
@@ -277,6 +316,37 @@ let attack_cmd =
     Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ attack_arg $ trace_arg
           $ stats_arg)
 
+(* -- spectre -------------------------------------------------------- *)
+
+let spectre_cmd =
+  let depth_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "spec-depth" ] ~docv:"N"
+          ~doc:
+            "Speculative-window budget in macro-ops (default 12; the leak \
+             needs at least 8, and 0 disables speculation entirely).")
+  in
+  let run depth mitigation engine trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let o =
+          Vg_attacks.Spectre.run_experiment ~engine ~spec_depth:depth
+            ~mitigation ()
+        in
+        Format.printf "%a@." Vg_attacks.Spectre.pp_outcome o;
+        Format.printf "verdict: the secret was %s@."
+          (if o.Vg_attacks.Spectre.success then "STOLEN transiently"
+           else "NOT obtained"))
+  in
+  Cmd.v
+    (Cmd.info "spectre"
+       ~doc:
+         "Run the Spectre-v1 flush+reload attack against ghost memory: a \
+          hostile module leaks the ssh-agent key byte-by-byte through the \
+          cache side channel of mispredicted sandbox masks.")
+    Term.(const run $ depth_arg $ mitigation_arg $ engine_arg $ trace_arg
+          $ stats_arg)
+
 (* -- sealed store demo ---------------------------------------------- *)
 
 let sealed_cmd =
@@ -329,9 +399,13 @@ let lmbench_cmd =
   let iters_arg =
     Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"Iterations.")
   in
-  let run mode cpus engine mem_frames op iterations trace stats =
+  let run mode cpus engine mem_frames spec_depth spec_mitigation op iterations
+      trace stats =
     with_obs ~trace ~stats (fun () ->
-        let _, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
+        let _, kernel =
+          boot ?frame_limit:mem_frames ~cpus ~engine ~spec_depth
+            ~spec_mitigation mode
+        in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let f =
               match op with
@@ -351,7 +425,8 @@ let lmbench_cmd =
   Cmd.v
     (Cmd.info "lmbench" ~doc:"Run one LMBench micro-operation.")
     Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
-          $ op_arg $ iters_arg $ trace_arg $ stats_arg)
+          $ spec_depth_arg $ mitigation_arg $ op_arg $ iters_arg $ trace_arg
+          $ stats_arg)
 
 (* -- httpd worker pool ---------------------------------------------- *)
 
@@ -370,9 +445,13 @@ let httpd_cmd =
          & info [ "batch" ] ~doc:"Ring submissions per ring_enter trap \
                                   (event-loop mode only).")
   in
-  let run mode cpus engine mem_frames requests event_loop batch trace stats =
+  let run mode cpus engine mem_frames spec_depth spec_mitigation requests
+      event_loop batch trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
+        let machine, kernel =
+          boot ?frame_limit:mem_frames ~cpus ~engine ~spec_depth
+            ~spec_mitigation mode
+        in
         (match Diskfs.create kernel.Kernel.fs "/index.html" with
         | Error _ -> failwith "create /index.html"
         | Ok ino ->
@@ -420,7 +499,8 @@ let httpd_cmd =
           pool per core, or (with --event-loop) a per-core event loop \
           batching syscalls through the submission ring.")
     Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
-          $ requests_arg $ event_loop_arg $ batch_arg $ trace_arg $ stats_arg)
+          $ spec_depth_arg $ mitigation_arg $ requests_arg $ event_loop_arg
+          $ batch_arg $ trace_arg $ stats_arg)
 
 (* -- postmark ------------------------------------------------------- *)
 
@@ -431,9 +511,13 @@ let postmark_cmd =
   let files_arg =
     Arg.(value & opt int 100 & info [ "files" ] ~doc:"Base file count.")
   in
-  let run mode cpus engine mem_frames transactions base_files trace stats =
+  let run mode cpus engine mem_frames spec_depth spec_mitigation transactions
+      base_files trace stats =
     with_obs ~trace ~stats (fun () ->
-        let machine, kernel = boot ?frame_limit:mem_frames ~cpus ~engine mode in
+        let machine, kernel =
+          boot ?frame_limit:mem_frames ~cpus ~engine ~spec_depth
+            ~spec_mitigation mode
+        in
         Runtime.launch kernel ~ghosting:false (fun ctx ->
             let config = { Postmark.paper_config with transactions; base_files } in
             let start = Machine.cycles machine in
@@ -449,7 +533,8 @@ let postmark_cmd =
   Cmd.v
     (Cmd.info "postmark" ~doc:"Run the Postmark file-system benchmark.")
     Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ mem_frames_arg
-          $ tx_arg $ files_arg $ trace_arg $ stats_arg)
+          $ spec_depth_arg $ mitigation_arg $ tx_arg $ files_arg $ trace_arg
+          $ stats_arg)
 
 (* -- policy --------------------------------------------------------- *)
 
@@ -548,6 +633,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "vgsim" ~doc)
           [
-            info_cmd; verify_cmd; attack_cmd; lmbench_cmd; postmark_cmd;
-            sealed_cmd; httpd_cmd; policy_cmd;
+            info_cmd; verify_cmd; attack_cmd; spectre_cmd; lmbench_cmd;
+            postmark_cmd; sealed_cmd; httpd_cmd; policy_cmd;
           ]))

@@ -11,7 +11,7 @@ let instr_slots ~cfi (instr : Ir.instr) =
   match instr with
   | Call _ | Call_indirect _ -> if cfi then 2 else 1 (* + return-site label *)
   | Bin _ | Cmp _ | Select _ | Load _ | Store _ | Memcpy _ | Atomic_rmw _
-  | Io_read _ | Io_write _ ->
+  | Io_read _ | Io_write _ | Fence ->
       1
 
 let term_slots (term : Ir.terminator) =
@@ -100,6 +100,7 @@ let compile ?(cfi = false) ?(base = Layout.kernel_code_start) ?(globals = []) pr
         else emit (NCallIndirect { dst; target; args })
     | Io_read { dst; port } -> emit (NIoRead { dst; port = operand port })
     | Io_write { port; src } -> emit (NIoWrite { port = operand port; src = operand src })
+    | Fence -> emit NFence
   in
   let lower_term fname (term : Ir.terminator) =
     match term with

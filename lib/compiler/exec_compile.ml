@@ -67,6 +67,7 @@ type state = {
   charge : Obs.Tag.t -> int -> unit;
   mem_load : int64 -> Ir.width -> int64;
   mem_store : int64 -> Ir.width -> int64 -> unit;
+  spec_depth : int;  (* hoisted: checked on every resolved conditional *)
 }
 
 type stats = { slots : int; fused_pairs : int; static_calls : int }
@@ -325,9 +326,26 @@ let compile (image : Linker.image) : t =
             }
       | _ -> None
   in
+  (* Speculation hooks, matching {!Executor.run} window for window: the
+     compiled engine must pollute the same cache lines at the same
+     resolution points, or cross-engine cycle parity breaks the moment
+     a later architectural access hits (or misses) a line only one
+     engine warmed. *)
+  let read_opt st s =
+    let i = st.base + s in
+    if Array.unsafe_get st.def i = st.gen then Some (rf_get st.rf (i lsl 3))
+    else None
+  in
+  let open_window st ~shadow ~pc =
+    st.env.Executor.spec_window ();
+    Spec_exec.transient_window ~image ~depth:st.spec_depth
+      ~read:(read_opt st) ~spec_load:st.env.Executor.spec_load ~shadow ~pc
+  in
   (* Seven ticks, seven writes, values forwarded in locals; returns the
-     safe address for the fused access that follows. *)
-  let run_guard g : state -> int64 =
+     safe address for the fused access that follows.  [at] is the
+     guard's first slot index — fusion must not lose the transient
+     windows the two selects open when executed one by one. *)
+  let run_guard ~at g : state -> int64 =
     let read_a =
       match g.g_a with
       | Linker.Imm v -> fun _ -> v
@@ -344,6 +362,10 @@ let compile (image : Linker.image) : t =
       tick st;
       let e = if Int64.equal h 0L then a else o in
       write st g.g_e e;
+      if st.spec_depth > 0 then
+        open_window st
+          ~shadow:(Some (g.g_e, if Int64.equal h 0L then o else a))
+          ~pc:(at + 3);
       tick st;
       let av = if Int64.unsigned_compare e g.g_c3 >= 0 then 1L else 0L in
       write st g.g_av av;
@@ -356,6 +378,10 @@ let compile (image : Linker.image) : t =
       tick st;
       let s = if Int64.equal iv 0L then e else g.g_t in
       write st g.g_s s;
+      if st.spec_depth > 0 then
+        open_window st
+          ~shadow:(Some (g.g_s, if Int64.equal iv 0L then g.g_t else e))
+          ~pc:(at + 7);
       s
   in
   let checked_target label target =
@@ -444,7 +470,7 @@ let compile (image : Linker.image) : t =
       match guard_at i with
       | None -> None
       | Some g when i + 7 < ncode -> (
-          let gb = run_guard g in
+          let gb = run_guard ~at:i g in
           let after = i + 8 in
           match lcode.(i + 7) with
           | LLoad { dst; addr = Slot sa; width } when sa = g.g_s ->
@@ -507,7 +533,7 @@ let compile (image : Linker.image) : t =
                   | LMemcpy { dst = Slot d; src = Slot s2; len }
                     when d = g.g_s && s2 = g2.g_s ->
                       fused_pairs := !fused_pairs + 14;
-                      let gb2 = run_guard g2 in
+                      let gb2 = run_guard ~at:(i + 7) g2 in
                       let after = i + 15 in
                       Some
                         (match len with
@@ -551,7 +577,10 @@ let compile (image : Linker.image) : t =
         let finish st x =
           write st dst x;
           tick st;
-          if Int64.equal x 0L then goto target st else goto fall st
+          let taken = Int64.equal x 0L in
+          if st.spec_depth > 0 then
+            open_window st ~shadow:None ~pc:(if taken then fall else target);
+          if taken then goto target st else goto fall st
         in
         match (a, b) with
         | Slot sa, Slot sb ->
@@ -687,7 +716,18 @@ let compile (image : Linker.image) : t =
         let rcond = rd cond and rt_ = rd if_true and rf_ = rd if_false in
         fun st ->
           tick st;
-          write st dst (if Int64.equal (rcond st) 0L then rf_ st else rt_ st);
+          let c = rcond st in
+          write st dst (if Int64.equal c 0L then rf_ st else rt_ st);
+          if st.spec_depth > 0 then begin
+            let wrong = if Int64.equal c 0L then if_true else if_false in
+            match
+              (match wrong with
+              | Linker.Imm x -> Some x
+              | Linker.Slot s -> read_opt st s)
+            with
+            | Some wv -> open_window st ~shadow:(Some (dst, wv)) ~pc:next
+            | None -> ()
+          end;
           goto next st
     | LLoad { dst; addr; width }, _ -> (
         match (addr, width) with
@@ -783,15 +823,19 @@ let compile (image : Linker.image) : t =
         | Slot s ->
             fun st ->
               tick st;
-              if Int64.equal (rslot st s) 0L then goto target st
-              else goto next st
+              let taken = Int64.equal (rslot st s) 0L in
+              if st.spec_depth > 0 then
+                open_window st ~shadow:None
+                  ~pc:(if taken then next else target);
+              if taken then goto target st else goto next st
         | Imm x ->
-            if Int64.equal x 0L then fun st ->
+            let taken = Int64.equal x 0L in
+            let arch = if taken then target else next
+            and wrong = if taken then next else target in
+            fun st ->
               tick st;
-              goto target st
-            else fun st ->
-              tick st;
-              goto next st)
+              if st.spec_depth > 0 then open_window st ~shadow:None ~pc:wrong;
+              goto arch st)
     (* --- superinstruction: push+call ------------------------------ *)
     | LCall { dst; target; args }, _ -> (
         let rs = readers args in
@@ -892,6 +936,11 @@ let compile (image : Linker.image) : t =
           tick st;
           st.env.Executor.io_write (rport st) (rsrc st);
           goto next st
+    | LFence, _ ->
+        fun st ->
+          tick st;
+          st.charge Obs.Tag.Spec Fence_pass.fence_cycles;
+          goto next st
     | LHalt, _ ->
         fun st ->
           tick st;
@@ -948,6 +997,7 @@ let run ?(fuel = 50_000_000) (env : Executor.env) t entry args =
       charge = env.Executor.charge;
       mem_load = env.Executor.load;
       mem_store = env.Executor.store;
+      spec_depth = env.Executor.spec_depth;
     }
   in
   (* bind the entry frame straight from the caller's array (it may be

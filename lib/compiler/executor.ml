@@ -8,6 +8,9 @@ type env = {
   call_foreign : int64 -> int64 array -> int64;
   charge : Obs.Tag.t -> int -> unit;
   tamper_return : (int64 -> int64) option;
+  spec_depth : int;
+  spec_load : int64 -> Ir.width -> int64 option;
+  spec_window : unit -> unit;
 }
 
 exception Cfi_violation of string
@@ -43,6 +46,9 @@ let null_env =
     call_foreign = (fun _ _ -> raise (Exec_trap "null_env: foreign call"));
     charge = (fun _ _ -> ());
     tamper_return = None;
+    spec_depth = 0;
+    spec_load = (fun _ _ -> None);
+    spec_window = (fun () -> ());
   }
 
 (* The executor runs the linked, slot-allocated form (see {!Linker}).
@@ -108,6 +114,18 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
     (!def).(i) <- !gen
   in
   let v (o : Linker.operand) = match o with Imm x -> x | Slot s -> read s in
+  (* Speculation hooks (no-ops at depth 0, where nothing below runs).
+     [read_opt] is the non-trapping register view a transient window
+     reads the architectural state through. *)
+  let read_opt slot =
+    let i = !base + slot in
+    if (!def).(i) = !gen then Some (!rf).(i) else None
+  in
+  let open_window ~shadow ~pc =
+    env.spec_window ();
+    Spec_exec.transient_window ~image ~depth:env.spec_depth ~read:read_opt
+      ~spec_load:env.spec_load ~shadow ~pc
+  in
   let fuel = ref fuel in
   let pc = ref f0.Linker.f_entry in
   let result = ref 0L in
@@ -266,7 +284,19 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
         write dst (Eval.eval_cmp op (v a) (v b));
         pc := p + 1
     | LSelect { dst; cond; if_true; if_false } ->
-        write dst (if v cond <> 0L then v if_true else v if_false);
+        let c = v cond in
+        write dst (if c <> 0L then v if_true else v if_false);
+        (* the mispredicted select transiently forwards the other arm *)
+        if env.spec_depth > 0 then begin
+          let wrong = if c <> 0L then if_false else if_true in
+          match
+            (match wrong with
+            | Linker.Imm x -> Some x
+            | Linker.Slot s -> read_opt s)
+          with
+          | Some wv -> open_window ~shadow:(Some (dst, wv)) ~pc:(p + 1)
+          | None -> ()
+        end;
         pc := p + 1
     | LLoad { dst; addr; width } ->
         write dst (Eval.truncate width (env.load (v addr) width));
@@ -288,7 +318,12 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
         write dst old;
         pc := p + 1
     | LJmp target -> pc := target
-    | LJz { cond; target } -> if v cond = 0L then pc := target else pc := p + 1
+    | LJz { cond; target } ->
+        let c = v cond in
+        (* the mispredicted branch transiently runs the other direction *)
+        if env.spec_depth > 0 then
+          open_window ~shadow:None ~pc:(if c = 0L then p + 1 else target);
+        if c = 0L then pc := target else pc := p + 1
     | LCall { dst; target; args } ->
         let nargs = eval_args args in
         do_call ~ret_dst:dst ~target ~ret_pc:(p + 1) ~nargs
@@ -321,6 +356,9 @@ let run ?(fuel = 50_000_000) env (image : Linker.image) entry args =
         pc := p + 1
     | LIoWrite { port; src } ->
         env.io_write (v port) (v src);
+        pc := p + 1
+    | LFence ->
+        env.charge Obs.Tag.Spec Fence_pass.fence_cycles;
         pc := p + 1
     | LHalt -> raise (Exec_trap "halt / unreachable executed")
   done;

@@ -40,6 +40,18 @@ type env = {
           care simply ignore it. *)
   tamper_return : (int64 -> int64) option;
       (** Attack hook: rewrite each popped return address. *)
+  spec_depth : int;
+      (** Transient window budget in macro-ops.  0 (the default)
+          disables speculation entirely: no windows open, no cache
+          model is consulted, execution is byte-identical to a
+          speculation-free build. *)
+  spec_load : int64 -> Ir.width -> int64 option;
+      (** Resolve a load on the wrong path: returns the value and warms
+          the address's cache line without charging cycles, or [None]
+          if the address does not translate (the window squashes).
+          Typically {!Vg_machine.Machine.spec_load}. *)
+  spec_window : unit -> unit;
+      (** Bookkeeping hook called once per opened window. *)
 }
 
 val null_env : env

@@ -1,0 +1,28 @@
+(* The fence mitigation: insert an lfence immediately before every
+   kernel memory operation, after the sandbox pass has emitted the mask
+   window.  The fence drains any transient window opened by the
+   window's predicted selects (or any earlier branch), so no load can
+   execute transiently with an unmasked address.  Runs on
+   sandbox-instrumented IR; the resulting shape
+   [window(7); fence; access] is what {!Image_verify} proves under the
+   [Fence] mitigation and what {!Exec_compile} fuses. *)
+
+(* Pipeline-drain cost of one executed lfence, charged under the [Spec]
+   tag by whichever engine executes it (cf. [Cfi_pass.check_extra_cycles]
+   for the equivalent CFI constant). *)
+let fence_cycles = 12
+
+let instrument_instr (instr : Ir.instr) : Ir.instr list =
+  match instr with
+  | Load _ | Store _ | Atomic_rmw _ | Memcpy _ -> [ Ir.Fence; instr ]
+  | Bin _ | Cmp _ | Select _ | Call _ | Call_indirect _ | Io_read _ | Io_write _
+  | Fence ->
+      [ instr ]
+
+let instrument_block (b : Ir.block) : Ir.block =
+  { b with instrs = List.concat_map instrument_instr b.instrs }
+
+let instrument_func (f : Ir.func) : Ir.func =
+  { f with blocks = List.map instrument_block f.blocks }
+
+let instrument_program = Ir.map_funcs instrument_func

@@ -1,4 +1,4 @@
-type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy
+type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy | Spec
 
 let invariant_to_string = function
   | Mask -> "mask"
@@ -7,6 +7,7 @@ let invariant_to_string = function
   | Privileged -> "privileged"
   | Control -> "control"
   | Policy -> "policy"
+  | Spec -> "spec"
 
 type violation = {
   func : string;
@@ -179,6 +180,46 @@ let match_window (lcode : Linker.instr array) i bend : window option =
         Some { writes = [ hi; orr; esc; asva; bsva; insva; safe ]; safe }
     | _ -> None
 
+(* The nine-instruction lowered form of
+   {!Sandbox_pass.safe_mask_sequence}: same architectural semantics,
+   but every step is an arithmetic data dependency of the final
+   address — no predicated select a mispredictor could resolve the
+   wrong way.  The pass emits nine fresh registers per sequence, so
+   full destination distinctness holds on honest output and is required
+   here (it rules out every clobber-before-last-read aliasing at
+   once). *)
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.mem (x : int) rest)) && distinct rest
+
+let match_safe_window (lcode : Linker.instr array) i bend : window option =
+  if i + 8 > bend then None
+  else
+    match
+      ( lcode.(i), lcode.(i + 1), lcode.(i + 2), lcode.(i + 3), lcode.(i + 4),
+        lcode.(i + 5), lcode.(i + 6), lcode.(i + 7), lcode.(i + 8) )
+    with
+    | ( LCmp { dst = hi; op = Ir.Uge; a = a1; b = Imm gs },
+        LBin { dst = hm; op = Ir.Sub; a = Imm 0L; b = Slot hi1 },
+        LBin { dst = eb; op = Ir.And; a = Slot hm1; b = Imm ebit },
+        LBin { dst = esc; op = Ir.Or; a = a2; b = Slot eb1 },
+        LCmp { dst = asva; op = Ir.Uge; a = Slot esc1; b = Imm ss },
+        LCmp { dst = bsva; op = Ir.Ult; a = Slot esc2; b = Imm se },
+        LBin { dst = insva; op = Ir.And; a = Slot asva1; b = Slot bsva1 },
+        LBin { dst = km; op = Ir.Sub; a = Slot insva1; b = Imm 1L },
+        LBin { dst = safe; op = Ir.And; a = Slot esc3; b = Slot km1 } )
+      when gs = Layout.ghost_start && ebit = Layout.ghost_escape_bit
+           && ss = Layout.sva_start && se = Layout.sva_end && a2 = a1
+           && hi1 = hi && hm1 = hm && eb1 = eb && esc1 = esc && esc2 = esc
+           && esc3 = esc && asva1 = asva && bsva1 = bsva && insva1 = insva
+           && km1 = km
+           && distinct [ hi; hm; eb; esc; asva; bsva; insva; km; safe ]
+           && (match a1 with
+              | Linker.Slot s -> not (List.mem s [ hi; hm; eb ])
+              | Imm _ -> true) ->
+        Some { writes = [ hi; hm; eb; esc; asva; bsva; insva; km; safe ]; safe }
+    | _ -> None
+
 let written : Linker.instr -> int option = function
   | LMov { dst; _ }
   | LBin { dst; _ }
@@ -194,7 +235,9 @@ let written : Linker.instr -> int option = function
   | LCallIndirectChecked { dst; _ } ->
       if dst >= 0 then Some dst else None
   | LStore _ | LMemcpy _ | LJmp _ | LJz _ | LRet _ | LRetChecked _ | LCfiLabel _
-  | LIoWrite _ | LHalt ->
+  | LIoWrite _ | LFence | LHalt ->
+      (* LFence in particular kills nothing: it is transparent to the
+         mask dataflow, so [window; lfence; access] still proves *)
       None
 
 (* An immediate address is acceptable unmasked only when masking is the
@@ -206,7 +249,8 @@ let safe_imm v = Sandbox_pass.masked_address v = v
    (an address is proven only if masked on {e every} path).  Reports
    violations and proven-operand counts through the callbacks on the
    final pass. *)
-let verify_masks (image : Linker.image) ~fid ~lo ~hi ~on_violation ~on_proven =
+let verify_masks (image : Linker.image) ~mitigation ~fid ~lo ~hi ~on_violation
+    ~on_proven =
   let lcode = image.Linker.lcode in
   let f = image.Linker.funcs.(fid) in
   let nregs = f.Linker.f_nregs in
@@ -271,25 +315,56 @@ let verify_masks (image : Linker.image) ~fid ~lo ~hi ~on_violation ~on_proven =
                   | Slot r -> Printf.sprintf "register %s" f.Linker.f_names.(r));
             }
     in
+    (* The speculation invariant, checked alongside the mask dataflow:
+       under [Safe_mask] every mask window must be the branchless form;
+       under [Fence] every memory operation must be immediately preceded
+       by an lfence (the window's facts pass through it). *)
+    let spec_bad i message =
+      if record then
+        on_violation
+          { func = f.Linker.f_name; slot = i; invariant = Spec; message }
+    in
+    let fenced i =
+      if
+        mitigation = Mitigation.Fence
+        && not (i - 1 >= lo && lcode.(i - 1) = Linker.LFence)
+      then spec_bad i "memory operation not immediately preceded by an lfence"
+    in
     let e = block_end b in
     let i = ref starts.(b) in
     while !i <= e do
       match match_window lcode !i e with
       | Some w ->
+          if mitigation = Mitigation.Safe_mask then
+            spec_bad !i
+              "predicated mask window (speculation-unsafe under safe-mask)";
           List.iter (fun d -> kill (Some d)) w.writes;
           if w.safe < nregs then s.(w.safe) <- true;
           i := !i + 7
-      | None ->
-          (match lcode.(!i) with
-          | LLoad { addr; _ } -> check !i "load" addr
-          | LStore { addr; _ } -> check !i "store" addr
-          | LAtomic { addr; _ } -> check !i "atomic" addr
-          | LMemcpy { dst; src; _ } ->
-              check !i "memcpy destination" dst;
-              check !i "memcpy source" src
-          | _ -> ());
-          kill (written lcode.(!i));
-          incr i
+      | None -> (
+          match match_safe_window lcode !i e with
+          | Some w ->
+              List.iter (fun d -> kill (Some d)) w.writes;
+              if w.safe < nregs then s.(w.safe) <- true;
+              i := !i + 9
+          | None ->
+              (match lcode.(!i) with
+              | LLoad { addr; _ } ->
+                  check !i "load" addr;
+                  fenced !i
+              | LStore { addr; _ } ->
+                  check !i "store" addr;
+                  fenced !i
+              | LAtomic { addr; _ } ->
+                  check !i "atomic" addr;
+                  fenced !i
+              | LMemcpy { dst; src; _ } ->
+                  check !i "memcpy destination" dst;
+                  check !i "memcpy source" src;
+                  fenced !i
+              | _ -> ());
+              kill (written lcode.(!i));
+              incr i)
     done
   in
   (* Facts may only flow along edges reachable from the function entry.
@@ -364,14 +439,14 @@ let function_extents (image : Linker.image) =
     image.Linker.owner_of;
   (lo, hi)
 
-let analyse (image : Linker.image) =
+let analyse ?(mitigation = Mitigation.Off) (image : Linker.image) =
   let violations = ref (structural_violations image) in
   let proven = Array.make (Array.length image.Linker.funcs) 0 in
   let lo, hi = function_extents image in
   Array.iteri
     (fun fid _ ->
       if hi.(fid) >= lo.(fid) then
-        verify_masks image ~fid ~lo:lo.(fid) ~hi:hi.(fid)
+        verify_masks image ~mitigation ~fid ~lo:lo.(fid) ~hi:hi.(fid)
           ~on_violation:(fun v -> violations := v :: !violations)
           ~on_proven:(fun _ -> proven.(fid) <- proven.(fid) + 1))
     image.Linker.funcs;
@@ -380,11 +455,11 @@ let analyse (image : Linker.image) =
   in
   (violations, proven)
 
-let check image =
-  match analyse image with [], _ -> Ok () | vs, _ -> Error vs
+let check ?mitigation image =
+  match analyse ?mitigation image with [], _ -> Ok () | vs, _ -> Error vs
 
-let report (image : Linker.image) =
-  let violations, proven = analyse image in
+let report ?mitigation (image : Linker.image) =
+  let violations, proven = analyse ?mitigation image in
   let per_func =
     Array.to_list
       (Array.mapi

@@ -52,11 +52,11 @@
     property tests show the real pipeline's output (all optimisation
     levels) always proves clean — no false positives. *)
 
-type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy
+type invariant = Mask | Cfi_exit | Cfi_label | Privileged | Control | Policy | Spec
 
 val invariant_to_string : invariant -> string
 (** Stable kebab-case names: ["mask"], ["cfi-exit"], ["cfi-label"],
-    ["privileged"], ["control"], ["policy"]. *)
+    ["privileged"], ["control"], ["policy"], ["spec"]. *)
 
 type violation = {
   func : string;  (** owning function, or ["<image>"] *)
@@ -77,11 +77,17 @@ type func_report = {
 
 type report = { image_ok : bool; per_func : func_report list }
 
-val check : Linker.image -> (unit, violation list) result
-(** Prove all five invariant classes; violations are ordered by slot.
-    [Ok ()] means every function of the image is proven. *)
+val check : ?mitigation:Mitigation.t -> Linker.image -> (unit, violation list) result
+(** Prove all five invariant classes — plus, when [mitigation] is not
+    [Off], the {b Spec} class: under [Safe_mask] every mask window must
+    be the branchless nine-instruction form (a predicated window is a
+    violation even though it proves the architectural mask); under
+    [Fence] every load, store, atomic and memcpy must be immediately
+    preceded by an lfence.  Either mask-window form grants the Mask
+    fact under any mitigation.  Violations are ordered by slot; [Ok ()]
+    means every function of the image is proven. *)
 
-val report : Linker.image -> report
+val report : ?mitigation:Mitigation.t -> Linker.image -> report
 (** Per-function breakdown of the same analysis, for [vgsim verify]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -22,6 +22,7 @@ type instr =
   | LCfiLabel of int32
   | LIoRead of { dst : int; port : operand }
   | LIoWrite of { port : operand; src : operand }
+  | LFence
   | LHalt
 
 type func = {
@@ -179,6 +180,7 @@ let link (native : Native.image) : image =
             LCfiLabel l
         | Native.NIoRead { dst; port } -> LIoRead { dst = reg i dst; port = op i port }
         | Native.NIoWrite { port; src } -> LIoWrite { port = op i port; src = op i src }
+        | Native.NFence -> LFence
         | Native.NHalt -> LHalt)
       code
   in

@@ -53,6 +53,9 @@ type instr =
   | LCfiLabel of int32
   | LIoRead of { dst : int; port : operand }
   | LIoWrite of { port : operand; src : operand }
+  | LFence
+      (** Speculation barrier: charges {!Fence_pass.fence_cycles} under
+          the [Spec] tag and ends any transient window. *)
   | LHalt
 
 type func = {

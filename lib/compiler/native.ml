@@ -20,6 +20,7 @@ type ninstr =
   | NCfiLabel of int32
   | NIoRead of { dst : string; port : operand }
   | NIoWrite of { port : operand; src : operand }
+  | NFence
   | NHalt
 
 type symbol = { name : string; entry : int; params : string list }

@@ -39,6 +39,8 @@ type ninstr =
   | NCfiLabel of int32
   | NIoRead of { dst : string; port : operand }
   | NIoWrite of { port : operand; src : operand }
+  | NFence
+      (** Speculation barrier; one slot, drains transient windows. *)
   | NHalt
 
 type symbol = {

@@ -133,6 +133,7 @@ let fold_block (b : Ir.block) : Ir.block =
         kill dst;
         Io_read { dst; port }
     | Io_write { port; src } -> Io_write { port = subst_all port; src = subst_all src }
+    | Fence -> Fence
   in
   let instrs = List.map fold_instr b.Ir.instrs in
   let term : Ir.terminator =
@@ -207,6 +208,7 @@ let eliminate_dead (f : Ir.func) : Ir.func =
     | Io_write { port; src } ->
         use port;
         use src
+    | Fence -> ()
   in
   List.iter
     (fun (b : Ir.block) ->
@@ -220,7 +222,7 @@ let eliminate_dead (f : Ir.func) : Ir.func =
     match i with
     | Bin { dst; _ } | Cmp { dst; _ } | Select { dst; _ } -> Hashtbl.mem used dst
     | Load _ | Store _ | Memcpy _ | Atomic_rmw _ | Call _ | Call_indirect _
-    | Io_read _ | Io_write _ ->
+    | Io_read _ | Io_write _ | Fence ->
         true
   in
   {

@@ -18,7 +18,8 @@ let verify_or_reject program =
       in
       raise (Rejected ("IR verification failed: " ^ msg))
 
-let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false) ?base ?globals program =
+let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false)
+    ?(mitigation = Mitigation.Off) ?base ?globals program =
   verify_or_reject program;
   let program = if optimize then Opt_pass.optimize_program program else program in
   match mode with
@@ -29,7 +30,14 @@ let compile_kernel_code ?(mode = Virtual_ghost) ?(optimize = false) ?base ?globa
       | Error _ -> raise (Rejected "native build contains CFI artifacts"));
       { image; linked = Linker.link image; instrumented_ir = program; mode }
   | Virtual_ghost ->
-      let instrumented = Sandbox_pass.instrument_program program in
+      (* the mitigation selects the masking variant; the fence pass then
+         adds its lfences between each mask window and its access *)
+      let instrumented = Sandbox_pass.instrument_program ~mitigation program in
+      let instrumented =
+        match mitigation with
+        | Mitigation.Fence -> Fence_pass.instrument_program instrumented
+        | Mitigation.Off | Mitigation.Safe_mask -> instrumented
+      in
       let image = Codegen.compile ?base ?globals ~cfi:true instrumented in
       (match Cfi_pass.validate image with
       | Ok () -> ()

@@ -28,6 +28,7 @@ exception Rejected of string
 val compile_kernel_code :
   ?mode:mode ->
   ?optimize:bool ->
+  ?mitigation:Mitigation.t ->
   ?base:int64 ->
   ?globals:(string * int64) list ->
   Ir.program ->
@@ -35,7 +36,11 @@ val compile_kernel_code :
 (** Translate kernel or kernel-module code.  Default mode is
     [Virtual_ghost].  With [~optimize:true] the {!Opt_pass} runs before
     instrumentation (the orderings compose safely either way; see the
-    fuzz suite). *)
+    fuzz suite).  [mitigation] (default [Off], [Virtual_ghost] mode
+    only) selects the Spectre-hardening of the sandbox: [Safe_mask]
+    switches {!Sandbox_pass} to the branchless masking sequence;
+    [Fence] keeps the classic sequence and runs {!Fence_pass} after
+    it. *)
 
 val compile_application_code :
   ?mmap_callees:string list -> ?base:int64 -> Ir.program -> compiled

@@ -1,0 +1,41 @@
+(** Transient execution down a mispredicted path (shared by both
+    execution engines).
+
+    When the machine runs with a non-zero speculation depth, every
+    conditional the engines resolve — an [LSelect] arm or an [LJz]
+    direction — also transiently executes the {e other} outcome for up
+    to [depth] macro-ops before squashing.  Nothing architectural
+    survives: registers are shadowed in a private overlay, stores are
+    dropped, no cycles are charged.  Cache state does survive — each
+    transient load warms its line through [spec_load] — which is the
+    Spectre side channel the attack suite measures.
+
+    The budget counts macro-ops as {!Exec_compile} fuses them: a whole
+    seven-instruction sandbox-guard sequence plus the memory access it
+    feeds is one unit and retires atomically (a window with one slot of
+    budget left still completes the fused access).  A guard entered
+    mid-sequence has lost its fusion and counts slot by slot. *)
+
+val transient_window :
+  image:Linker.image ->
+  depth:int ->
+  read:(int -> int64 option) ->
+  spec_load:(int64 -> Ir.width -> int64 option) ->
+  shadow:(int * int64) option ->
+  pc:int ->
+  unit
+(** [transient_window ~image ~depth ~read ~spec_load ~shadow ~pc] runs
+    the wrong path starting at slot [pc] for at most [depth] macro-ops.
+
+    [read] is a non-trapping view of the architectural register file of
+    the {e current} frame ([None] = undefined register, squashes the
+    window).  [spec_load] resolves a transient load — typically
+    {!Machine.spec_load}, which warms the cache line and returns [None]
+    for unmapped addresses (squash).  [shadow] seeds the overlay with
+    the mispredicted value itself: [Some (slot, v)] for a select whose
+    wrong arm was [v]; [None] for a branch (the misprediction is the
+    direction, already encoded in [pc]).
+
+    The window also squashes on any instruction speculation cannot
+    execute (calls, returns, I/O, fences, memcpy, halt), trapping
+    arithmetic, or a pc outside the image.  No-op when [depth] is 0. *)

@@ -15,6 +15,10 @@ type t = {
      name -> sysno mapping the policy re-extraction check needs.  The
      compiler layer cannot see [Syscall_abi]; the kernel injects it. *)
   mutable resolver : (int * (string -> int option)) option;
+  (* the Spectre mitigation this kernel runs under: instrumented blobs
+     carrying any other mitigation are refused, and verification proves
+     the corresponding Spec invariant. *)
+  mutable expected_mitigation : Mitigation.t;
 }
 
 and signed_image = { blob : bytes; tag : bytes }
@@ -40,9 +44,12 @@ let describe_find_error = function
    cannot dodge re-verification by being relabelled as a plain one;
    v4 caches compiled-readiness alongside the signed blob; v5 adds an
    optional syscall-flow graph ({!Sfip.graph}) to the blob, re-proven
-   against the code by {!Image_verify.check_policy} on every load.
-   The version, the flag and the graph are all under the MAC. *)
-let format_version = 5
+   against the code by {!Image_verify.check_policy} on every load;
+   v6 adds the Spectre mitigation the image was compiled under, so a
+   translation can never be replayed into a differently-mitigated
+   kernel.  The version, the flags, the mitigation and the graph are
+   all under the MAC. *)
+let format_version = 6
 
 let create ~key =
   {
@@ -52,15 +59,21 @@ let create ~key =
     verifier_runs = 0;
     compiled = Hashtbl.create 8;
     resolver = None;
+    expected_mitigation = Mitigation.Off;
   }
 
 let verifier_runs t = t.verifier_runs
 let set_syscall_resolver t ~n resolve = t.resolver <- Some (n, resolve)
+let set_mitigation t m = t.expected_mitigation <- m
 
-let sign t ~instrumented ?sfip image =
+let sign t ~instrumented ?(mitigation = Mitigation.Off) ?sfip image =
   let blob =
     Marshal.to_bytes
-      (format_version, instrumented, (sfip : Sfip.graph option), (image : Linker.image))
+      ( format_version,
+        instrumented,
+        Mitigation.to_tag mitigation,
+        (sfip : Sfip.graph option),
+        (image : Linker.image) )
       []
   in
   { blob; tag = Vg_crypto.Hmac.mac ~key:t.key blob }
@@ -72,11 +85,36 @@ let verify_and_load_with_policy t { blob; tag } =
        the integrity boundary for the bytes, and only blobs signed
        under the VM's key reach this decode. *)
     match
-      (Marshal.from_bytes blob 0 : int * bool * Sfip.graph option * Linker.image)
+      (Marshal.from_bytes blob 0
+        : int * bool * int * Sfip.graph option * Linker.image)
     with
     | exception _ -> Error Bad_format
-    | v, _, _, _ when v <> format_version -> Error Bad_format
-    | _, instrumented, sfip, image -> (
+    | v, _, _, _, _ when v <> format_version -> Error Bad_format
+    | _, _, mtag, _, _ when Mitigation.of_tag mtag = None -> Error Bad_format
+    | _, instrumented, mtag, _, _
+      when instrumented && Mitigation.of_tag mtag <> Some t.expected_mitigation
+      ->
+        (* an honestly signed translation for the wrong speculation
+           configuration: replaying it would run mitigation X code in a
+           kernel promising mitigation Y *)
+        Error
+          (Rejected_by_verifier
+             [
+               {
+                 Image_verify.func = "<image>";
+                 slot = 0;
+                 invariant = Image_verify.Spec;
+                 message =
+                   Printf.sprintf
+                     "image compiled under mitigation %s but this kernel \
+                      runs %s"
+                     (match Mitigation.of_tag mtag with
+                     | Some m -> Mitigation.to_string m
+                     | None -> "?")
+                     (Mitigation.to_string t.expected_mitigation);
+               };
+             ])
+    | _, instrumented, _, sfip, image -> (
         (* The signature authenticates the bytes; the verifier proves
            the instrumentation (and, when a graph is carried, the
            policy) invariants still hold in them — once per signed blob
@@ -90,7 +128,7 @@ let verify_and_load_with_policy t { blob; tag } =
             if not instrumented then Ok ()
             else begin
               t.verifier_runs <- t.verifier_runs + 1;
-              Image_verify.check image
+              Image_verify.check ~mitigation:t.expected_mitigation image
             end
           in
           let policy () =
@@ -126,8 +164,8 @@ let verify_and_load_with_policy t { blob; tag } =
 let verify_and_load t signed =
   Result.map fst (verify_and_load_with_policy t signed)
 
-let add t ~name ~instrumented ?sfip image =
-  Hashtbl.replace t.entries name (sign t ~instrumented ?sfip image)
+let add t ~name ~instrumented ?mitigation ?sfip image =
+  Hashtbl.replace t.entries name (sign t ~instrumented ?mitigation ?sfip image)
 
 let find_with_policy t ~name =
   match Hashtbl.find_opt t.entries name with

@@ -49,9 +49,10 @@ type find_error =
 val describe_find_error : find_error -> string
 
 val format_version : int
-(** Serialisation format of the signed blobs (5: linked images plus the
-    instrumented flag and an optional syscall-flow graph, with
-    compiled-readiness cached alongside). *)
+(** Serialisation format of the signed blobs (6: linked images plus the
+    instrumented flag, the Spectre mitigation the image was compiled
+    under, and an optional syscall-flow graph, with compiled-readiness
+    cached alongside). *)
 
 val set_syscall_resolver : t -> n:int -> (string -> int option) -> unit
 (** Bind the syscall table this cache re-proves policies against: [n]
@@ -60,18 +61,41 @@ val set_syscall_resolver : t -> n:int -> (string -> int option) -> unit
     boot; until it is bound, any policy-carrying blob is refused
     (fail closed). *)
 
-val sign : t -> instrumented:bool -> ?sfip:Sfip.graph -> Linker.image -> signed_image
+val set_mitigation : t -> Mitigation.t -> unit
+(** Bind the Spectre mitigation this kernel runs under (default
+    [Off]); the kernel calls this once at boot.  Every instrumented
+    blob must carry exactly this mitigation — an honestly signed
+    translation for another configuration is refused with a [Spec]
+    violation — and verification proves the corresponding
+    {!Image_verify} Spec invariant. *)
+
+val sign :
+  t ->
+  instrumented:bool ->
+  ?mitigation:Mitigation.t ->
+  ?sfip:Sfip.graph ->
+  Linker.image ->
+  signed_image
 
 val verify_and_load : t -> signed_image -> (Linker.image, find_error) result
 (** Check the HMAC, the format version, for instrumented images the
     {!Image_verify} invariants, and for policy-carrying images the
     {!Image_verify.check_policy} re-extraction. *)
 
-val add : t -> name:string -> instrumented:bool -> ?sfip:Sfip.graph -> Linker.image -> unit
+val add :
+  t ->
+  name:string ->
+  instrumented:bool ->
+  ?mitigation:Mitigation.t ->
+  ?sfip:Sfip.graph ->
+  Linker.image ->
+  unit
 (** Sign and retain an image under a name (e.g. "kernel",
     "module.rootkit").  [instrumented] records whether the image must
-    re-prove the sandbox/CFI invariants on every load; [sfip] embeds a
-    syscall-flow graph, re-proven against the code on every load. *)
+    re-prove the sandbox/CFI invariants on every load; [mitigation]
+    (default [Off]) records the speculation configuration it was
+    compiled under; [sfip] embeds a syscall-flow graph, re-proven
+    against the code on every load. *)
 
 val find : t -> name:string -> (Linker.image, find_error) result
 (** Re-verify the stored signature (and, for instrumented images, the

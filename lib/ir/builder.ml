@@ -111,6 +111,7 @@ let io_read b port =
   Ir.Reg dst
 
 let io_write b ~port src = emit b (Ir.Io_write { port; src })
+let fence b = emit b Ir.Fence
 
 let terminate b term =
   let f = current b in

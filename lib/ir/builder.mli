@@ -44,6 +44,7 @@ val call_indirect : t -> Ir.value -> Ir.value list -> Ir.value
 val call_indirect_void : t -> Ir.value -> Ir.value list -> unit
 val io_read : t -> Ir.value -> Ir.value
 val io_write : t -> port:Ir.value -> Ir.value -> unit
+val fence : t -> unit
 
 val ret : t -> Ir.value option -> unit
 val br : t -> Ir.label -> unit

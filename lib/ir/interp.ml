@@ -8,6 +8,7 @@ type env = {
   resolve_sym : string -> int64;
   func_of_addr : int64 -> string option;
   charge : int -> unit;
+  fence : unit -> unit;
 }
 
 exception Trap = Eval.Trap
@@ -113,6 +114,7 @@ let run ?(fuel = 10_000_000) env program entry args =
             Option.iter (fun d -> Hashtbl.replace frame d result) dst)
     | Io_read { dst; port } -> Hashtbl.replace frame dst (env.io_read (value frame port))
     | Io_write { port; src } -> env.io_write (value frame port) (value frame src)
+    | Fence -> env.fence ()
   in
   match Ir.find_func program entry with
   | None -> raise Not_found

@@ -28,6 +28,10 @@ type env = {
           one extra, for the fall-through jump), plus the
           length-scaled memcpy surcharge.  The differential fuzz suite
           holds the native executor to this model. *)
+  fence : unit -> unit;
+      (** Called on [Fence] in addition to the one-slot charge, so the
+          host can add the pipeline-drain cost under its own tag and
+          end any transient window. *)
 }
 
 exception Trap of string

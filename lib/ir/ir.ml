@@ -20,6 +20,7 @@ type instr =
   | Call_indirect of { dst : reg option; target : value; args : value list }
   | Io_read of { dst : reg; port : value }
   | Io_write of { port : value; src : value }
+  | Fence
 
 type terminator =
   | Ret of value option

@@ -67,6 +67,11 @@ type instr =
   | Io_read of { dst : reg; port : value }
       (** SVA-OS programmed-I/O read; subject to run-time port checks. *)
   | Io_write of { port : value; src : value }
+  | Fence
+      (** Speculation barrier (lfence): younger instructions may not
+          execute transiently past it.  Emitted by the fence-mitigation
+          compiler pass; no architectural effect beyond its cycle
+          cost. *)
 
 type terminator =
   | Ret of value option

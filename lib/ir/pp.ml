@@ -64,6 +64,7 @@ let pp_instr fmt : Ir.instr -> unit = function
       Format.fprintf fmt "%acall %a(%a)" pp_dst dst pp_value target pp_args args
   | Io_read { dst; port } -> Format.fprintf fmt "%s = io.read %a" dst pp_value port
   | Io_write { port; src } -> Format.fprintf fmt "io.write %a, %a" pp_value port pp_value src
+  | Fence -> Format.pp_print_string fmt "fence"
 
 let pp_terminator fmt : Ir.terminator -> unit = function
   | Ret None -> Format.pp_print_string fmt "ret void"

@@ -31,13 +31,14 @@ let values_of_instr : Ir.instr -> Ir.value list = function
   | Call_indirect { target; args; _ } -> target :: args
   | Io_read { port; _ } -> [ port ]
   | Io_write { port; src } -> [ port; src ]
+  | Fence -> []
 
 let def_of_instr : Ir.instr -> Ir.reg option = function
   | Bin { dst; _ } | Cmp { dst; _ } | Select { dst; _ } | Load { dst; _ }
   | Atomic_rmw { dst; _ } | Io_read { dst; _ } ->
       Some dst
   | Call { dst; _ } | Call_indirect { dst; _ } -> dst
-  | Store _ | Memcpy _ | Io_write _ -> None
+  | Store _ | Memcpy _ | Io_write _ | Fence -> None
 
 let check_func program (f : Ir.func) =
   let errors = ref [] in

@@ -170,6 +170,11 @@ let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64
                 ("module: call to unknown kernel symbol " ^ name);
               0L);
       charge = (fun tag n -> Machine.charge ~tag machine n);
+      spec_depth = Machine.spec_depth machine;
+      spec_load =
+        (fun va width ->
+          Machine.spec_load machine va ~len:(Ir.bytes_of_width width));
+      spec_window = (fun () -> Machine.spec_window_opened machine);
     }
   in
   (* Engine dispatch.  A compiled artifact exists iff the kernel booted
@@ -210,6 +215,10 @@ let run_override (k : Kernel.t) proc (ov : Kernel.syscall_override) args : int64
                       else None)
                     native.Vg_compiler.Native.symbols);
               charge = (fun n -> Machine.charge ~tag:Obs.Tag.Exec machine n);
+              fence =
+                (fun () ->
+                  Machine.charge ~tag:Obs.Tag.Spec machine
+                    Vg_compiler.Fence_pass.fence_cycles);
             }
           in
           Interp.run ienv ov.Kernel.program ov.Kernel.func args

@@ -21,6 +21,8 @@ type t = {
   child_wq : Waitq.t;
   mutable syscall_count : int;
   engine : Vg_compiler.Exec_engine.t;
+  spec_mitigation : Vg_compiler.Mitigation.t;
+      (* Spectre hardening every instrumented translation must carry *)
 }
 
 and syscall_override = {
@@ -37,7 +39,7 @@ let mode t = Sva.mode t.sva
    refuses to proceed on an image whose sandbox/CFI instrumentation
    does not prove out, and the verification pass itself is charged to
    the [Verify] cycle tag. *)
-let verify_kernel_image machine sva =
+let verify_kernel_image machine sva ~mitigation =
   let pmode =
     match Sva.mode sva with
     | Sva.Native_build -> Vg_compiler.Pipeline.Native_build
@@ -45,12 +47,13 @@ let verify_kernel_image machine sva =
   in
   let compiled =
     Vg_compiler.Pipeline.compile_kernel_code ~mode:pmode ~optimize:true
+      ~mitigation
       (Kernel_image.program ())
   in
   let cache = Sva.translation_cache sva in
   let instrumented = Sva.mode sva = Sva.Virtual_ghost in
   Vg_compiler.Trans_cache.add cache ~name:Kernel_image.name ~instrumented
-    compiled.Vg_compiler.Pipeline.linked;
+    ~mitigation compiled.Vg_compiler.Pipeline.linked;
   match Vg_compiler.Trans_cache.find cache ~name:Kernel_image.name with
   | Ok image ->
       if instrumented then
@@ -61,16 +64,21 @@ let verify_kernel_image machine sva =
         ("Kernel.boot: kernel image failed load-time verification: "
         ^ Vg_compiler.Trans_cache.describe_find_error e)
 
-let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots) ~mode machine =
+let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots)
+    ?(spec_mitigation = Vg_compiler.Mitigation.Off) ~mode machine =
   let sva = Sva.boot ~mode machine in
   (* Bind the syscall table into the translation cache so any signed
      blob carrying a syscall-flow graph can be re-proven against its
      code at load time ([Trans_cache] itself lives below [Syscall_abi]
-     and cannot name it). *)
+     and cannot name it).  Likewise bind the Spectre mitigation this
+     kernel runs under: every instrumented translation must carry it,
+     and the verifier proves the matching Spec invariant on load. *)
   Vg_compiler.Trans_cache.set_syscall_resolver (Sva.translation_cache sva)
     ~n:Syscall_abi.Sysno.count Syscall_policy.resolve_extern;
-  verify_kernel_image machine sva;
-  let kmem = Kmem.create sva in
+  Vg_compiler.Trans_cache.set_mitigation (Sva.translation_cache sva)
+    spec_mitigation;
+  verify_kernel_image machine sva ~mitigation:spec_mitigation;
+  let kmem = Kmem.create ~mitigation:spec_mitigation sva in
   let phys_frames = Phys_mem.frames (Machine.mem machine) in
   (* Low frames notionally hold the kernel image; the top of memory
      belongs to SVA (its internal area plus per-thread mirrors).
@@ -114,6 +122,7 @@ let boot ?frame_limit ?(engine = Vg_compiler.Exec_engine.Slots) ~mode machine =
       child_wq = Waitq.create ~name:"child-exit";
       syscall_count = 0;
       engine;
+      spec_mitigation;
     }
   in
   (* init (pid 1) *)

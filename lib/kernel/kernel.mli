@@ -55,6 +55,11 @@ type t = {
       (** which execution engine runs module override code — a host-time
           choice; simulated cycles are engine-independent wherever the
           engine can model them (see {!Vg_compiler.Exec_engine}) *)
+  spec_mitigation : Vg_compiler.Mitigation.t;
+      (** the Spectre hardening selected at boot: the kernel image and
+          every loaded module are compiled under it, and the
+          translation cache refuses instrumented blobs carrying any
+          other mitigation *)
 }
 
 and syscall_override = {
@@ -73,6 +78,7 @@ and syscall_override = {
 val boot :
   ?frame_limit:int ->
   ?engine:Vg_compiler.Exec_engine.t ->
+  ?spec_mitigation:Vg_compiler.Mitigation.t ->
   mode:Sva.mode ->
   Machine.t ->
   t
@@ -84,7 +90,10 @@ val boot :
     for module override code; all engines charge identical simulated
     cycles on the code they can run, so goldens are engine-independent
     (the [Interp] debug engine cannot model CFI — see
-    {!Vg_compiler.Exec_engine}). *)
+    {!Vg_compiler.Exec_engine}).  [spec_mitigation] (default [Off])
+    selects the Spectre hardening of the sandbox: the kernel image and
+    every module are compiled under it and the translation cache is
+    bound to it ({!Vg_compiler.Trans_cache.set_mitigation}). *)
 
 val mode : t -> Sva.mode
 val init_process : t -> Proc.t

@@ -2,20 +2,45 @@ type t = {
   sva : Sva.t;
   machine : Machine.t;
   mode : Sva.mode;
+  mitigation : Vg_compiler.Mitigation.t;
   mutable faults : int;
 }
 
-let create sva = { sva; machine = Sva.machine sva; mode = Sva.mode sva; faults = 0 }
+let create ?(mitigation = Vg_compiler.Mitigation.Off) sva =
+  {
+    sva;
+    machine = Sva.machine sva;
+    mode = Sva.mode sva;
+    mitigation;
+    faults = 0;
+  }
+
 let sva t = t.sva
 let machine t = t.machine
 let mode t = t.mode
 let faulted_accesses t = t.faults
+
+(* The Spectre hardening the kernel was compiled under costs extra
+   cycles per memory operand, exactly as the instrumented-IR path pays
+   them: an lfence before every access under [Fence], or the two
+   instructions by which the branchless mask exceeds the predicated
+   window under [Safe_mask]. *)
+let spec_surcharge t n =
+  match t.mitigation with
+  | Vg_compiler.Mitigation.Off -> ()
+  | Vg_compiler.Mitigation.Fence ->
+      Machine.charge ~tag:Obs.Tag.Spec t.machine
+        (n * Vg_compiler.Fence_pass.fence_cycles)
+  | Vg_compiler.Mitigation.Safe_mask ->
+      Machine.charge ~tag:Obs.Tag.Spec t.machine
+        (n * (Vg_compiler.Sandbox_pass.safe_mask_instructions - Cost.sandbox_mask))
 
 let effective t addr =
   match t.mode with
   | Sva.Native_build -> addr
   | Sva.Virtual_ghost ->
       Machine.charge ~tag:Obs.Tag.Mask t.machine Cost.sandbox_mask;
+      spec_surcharge t 1;
       Vg_compiler.Sandbox_pass.masked_address addr
 
 (* A masked access that still faulted: under Virtual Ghost that means
@@ -93,7 +118,8 @@ let work t n =
   match t.mode with
   | Sva.Native_build -> ()
   | Sva.Virtual_ghost ->
-      Machine.charge ~tag:Obs.Tag.Mask t.machine (n * Cost.sandbox_mask)
+      Machine.charge ~tag:Obs.Tag.Mask t.machine (n * Cost.sandbox_mask);
+      spec_surcharge t n
 
 let fn_entry t =
   match t.mode with

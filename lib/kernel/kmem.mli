@@ -25,7 +25,14 @@
 
 type t
 
-val create : Sva.t -> t
+(** [create ?mitigation sva] — [mitigation] (default [Off]) is the
+    Spectre hardening the kernel was compiled under: it adds the
+    corresponding per-memory-operand surcharge
+    ({!Vg_compiler.Fence_pass.fence_cycles} under [Fence], the two
+    extra mask instructions under [Safe_mask]) to every Virtual Ghost
+    access and {!work} unit, charged to the [Spec] cycle tag. *)
+val create : ?mitigation:Vg_compiler.Mitigation.t -> Sva.t -> t
+
 val sva : t -> Sva.t
 val machine : t -> Machine.t
 val mode : t -> Sva.mode

@@ -49,7 +49,8 @@ let load (k : Kernel.t) ~name program =
     | Sva.Native_build -> Vg_compiler.Pipeline.Native_build
     | Sva.Virtual_ghost -> Vg_compiler.Pipeline.Virtual_ghost
   in
-  match Vg_compiler.Pipeline.compile_kernel_code ~mode program with
+  let mitigation = k.Kernel.spec_mitigation in
+  match Vg_compiler.Pipeline.compile_kernel_code ~mode ~mitigation program with
   | exception Vg_compiler.Pipeline.Rejected msg ->
       reject k ~name (Compile_rejected msg)
   | compiled -> (
@@ -59,7 +60,7 @@ let load (k : Kernel.t) ~name program =
          the sandbox/CFI invariants before handing it back. *)
       let cache = Sva.translation_cache k.Kernel.sva in
       let instrumented = Kernel.mode k = Sva.Virtual_ghost in
-      Vg_compiler.Trans_cache.add cache ~name ~instrumented
+      Vg_compiler.Trans_cache.add cache ~name ~instrumented ~mitigation
         compiled.Vg_compiler.Pipeline.linked;
       (* Under the compiled engine, ask the cache for the
          closure-compiled artifact: [find_compiled] is the only way to

@@ -95,6 +95,12 @@ val sva_swap_smp : int
     cross-CPU run-state check that refuses to resume a thread already
     live on another core. *)
 
+val cache_miss : int
+(** Extra cost of a data access that misses the simulated cache-line
+    state.  Only charged on machines created with a non-zero
+    speculation depth — the cache side channel does not exist (and
+    costs nothing) otherwise. *)
+
 val copy_cycles : int -> int
 (** [copy_cycles n] is the cost of copying [n] bytes. *)
 

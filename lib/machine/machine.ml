@@ -32,6 +32,19 @@ type t = {
   iommu : Iommu.t;
   tpm : Tpm.t;
   obs : Obs.t;
+  (* Speculation model.  [spec_depth] is the transient-window budget in
+     macro-ops; 0 means the machine has no speculation at all and the
+     cache side channel below is never consulted, keeping depth-0 cycle
+     counts byte-identical to machines built before this field existed. *)
+  spec_depth : int;
+  (* VA-indexed cache-line presence set (line = va >> 6).  Only the
+     word-sized access paths consult it; bulk copies are modelled as
+     non-temporal. *)
+  cache_lines : (int64, unit) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable spec_windows : int;
+  mutable spec_transient : int;
 }
 
 let cpus t = Array.length t.cores
@@ -81,7 +94,7 @@ let make_core id =
   }
 
 let create ?(cpus = 1) ?(phys_frames = 32768) ?(disk_sectors = 65536)
-    ?(obs = Obs.default) ~seed () =
+    ?(obs = Obs.default) ?(spec_depth = 0) ~seed () =
   if cpus < 1 then invalid_arg "Machine.create: cpus must be >= 1";
   let mem = Phys_mem.create ~frames:phys_frames in
   let rec t =
@@ -100,6 +113,12 @@ let create ?(cpus = 1) ?(phys_frames = 32768) ?(disk_sectors = 65536)
          iommu = Iommu.create ();
          tpm = Tpm.create ~seed;
          obs;
+         spec_depth;
+         cache_lines = Hashtbl.create 1024;
+         cache_hits = 0;
+         cache_misses = 0;
+         spec_windows = 0;
+         spec_transient = 0;
        })
   in
   let m = Lazy.force t in
@@ -221,13 +240,79 @@ let translate t access va =
     (Int64.shift_left (Int64.of_int pte.frame) 12)
     (Int64.logand va 0xfffL)
 
+(* -- speculation / cache side channel --------------------------------- *)
+
+let spec_depth t = t.spec_depth
+
+let cache_line va = Int64.shift_right_logical va 6
+
+(* Architectural consult of the cache-line state.  Entirely gated on
+   the machine having a speculative window at all: a depth-0 machine
+   never reaches the table and never pays [Cost.cache_miss], so its
+   cycle counts are identical to the pre-speculation cost model. *)
+let consult_cache t va =
+  if t.spec_depth > 0 then begin
+    let line = cache_line va in
+    if Hashtbl.mem t.cache_lines line then t.cache_hits <- t.cache_hits + 1
+    else begin
+      t.cache_misses <- t.cache_misses + 1;
+      Hashtbl.replace t.cache_lines line ();
+      charge ~tag:Obs.Tag.Spec t Cost.cache_miss
+    end
+  end
+
+(* Transient load issued inside a speculative window: raw page-table
+   walk (no TLB insert, no fault, no cycle charge — the work is
+   squashed) but the cache-line touch is real.  That asymmetry IS the
+   side channel. *)
+let spec_load t va ~len =
+  if t.spec_depth = 0 then None
+  else
+    let vpage = Int64.shift_right_logical va 12 in
+    match Pagetable.lookup (table_for t va) ~vpage with
+    | None -> None
+    | Some pte -> (
+        let addr =
+          Int64.logor
+            (Int64.shift_left (Int64.of_int pte.frame) 12)
+            (Int64.logand va 0xfffL)
+        in
+        match Phys_mem.read t.mem ~addr ~len with
+        | v ->
+            Hashtbl.replace t.cache_lines (cache_line va) ();
+            t.spec_transient <- t.spec_transient + 1;
+            Some v
+        | exception Phys_mem.Bad_physical_address _ -> None)
+
+let spec_window_opened t = t.spec_windows <- t.spec_windows + 1
+let cache_hot t va = t.spec_depth > 0 && Hashtbl.mem t.cache_lines (cache_line va)
+let spec_flush t = Hashtbl.reset t.cache_lines
+
+type spec_stats = {
+  windows : int;
+  transient_loads : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let spec_stats t =
+  {
+    windows = t.spec_windows;
+    transient_loads = t.spec_transient;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+  }
+
 let read_virt t va ~len =
   charge ~tag:Obs.Tag.Mem t Cost.mem_access;
-  Phys_mem.read t.mem ~addr:(translate t Read va) ~len
+  let v = Phys_mem.read t.mem ~addr:(translate t Read va) ~len in
+  consult_cache t va;
+  v
 
 let write_virt t va ~len v =
   charge ~tag:Obs.Tag.Mem t Cost.mem_access;
-  Phys_mem.write t.mem ~addr:(translate t Write va) ~len v
+  Phys_mem.write t.mem ~addr:(translate t Write va) ~len v;
+  consult_cache t va
 
 let iter_pages va len f =
   (* Split [va, va+len) at page boundaries. *)

@@ -39,6 +39,7 @@ val create :
   ?phys_frames:int ->
   ?disk_sectors:int ->
   ?obs:Vg_obs.Obs.t ->
+  ?spec_depth:int ->
   seed:string ->
   unit ->
   t
@@ -46,7 +47,10 @@ val create :
     (128 MiB), 65536 sectors (32 MiB disk).  The seed determinises the
     TPM and entropy source so experiments are reproducible.  [obs]
     defaults to {!Vg_obs.Obs.default}, so sinks attached to the
-    process-wide instance observe every machine. *)
+    process-wide instance observe every machine.  [spec_depth]
+    (default 0) is the speculative-window budget in macro-ops; at 0 the
+    machine has no speculation, no cache side channel, and cycle counts
+    identical to the pre-speculation cost model. *)
 
 (** {1 Cores} *)
 
@@ -161,6 +165,47 @@ val memcpy_virt : t -> dst:int64 -> src:int64 -> len:int -> unit
 val flush_tlb : t -> unit
 (** Flush the current core's TLB only; see {!tlb_shootdown} for the
     cross-core protocol. *)
+
+(** {1 Speculation and the cache side channel}
+
+    A machine created with [spec_depth > 0] models a speculative
+    pipeline: execution engines may transiently run up to [spec_depth]
+    macro-ops past a mispredicted branch or select, and the word-sized
+    accessors maintain a VA-indexed cache-line presence set whose
+    timing difference ({!Cost.cache_miss}, tagged [Spec]) is
+    architecturally observable.  At depth 0 every function below is
+    inert and the cache is never consulted. *)
+
+val spec_depth : t -> int
+(** The transient-window budget this machine was created with. *)
+
+val spec_load : t -> int64 -> len:int -> int64 option
+(** Transient load: raw page-table walk (no TLB fill, no fault, no
+    cycle charge — the work will be squashed) that nonetheless pulls
+    the target's cache line in.  [None] if the address is unmapped, or
+    always at depth 0. *)
+
+val spec_window_opened : t -> unit
+(** Execution engines call this once per transient window they open
+    (statistics only; charges nothing). *)
+
+val cache_hot : t -> int64 -> bool
+(** Is the line holding [va] present in the cache-line set?  (Test
+    introspection; the architectural probe is the {!Cost.cache_miss}
+    cycle difference.) *)
+
+val spec_flush : t -> unit
+(** Flush the cache-line set (clflush over the probe array).  Leaves
+    the TLB alone. *)
+
+type spec_stats = {
+  windows : int;  (** transient windows opened *)
+  transient_loads : int;  (** loads that executed transiently *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val spec_stats : t -> spec_stats
 
 (** {1 Components} *)
 

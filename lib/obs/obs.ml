@@ -34,12 +34,13 @@ module Tag = struct
     | Ring  (** batched syscall-ring dispatch (per-entry work) *)
     | Sfip  (** syscall-flow-integrity transition checks *)
     | Swap  (** ghost-swap pressure engine (eviction scans, blob I/O) *)
+    | Spec  (** speculation-era costs (cache misses, mitigation fences) *)
 
   let all =
     [
       Exec; Mem; Tlb; Copy; Zero; Trap; Trap_save; Trap_return; Context_switch;
       Page_fault; Mmu_check; Mask; Cfi; Crypto; Disk; Net; Io; Kernel_work;
-      Other; Sched; Ipi; Timer; Lock; Verify; Ring; Sfip; Swap;
+      Other; Sched; Ipi; Timer; Lock; Verify; Ring; Sfip; Swap; Spec;
     ]
 
   let count = List.length all
@@ -72,6 +73,7 @@ module Tag = struct
     | Ring -> 24
     | Sfip -> 25
     | Swap -> 26
+    | Spec -> 27
 
   let to_string = function
     | Exec -> "exec"
@@ -101,6 +103,7 @@ module Tag = struct
     | Ring -> "ring"
     | Sfip -> "sfip"
     | Swap -> "swap"
+    | Spec -> "spec"
 end
 
 module Event = struct

@@ -42,6 +42,7 @@ module Tag : sig
     | Ring
     | Sfip
     | Swap
+    | Spec
 
   val all : t list
   val count : int

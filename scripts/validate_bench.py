@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json reports emitted by bench/main.exe.
+
+One manifest replaces the per-job inline validators that used to be
+copy-pasted through .github/workflows/ci.yml: every experiment gets a
+schema check plus row-level assertions, and every smoke job calls this
+script on whatever BENCH_*.json files its bench runs emitted.
+
+Usage:
+    scripts/validate_bench.py [FILE...]
+
+With no arguments, validates every BENCH_*.json in the current
+directory (there must be at least one).  A file whose experiment has a
+manifest entry gets its full row assertions; any other file still must
+parse and carry a known schema with well-formed rows.  Exits nonzero
+on the first failing file, after reporting all of them.
+"""
+
+import glob
+import json
+import sys
+
+V1_SCHEMA = "virtual-ghost-bench/1"
+
+
+class Failure(AssertionError):
+    pass
+
+
+def check(cond, msg):
+    if not cond:
+        raise Failure(msg)
+
+
+def rows_of(d):
+    check(d.get("schema") == V1_SCHEMA, f"schema {d.get('schema')!r}")
+    rows = d["rows"]
+    check(isinstance(rows, list) and rows, "empty rows")
+    for r in rows:
+        check("name" in r, f"row without a name: {r}")
+    return rows
+
+
+def by_name(rows):
+    named = {r["name"]: r for r in rows}
+    check(len(named) == len(rows), "duplicate row names")
+    return named
+
+
+def require_keys(r, keys):
+    for key in keys:
+        check(key in r, f"row {r['name']} missing {key}")
+
+
+# --- per-experiment validators -------------------------------------
+
+
+def validate_table2(d):
+    rows = rows_of(d)
+    check(len(rows) == 9, f"expected 9 Table 2 rows, got {len(rows)}")
+    for r in rows:
+        check(r["attribution_cycles"], f"row {r['name']} has no attribution")
+    return f"{len(rows)} rows, all attributed"
+
+
+def validate_smp(d):
+    rows = rows_of(d)
+    check([r["cpus"] for r in rows] == [1, 2, 4, 8], f"cpus ladder: {rows}")
+    for r in rows:
+        require_keys(r, ("native_req_per_sec", "native_speedup_x",
+                         "vg_req_per_sec", "vg_speedup_x",
+                         "native_ok", "vg_ok"))
+    four = next(r for r in rows if r["cpus"] == 4)
+    check(four["native_speedup_x"] >= 2.5, f"native 4-cpu speedup: {four}")
+    check(four["vg_speedup_x"] >= 2.5, f"vg 4-cpu speedup: {four}")
+    return str([(r["cpus"], round(r["vg_speedup_x"], 2)) for r in rows])
+
+
+def validate_syscall_ring(d):
+    rows = rows_of(d)
+    check([r["batch"] for r in rows] == [1, 8, 32], f"batch ladder: {rows}")
+    for r in rows:
+        require_keys(r, ("native_trap_cycles_per_req", "native_reduction_x",
+                         "vg_trap_cycles_per_req", "vg_reduction_x",
+                         "native_ok", "vg_ok", "vg_ring_enters", "vg_sqes",
+                         "vg_sfip_cycles_per_req", "vg_sfip_overhead_frac",
+                         "vg_sfip_ok"))
+        check(r["native_ok"] == r["vg_ok"] == r["vg_sfip_ok"] == 32, r)
+    b32 = next(r for r in rows if r["batch"] == 32)
+    check(b32["vg_reduction_x"] >= 2.0, f"vg reduction at 32: {b32}")
+    check(b32["native_reduction_x"] >= 2.0, f"native reduction at 32: {b32}")
+    check(b32["vg_sfip_overhead_frac"] <= 0.10, f"sfip overhead at 32: {b32}")
+    return str([(r["batch"], round(r["vg_reduction_x"], 2)) for r in rows])
+
+
+def validate_ghost_swap(d):
+    rows = by_name(rows_of(d))
+    ratios = [rows[f"ratio-{n}"] for n in (1, 2, 3, 4)]
+    for r in ratios:
+        require_keys(r, ("overcommit_ratio", "capacity_pages",
+                         "working_set_pages", "native_touches_per_sec",
+                         "vg_touches_per_sec", "overhead_x", "vg_swap_outs",
+                         "vg_swap_ins", "vg_refusals", "vg_crypto_cycles",
+                         "vg_swap_cycles"))
+        check(r["vg_refusals"] == 0, f"freshness refusals: {r}")
+    r1, r4 = ratios[0], ratios[3]
+    check(r1["vg_swap_ins"] == r1["vg_swap_outs"] == 0, f"ratio-1 swapped: {r1}")
+    check(r4["vg_swap_ins"] > ratios[1]["vg_swap_ins"] > 0,
+          "swap traffic must scale with overcommit")
+    for name in ("apps-native", "apps-vg"):
+        a = rows[name]
+        check(a["hog_pages_intact"] == a["hog_pages"] > 0, f"hog pages: {a}")
+        check(a["swap_outs"] > 0, f"no eviction pressure: {a}")
+    return str([(r["overcommit_ratio"], r["vg_swap_ins"]) for r in ratios])
+
+
+def validate_spectre(d):
+    rows = by_name(rows_of(d))
+    configs = ["no-spec", "spec", "fence", "safe-mask"]
+    # 1. Attack outcome: full recovery in the unmitigated depth-12
+    # configuration, nothing anywhere else.
+    for c in configs:
+        r = rows[f"attack:{c}"]
+        require_keys(r, ("config", "spec_depth", "mitigation", "leak_success",
+                         "bytes_recovered", "secret_bytes", "windows",
+                         "transient_loads"))
+        if c == "spec":
+            check(r["leak_success"] is True, f"unmitigated attack failed: {r}")
+            check(r["bytes_recovered"] == r["secret_bytes"] > 0,
+                  f"partial recovery: {r}")
+        else:
+            check(r["leak_success"] is False, f"{c} leaked: {r}")
+            check(r["bytes_recovered"] == 0, f"{c} recovered bytes: {r}")
+    check(rows["attack:no-spec"]["windows"] == 0, "windows at depth 0")
+    check(rows["attack:no-spec"]["transient_loads"] == 0,
+          "transient loads at depth 0")
+    check(rows["attack:fence"]["transient_loads"] == 0,
+          "fence lets loads past the lfence")
+    check(rows["attack:safe-mask"]["windows"] == 0,
+          "safe-mask still opens windows")
+    # 2. Full lmbench matrix: every test in every configuration, with
+    # overheads normalised to the no-spec leg.
+    lm = [r for r in rows.values() if r["name"].startswith("lm:")]
+    tests = {r["test"] for r in lm}
+    check(len(lm) == len(tests) * len(configs) and len(tests) >= 9,
+          f"lmbench matrix incomplete: {len(lm)} rows over {len(tests)} tests")
+    for r in lm:
+        require_keys(r, ("test", "config", "spec_depth", "mitigation", "vg_us",
+                         "overhead_vs_no_spec_x", "spec_cycles", "mask_cycles"))
+        if r["config"] == "no-spec":
+            check(r["overhead_vs_no_spec_x"] == 1.0, f"baseline not 1.0x: {r}")
+            check(r["spec_cycles"] == 0, f"Spec cycles at depth 0: {r}")
+    # 3. httpd matrix: both servers serve every request in every
+    # configuration; mitigations may only slow them down.
+    for c in configs:
+        r = rows[f"httpd:{c}"]
+        require_keys(r, ("config", "spec_depth", "mitigation", "requests",
+                         "pool_ok", "pool_req_per_sec",
+                         "pool_slowdown_vs_no_spec_x", "pool_spec_cycles",
+                         "ring_ok", "ring_req_per_sec",
+                         "ring_slowdown_vs_no_spec_x", "ring_spec_cycles"))
+        check(r["pool_ok"] == r["ring_ok"] == r["requests"],
+              f"httpd dropped requests: {r}")
+        if c in ("fence", "safe-mask"):
+            check(r["pool_slowdown_vs_no_spec_x"] >= 1.0, r)
+            check(r["ring_slowdown_vs_no_spec_x"] >= 1.0, r)
+    fence, safe = rows["httpd:fence"], rows["httpd:safe-mask"]
+    check(fence["pool_req_per_sec"] <= safe["pool_req_per_sec"],
+          "fence should cost more than safe-mask")
+    return (f"attack {rows['attack:spec']['bytes_recovered']}/"
+            f"{rows['attack:spec']['secret_bytes']} only unmitigated, "
+            f"{len(lm)} lmbench legs")
+
+
+def validate_executor(d):
+    # The executor bench writes its own schema family, not the
+    # Bench_report one.
+    check(d.get("schema") == "vg-executor-bench/v3", f"schema {d.get('schema')!r}")
+    rows = d["benchmarks"]
+    check(len(rows) == 8, f"expected 8 fixtures, got {len(rows)}")
+    for r in rows:
+        check(r["cycles_identical_slots_compiled"], r["name"])
+        engines = r["engines"]
+        for e in ("interp", "slots", "compiled"):
+            check(e in engines, f"{r['name']} missing engine {e}")
+        check(engines["slots"]["simulated_cycles"]
+              == engines["compiled"]["simulated_cycles"], r["name"])
+        if r["long"]:
+            check(r["instructions"] >= d["long_workload_min_instrs"], r["name"])
+    s = d["summary"]
+    check(s["cycles_identical"] is True, "engines diverged")
+    gated = s["min_speedup_compiled_vs_interp_long_ghosted"]
+    check(gated >= 5.0,
+          f"compiled engine only {gated}x faster than interp "
+          "on ghosted long workloads")
+    tc = d["trans_cache"]
+    check(tc["verifier_runs_after_warm_loads"] == 1, str(tc))
+    return f"ghosted-long min speedup {gated}x"
+
+
+MANIFEST = {
+    "BENCH_table2.json": validate_table2,
+    "BENCH_smp.json": validate_smp,
+    "BENCH_syscall_ring.json": validate_syscall_ring,
+    "BENCH_ghost_swap.json": validate_ghost_swap,
+    "BENCH_spectre.json": validate_spectre,
+    "BENCH_executor.json": validate_executor,
+}
+
+
+def validate_generic(d):
+    # An experiment without a manifest entry still must be a
+    # well-formed report; tighten by adding an entry above.
+    rows = rows_of(d)
+    return f"{len(rows)} rows (no manifest entry — generic checks only)"
+
+
+def main(argv):
+    files = argv or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("validate_bench: no BENCH_*.json found", file=sys.stderr)
+        return 1
+    failed = False
+    for path in files:
+        name = path.rsplit("/", 1)[-1]
+        validator = MANIFEST.get(name, validate_generic)
+        try:
+            with open(path) as f:
+                d = json.load(f)
+            detail = validator(d)
+            print(f"{name} OK: {detail}")
+        except (Failure, KeyError, StopIteration, OSError,
+                json.JSONDecodeError) as e:
+            print(f"{name} FAIL: {e!r}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -302,6 +302,56 @@ let test_events_sfip_ring () =
   check "vg: exactly one sfip kill for the batch" true (count_sfip vg = 1)
 
 (* ------------------------------------------------------------------ *)
+(* Spectre-v1: the transient window leaks ghost memory past a sandbox
+   that is architecturally sound; both mitigations close the channel. *)
+
+let test_spectre_leaks_unmitigated () =
+  let o = Spectre.run_experiment ~spec_depth:12 () in
+  check "full secret recovered through the cache channel" true
+    o.Spectre.success;
+  check "transient loads happened" true (o.Spectre.transient_loads > 0)
+
+let test_spectre_depth_threshold () =
+  (* The transient stream from the mispredicted select to the probe
+     access is exactly 8 macro-ops: one short of that, nothing. *)
+  let at d = Spectre.run_experiment ~spec_depth:d () in
+  check "depth 8 leaks" true (at 8).Spectre.success;
+  check "depth 7 recovers nothing" true ((at 7).Spectre.bytes_recovered = 0)
+
+let test_spectre_depth0_noop () =
+  let o = Spectre.run_experiment ~spec_depth:0 () in
+  check "no bytes recovered" true (o.Spectre.bytes_recovered = 0);
+  check "no windows opened" true (o.Spectre.windows = 0);
+  check "no transient loads" true (o.Spectre.transient_loads = 0)
+
+let test_spectre_fence_mitigation () =
+  let o =
+    Spectre.run_experiment ~spec_depth:12
+      ~mitigation:Vg_compiler.Mitigation.Fence ()
+  in
+  check "fence: nothing recovered" true (o.Spectre.bytes_recovered = 0);
+  (* Windows still open at the selects; the lfence squashes each one
+     before the secret load issues. *)
+  check "fence: no transient load reaches memory" true
+    (o.Spectre.transient_loads = 0)
+
+let test_spectre_safe_mask_mitigation () =
+  let o =
+    Spectre.run_experiment ~spec_depth:12
+      ~mitigation:Vg_compiler.Mitigation.Safe_mask ()
+  in
+  check "safe-mask: nothing recovered" true (o.Spectre.bytes_recovered = 0);
+  (* The branchless mask has no select to mispredict: the gadget opens
+     no window at all. *)
+  check "safe-mask: no windows" true (o.Spectre.windows = 0)
+
+let test_spectre_engine_parity () =
+  let run engine = Spectre.run_experiment ~engine ~spec_depth:12 () in
+  let o_slots = run Vg_compiler.Exec_engine.Slots in
+  let o_comp = run Vg_compiler.Exec_engine.Compiled in
+  check "same outcome under both engines" true (o_slots = o_comp)
+
+(* ------------------------------------------------------------------ *)
 (* Execution-engine parity: the closure-compiled engine must be
    indistinguishable from the slot executor on the full kernel attack
    experiments — same outcomes, and the same event stream down to the
@@ -374,6 +424,19 @@ let () =
           Alcotest.test_case "iago mmap" `Quick test_events_iago_mmap;
           Alcotest.test_case "ring ghost buffer" `Quick
             test_events_ring_ghost_buffer;
+        ] );
+      ( "spectre",
+        [
+          Alcotest.test_case "leaks unmitigated" `Slow
+            test_spectre_leaks_unmitigated;
+          Alcotest.test_case "depth threshold at 8" `Slow
+            test_spectre_depth_threshold;
+          Alcotest.test_case "no-op at depth 0" `Slow test_spectre_depth0_noop;
+          Alcotest.test_case "fence closes the channel" `Slow
+            test_spectre_fence_mitigation;
+          Alcotest.test_case "safe-mask closes the channel" `Slow
+            test_spectre_safe_mask_mitigation;
+          Alcotest.test_case "engine parity" `Slow test_spectre_engine_parity;
         ] );
       ( "hostile-eviction",
         [

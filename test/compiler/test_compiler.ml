@@ -52,6 +52,7 @@ let interp_env w : Interp.env =
     resolve_sym = (fun s -> failwith ("interp sym: " ^ s));
     func_of_addr = (fun _ -> None);
     charge = (fun n -> w.cycles <- w.cycles + n);
+    fence = (fun () -> ());
   }
 
 let exec_env w : Executor.env =
@@ -201,6 +202,7 @@ let observe_store_target addr_value =
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
       charge = (fun _ -> ());
+      fence = (fun () -> ());
     }
   in
   ignore (Interp.run env program "f" [| addr_value |]);
@@ -501,6 +503,7 @@ let test_mmap_mask_pass () =
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
       charge = (fun _ -> ());
+      fence = (fun () -> ());
     }
   in
   (* Hostile kernel returns a pointer into ghost memory. *)
@@ -543,6 +546,7 @@ let test_opt_constant_folding () =
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
       charge = (fun _ -> ());
+      fence = (fun () -> ());
     }
   in
   Alcotest.(check int64) "folded result" 111L (Interp.run env opt "f" [||])
@@ -611,6 +615,7 @@ let test_opt_no_div_by_zero_folding () =
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
       charge = (fun _ -> ());
+      fence = (fun () -> ());
     }
   in
   Alcotest.(check bool) "still traps" true

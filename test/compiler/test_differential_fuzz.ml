@@ -62,6 +62,7 @@ let run_interp program args =
       resolve_sym = (fun _ -> 0L);
       func_of_addr = (fun _ -> None);
       charge = (fun n -> cycles := !cycles + n);
+      fence = (fun () -> ());
     }
   in
   match Interp.run ~fuel:200_000 env program "f0" args with
@@ -294,6 +295,118 @@ let prop_instrumentation_preserves_size_relation =
       let vg = Codegen.compile ~cfi:true (Sandbox_pass.instrument_program program) in
       Array.length vg.Native.code >= Array.length plain.Native.code)
 
+(* Speculation can only leak what an attacker observes through the
+   cache — i.e. the addresses reaching [spec_load] on the wrong path.
+   Any program the load-time verifier proves under the
+   speculation-safe branchless mask must keep even those transient
+   addresses out of the protected ranges, and speculation must stay
+   architecturally invisible: value, final memory and cycle count
+   identical to a depth-0 run at every window depth.
+
+   The generator clamps its own addresses into scratch, so the wrapper
+   below adds the one shape it cannot produce — a load whose address
+   arrives raw in a parameter.  That is exactly the Spectre-v1 gadget:
+   under the predicated mask the wrong select arm transiently
+   dereferences the unmasked parameter, so with a ghost-range argument
+   this wrapper distinguishes the mitigations (the probe fires under
+   [Off]); under [Safe_mask] it must never fire. *)
+let spec_entry =
+  {
+    Ir.name = "spec_entry";
+    params = [ "p"; "q" ];
+    blocks =
+      [
+        {
+          Ir.label = "entry";
+          instrs =
+            [
+              Ir.Load { dst = "v"; addr = Ir.Reg "p"; width = Ir.W64 };
+              Ir.Call
+                { dst = Some "r"; callee = "f0"; args = [ Ir.Reg "v"; Ir.Reg "q" ] };
+            ];
+          term = Ir.Ret (Some (Ir.Reg "r"));
+        };
+      ];
+  }
+
+let prop_safe_mask_no_transient_leak =
+  QCheck2.Test.make
+    ~name:"safe-mask verified code never leaks transiently at any depth"
+    ~count:150
+    QCheck2.Gen.(
+      pair (int_bound 1_000_000)
+        (pair (pair (int_bound 4000) (int_bound 4000)) (int_range 1 16)))
+    (fun (seed, ((a, b), depth)) ->
+      let program =
+        { Ir.funcs = spec_entry :: (gen_program seed).Ir.funcs }
+      in
+      let compiled =
+        Pipeline.compile_kernel_code ~mode:Pipeline.Virtual_ghost
+          ~mitigation:Mitigation.Safe_mask program
+      in
+      let image = compiled.Pipeline.linked in
+      (* The pipeline's safe-mask output must prove the Spec invariant
+         (no predicated window survives, so nothing can mispredict into
+         an unmasked access). *)
+      Image_verify.check ~mitigation:Mitigation.Safe_mask image = Ok ()
+      && (* (a) differential vs depth 0: speculation leaves no
+            architectural residue *)
+      let run_at spec_depth =
+        let w = make_world () in
+        let cycles = ref 0 in
+        let env =
+          {
+            Executor.null_env with
+            load = w_load w;
+            store = w_store w;
+            charge = (fun _ n -> cycles := !cycles + n);
+            spec_depth;
+            spec_load = (fun _ _ -> Some 0L);
+          }
+        in
+        (* keep the wrapper's raw-parameter load inside scratch so the
+           flat test memory stays in range *)
+        let p = Int64.add scratch_base (Int64.of_int (a land 0xff8)) in
+        let args = [| p; Int64.of_int b |] in
+        match Executor.run ~fuel:400_000 env image "spec_entry" args with
+        | v -> Value (v, w.mem, !cycles)
+        | exception Executor.Exec_trap _ -> Trapped
+      in
+      let r0 = run_at 0 in
+      let rd = run_at depth in
+      agree r0 rd && agree_cycles r0 rd
+      && (* (b) with ghost-range arguments feeding every address
+            computation, no transient (or architectural) access ever
+            touches the ghost partition or the SVA ranges *)
+      let safe = ref true in
+      let check addr =
+        if Layout.in_ghost addr || Layout.in_sva addr then safe := false
+      in
+      let env =
+        {
+          Executor.null_env with
+          load =
+            (fun addr _ ->
+              check addr;
+              0L);
+          store = (fun addr _ _ -> check addr);
+          memcpy =
+            (fun ~dst ~src ~len:_ ->
+              check dst;
+              check src);
+          spec_depth = depth;
+          spec_load =
+            (fun addr _ ->
+              check addr;
+              Some 0L);
+        }
+      in
+      let args = [| Int64.add Layout.ghost_start 0x1234L; Layout.ghost_start |] in
+      (try ignore (Executor.run ~fuel:400_000 env image "spec_entry" args) with
+      | Executor.Exec_trap _ -> ()
+      | Executor.Cfi_violation _ -> ());
+      !safe)
+
 let prop_cfi_audit_on_random_programs =
   QCheck2.Test.make ~name:"CFI audit passes on every pipeline output" ~count:100
     QCheck2.Gen.(int_bound 1_000_000)
@@ -313,6 +426,7 @@ let () =
             prop_optimizer_preserves_semantics;
             prop_optimizer_never_unmasks;
             prop_instrumentation_preserves_size_relation;
+            prop_safe_mask_no_transient_leak;
             prop_cfi_audit_on_random_programs;
           ] );
     ]

@@ -148,6 +148,52 @@ let test_null_syscall_cycles () =
   Alcotest.(check int) "virtual ghost (compiled engine)" 261000
     (null_syscall_cycles ~engine:compiled Sva.Virtual_ghost)
 
+(* --- speculation model off: cycle identity ------------------------ *)
+(* The speculation era must be pay-for-what-you-use: a machine built
+   with [~spec_depth:0] and an unmitigated kernel must reproduce the
+   pre-speculation goldens to the cycle — no cache model consulted, no
+   windows, no surcharge.  The mitigated builds are pinned too, so the
+   architectural price of each hardening (lfence cycles, the two extra
+   branchless-mask instructions) cannot drift silently. *)
+
+let null_syscall_cycles_spec ?engine ~spec_depth ~mitigation mode =
+  let machine =
+    Machine.create ~spec_depth ~phys_frames:65536 ~disk_sectors:131072
+      ~seed:"bench" ()
+  in
+  let k = Kernel.boot ?engine ~spec_mitigation:mitigation ~mode machine in
+  Runtime.launch k ~ghosting:false (fun ctx ->
+      let proc = ctx.Runtime.proc in
+      let start = Machine.cycles machine in
+      for _ = 1 to 200 do
+        ignore (Syscalls.getpid k proc)
+      done;
+      Machine.cycles machine - start)
+
+let test_spec_depth0_cycle_identity () =
+  let off = Vg_compiler.Mitigation.Off in
+  Alcotest.(check int) "native, spec plumbing off" 71600
+    (null_syscall_cycles_spec ~spec_depth:0 ~mitigation:off Sva.Native_build);
+  Alcotest.(check int) "virtual ghost, spec plumbing off" 261000
+    (null_syscall_cycles_spec ~spec_depth:0 ~mitigation:off Sva.Virtual_ghost);
+  Alcotest.(check int) "virtual ghost, spec plumbing off (compiled engine)"
+    261000
+    (null_syscall_cycles_spec ~engine:Vg_compiler.Exec_engine.Compiled
+       ~spec_depth:0 ~mitigation:off Sva.Virtual_ghost)
+
+let test_spec_mitigation_goldens () =
+  (* Architectural mitigation cost at depth 0: what fence / safe-mask
+     add to the same 200 null syscalls.  Native builds carry no
+     sandbox, hence nothing to harden — the golden must not move. *)
+  let fence = Vg_compiler.Mitigation.Fence in
+  let safe = Vg_compiler.Mitigation.Safe_mask in
+  Alcotest.(check int) "native is mitigation-blind" 71600
+    (null_syscall_cycles_spec ~spec_depth:0 ~mitigation:fence Sva.Native_build);
+  Alcotest.(check int) "virtual ghost + fence" 357000
+    (null_syscall_cycles_spec ~spec_depth:0 ~mitigation:fence Sva.Virtual_ghost);
+  Alcotest.(check int) "virtual ghost + safe-mask" 277000
+    (null_syscall_cycles_spec ~spec_depth:0 ~mitigation:safe Sva.Virtual_ghost)
+
 (* --- boot-time image verification --------------------------------- *)
 (* Under Virtual Ghost, boot re-proves the kernel's own translation and
    charges the verifier's pass to the Verify tag; the baseline verifies
@@ -246,6 +292,10 @@ let () =
             test_compiled_engine_cycles;
           Alcotest.test_case "LMBench null syscall" `Quick
             test_null_syscall_cycles;
+          Alcotest.test_case "spec depth 0 is cycle-identical" `Quick
+            test_spec_depth0_cycle_identity;
+          Alcotest.test_case "mitigation cost goldens" `Quick
+            test_spec_mitigation_goldens;
           Alcotest.test_case "boot-time image verification" `Quick
             test_boot_verify_cycles;
         ] );

@@ -335,6 +335,60 @@ let test_evil_dead_block_unmasked_store () =
     (Image_verify.check (compile_vg (dead_store_program ())) = Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* The Spec invariant: speculation-hardened images                     *)
+
+let compile_mitigated mitigation program =
+  (Pipeline.compile_kernel_code ~mode:Pipeline.Virtual_ghost ~mitigation program)
+    .Pipeline.linked
+
+let spec_violations = function
+  | Ok () -> []
+  | Error vs ->
+      List.filter
+        (fun (v : Image_verify.violation) -> v.invariant = Image_verify.Spec)
+        vs
+
+let test_spec_fence_missing () =
+  (* An image compiled without the fence pass carries classic mask
+     windows and no lfences: checked as a [Fence] image, every memory
+     operand must be flagged Spec (and nothing else fails — the
+     architectural mask is still proven). *)
+  let unfenced = compile_mitigated Mitigation.Off (mem_mix_program ()) in
+  (match Image_verify.check ~mitigation:Mitigation.Fence unfenced with
+  | Ok () -> Alcotest.fail "unfenced image accepted as fence-hardened"
+  | Error vs ->
+      (* load + store + atomic + memcpy (one fence guards both
+         pointers) = 4 unfenced accesses *)
+      Alcotest.(check int) "one Spec violation per unfenced access" 4
+        (List.length (spec_violations (Error vs)));
+      Alcotest.(check int) "nothing but Spec violations" (List.length vs)
+        (List.length (spec_violations (Error vs))));
+  (* The honestly fenced pipeline output proves clean under the same
+     demand, and still proves the plain invariants under [Off]. *)
+  let fenced = compile_mitigated Mitigation.Fence (mem_mix_program ()) in
+  Alcotest.(check bool) "fenced image proves under fence" true
+    (Image_verify.check ~mitigation:Mitigation.Fence fenced = Ok ());
+  Alcotest.(check bool) "fenced image proves under off" true
+    (Image_verify.check fenced = Ok ())
+
+let test_spec_predicated_window_rejected () =
+  (* Safe-mask demands the branchless nine-instruction window: the
+     classic predicated window proves the architectural mask but is
+     exactly the Spectre-v1 gadget, so it must be a Spec violation. *)
+  let predicated = compile_mitigated Mitigation.Off (mem_mix_program ()) in
+  (match Image_verify.check ~mitigation:Mitigation.Safe_mask predicated with
+  | Ok () -> Alcotest.fail "predicated windows accepted as safe-mask"
+  | Error vs ->
+      Alcotest.(check bool) "Spec violations reported" true
+        (spec_violations (Error vs) <> []));
+  let branchless = compile_mitigated Mitigation.Safe_mask (mem_mix_program ()) in
+  Alcotest.(check bool) "branchless image proves under safe-mask" true
+    (Image_verify.check ~mitigation:Mitigation.Safe_mask branchless = Ok ());
+  (* Either window form grants the Mask fact under any mitigation. *)
+  Alcotest.(check bool) "branchless image proves under off" true
+    (Image_verify.check branchless = Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* The verifying cache path                                            *)
 
 let test_cache_rejects_malformed_signed_image () =
@@ -362,6 +416,34 @@ let test_cache_rejects_malformed_signed_image () =
   Trans_cache.tamper cache ~name:"honest";
   Alcotest.(check bool) "tamper is a signature error" true
     (Trans_cache.find cache ~name:"honest" = Error Trans_cache.Bad_signature)
+
+let test_cache_rejects_mitigation_mismatch () =
+  (* A kernel booted with safe-mask must refuse an honestly signed
+     translation compiled for another speculation configuration: the
+     blob's recorded mitigation is part of what the verifier re-proves,
+     not advisory metadata. *)
+  let cache = Trans_cache.create ~key:(Bytes.of_string "vm-secret") in
+  Trans_cache.set_mitigation cache Mitigation.Safe_mask;
+  let stale = compile_mitigated Mitigation.Off (mem_mix_program ()) in
+  Trans_cache.add cache ~name:"stale" ~instrumented:true
+    ~mitigation:Mitigation.Off stale;
+  (match Trans_cache.find cache ~name:"stale" with
+  | Error (Trans_cache.Rejected_by_verifier vs) ->
+      Alcotest.(check bool) "refused with a Spec violation" true
+        (List.exists
+           (fun (v : Image_verify.violation) ->
+             v.invariant = Image_verify.Spec)
+           vs)
+  | Error e -> Alcotest.failf "wrong error: %s" (Trans_cache.describe_find_error e)
+  | Ok _ -> Alcotest.fail "off-compiled blob accepted by safe-mask kernel");
+  (* The matching translation round-trips. *)
+  let hardened = compile_mitigated Mitigation.Safe_mask (mem_mix_program ()) in
+  Trans_cache.add cache ~name:"hardened" ~instrumented:true
+    ~mitigation:Mitigation.Safe_mask hardened;
+  match Trans_cache.find cache ~name:"hardened" with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "matching blob refused: %s" (Trans_cache.describe_find_error e)
 
 (* ------------------------------------------------------------------ *)
 (* No false positives                                                  *)
@@ -436,10 +518,19 @@ let () =
           Alcotest.test_case "unmasked store in dead block caught" `Quick
             test_evil_dead_block_unmasked_store;
         ] );
+      ( "spec-invariant",
+        [
+          Alcotest.test_case "missing lfence caught per access" `Quick
+            test_spec_fence_missing;
+          Alcotest.test_case "predicated window refused under safe-mask" `Quick
+            test_spec_predicated_window_rejected;
+        ] );
       ( "cache",
         [
           Alcotest.test_case "signed-but-malformed image refused" `Quick
             test_cache_rejects_malformed_signed_image;
+          Alcotest.test_case "mitigation mismatch refused" `Quick
+            test_cache_rejects_mitigation_mismatch;
         ] );
       ( "no-false-positives",
         [

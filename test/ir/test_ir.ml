@@ -37,6 +37,7 @@ let make_mem_env () =
       resolve_sym = (fun s -> failwith ("unresolved " ^ s));
       func_of_addr = (fun _ -> None);
       charge = (fun _ -> ());
+      fence = (fun () -> ());
     }
   in
   (env, mem)
