@@ -22,11 +22,16 @@ let section title =
    the harness takes on the host. *)
 let kernel_engine = ref Vg_compiler.Exec_engine.Compiled
 
-let boot_fresh ?(seed = "bench") mode =
-  let machine =
-    Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed ()
-  in
-  Kernel.boot ~engine:!kernel_engine ~mode machine
+(* Every bench kernel boots through the fleet Node_config: the bench
+   profile is a big machine (256 MiB, 64 MiB disk) with the selected
+   execution engine. *)
+let bench_config ?(seed = "bench") ?(cpus = 1) ?(spec_depth = 0) mode =
+  Node_config.(
+    default |> with_cpus cpus |> with_phys_frames 65536
+    |> with_disk_sectors 131072 |> with_seed seed |> with_mode mode
+    |> with_engine !kernel_engine |> with_spec_depth spec_depth)
+
+let boot_fresh ?seed mode = Node.kernel (Node.boot (bench_config ?seed mode))
 
 let with_ctx mode ~ghosting f =
   let k = boot_fresh mode in
@@ -1160,11 +1165,7 @@ let executor = bench_json
 let smp_cpu_counts = [ 1; 2; 4; 8 ]
 
 let smp_pool_throughput mode ~cpus ~requests =
-  let machine =
-    Machine.create ~cpus ~phys_frames:65536 ~disk_sectors:131072
-      ~seed:"bench-smp" ()
-  in
-  let k = Kernel.boot ~engine:!kernel_engine ~mode machine in
+  let k = Node.kernel (Node.boot (bench_config ~seed:"bench-smp" ~cpus mode)) in
   make_fs_file k "/index.html" (8 * kb);
   let stats =
     Httpd.Pool.run k ~workers:cpus ~requests ~port:80 ~path:"/index.html"
@@ -1236,11 +1237,7 @@ let trap_protocol_cycles st =
   + Obs_stats.cycles st Obs.Tag.Trap_return
 
 let ring_serve ?sfip mode ~batch ~requests =
-  let machine =
-    Machine.create ~cpus:1 ~phys_frames:65536 ~disk_sectors:131072
-      ~seed:"bench-ring" ()
-  in
-  let k = Kernel.boot ~engine:!kernel_engine ~mode machine in
+  let k = Node.kernel (Node.boot (bench_config ~seed:"bench-ring" mode)) in
   make_fs_file k "/index.html" (8 * kb);
   Httpd.Event_loop.run k ~batch ?sfip ~requests ~port:80 ~path:"/index.html"
 
@@ -1352,14 +1349,14 @@ let swap_marker i = Printf.sprintf "ghost-%09d!" i
    daemon fiber shares the scheduler and keeps availability above the
    low watermark. *)
 let swap_walker mode ~ratio =
-  let machine =
-    Machine.create ~cpus:2 ~phys_frames:8192 ~disk_sectors:131072
-      ~seed:"bench-swap" ()
-  in
   let k =
-    Kernel.boot ~engine:!kernel_engine ~frame_limit:swap_frame_limit ~mode
-      machine
+    Node.kernel
+      (Node.boot
+         (bench_config ~seed:"bench-swap" ~cpus:2 mode
+         |> Node_config.with_phys_frames 8192
+         |> Node_config.with_frame_limit swap_frame_limit))
   in
+  let machine = k.Kernel.machine in
   let sched = Sched.create k in
   Ghost_swap.spawn_swapd k sched;
   let out = ref None in
@@ -1413,14 +1410,14 @@ let swap_walker mode ~ratio =
    hog out through the sealed path.  The hog's final walk proves every
    secret survived the round trip through the untrusted swap store. *)
 let swap_apps mode =
-  let machine =
-    Machine.create ~cpus:2 ~phys_frames:8192 ~disk_sectors:131072
-      ~seed:"bench-swap-apps" ()
-  in
   let k =
-    Kernel.boot ~engine:!kernel_engine ~frame_limit:swap_frame_limit ~mode
-      machine
+    Node.kernel
+      (Node.boot
+         (bench_config ~seed:"bench-swap-apps" ~cpus:2 mode
+         |> Node_config.with_phys_frames 8192
+         |> Node_config.with_frame_limit swap_frame_limit))
   in
+  let machine = k.Kernel.machine in
   make_fs_file k "/index.html" (8 * kb);
   Runtime.launch k ~ghosting:true (fun hog ->
       let proc = hog.Runtime.proc in
@@ -1563,12 +1560,11 @@ let spectre_configs =
     ("safe-mask", spectre_depth, Vg_compiler.Mitigation.Safe_mask);
   ]
 
-let boot_spec ?(seed = "bench") ?(cpus = 1) ~spec_depth ~mitigation mode =
-  let machine =
-    Machine.create ~cpus ~phys_frames:65536 ~disk_sectors:131072 ~spec_depth
-      ~seed ()
-  in
-  Kernel.boot ~engine:!kernel_engine ~spec_mitigation:mitigation ~mode machine
+let boot_spec ?seed ?cpus ~spec_depth ~mitigation mode =
+  Node.kernel
+    (Node.boot
+       (bench_config ?seed ?cpus ~spec_depth mode
+       |> Node_config.with_spec_mitigation mitigation))
 
 let spectre_lm_leg ~spec_depth ~mitigation (row : lm_row) =
   let k = boot_spec ~spec_depth ~mitigation Sva.Virtual_ghost in
@@ -1723,6 +1719,166 @@ let spectre_bench () =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet: load-balanced multi-node serving                             *)
+
+let fleet_doc = Bytes.init (8 * kb) (fun i -> Char.chr ((i * 131) land 0xff))
+
+let make_fleet ?policy ?(seed = "bench-fleet") ~nodes () =
+  let f = Fleet.create ?policy ~nodes (bench_config ~seed Sva.Virtual_ghost) in
+  Fleet.listen_all f ~port:80;
+  Fleet.setup_www f ~path:"/index.html" fleet_doc;
+  f
+
+let fleet () =
+  let r =
+    Bench_report.create ~name:"fleet"
+      ~title:
+        "Fleet: N virtual-ghost nodes wired NIC-to-NIC, round-robin balanced \
+         event-loop httpd backends (scaling, mixed load, rolling restart, \
+         hostile backend, key distribution)"
+  in
+  (* -- scaling: same request volume over 1..4 nodes ---------------- *)
+  let requests = 24 in
+  let base_rps = ref 0.0 in
+  List.iter
+    (fun nodes ->
+      let f = make_fleet ~nodes () in
+      let wave = Fleet.serve_wave f ~port:80 ~path:"/index.html" ~requests in
+      let rps = Fleet.wave_rps wave in
+      if nodes = 1 then base_rps := rps;
+      let speedup = if !base_rps > 0.0 then rps /. !base_rps else 0.0 in
+      Bench_report.linef r
+        "  %d node%s: ok=%d/%d dropped=%d  %8.0f req/s  (%.2fx vs 1 node)\n"
+        nodes
+        (if nodes = 1 then " " else "s")
+        wave.Fleet.ok requests wave.Fleet.dropped rps speedup;
+      Bench_report.row r ~label:(Printf.sprintf "scale-%d" nodes)
+        [
+          ("nodes", Bench_report.int nodes);
+          ("requests", Bench_report.int requests);
+          ("ok", Bench_report.int wave.Fleet.ok);
+          ("dropped", Bench_report.int wave.Fleet.dropped);
+          ("rps", Bench_report.num rps);
+          ("speedup_vs_1", Bench_report.num speedup);
+          ( "per_node_rps",
+            Obs_json.List
+              (Array.to_list
+                 (Array.map
+                    (fun (nr : Fleet.node_report) ->
+                      Bench_report.num (Fleet.report_rps nr))
+                    wave.Fleet.per_node)) );
+        ])
+    [ 1; 2; 3; 4 ];
+  (* -- mixed load: HTTP wave + ghosting Postmark + ssh key chain --- *)
+  let f = make_fleet ~seed:"bench-fleet-mixed" ~nodes:2 () in
+  let wave =
+    Fleet.serve_wave ~mixed:true f ~port:80 ~path:"/index.html" ~requests:12
+  in
+  let postmark_tx = ref 0 and ssh_ok = ref true in
+  for i = 0 to Fleet.size f - 1 do
+    match Fleet.last_mixed f i with
+    | Some m ->
+        postmark_tx := !postmark_tx + m.Fleet.postmark_tx;
+        ssh_ok := !ssh_ok && m.Fleet.ssh_ok
+    | None -> ssh_ok := false
+  done;
+  Bench_report.linef r
+    "  mixed load on 2 nodes: http ok=%d/12, postmark tx=%d, ssh chain %s\n"
+    wave.Fleet.ok !postmark_tx
+    (if !ssh_ok then "ok" else "FAILED");
+  Bench_report.row r ~label:"mixed-load"
+    [
+      ("nodes", Bench_report.int 2);
+      ("http_ok", Bench_report.int wave.Fleet.ok);
+      ("http_requests", Bench_report.int 12);
+      ("postmark_tx", Bench_report.int !postmark_tx);
+      ("ssh_chain_ok", Bench_report.bool !ssh_ok);
+    ];
+  (* -- rolling restart: re-image every node, drop nothing ---------- *)
+  let f = make_fleet ~seed:"bench-fleet-roll" ~nodes:3 () in
+  let report =
+    Fleet.rolling_restart f ~port:80 ~path:"/index.html" ~requests_per_wave:12
+  in
+  let max_drain =
+    Array.fold_left max 0 report.Fleet.drain_latency_cycles
+  in
+  Bench_report.linef r
+    "  rolling restart over 3 nodes: %d/%d ok, %d dropped, max drain %d \
+     cycles\n"
+    report.Fleet.total_ok report.Fleet.total_requests report.Fleet.total_dropped
+    max_drain;
+  Bench_report.row r ~label:"rolling-restart"
+    [
+      ("nodes", Bench_report.int 3);
+      ("total_requests", Bench_report.int report.Fleet.total_requests);
+      ("total_ok", Bench_report.int report.Fleet.total_ok);
+      ("dropped", Bench_report.int report.Fleet.total_dropped);
+      ( "drain_latency_cycles",
+        Obs_json.List
+          (Array.to_list
+             (Array.map Bench_report.int report.Fleet.drain_latency_cycles)) );
+    ];
+  (* -- hostile backend: rootkit module on node 2 fails closed ------ *)
+  let f = make_fleet ~seed:"bench-fleet-sec" ~nodes:3 () in
+  let healthy = Fleet.serve_wave f ~port:80 ~path:"/index.html" ~requests:12 in
+  let outcome =
+    Vg_attacks.Rootkit.infect
+      (Node.kernel (Fleet.node f 2))
+      ~attack:Vg_attacks.Rootkit.Signal_inject
+  in
+  let stolen =
+    outcome.Vg_attacks.Rootkit.secret_leaked_to_console
+    || outcome.Vg_attacks.Rootkit.secret_in_exfil_file
+  in
+  let quarantined = Fleet.check_health f in
+  let degraded = Fleet.serve_wave f ~port:80 ~path:"/index.html" ~requests:12 in
+  let degraded_ratio =
+    let h = Fleet.wave_rps healthy in
+    if h > 0.0 then Fleet.wave_rps degraded /. h else 0.0
+  in
+  Bench_report.linef r
+    "  rootkit on node 2: secret %s, %d security events, quarantined=%s, \
+     remaining nodes served %d/12 at %.2fx healthy throughput\n"
+    (if stolen then "STOLEN" else "not obtained")
+    (List.length (Fleet.security_events f 2))
+    (String.concat ","
+       (List.map (fun (i, _) -> string_of_int i) quarantined))
+    degraded.Fleet.ok degraded_ratio;
+  Bench_report.row r ~label:"rootkit-backend"
+    [
+      ("nodes", Bench_report.int 3);
+      ("attack", Bench_report.str "signal-inject");
+      ("secret_stolen", Bench_report.bool stolen);
+      ( "failed_closed",
+        Bench_report.bool outcome.Vg_attacks.Rootkit.vm_refusal_logged );
+      ( "security_events",
+        Bench_report.int (List.length (Fleet.security_events f 2)) );
+      ( "quarantined",
+        Obs_json.List
+          (List.map (fun (i, _) -> Bench_report.int i) quarantined) );
+      ("degraded_ok", Bench_report.int degraded.Fleet.ok);
+      ("degraded_requests", Bench_report.int 12);
+      ("degraded_throughput_ratio", Bench_report.num degraded_ratio);
+    ];
+  (* -- cross-node key distribution --------------------------------- *)
+  let f = Fleet.create ~nodes:2 (bench_config ~seed:"bench-fleet-key" Sva.Virtual_ghost) in
+  let kt = Fleet.distribute_key f ~src:0 ~dst:1 in
+  Bench_report.linef r
+    "  key distribution 0->1: delivered=%b (%d bytes), plaintext on \
+     wire=%b, sealed at rest=%b, reload ok=%b\n"
+    kt.Fleet.delivered kt.Fleet.key_len kt.Fleet.plaintext_on_wire
+    kt.Fleet.sealed_at_rest kt.Fleet.reload_ok;
+  Bench_report.row r ~label:"key-distribution"
+    [
+      ("delivered", Bench_report.bool kt.Fleet.delivered);
+      ("key_len", Bench_report.int kt.Fleet.key_len);
+      ("plaintext_on_wire", Bench_report.bool kt.Fleet.plaintext_on_wire);
+      ("sealed_at_rest", Bench_report.bool kt.Fleet.sealed_at_rest);
+      ("reload_ok", Bench_report.bool kt.Fleet.reload_ok);
+    ];
+  Bench_report.finish r
+
 let experiments =
   [
     ("table2", table2);
@@ -1738,6 +1894,7 @@ let experiments =
     ("security", security);
     ("spectre", spectre_bench);
     ("ablations", ablations);
+    ("fleet", fleet);
     ("executor", executor);
   ]
 

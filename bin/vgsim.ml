@@ -105,13 +105,25 @@ let mem_frames_arg =
            swap through the sealed ghost-swap path (encrypted, integrity- \
            and freshness-checked by the VM); see the ghost_swap benchmark.")
 
-let boot ?frame_limit ?(cpus = 1) ?(engine = Vg_compiler.Exec_engine.Compiled)
-    ?(spec_depth = 0) ?(spec_mitigation = Vg_compiler.Mitigation.Off) mode =
-  let machine =
-    Machine.create ~cpus ~phys_frames:32768 ~disk_sectors:65536 ~spec_depth
-      ~seed:"vgsim" ()
+let node_config ?frame_limit ?(cpus = 1)
+    ?(engine = Vg_compiler.Exec_engine.Compiled) ?(spec_depth = 0)
+    ?(spec_mitigation = Vg_compiler.Mitigation.Off) mode =
+  let config =
+    Node_config.(
+      default |> with_cpus cpus |> with_seed "vgsim" |> with_mode mode
+      |> with_engine engine |> with_spec_depth spec_depth
+      |> with_spec_mitigation spec_mitigation)
   in
-  (machine, Kernel.boot ?frame_limit ~engine ~spec_mitigation ~mode machine)
+  match frame_limit with
+  | None -> config
+  | Some l -> Node_config.with_frame_limit l config
+
+let boot ?frame_limit ?cpus ?engine ?spec_depth ?spec_mitigation mode =
+  let node =
+    Node.boot
+      (node_config ?frame_limit ?cpus ?engine ?spec_depth ?spec_mitigation mode)
+  in
+  (Node.machine node, Node.kernel node)
 
 (* -- observability flags (shared by the run commands) ---------------- *)
 
@@ -237,10 +249,9 @@ let verify_cmd =
   (* The boot path: what the VM actually hands the executor, signature-
      checked and all, rather than a fresh translation. *)
   let verify_booted_kernel () =
-    let machine =
-      Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"vgsim" ()
+    let k =
+      Node.kernel (Node.boot Node_config.(default |> with_seed "vgsim"))
     in
-    let k = Kernel.boot ~mode:Sva.Virtual_ghost machine in
     match
       Vg_compiler.Trans_cache.find
         (Sva.translation_cache k.Kernel.sva)
@@ -351,8 +362,13 @@ let spectre_cmd =
 
 let sealed_cmd =
   let run () =
-    let machine = Machine.create ~phys_frames:16384 ~disk_sectors:16384 ~seed:"sealed" () in
-    let k = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+    let k =
+      Node.kernel
+        (Node.boot
+           Node_config.(
+             default |> with_phys_frames 16384 |> with_disk_sectors 16384
+             |> with_seed "sealed"))
+    in
     let _, _, image = Ssh_suite.install_images k ~app_key:(Bytes.make 16 's') in
     Runtime.launch k ~image ~ghosting:true (fun ctx ->
         let show = function
@@ -536,6 +552,85 @@ let postmark_cmd =
           $ spec_depth_arg $ mitigation_arg $ tx_arg $ files_arg $ trace_arg
           $ stats_arg)
 
+(* -- fleet ---------------------------------------------------------- *)
+
+let fleet_cmd =
+  let nodes_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "nodes" ] ~docv:"N" ~doc:"Backends in the fleet (default 3).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "requests" ] ~doc:"Client requests for the serving wave.")
+  in
+  let policy_conv =
+    let parse s =
+      match Lb.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown policy %s (rr|lc)" s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Lb.policy_to_string p) in
+    Arg.conv (parse, print)
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Lb.Round_robin
+      & info [ "policy" ]
+          ~doc:
+            "Balancing policy: rr (round-robin) or lc (least-connections).")
+  in
+  let mixed_arg =
+    Arg.(
+      value & flag
+      & info [ "mixed" ]
+          ~doc:
+            "Run the background mixed load (ghosting Postmark plus the ssh \
+             key chain) on every serving node alongside the HTTP wave.")
+  in
+  let run mode cpus engine nodes requests policy mixed trace stats =
+    with_obs ~trace ~stats (fun () ->
+        let config =
+          node_config ~cpus ~engine mode |> Node_config.with_seed "fleet"
+        in
+        let fleet = Fleet.create ~policy ~nodes config in
+        Fleet.listen_all fleet ~port:80;
+        Fleet.setup_www fleet ~path:"/index.html"
+          (Bytes.init 8192 (fun i -> Char.chr ((i * 131) land 0xff)));
+        Printf.printf "fleet: %d nodes (%s), %s balancing\n" nodes
+          (Node_config.describe config)
+          (Lb.policy_to_string policy);
+        let wave =
+          Fleet.serve_wave ~mixed fleet ~port:80 ~path:"/index.html" ~requests
+        in
+        Array.iter
+          (fun (r : Fleet.node_report) ->
+            Printf.printf
+              "  node %d: assigned=%d ok=%d %.1f req/s (%d cycles)%s\n"
+              r.Fleet.node_id r.Fleet.assigned r.Fleet.ok (Fleet.report_rps r)
+              r.Fleet.elapsed_cycles
+              (match Fleet.last_mixed fleet r.Fleet.node_id with
+              | Some m when mixed ->
+                  Printf.sprintf " [postmark tx=%d ssh=%s]" m.Fleet.postmark_tx
+                    (if m.Fleet.ssh_ok then "ok" else "FAILED")
+              | _ -> ""))
+          wave.Fleet.per_node;
+        Printf.printf
+          "  aggregate: %d/%d ok, %d dropped, %.1f req/s over %d cycles\n"
+          wave.Fleet.ok wave.Fleet.requests wave.Fleet.dropped
+          (Fleet.wave_rps wave) wave.Fleet.elapsed_cycles)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Boot an N-node fleet wired NIC-to-NIC, balance a wave of HTTP \
+          requests across the event-loop backends and print per-node and \
+          aggregate throughput.")
+    Term.(const run $ mode_arg $ cpus_arg $ engine_arg $ nodes_arg
+          $ requests_arg $ policy_arg $ mixed_arg $ trace_arg $ stats_arg)
+
 (* -- policy --------------------------------------------------------- *)
 
 let policy_cmd =
@@ -634,5 +729,5 @@ let () =
        (Cmd.group (Cmd.info "vgsim" ~doc)
           [
             info_cmd; verify_cmd; attack_cmd; spectre_cmd; lmbench_cmd;
-            postmark_cmd; sealed_cmd; httpd_cmd; policy_cmd;
+            postmark_cmd; sealed_cmd; httpd_cmd; fleet_cmd; policy_cmd;
           ]))

@@ -9,8 +9,13 @@ let () =
   print_endline "== Ghost swapping under memory pressure ==";
   print_endline "";
   (* A machine whose kernel allocator holds only ~150 frames. *)
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:32768 ~seed:"swap-demo" () in
-  let kernel = Kernel.boot ~frame_limit:150 ~mode:Sva.Virtual_ghost machine in
+  let node =
+    Node.boot
+      Node_config.(
+        default |> with_phys_frames 8192 |> with_disk_sectors 32768
+        |> with_seed "swap-demo" |> with_frame_limit 150)
+  in
+  let machine = Node.machine node and kernel = Node.kernel node in
   Runtime.launch kernel ~ghosting:true (fun ctx ->
       Printf.printf "free frames before: %d\n" (Frame_alloc.free_count kernel.Kernel.frames);
       (* Allocate ~80 pages of ghost heap — more than fits comfortably. *)

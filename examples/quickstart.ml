@@ -7,12 +7,19 @@
 let () =
   print_endline "== Virtual Ghost quickstart ==";
   print_endline "";
-  (* 1. A simulated machine: CPU + MMU, RAM, disk, NIC, IOMMU, TPM. *)
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"quickstart" () in
-  (* 2. Boot the kernel in Virtual Ghost mode: the SVA-OS layer is
-     initialised, kernel code is (modelled as) compiled with the
-     sandboxing and CFI passes, and the MMU/IOMMU checks are armed. *)
-  let kernel = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+  (* 1. Describe the node: CPU + MMU, RAM, disk, NIC, IOMMU, TPM, and
+     the kernel build that will run on it.  [Node_config.default] is a
+     1-CPU Virtual Ghost machine; [with_*] combinators adjust it. *)
+  let config =
+    Node_config.(
+      default |> with_phys_frames 8192 |> with_disk_sectors 8192
+      |> with_seed "quickstart" |> with_mode Sva.Virtual_ghost)
+  in
+  (* 2. Boot it: the SVA-OS layer is initialised, kernel code is
+     (modelled as) compiled with the sandboxing and CFI passes, and
+     the MMU/IOMMU checks are armed. *)
+  let node = Node.boot config in
+  let machine = Node.machine node and kernel = Node.kernel node in
   Printf.printf "booted a %s kernel; init is pid %d\n\n"
     (match Kernel.mode kernel with Sva.Virtual_ghost -> "virtual-ghost" | Sva.Native_build -> "native")
     (Kernel.init_process kernel).Proc.pid;

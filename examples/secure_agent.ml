@@ -43,8 +43,13 @@ let () =
 
   (* The cooperative suite working normally on a VG kernel. *)
   print_endline "-- And in normal operation (no attack) --";
-  let machine = Machine.create ~phys_frames:16384 ~disk_sectors:16384 ~seed:"agent-demo" () in
-  let kernel = Kernel.boot ~mode:Sva.Virtual_ghost machine in
+  let kernel =
+    Node.kernel
+      (Node.boot
+         Node_config.(
+           default |> with_phys_frames 16384 |> with_disk_sectors 16384
+           |> with_seed "agent-demo"))
+  in
   let app_key = Bytes.of_string "sixteen-byte-key" in
   let ssh, keygen, _agent = Ssh_suite.install_images kernel ~app_key in
   Runtime.launch kernel ~image:keygen ~ghosting:true (fun ctx ->

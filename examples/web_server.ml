@@ -5,8 +5,8 @@
      dune exec examples/web_server.exe *)
 
 let serve_one_size mode size =
-  let machine = Machine.create ~phys_frames:32768 ~disk_sectors:65536 ~seed:"web" () in
-  let kernel = Kernel.boot ~mode machine in
+  let node = Node.boot Node_config.(default |> with_seed "web" |> with_mode mode) in
+  let machine = Node.machine node and kernel = Node.kernel node in
   (* Publish a document. *)
   (match Diskfs.create kernel.Kernel.fs "/index.html" with
   | Ok ino ->

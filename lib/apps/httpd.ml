@@ -358,12 +358,17 @@ module Event_loop = struct
     sqes := !sqes + Uring.submitted ring;
     polled := !polled + !polls
 
-  let run ?(ghosting = false) ?(batch = 8) ?sfip kernel ~requests ~port ~path =
-    if batch < 1 || batch > 4096 then invalid_arg "Httpd.Event_loop.run: bad batch";
+  (* The measured half of [run]: the listener is already open and the
+     clients already connected (their SYN + request frames sit in the
+     NIC queue).  Spawns one event loop per core — plus any
+     [background] fibers the caller wants sharing the scheduler (the
+     fleet's mixed-load workloads ride here) — and serves from
+     synchronised clocks.  [ok] in the result equals [served]; callers
+     holding the client endpoints overwrite it with the verified
+     count. *)
+  let serve ?(ghosting = false) ?(batch = 8) ?sfip ?background kernel ~port =
+    if batch < 1 || batch > 4096 then invalid_arg "Httpd.Event_loop.serve: bad batch";
     let m = kernel.Kernel.machine in
-    (match Netstack.listen kernel.Kernel.net ~port with
-    | Ok () -> ()
-    | Error e -> failwith ("Httpd.Event_loop.run: listen: " ^ Errno.to_string e));
     let sched = Sched.create kernel in
     let served = ref 0 in
     let enters = ref 0 and sqes = ref 0 and polls = ref 0 in
@@ -374,6 +379,32 @@ module Event_loop = struct
            ~name:(Printf.sprintf "httpd-ev-%d" i)
            (loop_body ~port ~batch ~served ~totals:(enters, sqes, polls)))
     done;
+    (match background with None -> () | Some f -> f sched);
+    Machine.reset_clock m;
+    let before = Array.init cpus (Machine.core_cycles m) in
+    Sched.run sched;
+    let elapsed = ref 0 in
+    for c = 0 to cpus - 1 do
+      elapsed := max !elapsed (Machine.core_cycles m c - before.(c))
+    done;
+    {
+      cores = cpus;
+      batch;
+      served = !served;
+      ok = !served;
+      elapsed_cycles = !elapsed;
+      ring_enters = !enters;
+      sqes = !sqes;
+      polls = !polls;
+      preemptions = Sched.preemptions sched;
+      steals = Sched.steals sched;
+    }
+
+  let run ?(ghosting = false) ?(batch = 8) ?sfip kernel ~requests ~port ~path =
+    let m = kernel.Kernel.machine in
+    (match Netstack.listen kernel.Kernel.net ~port with
+    | Ok () -> ()
+    | Error e -> failwith ("Httpd.Event_loop.run: listen: " ^ Errno.to_string e));
     (* Same measurement discipline as [Pool.run]: pre-connect every
        client, then serve from synchronised clocks. *)
     let eps =
@@ -384,13 +415,7 @@ module Event_loop = struct
             (Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n" path));
           ep)
     in
-    Machine.reset_clock m;
-    let before = Array.init cpus (Machine.core_cycles m) in
-    Sched.run sched;
-    let elapsed = ref 0 in
-    for c = 0 to cpus - 1 do
-      elapsed := max !elapsed (Machine.core_cycles m c - before.(c))
-    done;
+    let stats = serve ~ghosting ~batch ?sfip kernel ~port in
     let ok =
       List.fold_left
         (fun acc ep ->
@@ -401,18 +426,7 @@ module Event_loop = struct
           else acc)
         0 eps
     in
-    {
-      cores = cpus;
-      batch;
-      served = !served;
-      ok;
-      elapsed_cycles = !elapsed;
-      ring_enters = !enters;
-      sqes = !sqes;
-      polls = !polls;
-      preemptions = Sched.preemptions sched;
-      steals = Sched.steals sched;
-    }
+    { stats with ok }
 end
 
 module Client = struct

@@ -64,6 +64,24 @@ module Event_loop : sig
     steals : int;
   }
 
+  val serve :
+    ?ghosting:bool ->
+    ?batch:int ->
+    ?sfip:Syscall_policy.t ->
+    ?background:(Sched.t -> unit) ->
+    Kernel.t ->
+    port:int ->
+    stats
+  (** The measured half of {!run}, for callers — the fleet front-end —
+      that manage listeners and clients themselves: [port] must already
+      be listening and every client's SYN + request must already sit in
+      the NIC queue.  Spawns one event-loop fiber per core, lets
+      [background] add extra fibers to the same scheduler (mixed-load
+      workloads), resets the clocks and drives until the backlog and
+      every accepted connection drain.  [ok] in the result equals
+      [served]; callers holding the endpoints overwrite it with the
+      verified response count. *)
+
   val run :
     ?ghosting:bool ->
     ?batch:int ->

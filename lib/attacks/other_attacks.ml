@@ -1,8 +1,17 @@
 let secret = "ghost-page-secret-value!"
 
+let boot_config ?engine ?(cpus = 1) ~seed mode =
+  let config =
+    Vg_fleet.Node_config.(
+      default |> with_cpus cpus |> with_phys_frames 8192
+      |> with_disk_sectors 8192 |> with_seed seed |> with_mode mode)
+  in
+  match engine with
+  | None -> config
+  | Some e -> Vg_fleet.Node_config.with_engine e config
+
 let boot ?engine mode =
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"oatk" () in
-  Kernel.boot ?engine ~mode machine
+  Vg_fleet.Node.kernel (Vg_fleet.Node.boot (boot_config ?engine ~seed:"oatk" mode))
 
 (* Plant the secret in a fresh process's ghost page; return everything
    the attacks need. *)
@@ -179,8 +188,7 @@ let write_raw_file k path data =
       ignore (Diskfs.write k.Kernel.fs ~ino ~off:0 data)
 
 let file_replay_attack ~mode =
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:8192 ~seed:"replay" () in
-  let k = Kernel.boot ~mode machine in
+  let k = Vg_fleet.Node.kernel (Vg_fleet.Node.boot (boot_config ~seed:"replay" mode)) in
   match mode with
   | Sva.Native_build ->
       (* Baseline: plain files, nothing versioned.  The OS keeps v1,
@@ -498,10 +506,9 @@ let sfip_profile_swap_attack ~mode =
   !exfiltrated
 
 let smp_remap_race_attack ~mode =
-  let machine =
-    Machine.create ~cpus:2 ~phys_frames:8192 ~disk_sectors:8192 ~seed:"smp-race" ()
-  in
-  let k = Kernel.boot ~mode machine in
+  let node = Vg_fleet.Node.boot (boot_config ~cpus:2 ~seed:"smp-race" mode) in
+  let machine = Vg_fleet.Node.machine node in
+  let k = Vg_fleet.Node.kernel node in
   (* Core 0: the victim is live, mid-access to its ghost page. *)
   let proc, _va, frame = plant k in
   (* Core 1: a malicious kernel module races a remap of the frame

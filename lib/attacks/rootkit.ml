@@ -145,11 +145,12 @@ let contains_sub haystack needle =
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
   m = 0 || go 0
 
-let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
-  let machine =
-    Machine.create ~cpus ~phys_frames:16384 ~disk_sectors:16384 ~seed:"sec-exp" ()
-  in
-  let k = Kernel.boot ?engine ~mode machine in
+(* Replay the attack against an already-booted kernel (a fleet node):
+   the same victim/module/trigger sequence as [run_experiment], minus
+   the boot.  Returns the observable aftermath on that kernel. *)
+let infect k ~attack =
+  let mode = Kernel.mode k in
+  let machine = k.Kernel.machine in
   let scratch = prepare_kernel k in
   let ghosting = mode = Sva.Virtual_ghost in
   let image =
@@ -162,11 +163,9 @@ let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
   let console = Machine.console machine in
   let survived = ref true in
   Runtime.launch k ?image ~ghosting (fun victim ->
-      (* ssh-agent holds the secret in its heap (ghost under VG). *)
       let secret_va = Ssh_suite.agent_store_secret victim secret_string in
-      register_exploit_payload k ~victim ~secret_va ~secret_len:(String.length secret_string);
-      (* Load the malicious module — through the instrumenting
-         compiler, as the threat model requires. *)
+      register_exploit_payload k ~victim ~secret_va
+        ~secret_len:(String.length secret_string);
       (match
          Module_loader.load k ~name:"rootkit"
            (module_program ~attack ~victim_pid:victim.Runtime.proc.Proc.pid
@@ -176,8 +175,6 @@ let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
       | Ok () -> ()
       | Error e ->
           failwith ("module load: " ^ Module_loader.describe_load_error e));
-      (* The victim reads from a file descriptor, triggering the
-         replaced handler. *)
       let kk = victim.Runtime.kernel and proc = victim.Runtime.proc in
       (match Syscalls.pipe kk proc with
       | Ok (r, w) ->
@@ -186,8 +183,6 @@ let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
           ignore (Syscalls.write kk proc ~fd:w ~buf ~len:8);
           ignore (Syscalls.read kk proc ~fd:r ~buf ~len:8)
       | Error _ -> failwith "pipe");
-      (* Return to user space: pending signal dispatch (if the VM
-         allowed it) runs here. *)
       (try Runtime.check_signals victim with Runtime.App_crash _ -> survived := false);
       Module_loader.unload k ~name:"rootkit");
   {
@@ -201,3 +196,16 @@ let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
     vm_refusal_logged = Console.contains console "not a registered handler";
     victim_survived = !survived;
   }
+
+let run_experiment ?(cpus = 1) ?engine ~mode ~attack () =
+  let config =
+    Vg_fleet.Node_config.(
+      default |> with_cpus cpus |> with_phys_frames 16384
+      |> with_disk_sectors 16384 |> with_seed "sec-exp" |> with_mode mode)
+  in
+  let config =
+    match engine with
+    | None -> config
+    | Some e -> Vg_fleet.Node_config.with_engine e config
+  in
+  infect (Vg_fleet.Node.kernel (Vg_fleet.Node.boot config)) ~attack

@@ -51,6 +51,14 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val infect : Kernel.t -> attack:attack -> outcome
+(** Replay the attack against an already-booted kernel — a fleet
+    backend: start the ghosting agent victim, load the malicious
+    module, trigger the replaced handler, unload, and report the
+    aftermath.  Under Virtual Ghost the attack fails closed, leaving
+    [Security] events on the kernel's machine's observability
+    instance (fleet reporting picks them up from there). *)
+
 val run_experiment :
   ?cpus:int ->
   ?engine:Vg_compiler.Exec_engine.t ->

@@ -84,14 +84,21 @@ let align64 va = Int64.logand (Int64.add va 63L) (Int64.lognot 63L)
 
 let run_experiment ?(cpus = 1) ?engine ?(spec_depth = 12)
     ?(mitigation = Vg_compiler.Mitigation.Off) () =
-  let machine =
-    Machine.create ~cpus ~phys_frames:16384 ~disk_sectors:16384 ~spec_depth
-      ~seed:"spectre" ()
+  let config =
+    Vg_fleet.Node_config.(
+      default |> with_cpus cpus |> with_phys_frames 16384
+      |> with_disk_sectors 16384 |> with_spec_depth spec_depth
+      |> with_seed "spectre" |> with_mode Sva.Virtual_ghost
+      |> with_spec_mitigation mitigation)
   in
-  let k =
-    Kernel.boot ?engine ~spec_mitigation:mitigation ~mode:Sva.Virtual_ghost
-      machine
+  let config =
+    match engine with
+    | None -> config
+    | Some e -> Vg_fleet.Node_config.with_engine e config
   in
+  let node = Vg_fleet.Node.boot config in
+  let machine = Vg_fleet.Node.machine node in
+  let k = Vg_fleet.Node.kernel node in
   let _, _, agent = Ssh_suite.install_images k ~app_key:(Bytes.make 16 'k') in
   let recovered = Buffer.create 32 in
   Runtime.launch k ~image:agent ~ghosting:true (fun victim ->

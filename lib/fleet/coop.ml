@@ -1,0 +1,53 @@
+(* Harness-side cooperative interleaving.
+
+   Each fleet node has its own kernel and its own [Sched]; nothing in
+   the tree can run two kernels' application code "at the same time".
+   For cross-node protocols (the key-distribution scenario: a server
+   process on node A talking to a client process on node B) the
+   harness needs exactly that, so this module round-robins plain
+   thunks with explicit yield points, using the same one-shot effect
+   machinery as [Sched] but entirely outside any kernel. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () =
+  (* Tolerate calls outside [interleave]: a body written for the fleet
+     still runs standalone, where yielding is a no-op. *)
+  try Effect.perform Yield with Effect.Unhandled Yield -> ()
+
+let interleave bodies =
+  let open Effect.Deep in
+  let runnable : (unit -> unit) Queue.t = Queue.create () in
+  List.iter
+    (fun body ->
+      Queue.push
+        (fun () ->
+          match_with body ()
+            {
+              retc = (fun () -> ());
+              exnc = raise;
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | Yield ->
+                      Some
+                        (fun (k : (a, _) continuation) ->
+                          Queue.push (fun () -> continue k ()) runnable)
+                  | _ -> None);
+            })
+        runnable)
+    bodies;
+  while not (Queue.is_empty runnable) do
+    (Queue.pop runnable) ()
+  done
+
+let retry ?(max_tries = 100_000) step =
+  let rec go tries =
+    match step () with
+    | Some v -> v
+    | None ->
+        if tries >= max_tries then failwith "Coop.retry: no progress";
+        yield ();
+        go (tries + 1)
+  in
+  go 0

@@ -1,0 +1,21 @@
+(** Harness-side cooperative interleaving for cross-node protocols.
+
+    Every node's kernel drives its own {!Vg_kernel.Sched}; running a
+    server process on one node against a client process on another
+    needs the two bodies interleaved {e above} both kernels.  Bodies
+    are plain thunks that call {!yield} at their wait points (typically
+    around [EAGAIN] retries); {!interleave} round-robins them until all
+    return. *)
+
+val yield : unit -> unit
+(** Suspend the current body and let its siblings run.  Outside
+    {!interleave} this is a no-op, so protocol code also runs
+    standalone. *)
+
+val interleave : (unit -> unit) list -> unit
+(** Run the bodies round-robin to completion.  Exceptions propagate to
+    the caller (remaining bodies are abandoned). *)
+
+val retry : ?max_tries:int -> (unit -> 'a option) -> 'a
+(** Poll [step] with a {!yield} between attempts until it produces a
+    value; raises after [max_tries] (default 100k) fruitless tries. *)

@@ -93,7 +93,14 @@ val boot :
     {!Vg_compiler.Exec_engine}).  [spec_mitigation] (default [Off])
     selects the Spectre hardening of the sandbox: the kernel image and
     every module are compiled under it and the translation cache is
-    bound to it ({!Vg_compiler.Trans_cache.set_mitigation}). *)
+    bound to it ({!Vg_compiler.Trans_cache.set_mitigation}).
+
+    Compatibility note: the optional-argument form is the low-level
+    path, kept for booting onto an existing machine (reboot tests,
+    attack harnesses that pre-stage machine state).  New code should
+    describe the node with [Vg_fleet.Node_config] and boot through
+    [Vg_fleet.Node.boot], which is cycle-identical and subsumes the
+    [Machine.create] + [boot] argument sprawl in one record. *)
 
 val mode : t -> Sva.mode
 val init_process : t -> Proc.t

@@ -1,4 +1,9 @@
-(* Frame format: type(1) conn(4) port(4) payload. *)
+(* Frame format: type(1) conn(4) port(4) payload.
+
+   Fabric frames (node-to-node links) prepend a 4-byte little-endian
+   peer-node header to the same frame: on transmit it names the
+   destination node; the switch rewrites it to the source node before
+   forwarding, so the receiver knows whom to answer. *)
 
 let ty_syn = 0
 let ty_data = 1
@@ -21,17 +26,69 @@ let parse b =
         Int32.to_int (Bytes.get_int32_le b 5),
         Bytes.sub b 9 (Bytes.length b - 9) )
 
-type conn_state = { inbox : Pipe_dev.t; mutable peer_closed : bool; port : int }
+type addr = Local of int | Peer of { node : int; port : int }
+
+(* One syscall argument encodes both address forms: the low 16 bits are
+   the port, the bits above carry (node + 1) for [Peer] and zero for
+   [Local].  [Local port] therefore encodes to exactly [port], keeping
+   the wire ABI (and every SFIP profile and cycle golden) of the
+   pre-fleet [connect ~port] form. *)
+let addr_to_wire = function
+  | Local port -> Int64.of_int (port land 0xffff)
+  | Peer { node; port } -> Int64.of_int (((node + 1) lsl 16) lor (port land 0xffff))
+
+let addr_of_wire w =
+  let w = Int64.to_int w land 0x7fffffff in
+  let hi = w lsr 16 and port = w land 0xffff in
+  if hi = 0 then Local port else Peer { node = hi - 1; port }
+
+let addr_to_string = function
+  | Local port -> Printf.sprintf "local:%d" port
+  | Peer { node; port } -> Printf.sprintf "node%d:%d" node port
+
+(* Which link a connection lives on: the classic harness wire (the
+   paper's dedicated GbE to the load generator) or the fleet fabric,
+   in which case we remember the peer node for outbound frames. *)
+type link = Wire | Fabric_link of int
+
+type conn_state = {
+  inbox : Pipe_dev.t;
+  mutable peer_closed : bool;
+  port : int;
+  link : link;
+}
+
 type listener = { backlog : int Queue.t; wq : Waitq.t }
+
+type fabric = { node : int; fnic : Nic.t; pump : unit -> unit }
 
 type t = {
   nic : Nic.t;
   kmem : Kmem.t;
   listeners : (int, listener) Hashtbl.t;
   conns : (int, conn_state) Hashtbl.t;
+  mutable fabric : fabric option;
 }
 
-let create ~kmem nic = { nic; kmem; listeners = Hashtbl.create 8; conns = Hashtbl.create 32 }
+let create ~kmem nic =
+  { nic; kmem; listeners = Hashtbl.create 8; conns = Hashtbl.create 32; fabric = None }
+
+let attach_fabric t ~node fnic ~pump = t.fabric <- Some { node; fnic; pump }
+let node_id t = Option.map (fun f -> f.node) t.fabric
+
+let fabric_frame ~peer inner =
+  let b = Bytes.create (4 + Bytes.length inner) in
+  Bytes.set_int32_le b 0 (Int32.of_int peer);
+  Bytes.blit inner 0 b 4 (Bytes.length inner);
+  b
+
+let transmit_on t link fr =
+  match link with
+  | Wire -> Nic.transmit t.nic fr
+  | Fabric_link peer -> (
+      match t.fabric with
+      | None -> () (* fabric detached: frame drops on the floor *)
+      | Some f -> Nic.transmit f.fnic (fabric_frame ~peer fr))
 
 let listen t ~port =
   if Hashtbl.mem t.listeners port then Error Errno.EEXIST
@@ -39,6 +96,34 @@ let listen t ~port =
     Hashtbl.replace t.listeners port
       { backlog = Queue.create (); wq = Waitq.create ~name:(Printf.sprintf "listen:%d" port) };
     Ok ()
+  end
+
+(* Demux one parsed frame into inboxes/accept queues.  [link] records
+   where an inbound SYN came from so replies go back the same way. *)
+let deliver t ~link (ty, conn, port, payload) =
+  if ty = ty_syn then begin
+    match Hashtbl.find_opt t.listeners port with
+    | None -> () (* connection refused: silently dropped *)
+    | Some l ->
+        let state =
+          { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port; link }
+        in
+        Pipe_dev.add_reader state.inbox;
+        Pipe_dev.add_writer state.inbox;
+        Hashtbl.replace t.conns conn state;
+        Queue.push conn l.backlog;
+        Waitq.wake l.wq
+  end
+  else begin
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some state ->
+        if ty = ty_fin then begin
+          state.peer_closed <- true;
+          (* Sleepers must observe the EOF edge. *)
+          Waitq.wake (Pipe_dev.read_wq state.inbox)
+        end
+        else ignore (Pipe_dev.write state.inbox payload)
   end
 
 let poll t =
@@ -52,32 +137,29 @@ let poll t =
         Kmem.work t.kmem 20;
         match parse raw with
         | None -> ()
-        | Some (ty, conn, port, payload) ->
-            if ty = ty_syn then begin
-              match Hashtbl.find_opt t.listeners port with
-              | None -> () (* connection refused: silently dropped *)
-              | Some l ->
-                  let state =
-                    { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port }
-                  in
-                  Pipe_dev.add_reader state.inbox;
-                  Pipe_dev.add_writer state.inbox;
-                  Hashtbl.replace t.conns conn state;
-                  Queue.push conn l.backlog;
-                  Waitq.wake l.wq
-            end
-            else begin
-              match Hashtbl.find_opt t.conns conn with
+        | Some fr -> deliver t ~link:Wire fr)
+  done;
+  match t.fabric with
+  | None -> ()
+  | Some f ->
+      (* Let the switch forward anything queued on other nodes, then
+         drain our fabric port.  The 4-byte header now names the frame's
+         source node (the switch rewrote it in flight). *)
+      f.pump ();
+      let continue = ref true in
+      while !continue do
+        match Nic.receive f.fnic with
+        | None -> continue := false
+        | Some raw ->
+            Kmem.fn_entry t.kmem;
+            Kmem.work t.kmem 20;
+            if Bytes.length raw > 4 then begin
+              let src = Int32.to_int (Bytes.get_int32_le raw 0) in
+              match parse (Bytes.sub raw 4 (Bytes.length raw - 4)) with
               | None -> ()
-              | Some state ->
-                  if ty = ty_fin then begin
-                    state.peer_closed <- true;
-                    (* Sleepers must observe the EOF edge. *)
-                    Waitq.wake (Pipe_dev.read_wq state.inbox)
-                  end
-                  else ignore (Pipe_dev.write state.inbox payload)
-            end)
-  done
+              | Some fr -> deliver t ~link:(Fabric_link src) fr
+            end
+      done
 
 let accept t ~port =
   poll t;
@@ -120,7 +202,7 @@ let send t ~conn data =
   match Hashtbl.find_opt t.conns conn with
   | None -> Error Errno.EBADF
   | Some state ->
-      Nic.transmit t.nic (frame ~ty:ty_data ~conn ~port:state.port data);
+      transmit_on t state.link (frame ~ty:ty_data ~conn ~port:state.port data);
       Ok (Bytes.length data)
 
 let recv t ~conn n =
@@ -136,22 +218,34 @@ let recv t ~conn n =
 
 let next_outbound = ref 5000
 
-let connect t ~port =
+let connect_link t ~link ~port =
   incr next_outbound;
   let conn = !next_outbound in
-  let state = { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port } in
+  let state =
+    { inbox = Pipe_dev.create ~capacity:(1 lsl 22) (); peer_closed = false; port; link }
+  in
   Pipe_dev.add_reader state.inbox;
   Pipe_dev.add_writer state.inbox;
   Hashtbl.replace t.conns conn state;
   Kmem.work t.kmem 30;
-  Nic.transmit t.nic (frame ~ty:ty_syn ~conn ~port Bytes.empty);
+  transmit_on t link (frame ~ty:ty_syn ~conn ~port Bytes.empty);
   conn
+
+let connect t ~port = connect_link t ~link:Wire ~port
+
+let connect_to t addr =
+  match addr with
+  | Local port -> Ok (connect t ~port)
+  | Peer { node; port } -> (
+      match t.fabric with
+      | None -> Error Errno.ECONNREFUSED (* no fabric: the peer is unreachable *)
+      | Some _ -> Ok (connect_link t ~link:(Fabric_link node) ~port))
 
 let close t ~conn =
   match Hashtbl.find_opt t.conns conn with
   | None -> ()
   | Some state ->
-      Nic.transmit t.nic (frame ~ty:ty_fin ~conn ~port:state.port Bytes.empty);
+      transmit_on t state.link (frame ~ty:ty_fin ~conn ~port:state.port Bytes.empty);
       (* Local sleepers on this connection observe the close. *)
       Waitq.wake (Pipe_dev.read_wq state.inbox);
       Hashtbl.remove t.conns conn

@@ -349,10 +349,11 @@ let accept_body k proc ~fd =
     block_on_eagain k ~wq:(read_wq_of k proc fd) (fun () -> accept_once k proc ~fd)
   else accept_once k proc ~fd
 
-let connect_body k proc ~port =
+let connect_body k proc addr =
   Kmem.work k.Kernel.kmem 60;
-  let conn = Netstack.connect k.Kernel.net ~port in
-  Ok (Proc.add_fd proc (Proc.Sock_conn conn))
+  match Netstack.connect_to k.Kernel.net addr with
+  | Ok conn -> Ok (Proc.add_fd proc (Proc.Sock_conn conn))
+  | Error e -> Error e
 
 let send_body k proc ~fd ~buf ~len =
   Kmem.fn_entry k.Kernel.kmem;
@@ -627,8 +628,10 @@ let listen k proc ~port =
 
 let accept k proc ~fd = via k proc ~sysno:Syscall_abi.sys_accept [| i64 fd |]
 
-let connect k proc ~port =
-  via k proc ~sysno:Syscall_abi.sys_connect [| i64 port |]
+let connect_to k proc addr =
+  via k proc ~sysno:Syscall_abi.sys_connect [| Netstack.addr_to_wire addr |]
+
+let connect k proc ~port = connect_to k proc (Netstack.Local port)
 
 let send k proc ~fd ~buf ~len =
   via k proc ~sysno:Syscall_abi.sys_send [| i64 fd; buf; i64 len |]
@@ -1111,7 +1114,7 @@ let () =
   reg A.sys_listen (Some (fun k proc a -> int_of (listen_body k proc ~port:(iarg a 0))));
   reg A.sys_accept (Some (fun k proc a -> int_of (accept_body k proc ~fd:(iarg a 0))));
   reg A.sys_connect
-    (Some (fun k proc a -> int_of (connect_body k proc ~port:(iarg a 0))));
+    (Some (fun k proc a -> int_of (connect_body k proc (Netstack.addr_of_wire a.(0)))));
   reg A.sys_send
     (Some
        (fun k proc a ->

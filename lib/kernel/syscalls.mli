@@ -107,9 +107,14 @@ val listen : Kernel.t -> Proc.t -> port:int -> int Errno.result
 val accept : Kernel.t -> Proc.t -> fd:int -> int Errno.result
 (** [EAGAIN] when no connection is pending. *)
 
+val connect_to : Kernel.t -> Proc.t -> Netstack.addr -> int Errno.result
+(** Outbound connection to a unified address — [Local port] is the far
+    harness NIC endpoint, [Peer {node; port}] a fleet sibling over the
+    fabric; returns a connected socket descriptor.  [ECONNREFUSED] for
+    a [Peer] address when no fabric is attached. *)
+
 val connect : Kernel.t -> Proc.t -> port:int -> int Errno.result
-(** Outbound connection to a remote host (the far NIC endpoint);
-    returns a connected socket descriptor. *)
+(** [connect k proc ~port] = [connect_to k proc (Local port)]. *)
 
 val send : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result
 val recv : Kernel.t -> Proc.t -> fd:int -> buf:int64 -> len:int -> int Errno.result

@@ -198,12 +198,69 @@ def validate_executor(d):
     return f"ghosted-long min speedup {gated}x"
 
 
+def validate_fleet(d):
+    rows = by_name(rows_of(d))
+    # 1. Scaling ladder: every wave fully served, throughput grows
+    # with the node count (>= 2.5x at 3 nodes, monotone through 4).
+    scale = [rows[f"scale-{n}"] for n in (1, 2, 3, 4)]
+    for r in scale:
+        require_keys(r, ("nodes", "requests", "ok", "dropped", "rps",
+                         "speedup_vs_1", "per_node_rps"))
+        check(r["ok"] == r["requests"] > 0, f"dropped requests: {r}")
+        check(r["dropped"] == 0, f"balancer dropped: {r}")
+        check(len(r["per_node_rps"]) == r["nodes"], f"per-node rps: {r}")
+    check(scale[0]["speedup_vs_1"] == 1.0, f"baseline not 1.0x: {scale[0]}")
+    check(scale[2]["speedup_vs_1"] >= 2.5, f"3-node scaling: {scale[2]}")
+    check(scale[3]["speedup_vs_1"] >= scale[2]["speedup_vs_1"]
+          >= scale[1]["speedup_vs_1"] > 1.0, "speedup not monotone")
+    # 2. Mixed load: the HTTP wave survives Postmark + the ssh key
+    # chain running on every node's scheduler.
+    m = rows["mixed-load"]
+    require_keys(m, ("http_ok", "http_requests", "postmark_tx",
+                     "ssh_chain_ok"))
+    check(m["http_ok"] == m["http_requests"], f"mixed wave dropped: {m}")
+    check(m["postmark_tx"] > 0 and m["ssh_chain_ok"] is True, str(m))
+    # 3. Rolling restart: every node re-imaged, nothing in flight lost.
+    rr = rows["rolling-restart"]
+    require_keys(rr, ("total_requests", "total_ok", "dropped",
+                      "drain_latency_cycles"))
+    check(rr["dropped"] == 0, f"rolling restart dropped: {rr}")
+    check(rr["total_ok"] == rr["total_requests"] > 0, str(rr))
+    check(all(c > 0 for c in rr["drain_latency_cycles"]), str(rr))
+    # 4. Hostile backend: the rootkit gets nothing, the node is
+    # quarantined, and the survivors serve the full load at roughly
+    # (n-1)/n of healthy aggregate throughput.
+    rk = rows["rootkit-backend"]
+    require_keys(rk, ("secret_stolen", "failed_closed", "security_events",
+                      "quarantined", "degraded_ok", "degraded_requests",
+                      "degraded_throughput_ratio"))
+    check(rk["secret_stolen"] is False, f"secret stolen: {rk}")
+    check(rk["failed_closed"] is True, f"no VM refusal: {rk}")
+    check(rk["security_events"] >= 1, f"no security events: {rk}")
+    check(rk["quarantined"] == [2], f"wrong quarantine: {rk}")
+    check(rk["degraded_ok"] == rk["degraded_requests"],
+          f"survivors dropped requests: {rk}")
+    check(0.5 <= rk["degraded_throughput_ratio"] <= 0.85,
+          f"degradation not one node's share: {rk}")
+    # 5. Key distribution: delivered, sealed on the wire and at rest.
+    kd = rows["key-distribution"]
+    require_keys(kd, ("delivered", "key_len", "plaintext_on_wire",
+                      "sealed_at_rest", "reload_ok"))
+    check(kd["delivered"] is True and kd["key_len"] > 0, str(kd))
+    check(kd["plaintext_on_wire"] is False, f"key on the wire: {kd}")
+    check(kd["sealed_at_rest"] is True and kd["reload_ok"] is True, str(kd))
+    return (f"scaling {scale[2]['speedup_vs_1']:.2f}x@3, restart 0 dropped, "
+            f"rootkit failed closed at "
+            f"{rk['degraded_throughput_ratio']:.2f}x")
+
+
 MANIFEST = {
     "BENCH_table2.json": validate_table2,
     "BENCH_smp.json": validate_smp,
     "BENCH_syscall_ring.json": validate_syscall_ring,
     "BENCH_ghost_swap.json": validate_ghost_swap,
     "BENCH_spectre.json": validate_spectre,
+    "BENCH_fleet.json": validate_fleet,
     "BENCH_executor.json": validate_executor,
 }
 

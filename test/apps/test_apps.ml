@@ -3,8 +3,11 @@
    thttpd, Postmark, LMBench drivers). *)
 
 let boot ?(mode = Sva.Virtual_ghost) ?(seed = "apps") () =
-  let machine = Machine.create ~phys_frames:16384 ~disk_sectors:32768 ~seed () in
-  Kernel.boot ~mode machine
+  Node.kernel
+    (Node.boot
+       Node_config.(
+         default |> with_phys_frames 16384 |> with_disk_sectors 32768
+         |> with_seed seed |> with_mode mode))
 
 let expect_ok msg = function
   | Ok v -> v
@@ -597,8 +600,13 @@ let test_swap_explicit_roundtrip () =
 let test_swap_under_memory_pressure () =
   (* A machine whose kernel allocator is tiny: allocating more ghost
      memory than free frames forces evictions through the VM. *)
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:32768 ~seed:"pressure" () in
-  let k = Kernel.boot ~frame_limit:120 ~mode:Sva.Virtual_ghost machine in
+  let k =
+    Node.kernel
+      (Node.boot
+         Node_config.(
+           default |> with_phys_frames 8192 |> with_disk_sectors 32768
+           |> with_seed "pressure" |> with_frame_limit 120))
+  in
   Runtime.launch k ~ghosting:true (fun ctx ->
       (* ~60 pages of ghost heap on a ~120-frame machine (the runtime
          itself uses a few dozen frames for bounce buffers etc.). *)

@@ -123,11 +123,20 @@ let test_compiled_engine_cycles () =
 
 (* --- whole-kernel golden: LMBench null syscall -------------------- *)
 
-let null_syscall_cycles ?engine mode =
-  let machine =
-    Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
+(* The bench-profile node, built through the fleet config — the golden
+   numbers below pin that this path stays cycle-identical to the raw
+   Machine.create + Kernel.boot it replaced. *)
+let golden_config ?engine ?(spec_depth = 0) mode =
+  let config =
+    Node_config.(
+      default |> with_phys_frames 65536 |> with_disk_sectors 131072
+      |> with_seed "bench" |> with_mode mode |> with_spec_depth spec_depth)
   in
-  let k = Kernel.boot ?engine ~mode machine in
+  match engine with None -> config | Some e -> Node_config.with_engine e config
+
+let null_syscall_cycles ?engine mode =
+  let node = Node.boot (golden_config ?engine mode) in
+  let machine = Node.machine node and k = Node.kernel node in
   Runtime.launch k ~ghosting:false (fun ctx ->
       let proc = ctx.Runtime.proc in
       let start = Machine.cycles machine in
@@ -157,11 +166,12 @@ let test_null_syscall_cycles () =
    branchless-mask instructions) cannot drift silently. *)
 
 let null_syscall_cycles_spec ?engine ~spec_depth ~mitigation mode =
-  let machine =
-    Machine.create ~spec_depth ~phys_frames:65536 ~disk_sectors:131072
-      ~seed:"bench" ()
+  let node =
+    Node.boot
+      (golden_config ?engine ~spec_depth mode
+      |> Node_config.with_spec_mitigation mitigation)
   in
-  let k = Kernel.boot ?engine ~spec_mitigation:mitigation ~mode machine in
+  let machine = Node.machine node and k = Node.kernel node in
   Runtime.launch k ~ghosting:false (fun ctx ->
       let proc = ctx.Runtime.proc in
       let start = Machine.cycles machine in
@@ -204,10 +214,7 @@ let test_spec_mitigation_goldens () =
 let boot_verify_cycles ?engine mode =
   let stats = Obs_stats.create () in
   Obs.with_sink Obs.default (Obs_stats.sink stats) (fun () ->
-      let machine =
-        Machine.create ~phys_frames:65536 ~disk_sectors:131072 ~seed:"bench" ()
-      in
-      ignore (Kernel.boot ?engine ~mode machine));
+      ignore (Node.boot (golden_config ?engine mode)));
   Obs_stats.cycles stats Obs.Tag.Verify
 
 let test_boot_verify_cycles () =

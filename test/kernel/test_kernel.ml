@@ -3,9 +3,15 @@
    the central enforcement property, signals, sockets, select, and
    loadable-module overrides. *)
 
-let boot ?engine ?(mode = Sva.Virtual_ghost) () =
-  let machine = Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"ktest" () in
-  Kernel.boot ?engine ~mode machine
+let kconfig ?engine ?(mode = Sva.Virtual_ghost) () =
+  let config =
+    Node_config.(
+      default |> with_phys_frames 8192 |> with_disk_sectors 16384
+      |> with_seed "ktest" |> with_mode mode)
+  in
+  match engine with None -> config | Some e -> Node_config.with_engine e config
+
+let boot ?engine ?mode () = Node.kernel (Node.boot (kconfig ?engine ?mode ()))
 
 let init k = Kernel.init_process k
 
@@ -1299,10 +1305,13 @@ let test_free_many_rejects_bad_batches () =
   Alcotest.(check int) "all-or-nothing" before (Frame_alloc.free_count t)
 
 let test_swap_watermark_hysteresis () =
-  let machine =
-    Machine.create ~phys_frames:8192 ~disk_sectors:16384 ~seed:"hyst" ()
+  let k =
+    Node.kernel
+      (Node.boot
+         Node_config.(
+           default |> with_phys_frames 8192 |> with_disk_sectors 16384
+           |> with_seed "hyst" |> with_frame_limit 96))
   in
-  let k = Kernel.boot ~frame_limit:96 ~mode:Sva.Virtual_ghost machine in
   let proc = expect_ok "create" (Kernel.create_process k ~parent:(init k)) in
   let va = Int64.add Layout.ghost_start 0x100000L in
   (match Syscalls.allocgm k proc ~va ~pages:24 with

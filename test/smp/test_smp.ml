@@ -5,10 +5,11 @@
    pool, and per-kernel module-loader state. *)
 
 let boot ?(mode = Sva.Virtual_ghost) ?(cpus = 1) ?(seed = "smp") () =
-  let machine =
-    Machine.create ~cpus ~phys_frames:16384 ~disk_sectors:32768 ~seed ()
-  in
-  Kernel.boot ~mode machine
+  Node.kernel
+    (Node.boot
+       Node_config.(
+         default |> with_cpus cpus |> with_phys_frames 16384
+         |> with_disk_sectors 32768 |> with_seed seed |> with_mode mode))
 
 let expect_ok msg = function
   | Ok v -> v
